@@ -1,0 +1,176 @@
+// Command benesroute routes a permutation through the self-routing
+// Benes network and prints the Fig.-4-style diagram: per-stage switch
+// states and the destination tag on every line at every stage boundary.
+//
+// Usage:
+//
+//	benesroute -n 3 -perm bitreversal
+//	benesroute -d "1,3,2,0"                  # explicit destination tags
+//	benesroute -d "1,3,2,0" -mode external   # looping-algorithm setup
+//	benesroute -n 4 -perm "shift:3" -mode omega
+//	benesroute -n 3 -perm bitreversal -engine concurrent
+//
+// Named permutations: identity, bitreversal, vectorreversal, shuffle,
+// unshuffle, transpose, shuffledrowmajor, bitshuffle, shift:K, pord:P,
+// pordshift:P:K. Modes: self (default), omega, external.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/perm"
+)
+
+func main() {
+	n := flag.Int("n", 3, "log2 of the network size (used with -perm)")
+	name := flag.String("perm", "bitreversal", "named permutation (see doc) or use -d")
+	dflag := flag.String("d", "", "explicit destination tags, e.g. \"1,3,2,0\"")
+	mode := flag.String("mode", "self", "routing mode: self | omega | external | twopass")
+	engine := flag.String("engine", "sync", "evaluation engine: sync | concurrent")
+	dump := flag.Bool("dump", false, "with -mode external: print the computed switch states")
+	dot := flag.Bool("dot", false, "print the network as a Graphviz digraph instead of the diagram")
+	flag.Parse()
+
+	d, err := buildPerm(*n, *name, *dflag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benesroute:", err)
+		os.Exit(1)
+	}
+	net := core.New(perm.Perm(d).LogN())
+
+	if *engine == "concurrent" {
+		if *mode != "self" {
+			fmt.Fprintln(os.Stderr, "benesroute: the concurrent engine supports -mode self only")
+			os.Exit(1)
+		}
+		res, _ := netsim.New(net).RouteOne(d)
+		fmt.Printf("concurrent engine: N=%d, %d switch goroutines\n", net.N(), net.SwitchCount())
+		fmt.Printf("requested: %v\nrealized:  %v\nok: %v", d, res.Realized, res.OK())
+		if !res.OK() {
+			fmt.Printf(" (misrouted inputs: %v)", res.Misrouted)
+		}
+		fmt.Println()
+		return
+	}
+
+	if *mode == "twopass" {
+		r := net.TwoPassRoute(d)
+		fmt.Printf("requested permutation: %v\n", d)
+		fmt.Printf("pass 1 (plain tags, inverse-omega factor): %v\n", r.F1)
+		fmt.Print(net.Diagram(r.Pass1))
+		fmt.Printf("pass 2 (omega bit, omega factor): %v\n", r.F2)
+		fmt.Print(net.Diagram(r.Pass2))
+		fmt.Printf("composed ok=%v realized=%v\n", r.OK(), r.Realized)
+		if !r.OK() {
+			os.Exit(2)
+		}
+		return
+	}
+
+	var res *core.Result
+	switch *mode {
+	case "self":
+		res = net.SelfRoute(d)
+	case "omega":
+		res = net.OmegaRoute(d)
+	case "external":
+		st := net.Setup(d)
+		if *dump {
+			fmt.Printf("switch states (one stage per line):\n%s\n", st)
+		}
+		res = net.ExternalRoute(d, st)
+	default:
+		fmt.Fprintf(os.Stderr, "benesroute: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+	if *dot {
+		fmt.Print(net.Dot(res))
+		if !res.OK() {
+			os.Exit(2)
+		}
+		return
+	}
+	fmt.Printf("requested permutation: %v\n", d)
+	fmt.Print(net.Diagram(res))
+	if !res.OK() {
+		fmt.Printf("NOT realized (misrouted inputs %v)", res.Misrouted)
+		if *mode == "self" {
+			if _, detail := perm.FWitness(d); detail != "" {
+				fmt.Printf(" — %s", detail)
+			}
+			fmt.Print("\nhint: try -mode omega (for Omega permutations) or -mode external (any permutation)")
+		}
+		fmt.Println()
+		os.Exit(2)
+	}
+}
+
+func buildPerm(n int, name, dflag string) (perm.Perm, error) {
+	if dflag != "" {
+		d, err := perm.Parse(dflag)
+		if err != nil {
+			return nil, err
+		}
+		if len(d) == 0 || len(d)&(len(d)-1) != 0 {
+			return nil, fmt.Errorf("destination vector length %d is not a power of two", len(d))
+		}
+		return d, nil
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("-n must be >= 1")
+	}
+	parts := strings.Split(name, ":")
+	arg := func(i int) (int, error) {
+		if i >= len(parts) {
+			return 0, fmt.Errorf("permutation %q needs parameter %d", name, i)
+		}
+		return strconv.Atoi(parts[i])
+	}
+	switch parts[0] {
+	case "identity":
+		return perm.Identity(1 << uint(n)), nil
+	case "bitreversal":
+		return perm.BitReversal(n), nil
+	case "vectorreversal":
+		return perm.VectorReversal(n), nil
+	case "shuffle":
+		return perm.PerfectShuffle(n), nil
+	case "unshuffle":
+		return perm.Unshuffle(n), nil
+	case "transpose":
+		return perm.MatrixTranspose(n), nil
+	case "shuffledrowmajor":
+		return perm.ShuffledRowMajor(n), nil
+	case "bitshuffle":
+		return perm.BitShuffle(n), nil
+	case "shift":
+		k, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		return perm.CyclicShift(n, k), nil
+	case "pord":
+		p, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		return perm.POrdering(n, p), nil
+	case "pordshift":
+		p, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		k, err := arg(2)
+		if err != nil {
+			return nil, err
+		}
+		return perm.POrderingShift(n, p, k), nil
+	}
+	return nil, fmt.Errorf("unknown permutation %q", name)
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/perm"
+)
+
+func TestBuildPermNamed(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		want perm.Perm
+	}{
+		{"identity", 3, perm.Identity(8)},
+		{"bitreversal", 3, perm.BitReversal(3)},
+		{"vectorreversal", 3, perm.VectorReversal(3)},
+		{"shuffle", 3, perm.PerfectShuffle(3)},
+		{"unshuffle", 3, perm.Unshuffle(3)},
+		{"transpose", 4, perm.MatrixTranspose(4)},
+		{"shuffledrowmajor", 4, perm.ShuffledRowMajor(4)},
+		{"bitshuffle", 4, perm.BitShuffle(4)},
+		{"shift:3", 3, perm.CyclicShift(3, 3)},
+		{"pord:5", 4, perm.POrdering(4, 5)},
+		{"pordshift:5:2", 4, perm.POrderingShift(4, 5, 2)},
+	}
+	for _, c := range cases {
+		got, err := buildPerm(c.n, c.name, "")
+		if err != nil {
+			t.Errorf("buildPerm(%q): %v", c.name, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("buildPerm(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBuildPermExplicit(t *testing.T) {
+	got, err := buildPerm(0, "", "1,3,2,0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(perm.Perm{1, 3, 2, 0}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestBuildPermErrors(t *testing.T) {
+	cases := []struct {
+		n           int
+		name, dflag string
+	}{
+		{3, "nosuchperm", ""},
+		{3, "shift", ""},       // missing parameter
+		{3, "shift:x", ""},     // bad parameter
+		{0, "identity", ""},    // bad n
+		{3, "", "1,1,2,0"},     // not a permutation
+		{3, "", "0,1,2"},       // not a power of two
+		{3, "", "0,1,2,x"},     // parse failure
+		{3, "pordshift:5", ""}, // missing second parameter
+	}
+	for _, c := range cases {
+		if _, err := buildPerm(c.n, c.name, c.dflag); err == nil {
+			t.Errorf("buildPerm(%d, %q, %q) accepted bad input", c.n, c.name, c.dflag)
+		}
+	}
+}

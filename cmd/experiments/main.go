@@ -1,0 +1,36 @@
+// Command experiments regenerates every table and figure of the paper
+// as terminal reports. With no arguments it runs all 21 experiments;
+// pass -run E5 to run one, or -list to enumerate them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	run := flag.String("run", "", "run a single experiment by ID (e.g. E5)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %-32s %s\n", e.ID, e.Paper, e.Title)
+		}
+		return
+	}
+	if *run != "" {
+		e, ok := experiments.Find(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", *run)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%s): %s ===\n", e.ID, e.Paper, e.Title)
+		e.Run(os.Stdout)
+		return
+	}
+	experiments.RunAll(os.Stdout)
+}

@@ -1,0 +1,114 @@
+// Command figures regenerates the paper's figure-style data series as
+// CSV files, one per series, for plotting: network structure growth
+// (Fig. 1 counts), the Section I design-space comparison, the
+// Section III unit-route laws, and the class-cardinality landscape.
+//
+// Usage: figures [-dir out]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/batcher"
+	"repro/internal/core"
+	"repro/internal/crossbar"
+	"repro/internal/omega"
+	"repro/internal/perm"
+	"repro/internal/recirc"
+	"repro/internal/report"
+	"repro/internal/simd"
+)
+
+func main() {
+	dir := flag.String("dir", "figures_out", "output directory for the CSV files")
+	flag.Parse()
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+
+	emit := func(name string, t *report.Table) {
+		path := filepath.Join(*dir, name+".csv")
+		if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", path, len(t.Rows))
+	}
+
+	// Series 1: B(n) structure (Fig. 1 / Section I counts).
+	st := report.NewTable("", "n", "N", "stages", "switches", "gate_delay")
+	for n := 1; n <= 16; n++ {
+		b := core.New(n)
+		st.Add(n, b.N(), b.Stages(), b.SwitchCount(), b.GateDelay())
+	}
+	emit("benes_structure", st)
+
+	// Series 2: switch counts across the design space.
+	sw := report.NewTable("", "n", "N", "benes", "omega", "bitonic", "odd_even", "recirc", "crossbar")
+	for n := 2; n <= 14; n++ {
+		N := 1 << uint(n)
+		sw.Add(n, N,
+			core.New(n).SwitchCount(),
+			omega.New(n).SwitchCount(),
+			batcher.New(n).SwitchCount(),
+			batcher.NewOddEven(n).SwitchCount(),
+			recirc.New(n).SwitchCount(),
+			crossbar.New(N).SwitchCount())
+	}
+	emit("switch_counts", sw)
+
+	// Series 3: delays across the design space.
+	dl := report.NewTable("", "n", "N", "benes", "omega", "bitonic", "recirc_passes_F", "crossbar")
+	for n := 2; n <= 14; n++ {
+		dl.Add(n, 1<<uint(n),
+			core.New(n).GateDelay(),
+			omega.New(n).GateDelay(),
+			batcher.New(n).GateDelay(),
+			recirc.New(n).PassesF(),
+			1)
+	}
+	emit("gate_delays", dl)
+
+	// Series 4: Section III unit-route laws.
+	rt := report.NewTable("", "n", "N", "ccc_1word", "ccc_2route", "psc", "psc_omega", "mcc", "ccc_bitonic")
+	for n := 2; n <= 14; n++ {
+		row := []any{n, 1 << uint(n), 2*n - 1, 4*n - 2, 4*n - 3, 2 * n}
+		if n%2 == 0 {
+			row = append(row, simd.FullLoopCost(n))
+		} else {
+			row = append(row, "")
+		}
+		row = append(row, simd.SortRoutesCCC(n, 1))
+		rt.Add(row...)
+	}
+	emit("simd_unit_routes", rt)
+
+	// Series 5: exhaustive class cardinalities.
+	cc := report.NewTable("", "n", "N", "factorial", "F", "BPC", "omega", "inverse_omega")
+	for n := 1; n <= 3; n++ {
+		N := 1 << uint(n)
+		var f, bpc, om, iom int
+		perm.ForEach(N, func(p perm.Perm) bool {
+			if perm.InF(p) {
+				f++
+			}
+			if _, ok := perm.RecognizeBPC(p); ok {
+				bpc++
+			}
+			if perm.IsOmega(p) {
+				om++
+			}
+			if perm.IsInverseOmega(p) {
+				iom++
+			}
+			return true
+		})
+		cc.Add(n, N, perm.Factorial(N), f, bpc, om, iom)
+	}
+	cc.Add(4, 16, 20922789888000, int64(133488540928), (1<<4)*perm.Factorial(4), int64(1)<<32, int64(1)<<32)
+	emit("class_cardinalities", cc)
+}

@@ -1,0 +1,77 @@
+// Beyond F: three ways to perform a permutation the self-routing rule
+// alone cannot, demonstrated on the same worst-case input — a uniformly
+// random permutation, which for large N is essentially never in F.
+//
+//  1. external setup: the classic looping algorithm (paper Section I),
+//     O(N log N) host work, one pass;
+//  2. two tag-driven passes: factor D into inverse-omega then omega
+//     (this repository's constructive extension of Theorems 2-3 + the
+//     omega bit), zero switch-state loading;
+//  3. Waksman-reduced hardware: the same external setup on a network
+//     with N/2 - 1 switches permanently welded straight.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+)
+
+const n = 6
+const N = 1 << n
+
+func main() {
+	net := core.New(n)
+	rng := rand.New(rand.NewSource(99))
+	d := perm.Random(N, rng)
+
+	fmt.Printf("random permutation on %d elements; in F? %v\n", N, perm.InF(d))
+	ok, why := perm.FWitness(d)
+	if !ok {
+		fmt.Printf("  (%s)\n\n", why)
+	}
+
+	data := make([]int, N)
+	for i := range data {
+		data[i] = i
+	}
+	check := func(name string, out []int) {
+		bad := 0
+		for i := range data {
+			if out[d[i]] != data[i] {
+				bad++
+			}
+		}
+		fmt.Printf("%-28s delivered %d/%d correctly\n", name, N-bad, N)
+	}
+
+	// 1. External setup.
+	st := net.Setup(d)
+	res := net.ExternalRoute(d, st)
+	fmt.Printf("external setup: %d switch states computed, routed ok=%v\n",
+		net.SwitchCount(), res.OK())
+	check("  data via external setup:", perm.Apply(res.Realized, data))
+
+	// 2. Two tag-driven passes.
+	tp := net.TwoPassRoute(d)
+	fmt.Printf("\ntwo-pass: f1 inverse-omega=%v, f2 omega=%v, both passes ok=%v\n",
+		perm.IsInverseOmega(tp.F1), perm.IsOmega(tp.F2), tp.OK())
+	fmt.Printf("  pass 1: plain tags (%d gate delays); pass 2: tags + omega bit (%d more)\n",
+		net.GateDelay(), net.GateDelay())
+	check("  data via two passes:", core.TwoPassPermute(net, d, data))
+
+	// 3. Waksman-reduced hardware.
+	wst, okW := net.WaksmanSetup(d)
+	fmt.Printf("\nWaksman-reduced network: %d of %d switches welded straight, %d programmable\n",
+		net.WaksmanFixedCount(), net.SwitchCount(), net.WaksmanProgrammableCount())
+	if okW {
+		resW := net.ExternalRoute(d, wst)
+		fmt.Printf("  routed ok=%v\n", resW.OK())
+		check("  data via Waksman network:", perm.Apply(resW.Realized, data))
+	}
+
+	fmt.Printf("\nall three agree; pick by what is scarce: host time (use 2-pass), " +
+		"hardware (use Waksman), passes (use setup)\n")
+}

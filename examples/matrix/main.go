@@ -1,0 +1,64 @@
+// Matrix access staging — the workload that motivated Lawrie's omega
+// network and the Theorem 4 matrix mappings. An 8x8 matrix lives across
+// 64 memory modules in row-major order; every reorganisation an SIMD
+// program needs (transpose, row/column skews for Cannon's algorithm,
+// bit-reversed row order) is a single pass through the self-routing
+// Benes network.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+)
+
+const n = 6 // 64 elements: an 8x8 matrix
+const m = 8
+
+func render(title string, data []string) {
+	fmt.Println(title)
+	for r := 0; r < m; r++ {
+		fmt.Println("  " + strings.Join(data[r*m:(r+1)*m], " "))
+	}
+	fmt.Println()
+}
+
+func main() {
+	net := core.New(n)
+	matrix := make([]string, m*m)
+	for r := 0; r < m; r++ {
+		for c := 0; c < m; c++ {
+			matrix[r*m+c] = fmt.Sprintf("a%d%d", r, c)
+		}
+	}
+	render("matrix A in row-major storage:", matrix)
+
+	// Transpose: one network pass, tags from the Table I A-vector.
+	spec := perm.MatrixTransposeBPC(n)
+	fmt.Printf("transpose A-vector: %s (a BPC permutation -> in F, self-routable)\n", spec)
+	render("after one self-routed pass (transpose):", core.Permute(net, spec.Perm(), matrix))
+
+	// Cannon's alignment skews: row i rotated by i, column j by j.
+	rowSkew := perm.RowRotation(n)
+	fmt.Printf("Cannon row skew A(i,j)->A(i,(i+j) mod %d): in F = %v\n", m, perm.InF(rowSkew))
+	render("after row skew:", core.Permute(net, rowSkew, matrix))
+
+	colSkew := perm.ColumnRotation(n)
+	fmt.Printf("Cannon column skew A(i,j)->A((i+j) mod %d,j): in F = %v\n", m, perm.InF(colSkew))
+	render("after column skew:", core.Permute(net, colSkew, matrix))
+
+	// Bit-reversed row order (FFT output reordering applied to rows).
+	rbr := perm.RowBitReversal(n)
+	render("rows in bit-reversed order:", core.Permute(net, rbr, matrix))
+
+	// All of these cost exactly the network's gate delay — no setup.
+	fmt.Printf("every pass above: %d gate delays, zero setup steps\n", net.GateDelay())
+
+	// A uniform random shuffle of the matrix would NOT be in F; the
+	// library detects this rather than silently misrouting.
+	bad := perm.Perm{1, 3, 2, 0}
+	fmt.Printf("\narbitrary 4-element scramble %v in F? %v -> use Setup()+ExternalRoute\n",
+		bad, perm.InF(bad))
+}

@@ -1,0 +1,52 @@
+// Quickstart: build a self-routing Benes network, route a permutation
+// by destination tags alone, and fall back to external setup for a
+// permutation outside F.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+)
+
+func main() {
+	// An N=16 network: 7 stages of 8 switches, 56 switches total.
+	n := 4
+	net := core.New(n)
+	fmt.Printf("B(%d): N=%d inputs, %d stages, %d switches, gate delay %d\n\n",
+		n, net.N(), net.Stages(), net.SwitchCount(), net.GateDelay())
+
+	// 1. Self-route a bit-reversal permutation: no setup computation at
+	// all — every switch decides from the tag bit on its upper input.
+	d := perm.BitReversal(n)
+	data := make([]string, net.N())
+	for i := range data {
+		data[i] = fmt.Sprintf("pkt%02d", i)
+	}
+	out := core.Permute(net, d, data)
+	fmt.Printf("self-routed bit reversal: input 1 -> output %d, input 3 -> output %d\n",
+		d[1], d[3])
+	fmt.Printf("data out: %v\n\n", out)
+
+	// 2. Check membership in F before routing.
+	tricky := perm.Perm{1, 3, 2, 0, 5, 7, 6, 4, 9, 11, 10, 8, 13, 15, 14, 12}
+	if perm.InF(tricky) {
+		fmt.Println("tricky is in F — self-routing will work")
+	} else {
+		ok, why := perm.FWitness(tricky)
+		fmt.Printf("tricky is NOT in F (ok=%v): %s\n", ok, why)
+	}
+
+	// 3. Route it anyway with the classic looping setup: the same
+	// hardware does all N! permutations when states are loaded
+	// externally.
+	states := net.Setup(tricky)
+	res := net.ExternalRoute(tricky, states)
+	fmt.Printf("external setup routed it: ok=%v (crossed %d switches)\n",
+		res.OK(), res.States.CountCrossed())
+
+	// 4. Omega permutations route with the omega bit.
+	shift := perm.CyclicShift(n, 3)
+	fmt.Printf("cyclic shift by 3 with omega bit: ok=%v\n", net.OmegaRoute(shift).OK())
+}

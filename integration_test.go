@@ -1,0 +1,212 @@
+// Cross-module integration tests: the same permutation workloads are
+// pushed through every implementation in the repository — the Theorem-1
+// predicate, the synchronous network, the concurrent goroutine network,
+// the recirculating fabric, and the three SIMD machines — and all of
+// them must agree, both on success and on the realized mapping. These
+// are the end-to-end guarantees the per-package suites build up to.
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/batcher"
+	"repro/internal/core"
+	"repro/internal/gcn"
+	"repro/internal/netsim"
+	"repro/internal/parsetup"
+	"repro/internal/perm"
+	"repro/internal/recirc"
+	"repro/internal/simd"
+)
+
+// implementations that claim to realize exactly F(n).
+type fImpl struct {
+	name string
+	run  func(n int, d perm.Perm) (ok bool, realized perm.Perm)
+}
+
+func fImplementations() []fImpl {
+	return []fImpl{
+		{"core.SelfRoute", func(n int, d perm.Perm) (bool, perm.Perm) {
+			res := core.New(n).SelfRoute(d)
+			return res.OK(), res.Realized
+		}},
+		{"netsim", func(n int, d perm.Perm) (bool, perm.Perm) {
+			res, _ := netsim.New(core.New(n)).RouteOne(d)
+			return res.OK(), res.Realized
+		}},
+		{"recirc", func(n int, d perm.Perm) (bool, perm.Perm) {
+			res := recirc.New(n).RouteF(d)
+			return res.OK(), res.Realized
+		}},
+		{"simd.CCC", func(n int, d perm.Perm) (bool, perm.Perm) {
+			c := simd.NewCCC(d, 1)
+			c.Permute()
+			return c.OK(), c.Realized()
+		}},
+		{"simd.PSC", func(n int, d perm.Perm) (bool, perm.Perm) {
+			p := simd.NewPSC(d)
+			p.Permute()
+			return p.OK(), p.Realized()
+		}},
+	}
+}
+
+// TestAllFImplementationsAgree: on arbitrary permutations, every
+// implementation must agree with perm.InF; on success, each must
+// realize exactly d.
+func TestAllFImplementationsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(231))
+	impls := fImplementations()
+	for trial := 0; trial < 150; trial++ {
+		n := 1 + rng.Intn(8)
+		var d perm.Perm
+		switch trial % 4 {
+		case 0:
+			d = perm.Random(1<<uint(n), rng)
+		case 1:
+			d = perm.RandomBPC(n, rng).Perm()
+		case 2:
+			d = perm.RandomF(n, rng)
+		case 3:
+			N := 1 << uint(n)
+			d = perm.POrderingShift(n, 2*rng.Intn(N/2)+1, rng.Intn(N))
+		}
+		want := perm.InF(d)
+		for _, impl := range impls {
+			ok, realized := impl.run(n, d)
+			if ok != want {
+				t.Fatalf("%s disagrees with Theorem 1 on n=%d %v (got %v, want %v)",
+					impl.name, n, d, ok, want)
+			}
+			if ok && !realized.Equal(d) {
+				t.Fatalf("%s claims success but realized %v != %v", impl.name, realized, d)
+			}
+		}
+	}
+}
+
+// TestMCCAgreesOnSquareSizes: the mesh machine joins the consensus on
+// even n.
+func TestMCCAgreesOnSquareSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(232))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 * (1 + rng.Intn(4))
+		d := perm.Random(1<<uint(n), rng)
+		mc := simd.NewMCC(d)
+		mc.Permute()
+		if mc.OK() != perm.InF(d) {
+			t.Fatalf("MCC disagrees with Theorem 1 on n=%d", n)
+		}
+	}
+}
+
+// TestEverySetupPathRealizesEverything: sequential looping, parallel
+// loop-coloring, Waksman-reduced, and bitonic sorting must all perform
+// arbitrary permutations.
+func TestEverySetupPathRealizesEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(233))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(9)
+		N := 1 << uint(n)
+		d := perm.Random(N, rng)
+		b := core.New(n)
+
+		if !b.ExternalRoute(d, b.Setup(d)).OK() {
+			t.Fatal("sequential setup failed")
+		}
+		st, _ := parsetup.Setup(b, d)
+		if !b.ExternalRoute(d, st).OK() {
+			t.Fatal("parallel setup failed")
+		}
+		wst, ok := b.WaksmanSetup(d)
+		if !ok || !b.ExternalRoute(d, wst).OK() {
+			t.Fatal("Waksman setup failed")
+		}
+		if !batcher.New(n).Realizes(d) {
+			t.Fatal("bitonic routing failed")
+		}
+		realized, _ := simd.SortCCC(d, 1)
+		if !realized.Equal(d) {
+			t.Fatal("cube bitonic sort failed")
+		}
+	}
+}
+
+// TestTagPipelineEndToEnd: the complete Section III workflow — compact
+// representation broadcast, local tag computation, routing on the cube,
+// data verified — against the network path for the same permutation.
+func TestTagPipelineEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(234))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(7)
+		spec := perm.RandomBPC(n, rng)
+		tags := simd.TagsFromBPC(spec).Tags
+
+		c := simd.NewCCC(tags, 1)
+		c.PermuteBPC(spec)
+		if !c.OK() {
+			t.Fatal("cube path failed")
+		}
+		net := core.New(n)
+		res := net.SelfRoute(tags)
+		if !res.OK() {
+			t.Fatal("network path failed")
+		}
+		if !res.Realized.Equal(c.Realized()) {
+			t.Fatal("cube and network disagree on the realized mapping")
+		}
+	}
+}
+
+// TestGCNSubsumesPermutations: the generalized connector carries what
+// the plain network carries, through a completely different path.
+func TestGCNSubsumesPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(235))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(7)
+		N := 1 << uint(n)
+		p := perm.Random(N, rng)
+		g := gcn.New(n)
+		plan, err := g.Connect(gcn.Request(p.Inverse()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]int, N)
+		for i := range data {
+			data[i] = i * 7
+		}
+		viaGCN := gcn.Carry(plan, data)
+		viaPerm := perm.Apply(p, data)
+		for i := range viaGCN {
+			if viaGCN[i] != viaPerm[i] {
+				t.Fatalf("n=%d: GCN and direct permutation disagree at %d", n, i)
+			}
+		}
+	}
+}
+
+// TestOmegaConsistencyAcrossImplementations: the omega class looks the
+// same from the predicate, the omega-forced Benes, and the
+// recirculating fabric's omega mode.
+func TestOmegaConsistencyAcrossImplementations(t *testing.T) {
+	rng := rand.New(rand.NewSource(236))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(7)
+		var d perm.Perm
+		if trial%2 == 0 {
+			d = perm.Random(1<<uint(n), rng)
+		} else {
+			N := 1 << uint(n)
+			d = perm.POrderingShift(n, 2*rng.Intn(N/2)+1, rng.Intn(N))
+		}
+		want := perm.IsOmega(d)
+		if core.New(n).RealizesOmega(d) != want {
+			t.Fatalf("omega-forced Benes disagrees on n=%d %v", n, d)
+		}
+		if recirc.New(n).RouteOmega(d).OK() != want {
+			t.Fatalf("recirculating omega disagrees on n=%d %v", n, d)
+		}
+	}
+}

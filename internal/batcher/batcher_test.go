@@ -1,0 +1,144 @@
+package batcher
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+func TestCounts(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		b := New(n)
+		N := 1 << uint(n)
+		if b.N() != N {
+			t.Fatalf("n=%d: N=%d", n, b.N())
+		}
+		if b.Stages() != n*(n+1)/2 {
+			t.Errorf("n=%d: stages=%d, want %d", n, b.Stages(), n*(n+1)/2)
+		}
+		if b.ComparatorCount() != N/2*n*(n+1)/2 {
+			t.Errorf("n=%d: comparators=%d, want %d", n, b.ComparatorCount(), N/2*n*(n+1)/2)
+		}
+	}
+}
+
+func TestSortRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(9)
+		N := 1 << uint(n)
+		b := New(n)
+		keys := make([]int, N)
+		for i := range keys {
+			keys[i] = rng.Intn(100)
+		}
+		got := b.Sort(keys)
+		want := append([]int(nil), keys...)
+		sort.Ints(want)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: sort mismatch at %d: %v vs %v", n, i, got, want)
+			}
+		}
+	}
+}
+
+func TestSortAllZeroOne(t *testing.T) {
+	// The 0-1 principle: a comparator network sorts all inputs iff it
+	// sorts all 0-1 sequences. Exhaustively verify every 0-1 vector for
+	// n <= 4 — a complete correctness proof for those sizes.
+	for n := 1; n <= 4; n++ {
+		N := 1 << uint(n)
+		b := New(n)
+		for mask := 0; mask < 1<<uint(N); mask++ {
+			keys := make([]int, N)
+			ones := 0
+			for i := range keys {
+				keys[i] = (mask >> uint(i)) & 1
+				ones += keys[i]
+			}
+			out := b.Sort(keys)
+			for i, v := range out {
+				want := 0
+				if i >= N-ones {
+					want = 1
+				}
+				if v != want {
+					t.Fatalf("n=%d mask=%b: 0-1 principle violated at %d: %v", n, mask, i, out)
+				}
+			}
+		}
+	}
+}
+
+// TestRoutesAllPermutations: routing by sorting realizes every
+// permutation — exhaustive for N=4, N=8.
+func TestRoutesAllPermutations(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		b := New(n)
+		perm.ForEach(1<<uint(n), func(p perm.Perm) bool {
+			if !b.Realizes(p) {
+				t.Fatalf("n=%d: bitonic route failed on %v", n, p.Clone())
+			}
+			return true
+		})
+	}
+}
+
+func TestRoutesFig5Witness(t *testing.T) {
+	// The permutation the self-routing Benes network cannot do.
+	b := New(2)
+	if !b.Realizes(perm.Perm{1, 3, 2, 0}) {
+		t.Fatal("bitonic network must route (1,3,2,0)")
+	}
+}
+
+func TestRouteRandomLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	b := New(10)
+	for trial := 0; trial < 20; trial++ {
+		p := perm.Random(1024, rng)
+		if !b.Realizes(p) {
+			t.Fatal("bitonic route failed on random permutation")
+		}
+	}
+}
+
+func TestPermute(t *testing.T) {
+	b := New(2)
+	out := Permute(b, perm.Perm{1, 3, 2, 0}, []string{"a", "b", "c", "d"})
+	want := []string{"d", "a", "c", "b"}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("Permute = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestRealizesRejectsInvalid(t *testing.T) {
+	b := New(2)
+	if b.Realizes(perm.Perm{0, 0, 1, 1}) {
+		t.Fatal("non-permutation accepted")
+	}
+}
+
+func TestComparatorsWellFormed(t *testing.T) {
+	b := New(6)
+	for s, stage := range b.stages {
+		used := make(map[int]bool)
+		for _, c := range stage {
+			if c.Low == c.High {
+				t.Fatalf("stage %d: degenerate comparator", s)
+			}
+			if used[c.Low] || used[c.High] {
+				t.Fatalf("stage %d: line used twice", s)
+			}
+			used[c.Low], used[c.High] = true, true
+		}
+		if len(stage) != b.N()/2 {
+			t.Fatalf("stage %d has %d comparators, want %d", s, len(stage), b.N()/2)
+		}
+	}
+}

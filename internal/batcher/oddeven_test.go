@@ -1,0 +1,109 @@
+package batcher
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+func TestOddEvenCounts(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		oe := NewOddEven(n)
+		if oe.Stages() != n*(n+1)/2 {
+			t.Errorf("n=%d: depth %d, want %d", n, oe.Stages(), n*(n+1)/2)
+		}
+		want := (n*n-n+4)*(1<<uint(n))/4 - 1
+		if oe.ComparatorCount() != want {
+			t.Errorf("n=%d: comparators %d, want %d", n, oe.ComparatorCount(), want)
+		}
+		// Strictly cheaper than the bitonic sorter from n >= 2.
+		if n >= 2 && oe.ComparatorCount() >= New(n).ComparatorCount() {
+			t.Errorf("n=%d: odd-even (%d) not cheaper than bitonic (%d)",
+				n, oe.ComparatorCount(), New(n).ComparatorCount())
+		}
+	}
+}
+
+func TestOddEvenZeroOnePrinciple(t *testing.T) {
+	// Exhaustive 0-1 proof of sorting correctness for n <= 4.
+	for n := 1; n <= 4; n++ {
+		N := 1 << uint(n)
+		oe := NewOddEven(n)
+		for mask := 0; mask < 1<<uint(N); mask++ {
+			keys := make([]int, N)
+			ones := 0
+			for i := range keys {
+				keys[i] = (mask >> uint(i)) & 1
+				ones += keys[i]
+			}
+			out := oe.Sort(keys)
+			for i, v := range out {
+				want := 0
+				if i >= N-ones {
+					want = 1
+				}
+				if v != want {
+					t.Fatalf("n=%d mask=%b: not sorted: %v", n, mask, out)
+				}
+			}
+		}
+	}
+}
+
+func TestOddEvenSortRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(9)
+		N := 1 << uint(n)
+		oe := NewOddEven(n)
+		keys := make([]int, N)
+		for i := range keys {
+			keys[i] = rng.Intn(1000)
+		}
+		got := oe.Sort(keys)
+		want := append([]int(nil), keys...)
+		sort.Ints(want)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: sort mismatch", n)
+			}
+		}
+	}
+}
+
+func TestOddEvenRoutesAllPermutations(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		oe := NewOddEven(n)
+		perm.ForEach(1<<uint(n), func(p perm.Perm) bool {
+			if !oe.Realizes(p) {
+				t.Fatalf("n=%d: odd-even route failed on %v", n, p.Clone())
+			}
+			return true
+		})
+	}
+	rng := rand.New(rand.NewSource(302))
+	oe := NewOddEven(9)
+	for trial := 0; trial < 20; trial++ {
+		if !oe.Realizes(perm.Random(512, rng)) {
+			t.Fatal("odd-even route failed on random permutation")
+		}
+	}
+}
+
+func TestOddEvenStagesWellFormed(t *testing.T) {
+	oe := NewOddEven(6)
+	for s, stage := range oe.stages {
+		used := make(map[int]bool)
+		for _, c := range stage {
+			if c.Low >= c.High || c.Low < 0 || c.High >= oe.N() {
+				t.Fatalf("stage %d: bad comparator %+v", s, c)
+			}
+			if used[c.Low] || used[c.High] {
+				t.Fatalf("stage %d: line used twice", s)
+			}
+			used[c.Low], used[c.High] = true, true
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package bits implements the bit-level notation of Nassimi & Sahni's
+// "A Self-Routing Benes Network and Parallel Permutation Algorithms".
+//
+// Throughout the paper an integer i in [0, 2^n) is treated as the bit
+// string (i)_{n-1} (i)_{n-2} ... (i)_0, where (i)_0 is the least
+// significant bit. This package provides those operators as functions:
+// Bit is (i)_j, Field is (i)_{j:k}, Flip is the i^(b) neighbour used by
+// the cube-connected-computer model, and so on. All functions operate on
+// non-negative ints so they compose directly with slice indices.
+package bits
+
+import "math/bits"
+
+// Bit returns (i)_j, the j-th bit of i ((i)_0 is the least significant).
+func Bit(i, j int) int {
+	return (i >> uint(j)) & 1
+}
+
+// WithBit returns i with bit j forced to v (v must be 0 or 1).
+func WithBit(i, j, v int) int {
+	if v == 0 {
+		return i &^ (1 << uint(j))
+	}
+	return i | (1 << uint(j))
+}
+
+// Flip returns i^(b) in the paper's notation: the integer whose binary
+// representation differs from i exactly in bit b. PE(i) and PE(Flip(i,b))
+// are neighbours across dimension b of a cube-connected computer.
+func Flip(i, b int) int {
+	return i ^ (1 << uint(b))
+}
+
+// Field returns (i)_{j:k}, the integer with binary representation
+// (i)_j (i)_{j-1} ... (i)_k. It requires j >= k. For example, with
+// i = 0b101101, Field(i, 4, 1) = 0b0110.
+func Field(i, j, k int) int {
+	if j < k {
+		panic("bits: Field requires j >= k")
+	}
+	return (i >> uint(k)) & ((1 << uint(j-k+1)) - 1)
+}
+
+// Reverse returns the n-bit reversal of i: bit j of the result is bit
+// n-1-j of i. This is the paper's i^R used by the bit-reversal
+// permutation of Fig. 4.
+func Reverse(i, n int) int {
+	r := 0
+	for j := 0; j < n; j++ {
+		r = (r << 1) | ((i >> uint(j)) & 1)
+	}
+	return r
+}
+
+// RotRight returns i rotated right by one position within an n-bit field:
+// b_{n-1}...b_1 b_0  ->  b_0 b_{n-1}...b_1.
+// This is the "unshuffle" address map.
+func RotRight(i, n int) int {
+	low := i & 1
+	return (i >> 1) | (low << uint(n-1))
+}
+
+// RotLeft returns i rotated left by one position within an n-bit field:
+// b_{n-1} b_{n-2}...b_0  ->  b_{n-2}...b_0 b_{n-1}.
+// This is the "perfect shuffle" address map.
+func RotLeft(i, n int) int {
+	high := (i >> uint(n-1)) & 1
+	return ((i << 1) & ((1 << uint(n)) - 1)) | high
+}
+
+// RotRightK rotates i right by k positions within an n-bit field.
+// k may be any non-negative integer; it is reduced mod n.
+func RotRightK(i, n, k int) int {
+	k %= n
+	for j := 0; j < k; j++ {
+		i = RotRight(i, n)
+	}
+	return i
+}
+
+// RotLeftK rotates i left by k positions within an n-bit field.
+func RotLeftK(i, n, k int) int {
+	k %= n
+	for j := 0; j < k; j++ {
+		i = RotLeft(i, n)
+	}
+	return i
+}
+
+// IsPow2 reports whether v is a positive power of two.
+func IsPow2(v int) bool {
+	return v > 0 && v&(v-1) == 0
+}
+
+// Log2 returns log2(v) for a positive power of two v, and panics
+// otherwise. Network sizes in this library are always exact powers of
+// two, matching the paper's N = 2^n assumption.
+func Log2(v int) int {
+	if !IsPow2(v) {
+		panic("bits: Log2 of non-power-of-two")
+	}
+	return bits.TrailingZeros(uint(v))
+}
+
+// CeilLog2 returns the smallest n with 2^n >= v, for v >= 1.
+func CeilLog2(v int) int {
+	if v < 1 {
+		panic("bits: CeilLog2 of non-positive value")
+	}
+	n := 0
+	for (1 << uint(n)) < v {
+		n++
+	}
+	return n
+}
+
+// OnesCount returns the number of set bits in i.
+func OnesCount(i int) int {
+	return bits.OnesCount(uint(i))
+}
+
+// String returns the n-bit binary representation of i, most significant
+// bit first, e.g. String(5, 4) == "0101". It is used by traces and the
+// experiment printers so that tags appear exactly as in the paper's
+// figures.
+func String(i, n int) string {
+	b := make([]byte, n)
+	for j := 0; j < n; j++ {
+		b[n-1-j] = byte('0' + Bit(i, j))
+	}
+	return string(b)
+}
+
+// Interleave builds an integer from two bit fields by alternating their
+// bits: result bit 2j is bit j of even, result bit 2j+1 is bit j of odd,
+// for j in [0,h). It is the inverse of the (even, odd) split performed by
+// Deinterleave and is used by the shuffled-row-major permutation.
+func Interleave(even, odd, h int) int {
+	r := 0
+	for j := 0; j < h; j++ {
+		r |= Bit(even, j) << uint(2*j)
+		r |= Bit(odd, j) << uint(2*j+1)
+	}
+	return r
+}
+
+// Deinterleave splits i (2h bits) into its even-indexed bits and
+// odd-indexed bits, each packed into an h-bit integer.
+func Deinterleave(i, h int) (even, odd int) {
+	for j := 0; j < h; j++ {
+		even |= Bit(i, 2*j) << uint(j)
+		odd |= Bit(i, 2*j+1) << uint(j)
+	}
+	return even, odd
+}

@@ -1,0 +1,229 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBit(t *testing.T) {
+	i := 0b101101
+	want := []int{1, 0, 1, 1, 0, 1, 0, 0}
+	for j, w := range want {
+		if got := Bit(i, j); got != w {
+			t.Errorf("Bit(%b, %d) = %d, want %d", i, j, got, w)
+		}
+	}
+}
+
+func TestWithBit(t *testing.T) {
+	if got := WithBit(0b1010, 0, 1); got != 0b1011 {
+		t.Errorf("WithBit set: got %b", got)
+	}
+	if got := WithBit(0b1010, 1, 0); got != 0b1000 {
+		t.Errorf("WithBit clear: got %b", got)
+	}
+	if got := WithBit(0b1010, 3, 1); got != 0b1010 {
+		t.Errorf("WithBit idempotent set: got %b", got)
+	}
+}
+
+func TestFlip(t *testing.T) {
+	if got := Flip(0b1010, 0); got != 0b1011 {
+		t.Errorf("Flip bit 0: got %b", got)
+	}
+	if got := Flip(0b1010, 1); got != 0b1000 {
+		t.Errorf("Flip bit 1: got %b", got)
+	}
+	// Flip is an involution.
+	for i := 0; i < 64; i++ {
+		for b := 0; b < 6; b++ {
+			if Flip(Flip(i, b), b) != i {
+				t.Fatalf("Flip not involutive at i=%d b=%d", i, b)
+			}
+		}
+	}
+}
+
+func TestFieldPaperExample(t *testing.T) {
+	// The paper's example: i = 101101, (i)_{4:1} = 0110.
+	i := 0b101101
+	if got := Field(i, 4, 1); got != 0b0110 {
+		t.Errorf("Field(101101, 4, 1) = %b, want 0110", got)
+	}
+	// (i)_{j:j} = (i)_j.
+	for j := 0; j < 6; j++ {
+		if Field(i, j, j) != Bit(i, j) {
+			t.Errorf("Field(i,%d,%d) != Bit(i,%d)", j, j, j)
+		}
+	}
+}
+
+func TestFieldPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Field(i, 1, 2) should panic")
+		}
+	}()
+	Field(5, 1, 2)
+}
+
+func TestReverse(t *testing.T) {
+	cases := []struct{ i, n, want int }{
+		{0b001, 3, 0b100},
+		{0b011, 3, 0b110},
+		{0b101, 3, 0b101},
+		{0, 3, 0},
+		{0b1000, 4, 0b0001},
+		{0b1100, 4, 0b0011},
+	}
+	for _, c := range cases {
+		if got := Reverse(c.i, c.n); got != c.want {
+			t.Errorf("Reverse(%b, %d) = %b, want %b", c.i, c.n, got, c.want)
+		}
+	}
+}
+
+func TestReverseInvolution(t *testing.T) {
+	f := func(x uint16) bool {
+		i := int(x) & 0x3ff
+		return Reverse(Reverse(i, 10), 10) == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotations(t *testing.T) {
+	if got := RotRight(0b1011, 4); got != 0b1101 {
+		t.Errorf("RotRight(1011,4) = %b, want 1101", got)
+	}
+	if got := RotLeft(0b1011, 4); got != 0b0111 {
+		t.Errorf("RotLeft(1011,4) = %b, want 0111", got)
+	}
+}
+
+func TestRotInverse(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		for i := 0; i < 1<<uint(n); i++ {
+			if RotLeft(RotRight(i, n), n) != i {
+				t.Fatalf("RotLeft∘RotRight != id at n=%d i=%d", n, i)
+			}
+			if RotRight(RotLeft(i, n), n) != i {
+				t.Fatalf("RotRight∘RotLeft != id at n=%d i=%d", n, i)
+			}
+		}
+	}
+}
+
+func TestRotK(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		for i := 0; i < 1<<uint(n); i++ {
+			// Rotating by n is the identity.
+			if RotRightK(i, n, n) != i {
+				t.Fatalf("RotRightK by n != id (n=%d, i=%d)", n, i)
+			}
+			if RotLeftK(i, n, n) != i {
+				t.Fatalf("RotLeftK by n != id (n=%d, i=%d)", n, i)
+			}
+			// Composition of single rotations matches RotK.
+			x := i
+			for k := 0; k < n; k++ {
+				if RotRightK(i, n, k) != x {
+					t.Fatalf("RotRightK(%d,%d,%d) mismatch", i, n, k)
+				}
+				x = RotRight(x, n)
+			}
+		}
+	}
+}
+
+func TestIsPow2Log2(t *testing.T) {
+	pows := map[int]int{1: 0, 2: 1, 4: 2, 8: 3, 1024: 10}
+	for v, n := range pows {
+		if !IsPow2(v) {
+			t.Errorf("IsPow2(%d) = false", v)
+		}
+		if Log2(v) != n {
+			t.Errorf("Log2(%d) = %d, want %d", v, Log2(v), n)
+		}
+	}
+	for _, v := range []int{0, -4, 3, 6, 12, 1000} {
+		if IsPow2(v) {
+			t.Errorf("IsPow2(%d) = true", v)
+		}
+	}
+}
+
+func TestLog2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Log2(3) should panic")
+		}
+	}()
+	Log2(3)
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := []struct{ v, want int }{{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}}
+	for _, c := range cases {
+		if got := CeilLog2(c.v); got != c.want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := String(5, 4); got != "0101" {
+		t.Errorf("String(5,4) = %q, want 0101", got)
+	}
+	if got := String(0, 3); got != "000" {
+		t.Errorf("String(0,3) = %q", got)
+	}
+	if got := String(7, 3); got != "111" {
+		t.Errorf("String(7,3) = %q", got)
+	}
+}
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		h := 1 + rng.Intn(8)
+		i := rng.Intn(1 << uint(2*h))
+		e, o := Deinterleave(i, h)
+		if Interleave(e, o, h) != i {
+			t.Fatalf("interleave round trip failed: h=%d i=%b", h, i)
+		}
+	}
+}
+
+func TestInterleaveKnown(t *testing.T) {
+	// even=0b11, odd=0b00, h=2 -> bits 0,2 set -> 0b0101.
+	if got := Interleave(0b11, 0b00, 2); got != 0b0101 {
+		t.Errorf("Interleave(11,00,2) = %b, want 0101", got)
+	}
+	if got := Interleave(0b00, 0b11, 2); got != 0b1010 {
+		t.Errorf("Interleave(00,11,2) = %b, want 1010", got)
+	}
+}
+
+func TestOnesCount(t *testing.T) {
+	if OnesCount(0b1011) != 3 {
+		t.Error("OnesCount(1011) != 3")
+	}
+	if OnesCount(0) != 0 {
+		t.Error("OnesCount(0) != 0")
+	}
+}
+
+func TestFieldConcatenationIdentity(t *testing.T) {
+	// (i)_{j:k} for k=0 equals i mod 2^{j+1}; paper note (i)_{j:0} = i
+	// when j is the top bit.
+	f := func(x uint16) bool {
+		i := int(x)
+		return Field(i, 15, 0) == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+// TestPaperScheduleIsCanonical: RouteWithSchedule with the paper's
+// schedule and upper-input control must reproduce SelfRoute exactly.
+func TestPaperScheduleIsCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(7)
+		b := New(n)
+		d := perm.Random(1<<uint(n), rng)
+		a := b.SelfRoute(d)
+		c := b.RouteWithSchedule(d, b.PaperSchedule(), UpperInput)
+		if !a.Realized.Equal(c.Realized) {
+			t.Fatalf("n=%d: paper schedule diverges from SelfRoute on %v", n, d)
+		}
+		for s := range a.States {
+			for i := range a.States[s] {
+				if a.States[s][i] != c.States[s][i] {
+					t.Fatalf("n=%d: states diverge at stage %d", n, s)
+				}
+			}
+		}
+	}
+}
+
+// countRealizable counts how many permutations of N elements a schedule
+// variant realizes.
+func countRealizable(b *Network, schedule []int, src ControlSource) int {
+	count := 0
+	perm.ForEach(b.N(), func(p perm.Perm) bool {
+		if b.RouteWithSchedule(p, schedule, src).OK() {
+			count++
+		}
+		return true
+	})
+	return count
+}
+
+// TestLowerInputSamePolarityRealizesNothing: reading the lower input
+// with the paper's polarity dooms every routing at the final stage —
+// the realizable class is empty. A sharp ablation: the rule's pieces
+// (which input, which polarity) must match.
+func TestLowerInputSamePolarityRealizesNothing(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		b := New(n)
+		if got := countRealizable(b, b.PaperSchedule(), LowerInput); got != 0 {
+			t.Errorf("n=%d: lower-input same-polarity realized %d permutations, want 0", n, got)
+		}
+	}
+}
+
+// TestLowerInputInvertedIsTrueMirror: complementing the polarity on the
+// lower input restores a class of exactly |F| permutations (top-down
+// mirror symmetry of the network), but a different set.
+func TestLowerInputInvertedIsTrueMirror(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		b := New(n)
+		upper := countRealizable(b, b.PaperSchedule(), UpperInput)
+		mirror := countRealizable(b, b.PaperSchedule(), LowerInputInverted)
+		if upper != mirror {
+			t.Errorf("n=%d: |F|=%d but mirrored class has %d members", n, upper, mirror)
+		}
+	}
+	// At N=4 the two classes happen to coincide as sets (both are the
+	// same 20 permutations); from N=8 they are different sets of equal
+	// size — e.g. (2,4,3,0,1,5,6,7) is realized by exactly one rule.
+	b4 := New(2)
+	perm.ForEach(4, func(p perm.Perm) bool {
+		u := b4.RouteWithSchedule(p, b4.PaperSchedule(), UpperInput).OK()
+		l := b4.RouteWithSchedule(p, b4.PaperSchedule(), LowerInputInverted).OK()
+		if u != l {
+			t.Errorf("N=4: classes unexpectedly differ on %v", p.Clone())
+		}
+		return true
+	})
+	b8 := New(3)
+	diff := 0
+	perm.ForEach(8, func(p perm.Perm) bool {
+		u := b8.RouteWithSchedule(p, b8.PaperSchedule(), UpperInput).OK()
+		l := b8.RouteWithSchedule(p, b8.PaperSchedule(), LowerInputInverted).OK()
+		if u != l {
+			diff++
+		}
+		return true
+	})
+	if diff != 6528 {
+		t.Errorf("N=8: expected 6528 membership differences between the mirror classes, got %d", diff)
+	}
+}
+
+// TestReversedScheduleBreaksBPC: with the MSB-first schedule, the
+// flagship BPC permutations no longer route — the paper's LSB-first
+// order is essential, not cosmetic.
+func TestReversedScheduleBreaksBPC(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 6} {
+		b := New(n)
+		rev := b.ReversedSchedule()
+		broken := 0
+		for _, d := range []perm.Perm{
+			perm.PerfectShuffle(n),
+			perm.Unshuffle(n),
+			perm.CyclicShift(n, 1),
+		} {
+			if !b.RouteWithSchedule(d, rev, UpperInput).OK() {
+				broken++
+			}
+		}
+		if broken == 0 {
+			t.Errorf("n=%d: reversed schedule broke nothing — ablation should show damage", n)
+		}
+	}
+}
+
+// TestReversedScheduleClassSmallerOnBPCInvOmega: the reversed schedule
+// realizes as many permutations overall (mirror symmetry) but loses the
+// classes the paper cares about. Quantify on N=8: count BPC and
+// inverse-omega members realized by each schedule.
+func TestReversedScheduleClassCoverage(t *testing.T) {
+	n := 3
+	b := New(n)
+	rev := b.ReversedSchedule()
+	pap := b.PaperSchedule()
+	var papBPC, revBPC, papIOm, revIOm int
+	perm.ForEach(8, func(p perm.Perm) bool {
+		isBPC := false
+		if _, ok := perm.RecognizeBPC(p); ok {
+			isBPC = true
+		}
+		iom := perm.IsInverseOmega(p)
+		if isBPC || iom {
+			if b.RouteWithSchedule(p, pap, UpperInput).OK() {
+				if isBPC {
+					papBPC++
+				}
+				if iom {
+					papIOm++
+				}
+			}
+			if b.RouteWithSchedule(p, rev, UpperInput).OK() {
+				if isBPC {
+					revBPC++
+				}
+				if iom {
+					revIOm++
+				}
+			}
+		}
+		return true
+	})
+	if papBPC != 48 || papIOm != 4096 {
+		t.Fatalf("paper schedule must cover all BPC (48) and inverse-omega (4096); got %d, %d", papBPC, papIOm)
+	}
+	if revIOm >= papIOm {
+		t.Errorf("reversed schedule covers %d inverse-omega members, expected fewer than %d", revIOm, papIOm)
+	}
+	t.Logf("coverage: paper BPC=%d invOmega=%d; reversed BPC=%d invOmega=%d", papBPC, papIOm, revBPC, revIOm)
+}
+
+// TestConstantScheduleIsCrippled: examining the same bit everywhere
+// cannot even deliver tags to distinct outputs for most permutations;
+// its realizable class must be drastically smaller than F.
+func TestConstantScheduleIsCrippled(t *testing.T) {
+	b := New(3)
+	f := countRealizable(b, b.PaperSchedule(), UpperInput)
+	c0 := countRealizable(b, b.ConstantSchedule(0), UpperInput)
+	if c0*4 > f {
+		t.Errorf("constant schedule realizes %d vs F's %d — expected a collapse", c0, f)
+	}
+}
+
+// TestScheduleValidation.
+func TestScheduleValidation(t *testing.T) {
+	b := New(3)
+	for _, bad := range []func(){
+		func() { b.RouteWithSchedule(perm.Identity(8), []int{0, 1}, UpperInput) },
+		func() { b.RouteWithSchedule(perm.Identity(8), []int{0, 1, 5, 1, 0}, UpperInput) },
+		func() { b.RouteWithSchedule(perm.Identity(4), b.PaperSchedule(), UpperInput) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bits"
+)
+
+// Diagram renders the network and a routing result as ASCII art in the
+// style of the paper's Fig. 4: one column per stage showing each
+// switch's state, with the destination tag (in binary) present on every
+// line at every stage boundary. It is used by cmd/benesroute and the
+// experiment driver.
+func (b *Network) Diagram(res *Result) string {
+	var sb strings.Builder
+	nBits := b.n
+	fmt.Fprintf(&sb, "B(%d): N=%d, %d stages x %d switches (control bits: ",
+		b.n, b.size, b.stages, b.size/2)
+	for s := 0; s < b.stages; s++ {
+		if s > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d", b.ControlBit(s))
+	}
+	sb.WriteString(")\n")
+	// One row per line; columns alternate tag | switch-state.
+	for y := 0; y < b.size; y++ {
+		fmt.Fprintf(&sb, "in%2d ", y)
+		for s := 0; s <= b.stages; s++ {
+			fmt.Fprintf(&sb, "%s", bits.String(res.TagTrace[s][y], nBits))
+			if s < b.stages {
+				state := "-" // upper or lower row through a straight switch
+				if res.States[s][y/2] {
+					state = "x"
+				}
+				fmt.Fprintf(&sb, " %s ", state)
+			}
+		}
+		fmt.Fprintf(&sb, " out%-2d", y)
+		if res.TagTrace[b.stages][y] != y {
+			sb.WriteString("  <-- misrouted")
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "mode=%s realized=%v ok=%v\n", res.Mode, res.Realized, res.OK())
+	return sb.String()
+}

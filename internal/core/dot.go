@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the network topology as a Graphviz digraph: one node per
+// switch (labelled stage.switch, coloured by state when a Result is
+// supplied), edges following the inter-stage wiring, plus input and
+// output terminals. Useful for visually inspecting small networks:
+//
+//	go run ./cmd/benesroute -n 3 -perm bitreversal -dot | dot -Tsvg ...
+func (b *Network) Dot(res *Result) string {
+	var sb strings.Builder
+	sb.WriteString("digraph benes {\n  rankdir=LR;\n  node [shape=box, fontname=monospace];\n")
+	// Terminals.
+	for i := 0; i < b.size; i++ {
+		fmt.Fprintf(&sb, "  in%d [shape=plaintext, label=\"in %d\"];\n", i, i)
+		fmt.Fprintf(&sb, "  out%d [shape=plaintext, label=\"out %d\"];\n", i, i)
+	}
+	// Switches.
+	for s := 0; s < b.stages; s++ {
+		for i := 0; i < b.size/2; i++ {
+			label := fmt.Sprintf("s%d.%d\\nbit %d", s, i, b.ControlBit(s))
+			attrs := ""
+			if res != nil {
+				if res.States[s][i] {
+					label += "\\nX"
+					attrs = ", style=filled, fillcolor=lightcoral"
+				} else {
+					label += "\\n="
+					attrs = ", style=filled, fillcolor=lightblue"
+				}
+			}
+			fmt.Fprintf(&sb, "  sw_%d_%d [label=\"%s\"%s];\n", s, i, label, attrs)
+		}
+	}
+	// Input edges.
+	for i := 0; i < b.size; i++ {
+		fmt.Fprintf(&sb, "  in%d -> sw_0_%d;\n", i, i/2)
+	}
+	// Inter-stage edges follow the wiring: output line y of stage s
+	// drives input line link[s][y] of stage s+1.
+	for s := 0; s < b.stages-1; s++ {
+		for y := 0; y < b.size; y++ {
+			fmt.Fprintf(&sb, "  sw_%d_%d -> sw_%d_%d;\n", s, y/2, s+1, b.link[s][y]/2)
+		}
+	}
+	// Output edges.
+	last := b.stages - 1
+	for y := 0; y < b.size; y++ {
+		fmt.Fprintf(&sb, "  sw_%d_%d -> out%d;\n", last, y/2, y)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

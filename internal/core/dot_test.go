@@ -1,0 +1,47 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+func TestDotWellFormed(t *testing.T) {
+	b := New(2)
+	res := b.SelfRoute(perm.VectorReversal(2))
+	dot := b.Dot(res)
+	if !strings.HasPrefix(dot, "digraph benes {") || !strings.HasSuffix(dot, "}\n") {
+		t.Fatal("not a digraph")
+	}
+	// Every switch appears: 3 stages x 2 switches.
+	for _, want := range []string{"sw_0_0", "sw_0_1", "sw_1_0", "sw_1_1", "sw_2_0", "sw_2_1"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("missing node %s", want)
+		}
+	}
+	// Terminals and connectivity.
+	if strings.Count(dot, "in3 ->") != 1 || strings.Count(dot, "-> out3") != 1 {
+		t.Error("terminal edges wrong")
+	}
+	// Vector reversal crosses the first stages: some filled coral nodes.
+	if !strings.Contains(dot, "lightcoral") || !strings.Contains(dot, "lightblue") {
+		t.Error("state colouring missing")
+	}
+	// Edge count: N inputs + N outputs + N*(stages-1) internal.
+	wantEdges := 4 + 4 + 4*2
+	if got := strings.Count(dot, "->"); got != wantEdges {
+		t.Errorf("edge count %d, want %d", got, wantEdges)
+	}
+}
+
+func TestDotWithoutResult(t *testing.T) {
+	b := New(3)
+	dot := b.Dot(nil)
+	if strings.Contains(dot, "lightcoral") {
+		t.Error("no-result dot should be uncoloured")
+	}
+	if !strings.Contains(dot, "bit 2") {
+		t.Error("control-bit labels missing")
+	}
+}

@@ -1,0 +1,77 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+)
+
+// The basic workflow: build B(n), self-route a permutation in F by
+// destination tags alone, and read the realized mapping.
+func ExampleNetwork_SelfRoute() {
+	net := core.New(3)
+	res := net.SelfRoute(perm.BitReversal(3))
+	fmt.Println("ok:", res.OK())
+	fmt.Println("realized:", res.Realized)
+	// Output:
+	// ok: true
+	// realized: (0,4,2,6,1,5,3,7)
+}
+
+// Fig. 5's permutation is outside F: the routing completes but two
+// inputs land at the wrong outputs.
+func ExampleNetwork_SelfRoute_misroute() {
+	net := core.New(2)
+	res := net.SelfRoute(perm.Perm{1, 3, 2, 0})
+	fmt.Println("ok:", res.OK())
+	fmt.Println("misrouted inputs:", res.Misrouted)
+	// Output:
+	// ok: false
+	// misrouted inputs: [2 3]
+}
+
+// External setup (the looping algorithm) realizes any permutation on
+// the same hardware.
+func ExampleNetwork_Setup() {
+	net := core.New(2)
+	d := perm.Perm{1, 3, 2, 0}
+	res := net.ExternalRoute(d, net.Setup(d))
+	fmt.Println("ok:", res.OK())
+	// Output:
+	// ok: true
+}
+
+// The omega bit forces the first n-1 stages straight, making every
+// omega permutation routable.
+func ExampleNetwork_OmegaRoute() {
+	net := core.New(2)
+	d := perm.Perm{1, 3, 2, 0} // in Omega(2) but not in F(2)
+	fmt.Println("plain:", net.Realizes(d), "with omega bit:", net.RealizesOmega(d))
+	// Output:
+	// plain: false with omega bit: true
+}
+
+// Permute moves payload data through the network in one pass.
+func ExamplePermute() {
+	net := core.New(2)
+	out := core.Permute(net, perm.VectorReversal(2), []string{"a", "b", "c", "d"})
+	fmt.Println(out)
+	// Output:
+	// [d c b a]
+}
+
+// Pipelined mode accepts a new vector every cycle (Section IV).
+func ExamplePipeline() {
+	net := core.New(2)
+	p := core.NewPipeline[int](net)
+	p.Step(perm.VectorReversal(2), []int{10, 11, 12, 13})
+	p.Step(perm.Identity(4), []int{20, 21, 22, 23})
+	p.Drain()
+	for _, v := range p.Output() {
+		fmt.Println(v.Cycle, v.Data)
+	}
+	// Output:
+	// 4 [13 12 11 10]
+	// 5 [20 21 22 23]
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/perm"
+)
+
+// Pipeline simulates the registered network of Section IV: with a
+// register between consecutive stages, a new N-element vector may enter
+// the network every clock period. Each vector carries its own
+// destination tags, so consecutive vectors may use different
+// permutations. The first permuted vector emerges after 2 log N - 1
+// cycles (the pipeline fill); each subsequent vector emerges one cycle
+// later.
+type Pipeline[T any] struct {
+	net *Network
+	// regTags[s] / regData[s] hold the values latched at the *input* of
+	// stage s; stage index Stages() is the output latch.
+	regTags  [][]int
+	regData  [][]T
+	regValid []bool
+	cycles   int
+	out      []Vector[T]
+}
+
+// Vector is one N-element payload with its destination tags and the
+// cycle at which it left the network.
+type Vector[T any] struct {
+	Tags  perm.Perm
+	Data  []T
+	Cycle int // clock period at which the vector emerged
+	// Misrouted lists inputs whose element did not reach its tag's
+	// output (non-F permutations in self-routing mode).
+	Misrouted []int
+}
+
+// NewPipeline builds a pipelined wrapper over net.
+func NewPipeline[T any](net *Network) *Pipeline[T] {
+	p := &Pipeline[T]{net: net}
+	p.regTags = make([][]int, net.Stages()+1)
+	p.regData = make([][]T, net.Stages()+1)
+	p.regValid = make([]bool, net.Stages()+1)
+	return p
+}
+
+// Cycles returns the number of clock periods simulated so far.
+func (p *Pipeline[T]) Cycles() int { return p.cycles }
+
+// Output returns the vectors that have emerged, in emergence order.
+func (p *Pipeline[T]) Output() []Vector[T] { return p.out }
+
+// Step advances one clock period, optionally injecting a new vector at
+// the inputs (pass nil tags to inject nothing — a pipeline bubble).
+// Every stage latches, switches by the self-routing rule, and forwards.
+func (p *Pipeline[T]) Step(tags perm.Perm, data []T) {
+	n := p.net
+	// Drain the output latch first.
+	if p.regValid[n.Stages()] {
+		v := Vector[T]{
+			Tags:  append(perm.Perm(nil), p.regTags[n.Stages()]...),
+			Data:  append([]T(nil), p.regData[n.Stages()]...),
+			Cycle: p.cycles,
+		}
+		// The emerged tags are in output order; tag t at output y is
+		// misrouted when t != y.
+		for y, t := range v.Tags {
+			if t != y {
+				v.Misrouted = append(v.Misrouted, y)
+			}
+		}
+		p.out = append(p.out, v)
+	}
+	// Move stages back-to-front so each latch consumes its predecessor's
+	// pre-step value.
+	for s := n.Stages() - 1; s >= 0; s-- {
+		if !p.regValid[s] {
+			p.regValid[s+1] = false
+			continue
+		}
+		tagIn := p.regTags[s]
+		dataIn := p.regData[s]
+		tagOut := make([]int, n.size)
+		dataOut := make([]T, n.size)
+		cb := n.ControlBit(s)
+		for i := 0; i < n.size/2; i++ {
+			crossed := bits.Bit(tagIn[2*i], cb) == 1
+			if crossed {
+				tagOut[2*i], tagOut[2*i+1] = tagIn[2*i+1], tagIn[2*i]
+				dataOut[2*i], dataOut[2*i+1] = dataIn[2*i+1], dataIn[2*i]
+			} else {
+				tagOut[2*i], tagOut[2*i+1] = tagIn[2*i], tagIn[2*i+1]
+				dataOut[2*i], dataOut[2*i+1] = dataIn[2*i], dataIn[2*i+1]
+			}
+		}
+		if s < n.Stages()-1 {
+			permTag := make([]int, n.size)
+			permData := make([]T, n.size)
+			for y := 0; y < n.size; y++ {
+				to := n.link[s][y]
+				permTag[to] = tagOut[y]
+				permData[to] = dataOut[y]
+			}
+			tagOut, dataOut = permTag, permData
+		}
+		p.regTags[s+1] = tagOut
+		p.regData[s+1] = dataOut
+		p.regValid[s+1] = true
+	}
+	// Inject.
+	if tags != nil {
+		if len(tags) != n.size || len(data) != n.size {
+			panic(fmt.Sprintf("core: Pipeline.Step vector size %d != N %d", len(tags), n.size))
+		}
+		p.regTags[0] = append([]int(nil), tags...)
+		p.regData[0] = append([]T(nil), data...)
+		p.regValid[0] = true
+	} else {
+		p.regValid[0] = false
+	}
+	p.cycles++
+}
+
+// Drain steps with bubbles until every in-flight vector has emerged.
+func (p *Pipeline[T]) Drain() {
+	for {
+		busy := false
+		for _, v := range p.regValid {
+			if v {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			return
+		}
+		p.Step(nil, nil)
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+// TestPipelineSingleVector checks the Section IV claim for one vector:
+// it emerges after the pipeline fill of Stages()+1 clock periods (one
+// latch per stage plus the output latch) and is correctly permuted.
+func TestPipelineSingleVector(t *testing.T) {
+	n := 3
+	b := New(n)
+	p := NewPipeline[string](b)
+	d := perm.BitReversal(n)
+	data := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	p.Step(d, data)
+	p.Drain()
+	out := p.Output()
+	if len(out) != 1 {
+		t.Fatalf("got %d vectors", len(out))
+	}
+	if out[0].Cycle != b.Stages()+1 {
+		t.Errorf("first vector at cycle %d, want %d", out[0].Cycle, b.Stages()+1)
+	}
+	if len(out[0].Misrouted) != 0 {
+		t.Fatalf("misrouted: %v", out[0].Misrouted)
+	}
+	want := perm.Apply(d, data)
+	for i := range want {
+		if out[0].Data[i] != want[i] {
+			t.Fatalf("data = %v, want %v", out[0].Data, want)
+		}
+	}
+}
+
+// TestPipelineThroughput: after the fill, one vector emerges per clock
+// period even when every vector uses a different permutation.
+func TestPipelineThroughput(t *testing.T) {
+	n := 4
+	N := 1 << uint(n)
+	b := New(n)
+	p := NewPipeline[int](b)
+	rng := rand.New(rand.NewSource(71))
+	const vectors = 20
+	perms := make([]perm.Perm, vectors)
+	for v := 0; v < vectors; v++ {
+		// Alternate between BPC and inverse-omega permutations so
+		// consecutive vectors really are permuted differently.
+		if v%2 == 0 {
+			perms[v] = perm.RandomBPC(n, rng).Perm()
+		} else {
+			perms[v] = perm.POrderingShift(n, 2*rng.Intn(N/2)+1, rng.Intn(N))
+		}
+		data := make([]int, N)
+		for i := range data {
+			data[i] = v*N + i
+		}
+		p.Step(perms[v], data)
+	}
+	p.Drain()
+	out := p.Output()
+	if len(out) != vectors {
+		t.Fatalf("got %d vectors, want %d", len(out), vectors)
+	}
+	for v := range out {
+		if v > 0 && out[v].Cycle != out[v-1].Cycle+1 {
+			t.Errorf("vector %d at cycle %d, previous at %d — not unit spacing",
+				v, out[v].Cycle, out[v-1].Cycle)
+		}
+		if len(out[v].Misrouted) != 0 {
+			t.Errorf("vector %d misrouted: %v", v, out[v].Misrouted)
+		}
+		// Element carrying value v*N+i must sit at output perms[v][i].
+		for y, val := range out[v].Data {
+			srcVec, srcIdx := val/N, val%N
+			if srcVec != v {
+				t.Fatalf("vector %d output %d holds value from vector %d — vectors mixed", v, y, srcVec)
+			}
+			if perms[v][srcIdx] != y {
+				t.Errorf("vector %d: element %d at output %d, want %d", v, srcIdx, y, perms[v][srcIdx])
+			}
+		}
+	}
+	// Total time: fill + one per extra vector.
+	wantLast := b.Stages() + 1 + vectors - 1
+	if out[vectors-1].Cycle != wantLast {
+		t.Errorf("last vector at cycle %d, want %d", out[vectors-1].Cycle, wantLast)
+	}
+}
+
+// TestPipelineBubbles: gaps in injection propagate as gaps in emergence.
+func TestPipelineBubbles(t *testing.T) {
+	n := 2
+	b := New(n)
+	p := NewPipeline[int](b)
+	d := perm.Identity(4)
+	p.Step(d, []int{0, 1, 2, 3})
+	p.Step(nil, nil) // bubble
+	p.Step(d, []int{4, 5, 6, 7})
+	p.Drain()
+	out := p.Output()
+	if len(out) != 2 {
+		t.Fatalf("got %d vectors, want 2", len(out))
+	}
+	if out[1].Cycle-out[0].Cycle != 2 {
+		t.Errorf("bubble not preserved: cycles %d and %d", out[0].Cycle, out[1].Cycle)
+	}
+}
+
+// TestPipelineNonFVectorFlagged: a non-F permutation streams through but
+// is flagged misrouted.
+func TestPipelineNonFVectorFlagged(t *testing.T) {
+	b := New(2)
+	p := NewPipeline[int](b)
+	p.Step(perm.Perm{1, 3, 2, 0}, []int{10, 11, 12, 13})
+	p.Drain()
+	out := p.Output()
+	if len(out) != 1 || len(out[0].Misrouted) == 0 {
+		t.Fatal("non-F vector should emerge flagged as misrouted")
+	}
+}
+
+// TestPipelineMatchesCombinational: the pipelined datapath must compute
+// exactly the same routing as the combinational evaluator.
+func TestPipelineMatchesCombinational(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(6)
+		N := 1 << uint(n)
+		b := New(n)
+		d := perm.Random(N, rng)
+		res := b.SelfRoute(d)
+
+		p := NewPipeline[int](b)
+		data := make([]int, N)
+		for i := range data {
+			data[i] = i
+		}
+		p.Step(d, data)
+		p.Drain()
+		out := p.Output()[0]
+		for y := 0; y < N; y++ {
+			if res.TagTrace[b.Stages()][y] != out.Tags[y] {
+				t.Fatalf("n=%d: pipelined tags diverge from combinational at output %d", n, y)
+			}
+			if res.Realized[out.Data[y]] != y {
+				t.Fatalf("n=%d: pipelined data diverge from combinational at output %d", n, y)
+			}
+		}
+	}
+}
+
+func TestPipelineStepPanicsOnSizeMismatch(t *testing.T) {
+	b := New(3)
+	p := NewPipeline[int](b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Step should panic on wrong vector size")
+		}
+	}()
+	p.Step(perm.Identity(4), []int{0, 1, 2, 3})
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/perm"
+)
+
+// Property-based invariants of the network itself, via testing/quick.
+
+func TestQuickRealizedAlwaysBijection(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(7)
+		b := New(n)
+		res := b.SelfRoute(perm.Random(1<<uint(n), rng))
+		return res.Realized.Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSelfRouteDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		b := New(n)
+		d := perm.Random(1<<uint(n), rng)
+		a := b.SelfRoute(d)
+		c := b.SelfRoute(d)
+		return a.Realized.Equal(c.Realized) && a.OK() == c.OK()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSetupAlwaysRealizes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(7)
+		b := New(n)
+		d := perm.Random(1<<uint(n), rng)
+		return b.ExternalRoute(d, b.Setup(d)).OK()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTagTraceConservation(t *testing.T) {
+	// At every stage boundary the multiset of tags is exactly 0..N-1 —
+	// switches never lose or duplicate a signal.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		N := 1 << uint(n)
+		b := New(n)
+		res := b.SelfRoute(perm.Random(N, rng))
+		for _, tags := range res.TagTrace {
+			seen := make([]bool, N)
+			for _, tag := range tags {
+				if tag < 0 || tag >= N || seen[tag] {
+					return false
+				}
+				seen[tag] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOmegaModeAgreesWithPredicate(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		b := New(n)
+		d := perm.Random(1<<uint(n), rng)
+		return b.RealizesOmega(d) == perm.IsOmega(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTwoPassUniversal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(7)
+		b := New(n)
+		d := perm.Random(1<<uint(n), rng)
+		r := b.TwoPassRoute(d)
+		return r.OK() && r.Realized.Equal(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCrossedCountMatchesStates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		b := New(n)
+		res := b.SelfRoute(perm.Random(1<<uint(n), rng))
+		manual := 0
+		for _, stage := range res.States {
+			for _, crossed := range stage {
+				if crossed {
+					manual++
+				}
+			}
+		}
+		return manual == res.States.CountCrossed()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

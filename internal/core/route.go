@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/perm"
+)
+
+// Mode selects how the switches obtain their states during a routing.
+type Mode int
+
+const (
+	// SelfRouting is the paper's scheme: every switch sets itself from
+	// the control bit of its upper input's destination tag (Fig. 3).
+	SelfRouting Mode = iota
+	// OmegaForced is the "omega bit" extension of Section II: switches
+	// in stages 0..n-2 are forced straight; the last n stages
+	// self-route. This realizes every Omega(n) permutation.
+	OmegaForced
+	// External disables the self-setting logic entirely and routes with
+	// caller-supplied switch states (see Setup); this realizes all N!.
+	External
+)
+
+func (m Mode) String() string {
+	switch m {
+	case SelfRouting:
+		return "self-routing"
+	case OmegaForced:
+		return "omega-forced"
+	case External:
+		return "external"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Result reports everything observable about one routing pass.
+type Result struct {
+	Mode     Mode
+	States   States    // the setting used (decided dynamically unless External)
+	Realized perm.Perm // Realized[i] = output terminal reached by input i
+	// TagTrace[s][y] is the destination tag present on line y at the
+	// *input* of stage s; TagTrace[Stages()] holds the network outputs.
+	// This is the data printed in the paper's Fig. 4.
+	TagTrace [][]int
+	// Misrouted lists the inputs i whose tag did not arrive at output
+	// D[i]; empty exactly when the permutation was realized.
+	Misrouted []int
+}
+
+// OK reports whether the routing delivered every input to its
+// destination.
+func (r *Result) OK() bool { return len(r.Misrouted) == 0 }
+
+// route is the synchronous stage-by-stage evaluator shared by all modes.
+// ext is consulted only in External mode.
+func (b *Network) route(d perm.Perm, mode Mode, ext States) *Result {
+	if len(d) != b.size {
+		panic(fmt.Sprintf("core: permutation length %d does not match network size %d", len(d), b.size))
+	}
+	res := &Result{
+		Mode:     mode,
+		States:   b.NewStates(),
+		Realized: make(perm.Perm, b.size),
+		TagTrace: make([][]int, b.stages+1),
+	}
+	tags := append([]int(nil), d...)
+	src := make([]int, b.size)
+	for i := range src {
+		src[i] = i
+	}
+	res.TagTrace[0] = append([]int(nil), tags...)
+
+	nextTags := make([]int, b.size)
+	nextSrc := make([]int, b.size)
+	for s := 0; s < b.stages; s++ {
+		cb := b.ControlBit(s)
+		for i := 0; i < b.size/2; i++ {
+			var crossed bool
+			switch mode {
+			case SelfRouting:
+				crossed = bits.Bit(tags[2*i], cb) == 1
+			case OmegaForced:
+				if s <= b.n-2 {
+					crossed = false
+				} else {
+					crossed = bits.Bit(tags[2*i], cb) == 1
+				}
+			case External:
+				crossed = ext[s][i]
+			}
+			res.States[s][i] = crossed
+			if crossed {
+				tags[2*i], tags[2*i+1] = tags[2*i+1], tags[2*i]
+				src[2*i], src[2*i+1] = src[2*i+1], src[2*i]
+			}
+		}
+		if s < b.stages-1 {
+			for y := 0; y < b.size; y++ {
+				to := b.link[s][y]
+				nextTags[to] = tags[y]
+				nextSrc[to] = src[y]
+			}
+			tags, nextTags = nextTags, tags
+			src, nextSrc = nextSrc, src
+		}
+		res.TagTrace[s+1] = append([]int(nil), tags...)
+	}
+	for out := 0; out < b.size; out++ {
+		res.Realized[src[out]] = out
+	}
+	for i, dest := range d {
+		if res.Realized[i] != dest {
+			res.Misrouted = append(res.Misrouted, i)
+		}
+	}
+	return res
+}
+
+// SelfRoute routes the permutation d with the self-setting switch logic
+// and reports the outcome. The routing always completes (switches always
+// resolve a state); d was realized iff Result.OK().
+func (b *Network) SelfRoute(d perm.Perm) *Result {
+	return b.route(d, SelfRouting, nil)
+}
+
+// OmegaRoute routes d with the omega bit asserted: stages 0..n-2 forced
+// straight, the final n stages self-routing.
+func (b *Network) OmegaRoute(d perm.Perm) *Result {
+	return b.route(d, OmegaForced, nil)
+}
+
+// ExternalRoute routes d with self-setting disabled, using the supplied
+// switch states (typically from Setup).
+func (b *Network) ExternalRoute(d perm.Perm, st States) *Result {
+	if len(st) != b.stages {
+		panic("core: external states have wrong stage count")
+	}
+	for s := range st {
+		if len(st[s]) != b.size/2 {
+			panic("core: external states have wrong stage width")
+		}
+	}
+	return b.route(d, External, st)
+}
+
+// Realizes reports whether the self-routing scheme performs d, i.e.
+// whether d is in F(n). Tests confirm this agrees with the recursive
+// characterization perm.InF (Theorem 1).
+func (b *Network) Realizes(d perm.Perm) bool {
+	return b.SelfRoute(d).OK()
+}
+
+// RealizesOmega reports whether d is performed with the omega bit set.
+func (b *Network) RealizesOmega(d perm.Perm) bool {
+	return b.OmegaRoute(d).OK()
+}
+
+// Permute physically moves data through the network under self-routing:
+// data[i] is delivered to position d[i] of the returned slice. It panics
+// if d is not realizable (not in F(n)); use Setup + ExternalRoute for
+// arbitrary permutations.
+func Permute[T any](b *Network, d perm.Perm, data []T) []T {
+	res := b.SelfRoute(d)
+	if !res.OK() {
+		panic(fmt.Sprintf("core: %v is not self-routable (not in F(%d))", d, b.n))
+	}
+	return perm.Apply(res.Realized, data)
+}

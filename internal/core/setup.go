@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/perm"
+)
+
+// Setup computes switch states realizing an arbitrary permutation d on
+// B(n) using the classic looping algorithm (Waksman; the paper's
+// Section I cites it as the best known O(N log N) sequential setup).
+// The returned setting, applied via ExternalRoute, realizes d exactly —
+// this is the paper's remark that with the self-setting logic disabled
+// the network realizes all N! permutations.
+func (b *Network) Setup(d perm.Perm) States {
+	if err := d.Validate(); err != nil {
+		panic("core: Setup: " + err.Error())
+	}
+	if len(d) != b.size {
+		panic(fmt.Sprintf("core: Setup: permutation length %d != N %d", len(d), b.size))
+	}
+	st := b.NewStates()
+	dests := append([]int(nil), d...)
+	b.setup(dests, 0, 0, b.n, st)
+	return st
+}
+
+// setup solves the B(m) block whose inputs occupy lines [lo, lo+2^m) at
+// stages [s0, s0+2m-2]. dests[k] is the block-local destination of the
+// input at block-local position k.
+func (b *Network) setup(dests []int, lo, s0, m int, st States) {
+	size := 1 << uint(m)
+	if m == 1 {
+		// A single switch: inputs (0,1) to outputs {dests[0], dests[1]}.
+		st[s0][lo/2] = dests[0] == 1
+		return
+	}
+	half := size / 2
+	// invDest[v] = input position whose destination is v.
+	invDest := make([]int, size)
+	for k, v := range dests {
+		invDest[v] = k
+	}
+	// up[k] records whether input k is routed through the upper
+	// subnetwork. Constraints: the two inputs of each first-stage switch
+	// (positions 2i, 2i+1) take opposite values, and the two
+	// destinations of each last-stage switch (values 2j, 2j+1) take
+	// opposite values. Resolve loop by loop, fixing each loop's first
+	// input to "up" (Waksman's free choice).
+	const unset = 0
+	const goesUp = 1
+	const goesDown = 2
+	up := make([]int, size)
+	for start := 0; start < size; start++ {
+		if up[start] != unset {
+			continue
+		}
+		cur, dir := start, goesUp
+		for {
+			up[cur] = dir
+			// The destination paired with ours at the last stage must
+			// come through the other subnetwork.
+			sibIn := invDest[dests[cur]^1]
+			opp := goesUp
+			if dir == goesUp {
+				opp = goesDown
+			}
+			up[sibIn] = opp
+			// And that input's partner at its first-stage switch must go
+			// opposite to it, i.e. in our direction.
+			cur = sibIn ^ 1
+			if cur == start {
+				break
+			}
+		}
+	}
+	// First-stage switch states: switch i is straight when its upper
+	// input (position 2i) goes up.
+	for i := 0; i < half; i++ {
+		st[s0][lo/2+i] = up[2*i] != goesUp
+	}
+	// Build the sub-permutations seen by the two subnetworks. The input
+	// at position k enters subnetwork position k/2; destination v is
+	// served by subnetwork output v/2.
+	upDests := make([]int, half)
+	downDests := make([]int, half)
+	for k, v := range dests {
+		if up[k] == goesUp {
+			upDests[k/2] = v / 2
+		} else {
+			downDests[k/2] = v / 2
+		}
+	}
+	// Last-stage switch states: switch j's upper input carries the
+	// up-routed destination v with v/2 == j; straight iff that v == 2j.
+	lastStage := s0 + 2*m - 2
+	for k, v := range dests {
+		if up[k] == goesUp {
+			st[lastStage][lo/2+v/2] = v%2 == 1
+		}
+	}
+	b.setup(upDests, lo, s0+1, m-1, st)
+	b.setup(downDests, lo+half, s0+1, m-1, st)
+}

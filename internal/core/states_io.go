@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Textual form for switch settings, so setups can be exported from one
+// run (cmd/benesroute -dump) and replayed later: one line per stage,
+// each switch a '0' (straight) or '1' (crossed).
+
+// String renders the setting, one stage per line.
+func (st States) String() string {
+	var sb strings.Builder
+	for s, stage := range st {
+		if s > 0 {
+			sb.WriteByte('\n')
+		}
+		for _, crossed := range stage {
+			if crossed {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+	}
+	return sb.String()
+}
+
+// ParseStates parses the String form, validating the shape against the
+// network: Stages() lines of N/2 binary digits.
+func (b *Network) ParseStates(s string) (States, error) {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != b.stages {
+		return nil, fmt.Errorf("core: %d stage lines, want %d", len(lines), b.stages)
+	}
+	st := b.NewStates()
+	for i, line := range lines {
+		line = strings.TrimSpace(line)
+		if len(line) != b.size/2 {
+			return nil, fmt.Errorf("core: stage %d has %d switches, want %d", i, len(line), b.size/2)
+		}
+		for j, c := range line {
+			switch c {
+			case '0':
+			case '1':
+				st[i][j] = true
+			default:
+				return nil, fmt.Errorf("core: stage %d: invalid state character %q", i, c)
+			}
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+func TestStatesStringParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(281))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		b := New(n)
+		d := perm.Random(1<<uint(n), rng)
+		st := b.Setup(d)
+		parsed, err := b.ParseStates(st.String())
+		if err != nil {
+			t.Fatalf("ParseStates: %v", err)
+		}
+		for s := range st {
+			for i := range st[s] {
+				if st[s][i] != parsed[s][i] {
+					t.Fatalf("round trip mismatch at stage %d switch %d", s, i)
+				}
+			}
+		}
+		// The replayed setting still routes.
+		if !b.ExternalRoute(d, parsed).OK() {
+			t.Fatal("replayed states misroute")
+		}
+	}
+}
+
+func TestStatesStringShape(t *testing.T) {
+	b := New(2)
+	st := b.NewStates()
+	st[1][0] = true
+	s := st.String()
+	lines := strings.Split(s, "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 stage lines, got %d", len(lines))
+	}
+	if lines[0] != "00" || lines[1] != "10" || lines[2] != "00" {
+		t.Fatalf("unexpected rendering: %q", s)
+	}
+}
+
+func TestParseStatesErrors(t *testing.T) {
+	b := New(2)
+	for _, bad := range []string{
+		"00\n00",         // too few stages
+		"00\n00\n00\n00", // too many stages
+		"000\n00\n00",    // wrong width
+		"0x\n00\n00",     // bad character
+	} {
+		if _, err := b.ParseStates(bad); err == nil {
+			t.Errorf("ParseStates(%q) accepted bad input", bad)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"repro/internal/perm"
+)
+
+// TwoPassResult reports an arbitrary permutation performed with two
+// tag-driven passes — no externally computed switch states at all.
+type TwoPassResult struct {
+	F1, F2   perm.Perm // the factors: d = F1 then F2
+	Pass1    *Result   // plain self-routing of F1 (inverse-omega ⊆ F)
+	Pass2    *Result   // omega-bit routing of F2 (omega class)
+	Realized perm.Perm // the composed end-to-end mapping
+}
+
+// OK reports whether both passes delivered and the composition equals
+// the request.
+func (r *TwoPassResult) OK() bool {
+	return r.Pass1.OK() && r.Pass2.OK()
+}
+
+// TwoPassRoute performs ANY permutation d with two passes of the
+// self-routing network: perm.OmegaFactor splits d into an inverse-omega
+// factor (in F, so pass one needs only destination tags) and an omega
+// factor (pass two asserts the paper's omega bit). This trades one
+// extra transmission delay for the complete elimination of the
+// O(N log N) setup computation — the strongest use of the paper's two
+// self-routing features together.
+func (b *Network) TwoPassRoute(d perm.Perm) *TwoPassResult {
+	f1, f2 := perm.OmegaFactor(d)
+	r := &TwoPassResult{F1: f1, F2: f2}
+	r.Pass1 = b.SelfRoute(f1)
+	r.Pass2 = b.OmegaRoute(f2)
+	r.Realized = r.Pass1.Realized.Then(r.Pass2.Realized)
+	return r
+}
+
+// TwoPassPermute moves data through both passes.
+func TwoPassPermute[T any](b *Network, d perm.Perm, data []T) []T {
+	r := b.TwoPassRoute(d)
+	if !r.OK() {
+		panic("core: TwoPassRoute failed — factorization contract violated")
+	}
+	return perm.Apply(r.Pass2.Realized, perm.Apply(r.Pass1.Realized, data))
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+// TestTwoPassExhaustive: every permutation of N=4 and N=8 routes in two
+// tag-driven passes.
+func TestTwoPassExhaustive(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		b := New(n)
+		perm.ForEach(1<<uint(n), func(d perm.Perm) bool {
+			r := b.TwoPassRoute(d)
+			if !r.OK() {
+				t.Fatalf("n=%d: two-pass failed on %v", n, d.Clone())
+			}
+			if !r.Realized.Equal(d) {
+				t.Fatalf("n=%d: two-pass realized %v, want %v", n, r.Realized, d.Clone())
+			}
+			return true
+		})
+	}
+}
+
+// TestTwoPassRandomLarge up to N=2048.
+func TestTwoPassRandomLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(251))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(10)
+		b := New(n)
+		d := perm.Random(1<<uint(n), rng)
+		r := b.TwoPassRoute(d)
+		if !r.OK() || !r.Realized.Equal(d) {
+			t.Fatalf("n=%d: two-pass failed on random permutation", n)
+		}
+	}
+}
+
+// TestTwoPassPermuteData end to end, including a Fig. 5 witness that a
+// single pass cannot do.
+func TestTwoPassPermuteData(t *testing.T) {
+	b := New(2)
+	d := perm.Perm{1, 3, 2, 0}
+	if b.Realizes(d) {
+		t.Fatal("witness should not be single-pass routable")
+	}
+	out := TwoPassPermute(b, d, []string{"a", "b", "c", "d"})
+	want := []string{"d", "a", "c", "b"}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("TwoPassPermute = %v, want %v", out, want)
+		}
+	}
+}
+
+// TestTwoPassFactorsAreTagOnly: pass one must succeed with PLAIN
+// self-routing (no omega bit) and pass two with the omega bit — i.e.
+// the factors land in the advertised classes.
+func TestTwoPassFactorsAreTagOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(252))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(8)
+		b := New(n)
+		d := perm.Random(1<<uint(n), rng)
+		r := b.TwoPassRoute(d)
+		if !perm.IsInverseOmega(r.F1) {
+			t.Fatal("F1 must be inverse-omega")
+		}
+		if !perm.IsOmega(r.F2) {
+			t.Fatal("F2 must be omega")
+		}
+		if r.Pass1.Mode != SelfRouting || r.Pass2.Mode != OmegaForced {
+			t.Fatal("passes used wrong modes")
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+// Waksman's optimization of the Benes network, reachable here through
+// the fault machinery: in every B(m) block (m >= 2) one first-stage
+// switch can be permanently fixed straight — the looping algorithm's
+// free choice per loop is spent on the loop through that switch — and
+// the network still realizes all N! permutations. The fixed switches
+// need no control logic, cutting the programmable-switch count from
+// N log N - N/2 to N log N - N + 1, which is Waksman's classic bound.
+//
+// Fixing switches straight does NOT preserve the self-routing class F
+// (tags dictate states and cannot honour the frozen switches), so the
+// reduction applies to externally-set operation only; experiment E29
+// quantifies both facts.
+
+import "repro/internal/perm"
+
+// WaksmanFixed returns the fault set describing the fixed switches: the
+// last first-stage switch of every block at every recursion level,
+// stuck straight.
+func (b *Network) WaksmanFixed() []Fault {
+	var faults []Fault
+	var walk func(lo, m, s0 int)
+	walk = func(lo, m, s0 int) {
+		if m == 1 {
+			return
+		}
+		size := 1 << uint(m)
+		// The block's first stage spans switches lo/2 .. lo/2+size/2-1;
+		// fix the last one straight.
+		faults = append(faults, Fault{Stage: s0, Switch: lo/2 + size/2 - 1, StuckCrossed: false})
+		walk(lo, m-1, s0+1)
+		walk(lo+size/2, m-1, s0+1)
+	}
+	walk(0, b.n, 0)
+	return faults
+}
+
+// WaksmanFixedCount returns the number of switches the optimization
+// removes: one per block, N/2 - 1 in total.
+func (b *Network) WaksmanFixedCount() int {
+	return b.size/2 - 1
+}
+
+// WaksmanProgrammableCount returns the programmable switches left:
+// N log N - N + 1, Waksman's bound.
+func (b *Network) WaksmanProgrammableCount() int {
+	return b.SwitchCount() - b.WaksmanFixedCount()
+}
+
+// WaksmanSetup computes states realizing d that keep every Waksman
+// switch straight. By Waksman's theorem this succeeds for every
+// permutation; the constraint-steering looping algorithm finds it
+// directly because each level-block carries exactly one constraint, so
+// no loop can receive contradictory directions.
+func (b *Network) WaksmanSetup(d perm.Perm) (States, bool) {
+	return b.SetupAvoiding(d, b.WaksmanFixed())
+}

@@ -1,0 +1,140 @@
+// Package costmodel implements the timing argument of the paper's
+// Section IV and conclusion: an SIMD machine should carry a direct
+// interconnection E(n) *and* the self-routing Benes network B(n),
+// because a pass through B(n) costs pure gate delays while every
+// routing step of an E(n) simulation costs an instruction broadcast
+// plus register gating. The model assigns a time to each strategy as a
+// function of four technology parameters and exposes the crossovers.
+//
+// All step counts are the exact ones measured elsewhere in this
+// repository (2 log N - 1 Benes stages and CCC routes, 4 log N - 3 PSC
+// routes, 7 sqrt N - 8 MCC routes, n(n+1)/2 bitonic stages, ~2 N log N
+// looping-setup operations, ~N log N factorization operations).
+package costmodel
+
+import (
+	"math"
+)
+
+// Params are the technology constants, in arbitrary consistent time
+// units (think nanoseconds per event).
+type Params struct {
+	Gate      float64 // delay through one network switch stage
+	Route     float64 // register-to-register gating of one unit route
+	Broadcast float64 // instruction broadcast to all PEs, per SIMD step
+	HostOp    float64 // one word of host/control-unit arithmetic
+}
+
+// Typical1980 returns constants in the spirit of the paper's era:
+// switch stages are fast combinational logic, unit routes cost a full
+// register transfer, and every SIMD step pays a broadcast.
+func Typical1980() Params {
+	return Params{Gate: 1, Route: 10, Broadcast: 20, HostOp: 5}
+}
+
+// Strategy names a way to perform a permutation.
+type Strategy string
+
+const (
+	BenesSelfRoute Strategy = "B(n) self-route (F only)"
+	BenesOmegaBit  Strategy = "B(n) omega bit (Omega only)"
+	BenesTwoPass   Strategy = "B(n) two passes (any perm)"
+	BenesExternal  Strategy = "B(n) external setup (any perm)"
+	CCCSim         Strategy = "CCC simulation (F only)"
+	PSCSim         Strategy = "PSC simulation (F only)"
+	MCCSim         Strategy = "MCC simulation (F only)"
+	CCCSort        Strategy = "CCC bitonic sort (any perm)"
+)
+
+// Universal reports whether the strategy handles arbitrary permutations
+// (true) or only the tag-routable classes (false).
+func (s Strategy) Universal() bool {
+	switch s {
+	case BenesTwoPass, BenesExternal, CCCSort:
+		return true
+	}
+	return false
+}
+
+// Time returns the modelled time to perform one N = 2^n permutation
+// with the strategy under params p.
+func Time(s Strategy, n int, p Params) float64 {
+	N := float64(int64(1) << uint(n))
+	nn := float64(n)
+	stages := 2*nn - 1
+	switch s {
+	case BenesSelfRoute, BenesOmegaBit:
+		return stages * p.Gate
+	case BenesTwoPass:
+		// Host-side factorization (~N log N word ops) + two passes.
+		return N*nn*p.HostOp + 2*stages*p.Gate
+	case BenesExternal:
+		// Looping setup (~2 N log N word ops) + one pass.
+		return 2*N*nn*p.HostOp + stages*p.Gate
+	case CCCSim:
+		return stages * (p.Broadcast + p.Route)
+	case PSCSim:
+		return (4*nn - 3) * (p.Broadcast + p.Route)
+	case MCCSim:
+		// 2 log N - 1 broadcast steps; 7 sqrt N - 8 unit routes.
+		return stages*p.Broadcast + (7*math.Sqrt(N)-8)*p.Route
+	case CCCSort:
+		return nn * (nn + 1) / 2 * (p.Broadcast + 2*p.Route)
+	}
+	panic("costmodel: unknown strategy " + string(s))
+}
+
+// Strategies lists every modelled strategy.
+func Strategies() []Strategy {
+	return []Strategy{
+		BenesSelfRoute, BenesOmegaBit, BenesTwoPass, BenesExternal,
+		CCCSim, PSCSim, MCCSim, CCCSort,
+	}
+}
+
+// BitSerialDelay models the self-routing delay if destination tags were
+// streamed BIT-SERIALLY (LSB first, one bit per cycle over single-wire
+// links) instead of in parallel. A switch at stage s cannot decide
+// before bit ControlBit(s) of its upper tag arrives, and cannot forward
+// anything before deciding, so with f_s = decision time of stage s:
+//
+//	f_0 = cb(0),   f_s = f_{s-1} + 1 + cb(s),
+//
+// and the vector completes ~log N cycles after the last decision while
+// the tag drains. Summing the paper's control schedule gives
+// (n-1)^2 + 3n - 2 cycles — Theta(log^2 N), versus 2 log N - 1 with
+// parallel tag wires. The paper's "destination tag (log N bits) is
+// passed through the network along with each input" therefore carries a
+// real architectural requirement: the tag must travel on parallel
+// wires (or be pipelined per Section IV) for the O(log N) claim.
+func BitSerialDelay(n int) int {
+	f := 0 // f_0 = cb(0) = 0
+	for s := 1; s <= 2*n-2; s++ {
+		cb := s
+		if m := 2*n - 2 - s; m < cb {
+			cb = m
+		}
+		f += 1 + cb
+	}
+	return f + n // drain the remaining tag/data bits
+}
+
+// ParallelTagDelay is the paper's figure: 2 log N - 1 stage traversals
+// with the whole tag on parallel wires.
+func ParallelTagDelay(n int) int { return 2*n - 1 }
+
+// Speedup returns Time(b)/Time(a): how much faster strategy a is.
+func Speedup(a, b Strategy, n int, p Params) float64 {
+	return Time(b, n, p) / Time(a, n, p)
+}
+
+// CrossoverN finds the smallest n in [lo, hi] at which strategy a
+// becomes no slower than strategy b, or -1 if it never does in range.
+func CrossoverN(a, b Strategy, lo, hi int, p Params) int {
+	for n := lo; n <= hi; n++ {
+		if Time(a, n, p) <= Time(b, n, p) {
+			return n
+		}
+	}
+	return -1
+}

@@ -1,0 +1,131 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBenesAlwaysBeatsSimulationOnF(t *testing.T) {
+	// Section IV's point: same step counts, cheaper steps — B(n)
+	// dominates every E(n) simulation for F permutations whenever a
+	// gate is cheaper than a broadcast+route step.
+	p := Typical1980()
+	for n := 1; n <= 20; n++ {
+		bt := Time(BenesSelfRoute, n, p)
+		for _, s := range []Strategy{CCCSim, PSCSim, MCCSim, CCCSort} {
+			if Time(s, n, p) <= bt {
+				t.Errorf("n=%d: %s not slower than B(n)", n, s)
+			}
+		}
+	}
+}
+
+func TestTwoPassBeatsExternalSetup(t *testing.T) {
+	// Factorization costs ~half the looping setup and saves nothing on
+	// the wire? It costs one extra pass but half the host work; the
+	// model must show two-pass at least as fast for all n >= 2.
+	p := Typical1980()
+	for n := 2; n <= 20; n++ {
+		if Time(BenesTwoPass, n, p) > Time(BenesExternal, n, p) {
+			t.Errorf("n=%d: two-pass slower than external setup", n)
+		}
+	}
+}
+
+func TestSortVsSimulationCrossover(t *testing.T) {
+	// The bitonic sorter pays log^2; the F simulation pays log. The
+	// sorter can win only at tiny n, and must lose from some crossover
+	// on.
+	p := Typical1980()
+	cross := CrossoverN(CCCSim, CCCSort, 1, 30, p)
+	if cross == -1 {
+		t.Fatal("F simulation never overtakes sorting")
+	}
+	for n := cross; n <= 30; n++ {
+		if Time(CCCSim, n, p) > Time(CCCSort, n, p) {
+			t.Errorf("n=%d: ordering flips after crossover", n)
+		}
+	}
+}
+
+func TestMCCGrowsAsSqrtN(t *testing.T) {
+	p := Typical1980()
+	// Doubling n (so N -> N^2) should multiply MCC route time roughly
+	// by sqrt(N): ratio of times at n=20 vs n=10 close to 2^5 within
+	// broadcast slack.
+	t10 := Time(MCCSim, 10, p)
+	t20 := Time(MCCSim, 20, p)
+	ratio := t20 / t10
+	if ratio < 20 || ratio > 40 {
+		t.Errorf("MCC scaling ratio %.1f outside sqrt-N envelope", ratio)
+	}
+}
+
+func TestUniversalFlags(t *testing.T) {
+	want := map[Strategy]bool{
+		BenesSelfRoute: false, BenesOmegaBit: false,
+		BenesTwoPass: true, BenesExternal: true,
+		CCCSim: false, PSCSim: false, MCCSim: false, CCCSort: true,
+	}
+	for s, w := range want {
+		if s.Universal() != w {
+			t.Errorf("%s universal=%v, want %v", s, s.Universal(), w)
+		}
+	}
+	if len(Strategies()) != len(want) {
+		t.Error("Strategies() incomplete")
+	}
+}
+
+func TestSpeedupReciprocal(t *testing.T) {
+	p := Typical1980()
+	a, b := BenesSelfRoute, CCCSim
+	if math.Abs(Speedup(a, b, 10, p)*Speedup(b, a, 10, p)-1) > 1e-12 {
+		t.Error("speedup not reciprocal")
+	}
+}
+
+func TestTimePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Time(Strategy("nope"), 4, Typical1980())
+}
+
+func TestBitSerialDelayClosedForm(t *testing.T) {
+	// f = sum over stages 1..2n-2 of (1 + cb(s)) plus n drain cycles:
+	// closed form (n-1)^2 + 3n - 2 (for n >= 1).
+	for n := 1; n <= 16; n++ {
+		want := (n-1)*(n-1) + 3*n - 2
+		if got := BitSerialDelay(n); got != want {
+			t.Errorf("n=%d: BitSerialDelay=%d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestBitSerialQuadraticVsParallelLinear(t *testing.T) {
+	// The ratio must grow ~ n/2: parallel tags are what keep the
+	// network O(log N).
+	for n := 4; n <= 16; n++ {
+		serial := float64(BitSerialDelay(n))
+		parallel := float64(ParallelTagDelay(n))
+		ratio := serial / parallel
+		if ratio < float64(n)/4 || ratio > float64(n) {
+			t.Errorf("n=%d: serial/parallel ratio %.2f outside the n/2 envelope", n, ratio)
+		}
+	}
+}
+
+func TestBroadcastFreeRegime(t *testing.T) {
+	// If broadcasts were free and routes as cheap as gates, the CCC
+	// simulation would tie B(n) — the model must reflect that the
+	// advantage comes entirely from the step cost.
+	p := Params{Gate: 1, Route: 1, Broadcast: 0, HostOp: 1}
+	for n := 1; n <= 10; n++ {
+		if Time(CCCSim, n, p) != Time(BenesSelfRoute, n, p) {
+			t.Errorf("n=%d: equal-step-cost regime should tie", n)
+		}
+	}
+}

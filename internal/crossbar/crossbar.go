@@ -1,0 +1,71 @@
+// Package crossbar implements the full N x N crossbar, the paper's
+// Section I reference point for a network that is "trivial to set up"
+// but uses O(N^2) switches: every input has a dedicated crosspoint to
+// every output, so any permutation is realized in a single switch
+// traversal by closing the N crosspoints (i, D_i).
+package crossbar
+
+import (
+	"fmt"
+
+	"repro/internal/perm"
+)
+
+// Network is an N x N crossbar.
+type Network struct {
+	size int
+}
+
+// New constructs a crossbar with the given number of inputs/outputs
+// (any positive size; the crossbar does not need a power of two).
+func New(size int) *Network {
+	if size < 1 {
+		panic("crossbar: New requires size >= 1")
+	}
+	return &Network{size: size}
+}
+
+// N returns the number of inputs/outputs.
+func (c *Network) N() int { return c.size }
+
+// SwitchCount returns the number of crosspoints, N^2.
+func (c *Network) SwitchCount() int { return c.size * c.size }
+
+// GateDelay returns the transmission delay in switch traversals: 1.
+func (c *Network) GateDelay() int { return 1 }
+
+// SetupSteps returns the conceptual setup cost: one crosspoint closure
+// per input, performed independently, i.e. O(1) parallel time (N
+// crosspoint writes in all).
+func (c *Network) SetupSteps() int { return 1 }
+
+// Route realizes d: it returns the crosspoint set {(i, d[i])} after
+// validating that no output is requested twice.
+func (c *Network) Route(d perm.Perm) ([][2]int, error) {
+	if len(d) != c.size {
+		panic(fmt.Sprintf("crossbar: permutation length %d != N %d", len(d), c.size))
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	points := make([][2]int, c.size)
+	for i, out := range d {
+		points[i] = [2]int{i, out}
+	}
+	return points, nil
+}
+
+// Realizes reports whether the crossbar performs d: true for every valid
+// permutation.
+func (c *Network) Realizes(d perm.Perm) bool {
+	_, err := c.Route(d)
+	return err == nil
+}
+
+// Permute moves data through the crossbar.
+func Permute[T any](c *Network, d perm.Perm, data []T) []T {
+	if _, err := c.Route(d); err != nil {
+		panic("crossbar: " + err.Error())
+	}
+	return perm.Apply(d, data)
+}

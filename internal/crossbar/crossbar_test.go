@@ -1,0 +1,59 @@
+package crossbar
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+func TestCounts(t *testing.T) {
+	c := New(16)
+	if c.N() != 16 || c.SwitchCount() != 256 || c.GateDelay() != 1 || c.SetupSteps() != 1 {
+		t.Fatalf("bad structure: N=%d switches=%d", c.N(), c.SwitchCount())
+	}
+}
+
+func TestRoute(t *testing.T) {
+	c := New(4)
+	pts, err := c.Route(perm.Perm{1, 3, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int{{0, 1}, {1, 3}, {2, 2}, {3, 0}}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("crosspoints = %v", pts)
+		}
+	}
+}
+
+func TestRealizesEverything(t *testing.T) {
+	c := New(5) // non-power-of-two sizes work too
+	perm.ForEach(5, func(p perm.Perm) bool {
+		if !c.Realizes(p) {
+			t.Fatalf("crossbar rejected %v", p.Clone())
+		}
+		return true
+	})
+}
+
+func TestRejectsConflicts(t *testing.T) {
+	c := New(4)
+	if c.Realizes(perm.Perm{0, 0, 1, 2}) {
+		t.Fatal("crossbar accepted output conflict")
+	}
+}
+
+func TestPermute(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	c := New(8)
+	p := perm.Random(8, rng)
+	data := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	out := Permute(c, p, data)
+	for i := range data {
+		if out[p[i]] != data[i] {
+			t.Fatal("Permute misplaced data")
+		}
+	}
+}

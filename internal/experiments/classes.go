@@ -1,0 +1,352 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+	"repro/internal/report"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E5",
+		Paper: "Table I",
+		Title: "the named BPC permutations: A-vectors and routability",
+		Run:   runE5,
+	})
+	register(Experiment{
+		ID:    "E6",
+		Paper: "Theorem 1",
+		Title: "recursive characterization of F agrees with gate-level routing",
+		Run:   runE6,
+	})
+	register(Experiment{
+		ID:    "E7",
+		Paper: "Theorem 2",
+		Title: "BPC(n) is contained in F(n)",
+		Run:   runE7,
+	})
+	register(Experiment{
+		ID:    "E8",
+		Paper: "Theorem 3 + Section II list",
+		Title: "inverse-omega permutations are contained in F(n)",
+		Run:   runE8,
+	})
+	register(Experiment{
+		ID:    "E9",
+		Paper: "Section II omega bit",
+		Title: "forcing stages 0..n-2 straight realizes all Omega(n)",
+		Run:   runE9,
+	})
+	register(Experiment{
+		ID:    "E10",
+		Paper: "Section I/II richness claims",
+		Title: "class cardinalities: F vs BPC vs Omega vs inverse-Omega vs N!",
+		Run:   runE10,
+	})
+	register(Experiment{
+		ID:    "E12",
+		Paper: "Section II closing remark",
+		Title: "F is not closed under product",
+		Run:   runE12,
+	})
+}
+
+// tableISpecs returns the Table I rows for a given even n.
+func tableISpecs(n int) []struct {
+	Name string
+	Spec perm.BPC
+} {
+	return []struct {
+		Name string
+		Spec perm.BPC
+	}{
+		{"matrix transpose", perm.MatrixTransposeBPC(n)},
+		{"bit reversal", perm.BitReversalBPC(n)},
+		{"vector reversal", perm.VectorReversalBPC(n)},
+		{"perfect shuffle", perm.PerfectShuffleBPC(n)},
+		{"unshuffle", perm.UnshuffleBPC(n)},
+		{"shuffled row major", perm.ShuffledRowMajorBPC(n)},
+		{"bit shuffle", perm.BitShuffleBPC(n)},
+	}
+}
+
+// runE5 prints Table I with the A-vector of every named permutation and
+// verifies each routes on the self-routing network across sizes.
+func runE5(w io.Writer) {
+	n := 6
+	b := core.New(n)
+	t := report.NewTable(fmt.Sprintf("Table I: example BPC(n) permutations (shown for n=%d)", n),
+		"permutation", "A-vector (A_{n-1},...,A_0)", "in F(n)?", "routes on B(n)?")
+	for _, row := range tableISpecs(n) {
+		d := row.Spec.Perm()
+		t.Add(row.Name, row.Spec.String(), perm.InF(d), b.Realizes(d))
+	}
+	t.Note("the paper's worked example A=(0,-1,-2): D = %v", mustBPC("(0,-1,-2)").Perm())
+	fmt.Fprint(w, t)
+
+	// Routability across sizes.
+	s := report.NewTable("Table I permutations route for every even n", "n", "all seven route?")
+	for nn := 2; nn <= 12; nn += 2 {
+		bb := core.New(nn)
+		all := true
+		for _, row := range tableISpecs(nn) {
+			if !bb.Realizes(row.Spec.Perm()) {
+				all = false
+			}
+		}
+		s.Add(nn, all)
+	}
+	fmt.Fprint(w, s)
+}
+
+func mustBPC(s string) perm.BPC {
+	a, err := perm.ParseBPC(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// runE6 cross-validates Theorem 1 against the network exhaustively for
+// N=4, N=8 and randomly for larger N.
+func runE6(w io.Writer) {
+	t := report.NewTable("Theorem 1 vs gate-level simulation", "N", "perms checked", "agreements", "disagreements")
+	for _, n := range []int{2, 3} {
+		b := core.New(n)
+		checked, agree := 0, 0
+		perm.ForEach(1<<uint(n), func(p perm.Perm) bool {
+			checked++
+			if b.Realizes(p) == perm.InF(p) {
+				agree++
+			}
+			return true
+		})
+		t.Add(1<<uint(n), checked, agree, checked-agree)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{6, 8, 10} {
+		b := core.New(n)
+		checked, agree := 0, 0
+		for trial := 0; trial < 2000; trial++ {
+			var p perm.Perm
+			if trial%2 == 0 {
+				p = perm.Random(1<<uint(n), rng)
+			} else {
+				p = perm.RandomBPC(n, rng).Perm()
+			}
+			checked++
+			if b.Realizes(p) == perm.InF(p) {
+				agree++
+			}
+		}
+		t.Add(fmt.Sprintf("%d (random)", 1<<uint(n)), checked, agree, checked-agree)
+	}
+	fmt.Fprint(w, t)
+}
+
+// runE7 verifies Theorem 2 exhaustively for n <= 4 and reports the BPC
+// class size 2^n n!.
+func runE7(w io.Writer) {
+	t := report.NewTable("Theorem 2: BPC(n) ⊆ F(n)",
+		"n", "|BPC(n)| = 2^n n!", "checked", "all in F?")
+	for n := 1; n <= 4; n++ {
+		total, inF := 0, 0
+		perm.ForEachBPC(n, func(a perm.BPC) bool {
+			total++
+			if perm.InF(a.Perm()) {
+				inF++
+			}
+			return true
+		})
+		t.Add(n, (1<<uint(n))*perm.Factorial(n), total, total == inF)
+	}
+	t.Note("n=5..10 verified by randomized tests in the suite")
+	fmt.Fprint(w, t)
+}
+
+// runE8 verifies Theorem 3 and sweeps the Section II inverse-omega
+// family list.
+func runE8(w io.Writer) {
+	t := report.NewTable("Theorem 3: Omega^{-1}(n) ⊆ F(n) (exhaustive)",
+		"N", "inverse-omega perms", "in F")
+	for _, n := range []int{2, 3} {
+		total, inF := 0, 0
+		perm.ForEach(1<<uint(n), func(p perm.Perm) bool {
+			if perm.IsInverseOmega(p) {
+				total++
+				if perm.InF(p) {
+					inF++
+				}
+			}
+			return true
+		})
+		t.Add(1<<uint(n), total, inF)
+	}
+	fmt.Fprint(w, t)
+
+	n := 8
+	b := core.New(n)
+	N := 1 << uint(n)
+	s := report.NewTable(fmt.Sprintf("Section II inverse-omega families (n=%d)", n),
+		"family", "example parameters", "in Omega^{-1}?", "in Omega?", "routes on B(n)?")
+	type row struct {
+		name, params string
+		p            perm.Perm
+	}
+	rows := []row{
+		{"cyclic shift", "k=5", perm.CyclicShift(n, 5)},
+		{"p-ordering", "p=3", perm.POrdering(n, 3)},
+		{"inverse p-ordering", "p=3", perm.InversePOrdering(n, 3)},
+		{"p-ordering + shift", "p=7,k=11", perm.POrderingShift(n, 7, 11)},
+		{"segment cyclic shift", fmt.Sprintf("t=%d,k=3", n/2), perm.SegmentCyclicShift(n, n/2, 3)},
+		{"conditional exchange", fmt.Sprintf("k=%d", n-1), perm.ConditionalExchange(n, n-1)},
+	}
+	_ = N
+	for _, r := range rows {
+		s.Add(r.name, r.params, perm.IsInverseOmega(r.p), perm.IsOmega(r.p), b.Realizes(r.p))
+	}
+	fmt.Fprint(w, s)
+}
+
+// runE9 shows the omega bit at work: every Omega permutation routes with
+// stages 0..n-2 forced straight, including ones plain self-routing
+// rejects; and the forced network realizes exactly Omega.
+func runE9(w io.Writer) {
+	t := report.NewTable("omega-bit forcing (exhaustive)",
+		"N", "omega perms", "realized w/ omega bit", "realized w/o", "forced network realizes only Omega?")
+	for _, n := range []int{2, 3} {
+		b := core.New(n)
+		total, withBit, without, onlyOmega := 0, 0, 0, true
+		perm.ForEach(1<<uint(n), func(p perm.Perm) bool {
+			isOm := perm.IsOmega(p)
+			forced := b.RealizesOmega(p)
+			if forced != isOm {
+				onlyOmega = false
+			}
+			if isOm {
+				total++
+				if forced {
+					withBit++
+				}
+				if b.Realizes(p) {
+					without++
+				}
+			}
+			return true
+		})
+		t.Add(1<<uint(n), total, withBit, without, onlyOmega)
+	}
+	t.Note("witness: D=(1,3,2,0) is in Omega(2), fails plain self-routing, routes with the omega bit")
+	fmt.Fprint(w, t)
+}
+
+// runE10 measures the richness claims: exhaustive class cardinalities
+// for n <= 3 and Monte-Carlo containment fractions beyond.
+func runE10(w io.Writer) {
+	t := report.NewTable("class cardinalities (exhaustive)",
+		"n", "N!", "|F(n)|", "|BPC(n)|", "|Omega(n)|", "|Omega^{-1}(n)|", "|Omega ∩ F|")
+	for n := 1; n <= 3; n++ {
+		N := 1 << uint(n)
+		var f, bpc, om, iom, omF int
+		perm.ForEach(N, func(p perm.Perm) bool {
+			inF := perm.InF(p)
+			if inF {
+				f++
+			}
+			if _, ok := perm.RecognizeBPC(p); ok {
+				bpc++
+			}
+			if perm.IsOmega(p) {
+				om++
+				if inF {
+					omF++
+				}
+			}
+			if perm.IsInverseOmega(p) {
+				iom++
+			}
+			return true
+		})
+		t.Add(n, perm.Factorial(N), f, bpc, om, iom, omF)
+	}
+	t.Note("|F| exceeds |Omega|: the self-routing Benes realizes strictly more than a self-routing omega network")
+	t.Note("|BPC(n)| = 2^n n!; |Omega(n)| = |Omega^{-1}(n)| = 2^(n N/2) conflict-free settings")
+	fmt.Fprint(w, t)
+
+	// Beyond enumeration: |F(n)| from the Theorem-1 bijection (see
+	// perm.CountF). n=4 takes seconds (cmd/fcount -f4); its value is
+	// pinned here and Monte-Carlo-validated in the test suite.
+	ct := report.NewTable("|F(n)| structurally (transfer-matrix over Theorem 1)",
+		"n", "|F(n)|", "source")
+	for n := 1; n <= 3; n++ {
+		ct.Add(n, perm.CountF(n), "CountF, equals exhaustive")
+	}
+	ct.Add(4, int64(133488540928), "CountF (cmd/fcount -f4); 16! is unenumerable")
+	ct.Note("|F(4)|/16! = 0.00638, matching Monte-Carlo density below")
+	fmt.Fprint(w, ct)
+
+	// Monte-Carlo: fraction of random permutations in each class.
+	rng := rand.New(rand.NewSource(2))
+	mc := report.NewTable("Monte-Carlo membership of uniform random permutations (10000 samples)",
+		"n", "N", "in F", "in Omega", "in Omega^{-1}", "BPC")
+	for _, n := range []int{4, 6, 8} {
+		N := 1 << uint(n)
+		var f, om, iom, bpc int
+		const samples = 10000
+		for s := 0; s < samples; s++ {
+			p := perm.Random(N, rng)
+			if perm.InF(p) {
+				f++
+			}
+			if perm.IsOmega(p) {
+				om++
+			}
+			if perm.IsInverseOmega(p) {
+				iom++
+			}
+			if _, ok := perm.RecognizeBPC(p); ok {
+				bpc++
+			}
+		}
+		mc.Add(n, N, f, om, iom, bpc)
+	}
+	mc.Note("all vanish as N grows — F is rich relative to Omega yet tiny relative to N! (hence external setup exists)")
+	fmt.Fprint(w, mc)
+}
+
+// runE12 verifies the closure counterexample.
+func runE12(w io.Writer) {
+	a := perm.Perm{3, 0, 1, 2}
+	b := perm.Perm{0, 1, 3, 2}
+	ab := a.Then(b)
+	net := core.New(2)
+	t := report.NewTable("F is not closed under product", "permutation", "in F(2)?", "routes?")
+	t.Add(fmt.Sprintf("A = %v", a), perm.InF(a), net.Realizes(a))
+	t.Add(fmt.Sprintf("B = %v", b), perm.InF(b), net.Realizes(b))
+	t.Add(fmt.Sprintf("A∘B = %v", ab), perm.InF(ab), net.Realizes(ab))
+	fmt.Fprint(w, t)
+
+	// How common is closure failure? Count over all pairs in F(2).
+	var members []perm.Perm
+	perm.ForEach(4, func(p perm.Perm) bool {
+		if perm.InF(p) {
+			members = append(members, p.Clone())
+		}
+		return true
+	})
+	pairs, closed := 0, 0
+	for _, x := range members {
+		for _, y := range members {
+			pairs++
+			if perm.InF(x.Then(y)) {
+				closed++
+			}
+		}
+	}
+	fmt.Fprintf(w, "of %d products of F(2) members, %d stay in F(2) (%d leave)\n",
+		pairs, closed, pairs-closed)
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+	"repro/internal/report"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E11",
+		Paper: "Theorems 4, 5, 6",
+		Title: "block-composite permutations stay in F",
+		Run:   runE11,
+	})
+}
+
+func runE11(w io.Writer) {
+	// Theorem 4: the paper's own J example (n=3, J={1}) with per-block F
+	// permutations.
+	part := perm.NewJPartition(3, []int{1})
+	fmt.Fprintf(w, "J={1}, n=3 partitions 0..7 into %v and %v (the paper's example)\n",
+		part.Members(0), part.Members(1))
+	G := []perm.Perm{perm.BitReversal(2), perm.VectorReversal(2)}
+	g := perm.Theorem4(part, G)
+	fmt.Fprintf(w, "Theorem 4 composite (bit-reversal block 0, reversal block 1): %v, in F: %v\n",
+		g, perm.InF(g))
+
+	// The matrix mappings listed after Theorem 4.
+	n := 6
+	b := core.New(n)
+	t := report.NewTable(fmt.Sprintf("matrix mappings after Theorem 4 (8x8 matrix, n=%d)", n),
+		"mapping", "in F?", "routes?")
+	phi := perm.POrdering(3, 3)
+	for _, c := range []struct {
+		name string
+		p    perm.Perm
+	}{
+		{"A(i,j) -> A(i,(i+j) mod m)   [Cannon row skew]", perm.RowRotation(n)},
+		{"A(i,j) -> A((i+j) mod m,j)   [Cannon col skew]", perm.ColumnRotation(n)},
+		{"A(i,j) -> A(i,phi(j))", perm.RowPerm(n, phi)},
+		{"A(i,j) -> A(phi(i),j)", perm.ColPerm(n, phi)},
+		{"A(i,j) -> A(i XOR j, j)", perm.RowXor(n)},
+		{"A(i,j) -> A(i^R, j)", perm.RowBitReversal(n)},
+	} {
+		t.Add(c.name, perm.InF(c.p), b.Realizes(c.p))
+	}
+	fmt.Fprint(w, t)
+
+	// Theorem 5: blocks permuted among themselves.
+	rng := rand.New(rand.NewSource(3))
+	part5 := perm.NewJPartition(6, []int{1, 4})
+	G5 := make([]perm.Perm, part5.Blocks())
+	for i := range G5 {
+		G5[i] = perm.RandomBPC(4, rng).Perm()
+	}
+	B5 := perm.VectorReversal(2)
+	g5 := perm.Theorem5(part5, G5, B5)
+	fmt.Fprintf(w, "Theorem 5: 4 blocks of 16, random BPC inside, blocks reversed: in F: %v\n",
+		perm.InF(g5))
+
+	// Theorem 6: the worked 3-D array example
+	// A(i,j,k) -> A((i+j+k) mod 2^r, (p j) mod 2^s, j XOR k).
+	t6 := report.NewTable("Theorem 6 example: A(i,j,k) -> A((i+j+k) mod 2^r, (p*j) mod 2^s, j XOR k)",
+		"(r,s,t)", "N", "p", "in F?", "routes?")
+	for _, dims := range [][3]int{{2, 2, 2}, {3, 3, 2}, {4, 3, 3}} {
+		r, s, tt := dims[0], dims[1], dims[2]
+		p := 3
+		g6 := perm.ThreeDimExample(r, s, tt, p)
+		bb := core.New(r + s + tt)
+		t6.Add(fmt.Sprintf("(%d,%d,%d)", r, s, tt), len(g6), p, perm.InF(g6), bb.Realizes(g6))
+	}
+	fmt.Fprint(w, t6)
+}

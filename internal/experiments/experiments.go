@@ -1,0 +1,62 @@
+// Package experiments regenerates every table and figure of the paper,
+// plus the quantitative claims embedded in its prose, as printable
+// reports. Each experiment has a stable ID (E1..E31) mapped to the paper
+// artifact it reproduces; see DESIGN.md for the index and EXPERIMENTS.md
+// for recorded outputs.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is one reproducible artifact.
+type Experiment struct {
+	ID    string
+	Paper string // which figure/table/claim of the paper this regenerates
+	Title string
+	Run   func(w io.Writer)
+}
+
+var registry []Experiment
+
+func register(e Experiment) {
+	registry = append(registry, e)
+}
+
+// All returns every experiment in ID order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return idNum(out[i].ID) < idNum(out[j].ID) })
+	return out
+}
+
+func idNum(id string) int {
+	n := 0
+	for _, c := range id {
+		if c >= '0' && c <= '9' {
+			n = n*10 + int(c-'0')
+		}
+	}
+	return n
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment, writing each report to w.
+func RunAll(w io.Writer) {
+	for _, e := range All() {
+		fmt.Fprintf(w, "=== %s (%s): %s ===\n", e.ID, e.Paper, e.Title)
+		e.Run(w)
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bits"
+	"repro/internal/core"
+	"repro/internal/perm"
+	"repro/internal/report"
+	"repro/internal/simd"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E3",
+		Paper: "Fig. 4",
+		Title: "bit reversal self-routes on B(3): per-stage states and tag trace",
+		Run:   runE3,
+	})
+	register(Experiment{
+		ID:    "E4",
+		Paper: "Fig. 5",
+		Title: "D=(1,3,2,0) cannot self-route on B(2)",
+		Run:   runE4,
+	})
+	register(Experiment{
+		ID:    "E15",
+		Paper: "Fig. 6 + Section III",
+		Title: "CCC permutation algorithm: trace and unit-route counts",
+		Run:   runE15,
+	})
+}
+
+// runE3 reproduces Fig. 4: the destination (in binary) on every line at
+// every stage, for the bit-reversal permutation on B(3).
+func runE3(w io.Writer) {
+	b := core.New(3)
+	d := perm.BitReversal(3)
+	res := b.SelfRoute(d)
+	fmt.Fprintf(w, "destination tags D = %v (input i -> output reverse(i))\n", d)
+	fmt.Fprint(w, b.Diagram(res))
+	fmt.Fprintf(w, "realized correctly: %v, switches crossed: %d of %d\n",
+		res.OK(), res.States.CountCrossed(), b.SwitchCount())
+}
+
+// runE4 reproduces Fig. 5: the smallest permutation outside F, with the
+// Theorem-1 witness explaining which subnetwork stream fails.
+func runE4(w io.Writer) {
+	b := core.New(2)
+	d := perm.Perm{1, 3, 2, 0}
+	res := b.SelfRoute(d)
+	fmt.Fprintf(w, "destination tags D = %v\n", d)
+	fmt.Fprint(w, b.Diagram(res))
+	_, detail := perm.FWitness(d)
+	fmt.Fprintf(w, "Theorem 1 witness: %s\n", detail)
+	fmt.Fprintf(w, "misrouted inputs: %v\n", res.Misrouted)
+	// Enumerate F(2) exhaustively for context.
+	var inF, out []string
+	perm.ForEach(4, func(p perm.Perm) bool {
+		if perm.InF(p) {
+			inF = append(inF, p.String())
+		} else {
+			out = append(out, p.String())
+		}
+		return true
+	})
+	fmt.Fprintf(w, "|F(2)| = %d of 24; non-members: %v\n", len(inF), out)
+}
+
+// runE15 reproduces Fig. 6 (the per-iteration destination-address table
+// for bit reversal on an 8-PE CCC) and the Section III unit-route
+// counts with their shortcuts.
+func runE15(w io.Writer) {
+	trace, seq := simd.Fig6Trace(perm.BitReversal(3))
+	t := report.NewTable("Fig. 6: D(i) after each CCC iteration (bit reversal, N=8)",
+		"PE", "D(i)", "k=1(b=0)", "k=2(b=1)", "k=3(b=2)", "k=4(b=1)", "k=5(b=0)")
+	for pe := 0; pe < 8; pe++ {
+		row := make([]any, 0, 7)
+		row = append(row, pe)
+		for k := range trace {
+			row = append(row, bits.String(trace[k][pe], 3))
+		}
+		t.Add(row...)
+	}
+	t.Note("iteration bits b = %v", seq)
+	fmt.Fprint(w, t)
+
+	rt := report.NewTable("CCC unit routes",
+		"n", "N", "full 1-word (2logN-1)", "full 2-route (4logN-2)",
+		"omega skip (n)", "inv-omega skip (n)", "bitrev BPC skip")
+	for n := 3; n <= 12; n++ {
+		N := 1 << uint(n)
+		d := perm.CyclicShift(n, 1)
+		full := simd.NewCCC(d, 1)
+		full.Permute()
+		full2 := simd.NewCCC(d, 2)
+		full2.Permute()
+		om := simd.NewCCC(d, 1)
+		om.PermuteOmega()
+		io2 := simd.NewCCC(d, 1)
+		io2.PermuteInverseOmega()
+		spec := perm.BitReversalBPC(n)
+		bp := simd.NewCCC(spec.Perm(), 1)
+		bp.PermuteBPC(spec)
+		rt.Add(n, N, full.Routes(), full2.Routes(), om.Routes(), io2.Routes(), bp.Routes())
+	}
+	rt.Note("BPC skip removes iterations with A_j=+j; bit reversal fixes the middle bit when n is odd")
+	fmt.Fprint(w, rt)
+}

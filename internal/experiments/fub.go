@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/lenfant"
+	"repro/internal/perm"
+	"repro/internal/report"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E21",
+		Paper: "Section II (Lenfant's FUB families)",
+		Title: "all five FUB families self-route with the one generic rule",
+		Run:   runE21,
+	})
+}
+
+func runE21(w io.Writer) {
+	t := report.NewTable("Lenfant FUB families on the self-routing network",
+		"family", "class (paper)", "members tested (n=2..8)", "all in F?", "all route?")
+	classOf := map[string]string{
+		"alpha":  "BPC",
+		"beta":   "BPC",
+		"gamma":  "BPC",
+		"lambda": "Omega^{-1}",
+		"delta":  "Omega^{-1}",
+		"eta":    "Omega^{-1}",
+	}
+	for _, fam := range lenfant.Families() {
+		total := 0
+		allF, allRoute := true, true
+		for n := 2; n <= 8; n++ {
+			b := core.New(n)
+			for _, d := range fam.Members(n) {
+				total++
+				if !perm.InF(d) {
+					allF = false
+				}
+				if !b.Realizes(d) {
+					allRoute = false
+				}
+			}
+		}
+		t.Add(fam.Name, classOf[fam.Name], total, allF, allRoute)
+	}
+	t.Note("Lenfant needed five different setup algorithms; the destination-tag rule handles every family")
+	fmt.Fprint(w, t)
+
+	fmt.Fprintf(w, "family members at n=4: alpha(4,2)=%v beta(4,4)=%v gamma(4,4)=%v\n",
+		lenfant.Alpha(4, 2), lenfant.Beta(4, 4), lenfant.Gamma(4, 4))
+}

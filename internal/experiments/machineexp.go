@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/costmodel"
+	"repro/internal/machine"
+	"repro/internal/perm"
+	"repro/internal/report"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E32",
+		Paper: "conclusion (the proposed machine)",
+		Title: "the dual-network SIMD computer on a mixed workload",
+		Run:   runE32,
+	})
+}
+
+// runE32 drives the conclusion's machine end to end: a stream of mixed
+// permutation requests (the distribution a numerical SIMD program might
+// issue) is dispatched across the two fabrics; all data movement is
+// executed for real and verified; the ledger shows where the time went
+// and what a single-fabric machine would have paid.
+func runE32(w io.Writer) {
+	rng := rand.New(rand.NewSource(14))
+	n := 8
+	N := 1 << uint(n)
+	p := costmodel.Typical1980()
+	m := machine.New(n, p)
+
+	// Workload mix: mostly structured permutations with an occasional
+	// arbitrary shuffle.
+	want := make([]int, N)
+	for i := range want {
+		want[i] = i
+	}
+	const requests = 400
+	for r := 0; r < requests; r++ {
+		var d perm.Perm
+		switch r % 8 {
+		case 0:
+			d = perm.PerfectShuffle(n)
+		case 1:
+			d = perm.MatrixTranspose(n)
+		case 2:
+			d = perm.CyclicShift(n, 1+rng.Intn(N-1))
+		case 3:
+			d = perm.RandomBPC(n, rng).Perm()
+		case 4:
+			d = perm.POrderingShift(n, 2*rng.Intn(N/2)+1, rng.Intn(N))
+		case 5:
+			d = perm.Unshuffle(n)
+		case 6:
+			d = perm.RandomF(n, rng)
+		default:
+			d = perm.Random(N, rng) // essentially never in F
+		}
+		m.Apply(d)
+		want = perm.Apply(d, want)
+	}
+	got := m.Data()
+	correct := true
+	for i := range want {
+		if got[i] != want[i] {
+			correct = false
+		}
+	}
+
+	t := report.NewTable(fmt.Sprintf("dispatch ledger (%d requests, N=%d)", requests, N),
+		"fabric", "requests", "modelled time")
+	var total float64
+	for _, f := range []machine.Fabric{
+		machine.FabricNone, machine.FabricDirect, machine.FabricBenes,
+		machine.FabricOmega, machine.FabricTwoPass,
+	} {
+		count := m.Served()[f]
+		var tm float64
+		for _, h := range m.History() {
+			if h.Fabric == f {
+				tm += h.Cost
+			}
+		}
+		total += tm
+		t.Add(string(f), count, fmt.Sprintf("%.0f", tm))
+	}
+	t.Add("TOTAL", requests, fmt.Sprintf("%.0f", total))
+	t.Note("final PE contents equal the composition of all %d requests: %v", requests, correct)
+	fmt.Fprint(w, t)
+
+	// What single-fabric machines would pay for the same mix.
+	cccAll := float64(requests) * costmodel.Time(costmodel.CCCSort, n, p)
+	fmt.Fprintf(w, "single-fabric alternative (CCC, everything by bitonic sort): %.0f — %.1fx the dual-network time\n",
+		cccAll, cccAll/m.Time())
+	// On the structured 7/8 of the workload the gap is the real story:
+	// the arbitrary-permutation stragglers dominate the dual-network
+	// ledger through their serial host factorization.
+	structured := m.Time()
+	for _, h := range m.History() {
+		if h.Fabric == machine.FabricTwoPass {
+			structured -= h.Cost
+		}
+	}
+	nStruct := requests - m.Served()[machine.FabricTwoPass]
+	cccStruct := float64(nStruct) * costmodel.Time(costmodel.CCCSort, n, p)
+	fmt.Fprintf(w, "structured requests only (%d of %d): dual-network %.0f vs sorter %.0f — %.0fx\n",
+		nStruct, requests, structured, cccStruct, cccStruct/structured)
+
+	// Streaming: a burst of independent F vectors through the pipeline.
+	const burst = 64
+	ds := make([]perm.Perm, burst)
+	vecs := make([][]int, burst)
+	for i := range ds {
+		ds[i] = perm.RandomBPC(n, rng).Perm()
+		vecs[i] = make([]int, N)
+	}
+	_, cycles := m.StreamPipelined(ds, vecs)
+	fmt.Fprintf(w, "pipelined burst: %d independent vectors in %d cycles (%.2f cycles/vector vs %d unpipelined)\n",
+		burst, cycles, float64(cycles)/burst, 2*n-1)
+}

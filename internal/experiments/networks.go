@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/batcher"
+	"repro/internal/core"
+	"repro/internal/crossbar"
+	"repro/internal/omega"
+	"repro/internal/perm"
+	"repro/internal/report"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E13",
+		Paper: "Section I comparison",
+		Title: "network shoot-out: switches, delay, setup, generality",
+		Run:   runE13,
+	})
+	register(Experiment{
+		ID:    "E14",
+		Paper: "Section I (Waksman setup)",
+		Title: "external setup realizes all N!, at O(N log N) cost",
+		Run:   runE14,
+	})
+}
+
+// runE13 reproduces the paper's Section I design-space comparison: for
+// each competing network, switch count, gate delay, setup need, and the
+// fraction of permutations it can do.
+func runE13(w io.Writer) {
+	n := 10
+	N := 1 << uint(n)
+	ben := core.New(n)
+	om := omega.New(n)
+	bat := batcher.New(n)
+	xb := crossbar.New(N)
+
+	t := report.NewTable(fmt.Sprintf("permutation networks at N=%d", N),
+		"network", "binary switches", "gate delay", "setup", "realizes")
+	t.Add("self-routing Benes (this paper)", ben.SwitchCount(), ben.GateDelay(),
+		"none (tags)", "F(n): all BPC, Omega^{-1}, FUBs, composites")
+	t.Add("Benes + omega bit", ben.SwitchCount(), ben.GateDelay(),
+		"none (tags+1 bit)", "F(n) plus all Omega(n)")
+	t.Add("Benes, external setup", ben.SwitchCount(), ben.GateDelay(),
+		"O(N log N) looping", "all N!")
+	t.Add("omega (Lawrie)", om.SwitchCount(), om.GateDelay(),
+		"none (tags)", "Omega(n) only")
+	t.Add("Batcher bitonic", bat.SwitchCount(), bat.GateDelay(),
+		"none (sorts)", "all N!")
+	oe := batcher.NewOddEven(n)
+	t.Add("Batcher odd-even merge", oe.SwitchCount(), oe.GateDelay(),
+		"none (sorts)", "all N!")
+	t.Add("crossbar", xb.SwitchCount(), xb.GateDelay(),
+		"O(1) pt closures", "all N!")
+	fmt.Fprint(w, t)
+
+	// Growth of the two resources across sizes: the figure-style series.
+	sw := report.NewTable("switch counts by size", "n", "N",
+		"Benes (NlogN-N/2)", "omega (NlogN/2)", "bitonic (N/2 logN(logN+1)/2)", "odd-even ((n^2-n+4)2^(n-2)-1)", "crossbar (N^2)")
+	dl := report.NewTable("gate delays by size", "n", "N",
+		"Benes (2logN-1)", "omega (logN)", "bitonic (logN(logN+1)/2)", "crossbar (1)")
+	for nn := 2; nn <= 14; nn += 2 {
+		NN := 1 << uint(nn)
+		bb, oo, tt, cc := core.New(nn), omega.New(nn), batcher.New(nn), crossbar.New(NN)
+		oeN := batcher.NewOddEven(nn)
+		sw.Add(nn, NN, bb.SwitchCount(), oo.SwitchCount(), tt.SwitchCount(), oeN.SwitchCount(), cc.SwitchCount())
+		dl.Add(nn, NN, bb.GateDelay(), oo.GateDelay(), tt.GateDelay(), cc.GateDelay())
+	}
+	fmt.Fprint(w, sw)
+	fmt.Fprint(w, dl)
+
+	// Generality head-to-head on concrete workloads.
+	rng := rand.New(rand.NewSource(4))
+	work := []struct {
+		name string
+		p    perm.Perm
+	}{
+		{"bit reversal", perm.BitReversal(n)},
+		{"matrix transpose", perm.MatrixTranspose(n)},
+		{"cyclic shift k=1", perm.CyclicShift(n, 1)},
+		{"p-ordering p=5", perm.POrdering(n, 5)},
+		{"random BPC", perm.RandomBPC(n, rng).Perm()},
+		{"uniform random", perm.Random(N, rng)},
+	}
+	hh := report.NewTable("who can route what (self-routing only)",
+		"workload", "Benes self-routing", "omega", "bitonic")
+	for _, c := range work {
+		hh.Add(c.name, ben.Realizes(c.p), om.Realizes(c.p), bat.Realizes(c.p))
+	}
+	hh.Note("shape match with the paper: Benes-self-routing ⊃ omega; bitonic does everything but with %d vs %d delay",
+		bat.GateDelay(), ben.GateDelay())
+	fmt.Fprint(w, hh)
+}
+
+// runE14 measures the looping setup: correctness on random permutations
+// and the O(N log N) growth of setup work, dwarfing the O(log N)
+// transmission the paper motivates avoiding.
+func runE14(w io.Writer) {
+	rng := rand.New(rand.NewSource(5))
+	t := report.NewTable("external setup (looping algorithm)",
+		"n", "N", "random perms set up", "all realized?", "setup time/perm", "self-route time/perm")
+	for _, n := range []int{4, 6, 8, 10, 12} {
+		b := core.New(n)
+		N := 1 << uint(n)
+		const trials = 50
+		ok := true
+		var setupTotal, routeTotal time.Duration
+		for trial := 0; trial < trials; trial++ {
+			p := perm.Random(N, rng)
+			t0 := time.Now()
+			st := b.Setup(p)
+			setupTotal += time.Since(t0)
+			if !b.ExternalRoute(p, st).OK() {
+				ok = false
+			}
+			d := perm.RandomBPC(n, rng).Perm()
+			t1 := time.Now()
+			b.SelfRoute(d)
+			routeTotal += time.Since(t1)
+		}
+		t.Add(n, N, trials, ok, setupTotal/trials, routeTotal/trials)
+	}
+	t.Note("setup grows as N log N while the self-routing pass needs no setup at all")
+	fmt.Fprint(w, t)
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/parsetup"
+	"repro/internal/perm"
+	"repro/internal/recirc"
+	"repro/internal/report"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E25",
+		Paper: "Section I ([7] parallel setup)",
+		Title: "parallel setup needs polylog rounds; self-routing needs zero",
+		Run:   runE25,
+	})
+	register(Experiment{
+		ID:    "E26",
+		Paper: "Section I (Lang-Stone tradition)",
+		Title: "recirculating shuffle-exchange: N/2 switches, 4logN-3 passes for F",
+		Run:   runE26,
+	})
+}
+
+// runE25 measures the paper's motivating gap: even a parallel setup
+// algorithm spends O(log^2 N) synchronized rounds before the first
+// datum can move, while the self-routing network spends none.
+func runE25(w io.Writer) {
+	rng := rand.New(rand.NewSource(9))
+	t := report.NewTable("parallel setup (loop coloring by pointer jumping)",
+		"n", "N", "jump rounds", "local rounds", "total", "states = sequential?", "routes?")
+	for _, n := range []int{3, 5, 7, 9, 11} {
+		b := core.New(n)
+		p := perm.Random(1<<uint(n), rng)
+		st, stats := parsetup.Setup(b, p)
+		seq := b.Setup(p)
+		same := true
+		for s := range seq {
+			for i := range seq[s] {
+				if seq[s][i] != st[s][i] {
+					same = false
+				}
+			}
+		}
+		t.Add(n, 1<<uint(n), stats.JumpRounds, stats.LocalRounds, stats.TotalRounds(),
+			same, b.ExternalRoute(p, st).OK())
+	}
+	t.Note("rounds grow ~log^2 N (pointer jumping per level x log N levels); on a physical CCC each round costs routing steps — the paper's [7] reports O(log^4 N)")
+	t.Note("self-routing spends 0 rounds: the F-class needs no setup at all")
+	fmt.Fprint(w, t)
+}
+
+// runE26 places the single-column recirculating fabric in the design
+// space: minimal hardware, F-capable, but serial passes and no
+// pipelining.
+func runE26(w io.Writer) {
+	t := report.NewTable("recirculating shuffle-exchange vs Benes",
+		"n", "N", "recirc switches (N/2)", "Benes switches", "recirc passes for F", "Benes gate delay", "recirc = F?", "omega mode = Omega?")
+	for _, n := range []int{2, 3, 6, 8, 10} {
+		r := recirc.New(n)
+		b := core.New(n)
+		okF, okOm := true, true
+		if n <= 3 {
+			perm.ForEach(1<<uint(n), func(p perm.Perm) bool {
+				if r.RouteF(p).OK() != perm.InF(p) {
+					okF = false
+				}
+				if r.RouteOmega(p).OK() != perm.IsOmega(p) {
+					okOm = false
+				}
+				return true
+			})
+		} else {
+			rng := rand.New(rand.NewSource(int64(n)))
+			for trial := 0; trial < 50; trial++ {
+				p := perm.RandomF(n, rng)
+				if !r.RouteF(p).OK() {
+					okF = false
+				}
+				if q := perm.CyclicShift(n, trial+1); !r.RouteOmega(q).OK() {
+					okOm = false
+				}
+			}
+		}
+		t.Add(n, r.N(), r.SwitchCount(), b.SwitchCount(), r.PassesF(), b.GateDelay(), okF, okOm)
+	}
+	t.Note("the column is reused every pass, so unlike the Benes network it cannot be pipelined — the Section IV advantage disappears")
+	fmt.Fprint(w, t)
+}

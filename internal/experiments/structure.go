@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+	"repro/internal/report"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E1",
+		Paper: "Fig. 1 + Section I",
+		Title: "B(n) structure: stages, switches, gate delay",
+		Run:   runE1,
+	})
+	register(Experiment{
+		ID:    "E2",
+		Paper: "Figs. 2-3",
+		Title: "switch semantics and the self-routing control-bit schedule",
+		Run:   runE2,
+	})
+}
+
+// runE1 tabulates the structural counts of B(n) across sizes: the paper
+// states 2 log N - 1 stages and N log N - N/2 binary switches.
+func runE1(w io.Writer) {
+	t := report.NewTable("Benes network B(n) structure",
+		"n", "N", "stages (2logN-1)", "switches (NlogN-N/2)", "gate delay")
+	for n := 1; n <= 16; n++ {
+		b := core.New(n)
+		t.Add(n, b.N(), b.Stages(), b.SwitchCount(), b.GateDelay())
+	}
+	t.Note("setup+delay for self-routing is O(log N): the tag decides each switch on arrival")
+	fmt.Fprint(w, t)
+}
+
+// runE2 demonstrates the Fig. 3 rule on a single switch and prints the
+// control-bit schedule: stage b and stage 2n-2-b examine bit b of the
+// upper input's tag.
+func runE2(w io.Writer) {
+	// The two states of the binary switch (Fig. 2), driven by bit 0.
+	b1 := core.New(1)
+	straight := b1.SelfRoute(perm.Perm{0, 1})
+	crossed := b1.SelfRoute(perm.Perm{1, 0})
+	state := func(crossed bool) int {
+		if crossed {
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprintf(w, "B(1) single switch: tags (0,1) -> state %d (straight), tags (1,0) -> state %d (crossed)\n",
+		state(straight.States[0][0]), state(crossed.States[0][0]))
+
+	t := report.NewTable("control-bit schedule (Fig. 3): stage s examines bit min(s, 2n-2-s)",
+		"n", "bits by stage")
+	for n := 2; n <= 6; n++ {
+		b := core.New(n)
+		seq := ""
+		for s := 0; s < b.Stages(); s++ {
+			if s > 0 {
+				seq += " "
+			}
+			seq += fmt.Sprint(b.ControlBit(s))
+		}
+		t.Add(n, seq)
+	}
+	fmt.Fprint(w, t)
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+	"repro/internal/report"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E30",
+		Paper: "extension: Theorems 2-3 + omega bit combined",
+		Title: "any permutation in TWO self-routed passes (no setup at all)",
+		Run:   runE30,
+	})
+}
+
+// runE30 demonstrates that the paper's two tag-driven features combine
+// to eliminate setup entirely: split D into an inverse-omega factor
+// (pass 1, plain self-routing — Theorem 3 puts it in F) and an omega
+// factor (pass 2, omega bit). The factorization is the looping
+// recursion read as a middle-address assignment, O(N log N), and was
+// verified on every permutation of N=4 and N=8 in the test suite.
+func runE30(w io.Writer) {
+	rng := rand.New(rand.NewSource(13))
+	t := report.NewTable("two-pass self-routing of arbitrary permutations",
+		"n", "N", "random perms", "all realized?", "factor time/perm",
+		"2-pass delay (gates)", "setup+1-pass alternative")
+	for _, n := range []int{4, 6, 8, 10, 12} {
+		b := core.New(n)
+		N := 1 << uint(n)
+		const trials = 50
+		allOK := true
+		var factorTime time.Duration
+		for trial := 0; trial < trials; trial++ {
+			d := perm.Random(N, rng)
+			t0 := time.Now()
+			f1, f2 := perm.OmegaFactor(d)
+			factorTime += time.Since(t0)
+			r := b.TwoPassRoute(d)
+			if !r.OK() || !r.Realized.Equal(d) {
+				allOK = false
+			}
+			_ = f1
+			_ = f2
+		}
+		t.Add(n, N, trials, allOK, factorTime/trials,
+			fmt.Sprintf("2x%d", b.GateDelay()),
+			fmt.Sprintf("O(NlogN) states + %d", b.GateDelay()))
+	}
+	t.Note("pass 1: plain tags (factor is inverse-omega ⊆ F); pass 2: tags + the omega bit (factor is omega)")
+	t.Note("the factorization is the looping recursion recording up/down bits — but it stays HOST-side arithmetic on tags; the network itself never loads states")
+	fmt.Fprint(w, t)
+
+	// The class-product view: F∘F covers everything (exhaustive).
+	var members []perm.Perm
+	perm.ForEach(4, func(p perm.Perm) bool {
+		if perm.InF(p) {
+			members = append(members, p.Clone())
+		}
+		return true
+	})
+	prod := map[string]bool{}
+	for _, a := range members {
+		for _, b2 := range members {
+			prod[a.Then(b2).String()] = true
+		}
+	}
+	fmt.Fprintf(w, "exhaustive class products at N=4: |F∘F| = %d of 24 (and 40320 of 40320 at N=8 — see tests)\n", len(prod))
+}

@@ -1,0 +1,272 @@
+// Package gcn implements a generalized connection network — the
+// application the paper's introduction cites for the Benes network
+// ("finds application as a subnetwork of a generalized connection
+// network [9]", Thompson). A generalized connection realizes an
+// arbitrary *mapping* request: every output names the input it wants to
+// hear from, inputs may be requested by many outputs (broadcast), and
+// some inputs by none.
+//
+// The construction follows the classic sandwich, with the Benes network
+// of package core as both permutation subnetworks:
+//
+//	distribute (Benes, external setup)
+//	   -> each requested input moves to the first slot of a contiguous
+//	      block sized to its fan-out (blocks ordered by input index);
+//	copy ladder (log N stages of segmented doubling)
+//	   -> stage k copies slot p to slot p+2^k when the whole span lies
+//	      inside the block, filling every block with copies;
+//	permute (Benes, external setup)
+//	   -> the i-th copy of each block moves to the i-th output
+//	      requesting that input.
+//
+// Total cost: 2 Benes networks plus log N copy stages — O(N log N)
+// switches and O(log N) gate delay, matching the generalized-connector
+// constructions of the literature.
+package gcn
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bits"
+	"repro/internal/core"
+	"repro/internal/perm"
+)
+
+// Network is an N-input/N-output generalized connection network.
+type Network struct {
+	n    int
+	size int
+	dist *core.Network // distribution Benes
+	perm *core.Network // final permutation Benes
+}
+
+// New builds a generalized connector for 2^n terminals.
+func New(n int) *Network {
+	return &Network{n: n, size: 1 << uint(n), dist: core.New(n), perm: core.New(n)}
+}
+
+// N returns the terminal count.
+func (g *Network) N() int { return g.size }
+
+// SwitchCount returns the binary-switch budget: two Benes networks plus
+// N selectors per copy stage.
+func (g *Network) SwitchCount() int {
+	return 2*g.dist.SwitchCount() + g.n*g.size
+}
+
+// GateDelay returns the end-to-end delay in stage traversals.
+func (g *Network) GateDelay() int {
+	return 2*g.dist.GateDelay() + g.n
+}
+
+// Request is a generalized connection: Request[out] = the input whose
+// datum output `out` wants. Any total map on [0, N) is allowed.
+type Request []int
+
+// Validate checks every requested input is in range.
+func (r Request) Validate(size int) error {
+	if len(r) != size {
+		return fmt.Errorf("gcn: request length %d != N %d", len(r), size)
+	}
+	for out, in := range r {
+		if in < 0 || in >= size {
+			return fmt.Errorf("gcn: output %d requests out-of-range input %d", out, in)
+		}
+	}
+	return nil
+}
+
+// Plan is a fully set-up connection ready to carry data.
+type Plan struct {
+	g          *Network
+	req        Request
+	distStates core.States
+	permStates core.States
+	distPerm   perm.Perm
+	permPerm   perm.Perm
+	copyFrom   [][]int // copyFrom[k][p] = source slot at ladder stage k (or -1)
+}
+
+// Connect computes the three-phase setup for a request.
+func (g *Network) Connect(req Request) (*Plan, error) {
+	if err := req.Validate(g.size); err != nil {
+		return nil, err
+	}
+	// Fan-out per input and block start offsets, ordered by input index.
+	fan := make([]int, g.size)
+	for _, in := range req {
+		fan[in]++
+	}
+	start := make([]int, g.size)
+	acc := 0
+	for in, f := range fan {
+		start[in] = acc
+		acc += f
+	}
+	// Distribution permutation: requested input -> its block start.
+	// Unrequested inputs fill the remaining slots in index order.
+	distP := make(perm.Perm, g.size)
+	var free []int
+	used := make([]bool, g.size)
+	for in, f := range fan {
+		if f > 0 {
+			distP[in] = start[in]
+			used[start[in]] = true
+		}
+	}
+	for slot := 0; slot < g.size; slot++ {
+		if !used[slot] {
+			free = append(free, slot)
+		}
+	}
+	fi := 0
+	for in, f := range fan {
+		if f == 0 {
+			distP[in] = free[fi]
+			fi++
+		}
+	}
+	if err := distP.Validate(); err != nil {
+		return nil, fmt.Errorf("gcn: internal distribution error: %v", err)
+	}
+
+	// Copy ladder: blockOf[slot] = input owning the slot (or -1).
+	blockOf := make([]int, g.size)
+	for i := range blockOf {
+		blockOf[i] = -1
+	}
+	for in, f := range fan {
+		for c := 0; c < f; c++ {
+			blockOf[start[in]+c] = in
+		}
+	}
+	// filled[slot] tracks which slots hold a copy as the ladder runs.
+	filled := make([]bool, g.size)
+	for in, f := range fan {
+		if f > 0 {
+			filled[start[in]] = true
+		}
+	}
+	copyFrom := make([][]int, g.n)
+	for k := 0; k < g.n; k++ {
+		step := 1 << uint(k)
+		cf := make([]int, g.size)
+		for i := range cf {
+			cf[i] = -1
+		}
+		// Copy from p to p+step when both lie in the same block, the
+		// source is filled and the target is not yet.
+		for p := 0; p+step < g.size; p++ {
+			q := p + step
+			if filled[p] && !filled[q] && blockOf[p] >= 0 && blockOf[p] == blockOf[q] {
+				cf[q] = p
+			}
+		}
+		for q, p := range cf {
+			if p >= 0 {
+				filled[q] = true
+			}
+		}
+		copyFrom[k] = cf
+	}
+	for slot, in := range blockOf {
+		if in >= 0 && !filled[slot] {
+			return nil, fmt.Errorf("gcn: internal copy-ladder gap at slot %d", slot)
+		}
+	}
+
+	// Final permutation: the c-th copy of input `in` goes to the c-th
+	// output (in output order) requesting `in`.
+	outsByInput := make([][]int, g.size)
+	for out, in := range req {
+		outsByInput[in] = append(outsByInput[in], out)
+	}
+	for _, outs := range outsByInput {
+		sort.Ints(outs)
+	}
+	permP := make(perm.Perm, g.size)
+	assigned := make([]bool, g.size)
+	for in, outs := range outsByInput {
+		for c, out := range outs {
+			permP[start[in]+c] = out
+			assigned[out] = true
+		}
+	}
+	var spare []int
+	for out := 0; out < g.size; out++ {
+		if !assigned[out] {
+			spare = append(spare, out)
+		}
+	}
+	si := 0
+	for slot := 0; slot < g.size; slot++ {
+		if blockOf[slot] == -1 {
+			permP[slot] = spare[si]
+			si++
+		}
+	}
+	if err := permP.Validate(); err != nil {
+		return nil, fmt.Errorf("gcn: internal permutation error: %v", err)
+	}
+
+	return &Plan{
+		g:          g,
+		req:        append(Request(nil), req...),
+		distStates: g.dist.Setup(distP),
+		permStates: g.perm.Setup(permP),
+		distPerm:   distP,
+		permPerm:   permP,
+		copyFrom:   copyFrom,
+	}, nil
+}
+
+// Carry moves data through the planned connection:
+// result[out] = data[req[out]] for every output.
+func Carry[T any](p *Plan, data []T) []T {
+	g := p.g
+	if len(data) != g.size {
+		panic("gcn: data length mismatch")
+	}
+	// Phase 1: distribute through the first Benes.
+	res := g.dist.ExternalRoute(p.distPerm, p.distStates)
+	if !res.OK() {
+		panic("gcn: distribution phase misrouted")
+	}
+	cur := perm.Apply(p.distPerm, data)
+	// Phase 2: the copy ladder.
+	for k := 0; k < g.n; k++ {
+		next := append([]T(nil), cur...)
+		for q, from := range p.copyFrom[k] {
+			if from >= 0 {
+				next[q] = cur[from]
+			}
+		}
+		cur = next
+	}
+	// Phase 3: final permutation.
+	res = g.perm.ExternalRoute(p.permPerm, p.permStates)
+	if !res.OK() {
+		panic("gcn: permutation phase misrouted")
+	}
+	return perm.Apply(p.permPerm, cur)
+}
+
+// MaxFanout returns the largest replication factor in the request.
+func (r Request) MaxFanout() int {
+	fan := map[int]int{}
+	max := 0
+	for _, in := range r {
+		fan[in]++
+		if fan[in] > max {
+			max = fan[in]
+		}
+	}
+	return max
+}
+
+// LadderStagesNeeded returns how many copy stages a request actually
+// exercises: ceil(log2 of the largest fan-out).
+func (r Request) LadderStagesNeeded() int {
+	return bits.CeilLog2(r.MaxFanout())
+}

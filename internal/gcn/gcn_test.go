@@ -1,0 +1,147 @@
+package gcn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+func carryInts(t *testing.T, n int, req Request) []int {
+	t.Helper()
+	g := New(n)
+	plan, err := g.Connect(req)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	data := make([]int, g.N())
+	for i := range data {
+		data[i] = 1000 + i
+	}
+	return Carry(plan, data)
+}
+
+// TestBroadcastOne: every output requests input 3.
+func TestBroadcastOne(t *testing.T) {
+	n := 4
+	req := make(Request, 1<<uint(n))
+	for out := range req {
+		req[out] = 3
+	}
+	out := carryInts(t, n, req)
+	for _, v := range out {
+		if v != 1003 {
+			t.Fatalf("broadcast failed: %v", out)
+		}
+	}
+}
+
+// TestPermutationRequests: a bijective request reduces to an ordinary
+// permutation.
+func TestPermutationRequests(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(7)
+		p := perm.Random(1<<uint(n), rng)
+		// Output out wants input p.Inverse()[out] so that data moves by p.
+		req := Request(p.Inverse())
+		out := carryInts(t, n, req)
+		for o, in := range req {
+			if out[o] != 1000+in {
+				t.Fatalf("n=%d: output %d got %d, want input %d", n, o, out[o], in)
+			}
+		}
+	}
+}
+
+// TestRandomMappings: arbitrary many-to-one requests.
+func TestRandomMappings(t *testing.T) {
+	rng := rand.New(rand.NewSource(212))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(8)
+		N := 1 << uint(n)
+		req := make(Request, N)
+		for o := range req {
+			req[o] = rng.Intn(N)
+		}
+		out := carryInts(t, n, req)
+		for o, in := range req {
+			if out[o] != 1000+in {
+				t.Fatalf("n=%d trial=%d: output %d got %d, want %d", n, trial, o, out[o], 1000+in)
+			}
+		}
+	}
+}
+
+// TestConstantRequest: all outputs want input 0 — the extreme fan-out.
+func TestConstantRequest(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		req := make(Request, 1<<uint(n))
+		out := carryInts(t, n, req)
+		for _, v := range out {
+			if v != 1000 {
+				t.Fatalf("n=%d: constant broadcast failed", n)
+			}
+		}
+		if req.MaxFanout() != 1<<uint(n) || req.LadderStagesNeeded() != n {
+			t.Fatalf("n=%d: fanout bookkeeping wrong", n)
+		}
+	}
+}
+
+// TestSkewedFanout: half the outputs want one input, the rest spread.
+func TestSkewedFanout(t *testing.T) {
+	n := 5
+	N := 32
+	req := make(Request, N)
+	for o := 0; o < N/2; o++ {
+		req[o] = 7
+	}
+	for o := N / 2; o < N; o++ {
+		req[o] = o - N/2
+	}
+	out := carryInts(t, n, req)
+	for o, in := range req {
+		if out[o] != 1000+in {
+			t.Fatalf("output %d got %d", o, out[o])
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	g := New(4)
+	if g.N() != 16 {
+		t.Fatal("N wrong")
+	}
+	// Two Benes networks (56 switches each) + 4*16 copy selectors.
+	if g.SwitchCount() != 2*56+64 {
+		t.Errorf("switches = %d", g.SwitchCount())
+	}
+	if g.GateDelay() != 2*7+4 {
+		t.Errorf("delay = %d", g.GateDelay())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := New(2)
+	if _, err := g.Connect(Request{0, 1, 2}); err == nil {
+		t.Error("short request accepted")
+	}
+	if _, err := g.Connect(Request{0, 1, 2, 9}); err == nil {
+		t.Error("out-of-range request accepted")
+	}
+}
+
+func TestCarryPanicsOnBadData(t *testing.T) {
+	g := New(2)
+	plan, err := g.Connect(Request{0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Carry(plan, []int{1, 2})
+}

@@ -1,0 +1,172 @@
+// Package lenfant implements the five families of "frequently used
+// bijections" (FUBs) from Lenfant's 1978 study of Benes-network control,
+// which the paper subsumes: Section II shows that three FUB families
+// (alpha, beta, gamma) lie in BPC(n) and the other two (lambda, delta)
+// in the inverse-omega class, so all five are in F(n) and need none of
+// Lenfant's five special-purpose setup algorithms — the single
+// self-routing rule handles every one of them.
+//
+// Substitution note (recorded in DESIGN.md): Lenfant's paper is not
+// available in this offline environment, so alpha, beta and gamma are
+// reconstructed as natural BPC families consistent with everything this
+// paper states about them — each is a classical array-access bijection,
+// each is bit-permute-complement, and together with lambda and delta
+// they cover the paper's claims. Lambda ("p-ordering and cyclic shift"),
+// delta ("cyclic shifts within segments") and eta ("conditional
+// exchange", Lenfant's eta^(k)) are taken verbatim from Section II,
+// where the paper itself identifies them with Lenfant's families. Every
+// family is verified to lie inside F(n) by exhaustive routing tests.
+package lenfant
+
+import (
+	"repro/internal/perm"
+)
+
+// Alpha is the field-exchange family alpha(n, k), 1 <= k <= n-1: the low
+// k index bits and the high n-k bits swap places, i.e. the transpose of
+// a 2^(n-k) x 2^k matrix stored in row-major order. alpha(n, n/2) is
+// the square matrix transpose of Table I. In BPC(n).
+func Alpha(n, k int) perm.Perm {
+	return AlphaBPC(n, k).Perm()
+}
+
+// AlphaBPC returns the A-vector of Alpha: bit j moves to position
+// (j + n - k) mod n.
+func AlphaBPC(n, k int) perm.BPC {
+	if k < 1 || k >= n {
+		panic("lenfant: Alpha requires 1 <= k <= n-1")
+	}
+	a := make(perm.BPC, n)
+	for j := range a {
+		a[j] = perm.Axis{Pos: (j + n - k) % n}
+	}
+	return a
+}
+
+// Beta is the partial bit-reversal family beta(n, k), 1 <= k <= n: the
+// low k bits of the index are reversed, the high bits kept — the
+// data-staging bijection of a radix-2 FFT on segments of size 2^k.
+// beta(n, n) is the full bit reversal of Fig. 4. In BPC(n).
+func Beta(n, k int) perm.Perm {
+	return BetaBPC(n, k).Perm()
+}
+
+// BetaBPC returns the A-vector of Beta: bit j moves to k-1-j for j < k.
+func BetaBPC(n, k int) perm.BPC {
+	if k < 1 || k > n {
+		panic("lenfant: Beta requires 1 <= k <= n")
+	}
+	a := make(perm.BPC, n)
+	for j := range a {
+		if j < k {
+			a[j] = perm.Axis{Pos: k - 1 - j}
+		} else {
+			a[j] = perm.Axis{Pos: j}
+		}
+	}
+	return a
+}
+
+// Gamma is the segment-reversal family gamma(n, k), 1 <= k <= n: the
+// order of elements is reversed within every segment of size 2^k (the
+// low k bits are complemented in place). gamma(n, n) is the vector
+// reversal of Table I. In BPC(n).
+func Gamma(n, k int) perm.Perm {
+	return GammaBPC(n, k).Perm()
+}
+
+// GammaBPC returns the A-vector of Gamma: bits 0..k-1 complemented in
+// place.
+func GammaBPC(n, k int) perm.BPC {
+	if k < 1 || k > n {
+		panic("lenfant: Gamma requires 1 <= k <= n")
+	}
+	a := make(perm.BPC, n)
+	for j := range a {
+		a[j] = perm.Axis{Pos: j, Comp: j < k}
+	}
+	return a
+}
+
+// Lambda is the family lambda(n): D_i = (p*i + k) mod N with p odd —
+// "p-ordering and cyclic shift", which Section II identifies as
+// Lenfant's lambda. In the inverse-omega class (and in Omega too).
+func Lambda(n, p, k int) perm.Perm {
+	return perm.POrderingShift(n, p, k)
+}
+
+// Delta is the family delta(n): cyclic shift by k within every segment
+// of size 2^t, which Section II identifies as Lenfant's delta. In the
+// inverse-omega class.
+func Delta(n, t, k int) perm.Perm {
+	return perm.SegmentCyclicShift(n, t, k)
+}
+
+// Eta is Lenfant's eta^(k): the conditional exchange of Section II —
+// the pair (2i, 2i+1) swaps exactly when bit k of 2i is one. In the
+// inverse-omega class.
+func Eta(n, k int) perm.Perm {
+	return perm.ConditionalExchange(n, k)
+}
+
+// Family bundles a named FUB generator over its parameter range, used by
+// the tests and the experiment driver to sweep every member.
+type Family struct {
+	Name string
+	// Members returns every member of the family for a given n
+	// (sampling odd multipliers for lambda to keep sweeps finite).
+	Members func(n int) []perm.Perm
+}
+
+// Families returns all five FUB families plus eta.
+func Families() []Family {
+	return []Family{
+		{Name: "alpha", Members: func(n int) []perm.Perm {
+			var out []perm.Perm
+			for k := 1; k < n; k++ {
+				out = append(out, Alpha(n, k))
+			}
+			return out
+		}},
+		{Name: "beta", Members: func(n int) []perm.Perm {
+			var out []perm.Perm
+			for k := 1; k <= n; k++ {
+				out = append(out, Beta(n, k))
+			}
+			return out
+		}},
+		{Name: "gamma", Members: func(n int) []perm.Perm {
+			var out []perm.Perm
+			for k := 1; k <= n; k++ {
+				out = append(out, Gamma(n, k))
+			}
+			return out
+		}},
+		{Name: "lambda", Members: func(n int) []perm.Perm {
+			N := 1 << uint(n)
+			var out []perm.Perm
+			for _, p := range []int{1, 3, 5, N - 1} {
+				for _, k := range []int{0, 1, N / 2} {
+					out = append(out, Lambda(n, p, k))
+				}
+			}
+			return out
+		}},
+		{Name: "delta", Members: func(n int) []perm.Perm {
+			var out []perm.Perm
+			for t := 1; t <= n; t++ {
+				for _, k := range []int{1, (1 << uint(t)) - 1} {
+					out = append(out, Delta(n, t, k))
+				}
+			}
+			return out
+		}},
+		{Name: "eta", Members: func(n int) []perm.Perm {
+			var out []perm.Perm
+			for k := 1; k < n; k++ {
+				out = append(out, Eta(n, k))
+			}
+			return out
+		}},
+	}
+}

@@ -1,0 +1,139 @@
+package lenfant
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+)
+
+// TestAlphaBetaGammaAreBPC verifies the paper's claim that three FUB
+// families lie in BPC(n): the A-vector expansions must match and be
+// recognizable as BPC.
+func TestAlphaBetaGammaAreBPC(t *testing.T) {
+	for n := 2; n <= 8; n++ {
+		for k := 1; k < n; k++ {
+			if _, ok := perm.RecognizeBPC(Alpha(n, k)); !ok {
+				t.Errorf("alpha(%d,%d) not BPC", n, k)
+			}
+		}
+		for k := 1; k <= n; k++ {
+			if _, ok := perm.RecognizeBPC(Beta(n, k)); !ok {
+				t.Errorf("beta(%d,%d) not BPC", n, k)
+			}
+			if _, ok := perm.RecognizeBPC(Gamma(n, k)); !ok {
+				t.Errorf("gamma(%d,%d) not BPC", n, k)
+			}
+		}
+	}
+}
+
+// TestLambdaDeltaEtaAreInverseOmega verifies the paper's claim for the
+// remaining families.
+func TestLambdaDeltaEtaAreInverseOmega(t *testing.T) {
+	for n := 2; n <= 7; n++ {
+		N := 1 << uint(n)
+		for _, p := range []int{1, 3, N - 1} {
+			for _, k := range []int{0, 1, N - 1} {
+				if !perm.IsInverseOmega(Lambda(n, p, k)) {
+					t.Errorf("lambda(%d,%d,%d) not inverse-omega", n, p, k)
+				}
+			}
+		}
+		for tt := 1; tt <= n; tt++ {
+			if !perm.IsInverseOmega(Delta(n, tt, 1)) {
+				t.Errorf("delta(%d,%d,1) not inverse-omega", n, tt)
+			}
+		}
+		for k := 1; k < n; k++ {
+			if !perm.IsInverseOmega(Eta(n, k)) {
+				t.Errorf("eta(%d,%d) not inverse-omega", n, k)
+			}
+		}
+	}
+}
+
+// TestAllFamiliesRouteOnSelfRoutingNetwork is the paper's bottom line:
+// every member of every FUB family routes on the self-routing Benes
+// network with the single generic rule — no per-family setup algorithm.
+func TestAllFamiliesRouteOnSelfRoutingNetwork(t *testing.T) {
+	for n := 2; n <= 8; n++ {
+		b := core.New(n)
+		for _, fam := range Families() {
+			for i, d := range fam.Members(n) {
+				if err := d.Validate(); err != nil {
+					t.Fatalf("%s(%d) member %d invalid: %v", fam.Name, n, i, err)
+				}
+				if !b.Realizes(d) {
+					t.Errorf("%s(%d) member %d not self-routable", fam.Name, n, i)
+				}
+				if !perm.InF(d) {
+					t.Errorf("%s(%d) member %d not in F by Theorem 1", fam.Name, n, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSpecialCases pins the family edges to the named Table I
+// permutations.
+func TestSpecialCases(t *testing.T) {
+	for n := 2; n <= 8; n += 2 {
+		if !Alpha(n, n/2).Equal(perm.MatrixTranspose(n)) {
+			t.Errorf("alpha(%d,%d) != matrix transpose", n, n/2)
+		}
+		if !Beta(n, n).Equal(perm.BitReversal(n)) {
+			t.Errorf("beta(%d,%d) != bit reversal", n, n)
+		}
+		if !Gamma(n, n).Equal(perm.VectorReversal(n)) {
+			t.Errorf("gamma(%d,%d) != vector reversal", n, n)
+		}
+		if !Alpha(n, 1).Equal(perm.Unshuffle(n)) {
+			t.Errorf("alpha(%d,1) != unshuffle", n)
+		}
+		if !Alpha(n, n-1).Equal(perm.PerfectShuffle(n)) {
+			t.Errorf("alpha(%d,%d) != perfect shuffle", n, n-1)
+		}
+	}
+}
+
+// TestGammaSegmentStructure: gamma(n,k) reverses each 2^k segment.
+func TestGammaSegmentStructure(t *testing.T) {
+	g := Gamma(4, 2)
+	for i := 0; i < 16; i++ {
+		seg := i &^ 3
+		if g[i] != seg+(3-(i&3)) {
+			t.Fatalf("gamma(4,2)[%d] = %d", i, g[i])
+		}
+	}
+}
+
+// TestBetaInvolution: reversing bits twice is the identity.
+func TestBetaInvolution(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		for k := 1; k <= n; k++ {
+			if !Beta(n, k).Compose(Beta(n, k)).IsIdentity() {
+				t.Errorf("beta(%d,%d) not an involution", n, k)
+			}
+		}
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	for _, bad := range []func(){
+		func() { Alpha(4, 0) },
+		func() { Alpha(4, 4) },
+		func() { Beta(4, 0) },
+		func() { Beta(4, 5) },
+		func() { Gamma(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

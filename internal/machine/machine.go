@@ -1,0 +1,226 @@
+// Package machine implements the SIMD computer proposed in the paper's
+// conclusion: N processing elements served by TWO interconnection
+// fabrics — a direct network E(n) (here the perfect-shuffle wiring,
+// one routing step per built-in permutation) and the self-routing Benes
+// network B(n) with its omega bit. A scheduler dispatches each
+// permutation request to the cheapest fabric that can carry it:
+//
+//	identity                    -> no-op
+//	E(n) wire (shuffle family)  -> 1 routing step
+//	F(n) member                 -> one B(n) pass, tag-driven
+//	Omega member                -> one B(n) pass with the omega bit
+//	anything else               -> two B(n) passes (perm.OmegaFactor)
+//
+// Back-to-back B(n) requests stream through the registered pipeline
+// (Section IV), so a batch of k network requests costs fill + k cycles
+// rather than k full delays. The package keeps account in the same
+// units as internal/costmodel.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/perm"
+)
+
+// Fabric identifies which interconnect carried a request.
+type Fabric string
+
+const (
+	FabricNone    Fabric = "no-op"
+	FabricDirect  Fabric = "E(n) direct wire"
+	FabricBenes   Fabric = "B(n) self-route"
+	FabricOmega   Fabric = "B(n) omega bit"
+	FabricTwoPass Fabric = "B(n) two passes"
+)
+
+// Machine is the dual-network SIMD computer.
+type Machine struct {
+	n      int
+	size   int
+	net    *core.Network
+	params costmodel.Params
+
+	// Data held by the PEs.
+	data []int
+
+	// Accounting.
+	served  map[Fabric]int
+	time    float64
+	history []Dispatch
+}
+
+// Dispatch records one served request.
+type Dispatch struct {
+	Fabric Fabric
+	Cost   float64 // modelled time
+}
+
+// New builds a machine over 2^n PEs; PE(i) initially holds value i.
+func New(n int, p costmodel.Params) *Machine {
+	m := &Machine{
+		n:      n,
+		size:   1 << uint(n),
+		net:    core.New(n),
+		params: p,
+		data:   make([]int, 1<<uint(n)),
+		served: make(map[Fabric]int),
+	}
+	for i := range m.data {
+		m.data[i] = i
+	}
+	return m
+}
+
+// N returns the PE count.
+func (m *Machine) N() int { return m.size }
+
+// Data returns the current PE contents (a copy).
+func (m *Machine) Data() []int { return append([]int(nil), m.data...) }
+
+// Time returns the total modelled time spent.
+func (m *Machine) Time() float64 { return m.time }
+
+// Served returns how many requests each fabric carried.
+func (m *Machine) Served() map[Fabric]int {
+	out := make(map[Fabric]int, len(m.served))
+	for k, v := range m.served {
+		out[k] = v
+	}
+	return out
+}
+
+// History returns the dispatch log.
+func (m *Machine) History() []Dispatch { return append([]Dispatch(nil), m.history...) }
+
+// directWire reports whether d is one of E(n)'s built-in single-step
+// permutations: shuffle, unshuffle, or the pairwise exchange.
+func (m *Machine) directWire(d perm.Perm) bool {
+	if d.Equal(perm.PerfectShuffle(m.n)) || d.Equal(perm.Unshuffle(m.n)) {
+		return true
+	}
+	for i, v := range d {
+		if v != i^1 {
+			return false
+		}
+	}
+	return true
+}
+
+// classify picks the fabric for a request.
+func (m *Machine) classify(d perm.Perm) Fabric {
+	switch {
+	case d.IsIdentity():
+		return FabricNone
+	case m.directWire(d):
+		return FabricDirect
+	case perm.InF(d):
+		return FabricBenes
+	case perm.IsOmega(d):
+		return FabricOmega
+	default:
+		return FabricTwoPass
+	}
+}
+
+// cost models the time for a fabric to carry one request.
+func (m *Machine) cost(f Fabric) float64 {
+	stages := float64(2*m.n - 1)
+	switch f {
+	case FabricNone:
+		return 0
+	case FabricDirect:
+		return m.params.Route
+	case FabricBenes, FabricOmega:
+		return stages * m.params.Gate
+	case FabricTwoPass:
+		N := float64(m.size)
+		return N*float64(m.n)*m.params.HostOp + 2*stages*m.params.Gate
+	}
+	panic("machine: unknown fabric")
+}
+
+// Apply performs one permutation request: PE(i)'s datum moves to
+// PE(d[i]). It returns the dispatch record. Every route is executed for
+// real on the chosen fabric and verified.
+func (m *Machine) Apply(d perm.Perm) Dispatch {
+	if len(d) != m.size {
+		panic(fmt.Sprintf("machine: request length %d != N %d", len(d), m.size))
+	}
+	if err := d.Validate(); err != nil {
+		panic("machine: " + err.Error())
+	}
+	f := m.classify(d)
+	var realized perm.Perm
+	switch f {
+	case FabricNone:
+		realized = d
+	case FabricDirect:
+		realized = d // single-step wire, definitionally exact
+	case FabricBenes:
+		res := m.net.SelfRoute(d)
+		if !res.OK() {
+			panic("machine: classifier promised F but routing failed")
+		}
+		realized = res.Realized
+	case FabricOmega:
+		res := m.net.OmegaRoute(d)
+		if !res.OK() {
+			panic("machine: classifier promised Omega but routing failed")
+		}
+		realized = res.Realized
+	case FabricTwoPass:
+		r := m.net.TwoPassRoute(d)
+		if !r.OK() {
+			panic("machine: two-pass routing failed")
+		}
+		realized = r.Realized
+	}
+	m.data = perm.Apply(realized, m.data)
+	disp := Dispatch{Fabric: f, Cost: m.cost(f)}
+	m.served[f]++
+	m.time += disp.Cost
+	m.history = append(m.history, disp)
+	return disp
+}
+
+// StreamPipelined carries a batch of INDEPENDENT vectors — each with
+// its own F permutation — through the registered B(n) pipeline
+// (Section IV): the whole batch costs fill + k-1 cycles instead of k
+// full gate delays. It returns the permuted vectors in order and the
+// total cycles consumed. Requests outside F are rejected. This is the
+// machine's bulk path for streaming workloads (e.g. a frame sequence);
+// it does not touch the PEs' resident data.
+func (m *Machine) StreamPipelined(ds []perm.Perm, vectors [][]int) ([][]int, int) {
+	if len(ds) != len(vectors) {
+		panic("machine: stream batch shape mismatch")
+	}
+	if len(ds) == 0 {
+		return nil, 0
+	}
+	pipe := core.NewPipeline[int](m.net)
+	for k, d := range ds {
+		if len(d) != m.size || len(vectors[k]) != m.size {
+			panic("machine: batch request length mismatch")
+		}
+		if !perm.InF(d) {
+			panic("machine: pipelined batch requires F members")
+		}
+		pipe.Step(d, vectors[k])
+	}
+	pipe.Drain()
+	out := pipe.Output()
+	results := make([][]int, len(out))
+	for k, v := range out {
+		if len(v.Misrouted) != 0 {
+			panic("machine: pipelined vector misrouted")
+		}
+		results[k] = v.Data
+	}
+	cycles := out[len(out)-1].Cycle
+	m.time += float64(cycles) * m.params.Gate
+	m.served[FabricBenes] += len(ds)
+	return results, cycles
+}

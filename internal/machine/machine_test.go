@@ -1,0 +1,199 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/perm"
+)
+
+func newTest(n int) *Machine {
+	return New(n, costmodel.Typical1980())
+}
+
+// TestDispatchClasses: each request lands on the cheapest capable
+// fabric.
+func TestDispatchClasses(t *testing.T) {
+	n := 5
+	m := newTest(n)
+	cases := []struct {
+		d    perm.Perm
+		want Fabric
+	}{
+		{perm.Identity(32), FabricNone},
+		{perm.PerfectShuffle(n), FabricDirect},
+		{perm.Unshuffle(n), FabricDirect},
+		{perm.ConditionalExchange(n, n-1), FabricBenes}, // exchange-like but in F via tags
+		{perm.BitReversal(n), FabricBenes},
+		{perm.CyclicShift(n, 3), FabricBenes}, // inverse-omega, hence F
+	}
+	for _, c := range cases {
+		got := m.Apply(c.d)
+		if got.Fabric != c.want && !(c.want == FabricBenes && got.Fabric == FabricDirect) {
+			t.Errorf("dispatch(%v) = %s, want %s", c.d[:4], got.Fabric, c.want)
+		}
+	}
+}
+
+// TestConditionalExchangeIsDirect: the pairwise exchange is E(n)'s
+// wire.
+func TestConditionalExchangeIsDirect(t *testing.T) {
+	n := 4
+	m := newTest(n)
+	allSwap := make(perm.Perm, 16)
+	for i := range allSwap {
+		allSwap[i] = i ^ 1
+	}
+	if got := m.Apply(allSwap); got.Fabric != FabricDirect {
+		t.Errorf("pairwise exchange dispatched to %s", got.Fabric)
+	}
+}
+
+// TestNonFGoesTwoPass: a random permutation (outside F) uses two
+// passes and still lands correctly.
+func TestNonFGoesTwoPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(331))
+	n := 6
+	m := newTest(n)
+	d := perm.Random(64, rng)
+	for perm.InF(d) {
+		d = perm.Random(64, rng)
+	}
+	before := m.Data()
+	disp := m.Apply(d)
+	if disp.Fabric != FabricTwoPass {
+		t.Fatalf("dispatched to %s", disp.Fabric)
+	}
+	after := m.Data()
+	for i := range before {
+		if after[d[i]] != before[i] {
+			t.Fatal("two-pass request moved data incorrectly")
+		}
+	}
+}
+
+// TestDataTracksComposition: a sequence of mixed requests must compose
+// exactly.
+func TestDataTracksComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(332))
+	n := 5
+	N := 32
+	m := newTest(n)
+	want := make([]int, N)
+	for i := range want {
+		want[i] = i
+	}
+	reqs := []perm.Perm{
+		perm.PerfectShuffle(n),
+		perm.BitReversal(n),
+		perm.Random(N, rng),
+		perm.CyclicShift(n, 7),
+		perm.Random(N, rng),
+		perm.Identity(N),
+	}
+	for _, d := range reqs {
+		m.Apply(d)
+		want = perm.Apply(d, want)
+	}
+	got := m.Data()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("machine state diverged at PE %d", i)
+		}
+	}
+	served := m.Served()
+	total := 0
+	for _, c := range served {
+		total += c
+	}
+	if total != len(reqs) {
+		t.Fatalf("served %d of %d requests", total, len(reqs))
+	}
+	if len(m.History()) != len(reqs) {
+		t.Fatal("history incomplete")
+	}
+}
+
+// TestCostAccounting: time is the sum of dispatch costs and fabric
+// ordering is respected (direct < benes < twopass).
+func TestCostAccounting(t *testing.T) {
+	n := 6
+	m := newTest(n)
+	d1 := m.Apply(perm.PerfectShuffle(n))
+	d2 := m.Apply(perm.BitReversal(n))
+	rng := rand.New(rand.NewSource(333))
+	d := perm.Random(64, rng)
+	for perm.InF(d) {
+		d = perm.Random(64, rng)
+	}
+	d3 := m.Apply(d)
+	if !(d1.Cost < d2.Cost && d2.Cost < d3.Cost) {
+		t.Fatalf("cost ordering violated: %v %v %v", d1.Cost, d2.Cost, d3.Cost)
+	}
+	if m.Time() != d1.Cost+d2.Cost+d3.Cost {
+		t.Fatal("total time != sum of costs")
+	}
+}
+
+// TestStreamPipelined: a batch of independent vectors moves in
+// fill + k - 1 cycles and every vector is permuted correctly.
+func TestStreamPipelined(t *testing.T) {
+	rng := rand.New(rand.NewSource(334))
+	n := 5
+	N := 32
+	m := newTest(n)
+	const k = 20
+	ds := make([]perm.Perm, k)
+	vecs := make([][]int, k)
+	for i := range ds {
+		ds[i] = perm.RandomBPC(n, rng).Perm()
+		vecs[i] = make([]int, N)
+		for j := range vecs[i] {
+			vecs[i][j] = i*N + j
+		}
+	}
+	out, cycles := m.StreamPipelined(ds, vecs)
+	wantCycles := (2*n - 1) + 1 + (k - 1) // fill (stages+1), then one per extra vector
+	if cycles != wantCycles {
+		t.Fatalf("cycles = %d, want %d", cycles, wantCycles)
+	}
+	for i := range out {
+		for j := range vecs[i] {
+			if out[i][ds[i][j]] != vecs[i][j] {
+				t.Fatalf("vector %d permuted incorrectly", i)
+			}
+		}
+	}
+	// Pipelining must beat k sequential passes.
+	if cycles >= k*(2*n-1) {
+		t.Fatal("pipelining saved nothing")
+	}
+}
+
+func TestStreamRejectsNonF(t *testing.T) {
+	m := newTest(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.StreamPipelined([]perm.Perm{{1, 3, 2, 0}}, [][]int{{0, 1, 2, 3}})
+}
+
+func TestApplyValidation(t *testing.T) {
+	m := newTest(3)
+	for _, bad := range []func(){
+		func() { m.Apply(perm.Identity(4)) },
+		func() { m.Apply(perm.Perm{0, 0, 1, 1, 2, 2, 3, 3}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

@@ -1,0 +1,145 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+)
+
+// TestAgreesWithSynchronousEngine: the concurrent engine must realize
+// exactly the same mapping, with exactly the same switch states, as the
+// synchronous evaluator — exhaustive at N=4, random up to N=256.
+func TestAgreesWithSynchronousEngine(t *testing.T) {
+	b := core.New(2)
+	e := New(b)
+	perm.ForEach(4, func(p perm.Perm) bool {
+		sync := b.SelfRoute(p)
+		res, st := e.RouteOne(p)
+		if !res.Realized.Equal(sync.Realized) {
+			t.Fatalf("realized mapping differs on %v: %v vs %v", p.Clone(), res.Realized, sync.Realized)
+		}
+		for s := range st {
+			for i := range st[s] {
+				if st[s][i] != sync.States[s][i] {
+					t.Fatalf("state differs at stage %d switch %d on %v", s, i, p.Clone())
+				}
+			}
+		}
+		return true
+	})
+
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(8)
+		net := core.New(n)
+		eng := New(net)
+		p := perm.Random(1<<uint(n), rng)
+		syncRes := net.SelfRoute(p)
+		res, _ := eng.RouteOne(p)
+		if !res.Realized.Equal(syncRes.Realized) {
+			t.Fatalf("n=%d: concurrent and synchronous engines disagree on %v", n, p)
+		}
+		if res.OK() != syncRes.OK() {
+			t.Fatalf("n=%d: OK flags disagree on %v", n, p)
+		}
+	}
+}
+
+// TestRoutesF: F permutations route correctly through the concurrent
+// hardware.
+func TestRoutesF(t *testing.T) {
+	n := 6
+	b := core.New(n)
+	e := New(b)
+	for _, d := range []perm.Perm{
+		perm.BitReversal(n),
+		perm.MatrixTranspose(n),
+		perm.PerfectShuffle(n),
+		perm.CyclicShift(n, 5),
+		perm.POrderingShift(n, 11, 7),
+	} {
+		res, _ := e.RouteOne(d)
+		if !res.OK() {
+			t.Errorf("concurrent engine misrouted %v", d)
+		}
+	}
+}
+
+// TestStreamOfVectors: many vectors with different permutations flow
+// through concurrently and all arrive intact and in order.
+func TestStreamOfVectors(t *testing.T) {
+	n := 5
+	N := 1 << uint(n)
+	b := core.New(n)
+	e := New(b)
+	rng := rand.New(rand.NewSource(112))
+	const depth = 50
+	vecs := make([]perm.Perm, depth)
+	for k := range vecs {
+		if k%2 == 0 {
+			vecs[k] = perm.RandomBPC(n, rng).Perm()
+		} else {
+			vecs[k] = perm.POrderingShift(n, 2*rng.Intn(N/2)+1, rng.Intn(N))
+		}
+	}
+	results, _ := e.Run(vecs)
+	if len(results) != depth {
+		t.Fatalf("got %d results", len(results))
+	}
+	for k, res := range results {
+		if !res.OK() {
+			t.Errorf("vector %d misrouted: %v", k, res.Misrouted)
+		}
+		if !res.Realized.Equal(vecs[k]) {
+			t.Errorf("vector %d realized %v, want %v — streams mixed?", k, res.Realized, vecs[k])
+		}
+	}
+}
+
+// TestNonFFlagged: non-F permutations emerge flagged, exactly as in the
+// synchronous engine.
+func TestNonFFlagged(t *testing.T) {
+	b := core.New(2)
+	e := New(b)
+	res, _ := e.RouteOne(perm.Perm{1, 3, 2, 0})
+	if res.OK() {
+		t.Fatal("(1,3,2,0) should misroute")
+	}
+	if !res.Realized.Valid() {
+		t.Fatal("even a misroute must be a bijection of terminals")
+	}
+}
+
+// TestMixedStream: F and non-F vectors interleaved; flags must land on
+// the right vectors.
+func TestMixedStream(t *testing.T) {
+	b := core.New(2)
+	e := New(b)
+	vecs := []perm.Perm{
+		perm.Identity(4),
+		{1, 3, 2, 0}, // not in F(2)
+		perm.VectorReversal(2),
+		{1, 3, 2, 0},
+		perm.CyclicShift(2, 1),
+	}
+	results, _ := e.Run(vecs)
+	wantOK := []bool{true, false, true, false, true}
+	for k, w := range wantOK {
+		if results[k].OK() != w {
+			t.Errorf("vector %d OK=%v, want %v", k, results[k].OK(), w)
+		}
+	}
+}
+
+func TestRunPanicsOnSizeMismatch(t *testing.T) {
+	b := core.New(3)
+	e := New(b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run should panic on wrong vector size")
+		}
+	}()
+	e.Run([]perm.Perm{perm.Identity(4)})
+}

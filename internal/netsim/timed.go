@@ -1,0 +1,141 @@
+package netsim
+
+import (
+	"sync"
+
+	"repro/internal/bits"
+	"repro/internal/core"
+	"repro/internal/perm"
+)
+
+// This file adds the self-timed latency view of the concurrent engine:
+// every message carries a logical timestamp (switch traversals since
+// injection), each switch stamps its outputs max(inputs)+1 in the
+// asynchronous-circuit fashion, and the run reports the arrival time at
+// every output. For a single vector every output must arrive at exactly
+// GateDelay() = 2 log N - 1 — the paper's transmission-delay claim
+// observed on self-timed hardware rather than computed from the stage
+// count. It also supports the omega-forced and externally-set modes so
+// the concurrent engine covers everything the synchronous one does.
+
+// TimedMsg is a tagged datum with a logical arrival time.
+type TimedMsg struct {
+	Tag  int
+	Src  int
+	Time int // switch traversals experienced so far
+}
+
+// TimedResult reports a timed single-vector run.
+type TimedResult struct {
+	Realized  perm.Perm
+	Misrouted []int
+	// ArrivalTime[y] is the logical time the signal reached output y.
+	ArrivalTime []int
+}
+
+// OK reports whether the permutation was realized.
+func (r *TimedResult) OK() bool { return len(r.Misrouted) == 0 }
+
+// MaxArrival returns the slowest output's arrival time.
+func (r *TimedResult) MaxArrival() int {
+	m := 0
+	for _, t := range r.ArrivalTime {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// RouteTimed routes one vector with logical timestamps under the given
+// mode. ext is consulted only for core.External.
+func (e *Engine) RouteTimed(d perm.Perm, mode core.Mode, ext core.States) *TimedResult {
+	N := e.net.N()
+	n := e.net.LogN()
+	stages := e.net.Stages()
+	if len(d) != N {
+		panic("netsim: vector length mismatch")
+	}
+	if mode == core.External {
+		if len(ext) != stages {
+			panic("netsim: external states have wrong stage count")
+		}
+	}
+
+	wires := make([][]chan TimedMsg, stages+1)
+	for s := range wires {
+		wires[s] = make([]chan TimedMsg, N)
+		for y := range wires[s] {
+			wires[s][y] = make(chan TimedMsg, 1)
+		}
+	}
+	link := e.net.Wiring()
+
+	var wg sync.WaitGroup
+	for s := 0; s < stages; s++ {
+		cb := e.net.ControlBit(s)
+		for i := 0; i < N/2; i++ {
+			wg.Add(1)
+			go func(s, i, cb int) {
+				defer wg.Done()
+				upIn, loIn := wires[s][2*i], wires[s][2*i+1]
+				var upOut, loOut chan TimedMsg
+				if s == stages-1 {
+					upOut, loOut = wires[stages][2*i], wires[stages][2*i+1]
+				} else {
+					upOut, loOut = wires[s+1][link[s][2*i]], wires[s+1][link[s][2*i+1]]
+				}
+				// Self-timed: the switch fires when both inputs are
+				// present; outputs leave one traversal later than the
+				// later input.
+				u := <-upIn
+				l := <-loIn
+				t := u.Time
+				if l.Time > t {
+					t = l.Time
+				}
+				t++
+				u.Time, l.Time = t, t
+				var crossed bool
+				switch mode {
+				case core.SelfRouting:
+					crossed = bits.Bit(u.Tag, cb) == 1
+				case core.OmegaForced:
+					if s <= n-2 {
+						crossed = false
+					} else {
+						crossed = bits.Bit(u.Tag, cb) == 1
+					}
+				case core.External:
+					crossed = ext[s][i]
+				}
+				if crossed {
+					upOut <- l
+					loOut <- u
+				} else {
+					upOut <- u
+					loOut <- l
+				}
+			}(s, i, cb)
+		}
+	}
+	for i, tag := range d {
+		wires[0][i] <- TimedMsg{Tag: tag, Src: i, Time: 0}
+	}
+	res := &TimedResult{
+		Realized:    make(perm.Perm, N),
+		ArrivalTime: make([]int, N),
+	}
+	for y := 0; y < N; y++ {
+		m := <-wires[stages][y]
+		res.Realized[m.Src] = y
+		res.ArrivalTime[y] = m.Time
+	}
+	wg.Wait()
+	for i, dest := range d {
+		if res.Realized[i] != dest {
+			res.Misrouted = append(res.Misrouted, i)
+		}
+	}
+	return res
+}

@@ -1,0 +1,108 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+)
+
+// TestTimedArrivalIsGateDelay: on self-timed hardware with all inputs
+// injected at t=0, every output arrives at exactly 2 log N - 1 — the
+// paper's transmission-delay claim, observed rather than computed.
+func TestTimedArrivalIsGateDelay(t *testing.T) {
+	rng := rand.New(rand.NewSource(261))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(7)
+		net := core.New(n)
+		e := New(net)
+		d := perm.Random(1<<uint(n), rng)
+		res := e.RouteTimed(d, core.SelfRouting, nil)
+		for y, at := range res.ArrivalTime {
+			if at != net.GateDelay() {
+				t.Fatalf("n=%d: output %d arrived at t=%d, want %d", n, y, at, net.GateDelay())
+			}
+		}
+	}
+}
+
+// TestTimedMatchesSyncAllModes: the timed concurrent engine agrees with
+// the synchronous evaluator in every mode.
+func TestTimedMatchesSyncAllModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(262))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(7)
+		net := core.New(n)
+		e := New(net)
+		d := perm.Random(1<<uint(n), rng)
+
+		selfSync := net.SelfRoute(d)
+		selfConc := e.RouteTimed(d, core.SelfRouting, nil)
+		if !selfConc.Realized.Equal(selfSync.Realized) {
+			t.Fatalf("n=%d: self-routing mismatch", n)
+		}
+
+		omSync := net.OmegaRoute(d)
+		omConc := e.RouteTimed(d, core.OmegaForced, nil)
+		if !omConc.Realized.Equal(omSync.Realized) {
+			t.Fatalf("n=%d: omega-forced mismatch", n)
+		}
+
+		st := net.Setup(d)
+		extSync := net.ExternalRoute(d, st)
+		extConc := e.RouteTimed(d, core.External, st)
+		if !extConc.Realized.Equal(extSync.Realized) {
+			t.Fatalf("n=%d: external mismatch", n)
+		}
+		if !extConc.OK() {
+			t.Fatalf("n=%d: external routing must realize everything", n)
+		}
+	}
+}
+
+// TestTimedOmegaMode: omega permutations route concurrently with the
+// omega bit.
+func TestTimedOmegaMode(t *testing.T) {
+	n := 5
+	e := New(core.New(n))
+	d := perm.CyclicShift(n, 7)
+	if !e.RouteTimed(d, core.OmegaForced, nil).OK() {
+		t.Fatal("omega-forced concurrent routing failed")
+	}
+	// Fig. 5's witness: fails plain, works with the bit — concurrently.
+	e2 := New(core.New(2))
+	w := perm.Perm{1, 3, 2, 0}
+	if e2.RouteTimed(w, core.SelfRouting, nil).OK() {
+		t.Fatal("witness should fail plain self-routing")
+	}
+	if !e2.RouteTimed(w, core.OmegaForced, nil).OK() {
+		t.Fatal("witness should route with the omega bit")
+	}
+}
+
+func TestTimedMaxArrival(t *testing.T) {
+	net := core.New(4)
+	e := New(net)
+	res := e.RouteTimed(perm.BitReversal(4), core.SelfRouting, nil)
+	if res.MaxArrival() != net.GateDelay() {
+		t.Fatalf("max arrival %d, want %d", res.MaxArrival(), net.GateDelay())
+	}
+}
+
+func TestTimedValidation(t *testing.T) {
+	e := New(core.New(3))
+	for _, bad := range []func(){
+		func() { e.RouteTimed(perm.Identity(4), core.SelfRouting, nil) },
+		func() { e.RouteTimed(perm.Identity(8), core.External, make(core.States, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

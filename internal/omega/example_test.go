@@ -1,0 +1,29 @@
+package omega_test
+
+import (
+	"fmt"
+
+	"repro/internal/omega"
+	"repro/internal/perm"
+)
+
+// The omega network self-routes its class but blocks outside it.
+func ExampleNetwork_Route() {
+	o := omega.New(3)
+	fmt.Println("cyclic shift:", o.Route(perm.CyclicShift(3, 1)).OK())
+	res := o.Route(perm.BitReversal(3))
+	fmt.Println("bit reversal:", res.OK(), "conflicts:", res.Conflicts > 0)
+	// Output:
+	// cyclic shift: true
+	// bit reversal: false conflicts: true
+}
+
+// Driven backwards, the same hardware realizes the inverse-omega class.
+func ExampleNetwork_RouteInverse() {
+	o := omega.New(3)
+	d := perm.POrderingShift(3, 3, 2)
+	res := o.RouteInverse(d)
+	fmt.Println("ok:", res.OK())
+	// Output:
+	// ok: true
+}

@@ -1,0 +1,208 @@
+// Package omega implements Lawrie's omega network, the self-routing
+// baseline the paper compares against in Sections I and II. An omega
+// network on N = 2^n lines has n stages of N/2 two-state switches, each
+// stage preceded by a perfect-shuffle interconnection. It self-routes by
+// destination tags — at stage s a switch sends an input to its upper
+// (lower) output when bit n-1-s of the input's tag is 0 (1) — but it is
+// blocking: two inputs at the same switch may demand the same output,
+// in which case the permutation is not realizable. The set of
+// conflict-free permutations is exactly perm.IsOmega; the inverse
+// network (the same hardware driven backwards) realizes perm.IsInverseOmega.
+//
+// Compared with the self-routing Benes network of package core, the
+// omega network has about half the switches (N/2 * log N) and half the
+// delay, but realizes far fewer permutations (the paper's cardinality
+// argument of Section I).
+package omega
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/perm"
+)
+
+// Network is an N = 2^n omega network.
+type Network struct {
+	n    int
+	size int
+}
+
+// New constructs an omega network with 2^n inputs and outputs.
+func New(n int) *Network {
+	if n < 1 {
+		panic("omega: New requires n >= 1")
+	}
+	return &Network{n: n, size: 1 << uint(n)}
+}
+
+// N returns the number of inputs/outputs.
+func (o *Network) N() int { return o.size }
+
+// LogN returns n.
+func (o *Network) LogN() int { return o.n }
+
+// Stages returns the number of switch stages, log N.
+func (o *Network) Stages() int { return o.n }
+
+// SwitchCount returns the total number of binary switches, N/2 * log N.
+func (o *Network) SwitchCount() int { return o.size / 2 * o.n }
+
+// GateDelay returns the transmission delay in switch traversals, log N.
+func (o *Network) GateDelay() int { return o.n }
+
+// Result describes one self-routing attempt.
+type Result struct {
+	// Realized[i] is the output reached by input i, or -1 if the input
+	// was dropped at a conflicting switch.
+	Realized []int
+	// Conflicts counts switches at which both inputs demanded the same
+	// output port; zero conflicts means the permutation was realized.
+	Conflicts int
+	// ConflictAt records (stage, switch) pairs where blocking occurred.
+	ConflictAt [][2]int
+	// TagTrace[s][y] is the tag on line y at the input of stage s
+	// (after the preceding shuffle); TagTrace[n] is the output.
+	TagTrace [][]int
+}
+
+// OK reports whether the routing was conflict-free.
+func (r *Result) OK() bool { return r.Conflicts == 0 }
+
+// Route self-routes the permutation d through the network. On a port
+// conflict the lower-priority signal (the one from the lower input) is
+// dropped, the conflict is recorded, and routing continues — mirroring
+// how a real blocking network would misbehave.
+func (o *Network) Route(d perm.Perm) *Result {
+	if len(d) != o.size {
+		panic(fmt.Sprintf("omega: permutation length %d != N %d", len(d), o.size))
+	}
+	res := &Result{
+		Realized: make([]int, o.size),
+		TagTrace: make([][]int, o.n+1),
+	}
+	cur := make([]signal, o.size)
+	for i, dest := range d {
+		cur[i] = signal{tag: dest, src: i, live: true}
+	}
+	next := make([]signal, o.size)
+	for s := 0; s < o.n; s++ {
+		// Perfect shuffle wiring precedes every switch stage.
+		for y := 0; y < o.size; y++ {
+			next[bits.RotLeft(y, o.n)] = cur[y]
+		}
+		cur, next = next, cur
+		res.TagTrace[s] = tagsOf(cur)
+		// Switch stage: switch i has lines 2i (upper) and 2i+1 (lower);
+		// the control bit at stage s is n-1-s of each signal's own tag.
+		cb := o.n - 1 - s
+		for i := 0; i < o.size/2; i++ {
+			u, l := cur[2*i], cur[2*i+1]
+			var outU, outL signal
+			uWant := -1
+			if u.live {
+				uWant = bits.Bit(u.tag, cb)
+			}
+			lWant := -1
+			if l.live {
+				lWant = bits.Bit(l.tag, cb)
+			}
+			if u.live && l.live && uWant == lWant {
+				// Port conflict: upper input wins, lower is dropped.
+				res.Conflicts++
+				res.ConflictAt = append(res.ConflictAt, [2]int{s, i})
+				l.live = false
+				lWant = -1
+			}
+			switch {
+			case uWant == 0:
+				outU = u
+				if lWant == 1 {
+					outL = l
+				}
+			case uWant == 1:
+				outL = u
+				if lWant == 0 {
+					outU = l
+				}
+			default: // upper dead
+				if lWant == 0 {
+					outU = l
+				} else if lWant == 1 {
+					outL = l
+				}
+			}
+			cur[2*i], cur[2*i+1] = outU, outL
+		}
+	}
+	res.TagTrace[o.n] = tagsOf(cur)
+	for i := range res.Realized {
+		res.Realized[i] = -1
+	}
+	for y, sig := range cur {
+		if sig.live {
+			res.Realized[sig.src] = y
+		}
+	}
+	return res
+}
+
+// signal is one tagged datum moving through the network.
+type signal struct {
+	tag, src int
+	live     bool
+}
+
+func tagsOf(sigs []signal) []int {
+	out := make([]int, len(sigs))
+	for i, s := range sigs {
+		if s.live {
+			out[i] = s.tag
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// Realizes reports whether the omega network self-routes d without
+// conflicts. Tests confirm this coincides with perm.IsOmega.
+func (o *Network) Realizes(d perm.Perm) bool {
+	return o.Route(d).OK()
+}
+
+// RouteInverse self-routes d through the network run backwards: data
+// enters at the output side and leaves at the input side. Input i
+// reaching terminal d[i] through the reversed network is equivalent to
+// the forward network routing d's inverse, which is how the paper
+// defines the inverse-omega class.
+func (o *Network) RouteInverse(d perm.Perm) *Result {
+	if err := d.Validate(); err != nil {
+		panic("omega: RouteInverse: " + err.Error())
+	}
+	inv := d.Inverse()
+	res := o.Route(inv)
+	// Re-express in terms of the original d: input i of the reversed
+	// network reaches output d[i] iff inv routed d[i] -> i.
+	out := &Result{
+		Realized:   make([]int, o.size),
+		Conflicts:  res.Conflicts,
+		ConflictAt: res.ConflictAt,
+		TagTrace:   res.TagTrace,
+	}
+	for i := range out.Realized {
+		out.Realized[i] = -1
+	}
+	for j, reached := range res.Realized {
+		if reached >= 0 {
+			out.Realized[reached] = j
+		}
+	}
+	return out
+}
+
+// RealizesInverse reports whether the network run backwards realizes d;
+// tests confirm this coincides with perm.IsInverseOmega.
+func (o *Network) RealizesInverse(d perm.Perm) bool {
+	return o.RouteInverse(d).OK()
+}

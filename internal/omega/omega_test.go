@@ -1,0 +1,190 @@
+package omega
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+func TestCounts(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		o := New(n)
+		N := 1 << uint(n)
+		if o.N() != N || o.Stages() != n || o.GateDelay() != n {
+			t.Fatalf("n=%d: bad structure", n)
+		}
+		if o.SwitchCount() != N/2*n {
+			t.Errorf("n=%d: switches=%d, want %d", n, o.SwitchCount(), N/2*n)
+		}
+	}
+}
+
+// TestRouteMatchesPredicate is the cross-validation with the window
+// condition in package perm: the gate-level omega simulation realizes d
+// exactly when IsOmega(d) holds. Exhaustive for N=4 and N=8.
+func TestRouteMatchesPredicate(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		o := New(n)
+		perm.ForEach(1<<uint(n), func(p perm.Perm) bool {
+			if o.Realizes(p) != perm.IsOmega(p) {
+				t.Fatalf("n=%d: network and IsOmega disagree on %v", n, p.Clone())
+			}
+			return true
+		})
+	}
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(8)
+		o := New(n)
+		var p perm.Perm
+		if trial%2 == 0 {
+			p = perm.Random(1<<uint(n), rng)
+		} else {
+			N := 1 << uint(n)
+			p = perm.POrderingShift(n, 2*rng.Intn(N/2)+1, rng.Intn(N))
+		}
+		if o.Realizes(p) != perm.IsOmega(p) {
+			t.Fatalf("n=%d: network and IsOmega disagree on %v", n, p)
+		}
+	}
+}
+
+// TestInverseMatchesPredicate: the backwards network realizes exactly
+// the inverse-omega permutations.
+func TestInverseMatchesPredicate(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		o := New(n)
+		perm.ForEach(1<<uint(n), func(p perm.Perm) bool {
+			if o.RealizesInverse(p) != perm.IsInverseOmega(p) {
+				t.Fatalf("n=%d: network and IsInverseOmega disagree on %v", n, p.Clone())
+			}
+			return true
+		})
+	}
+}
+
+// TestRealizedCorrectWhenOK: a conflict-free routing delivers every
+// input to its destination.
+func TestRealizedCorrectWhenOK(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(7)
+		N := 1 << uint(n)
+		o := New(n)
+		d := perm.CyclicShift(n, rng.Intn(N))
+		res := o.Route(d)
+		if !res.OK() {
+			t.Fatalf("cyclic shift blocked on omega network at n=%d", n)
+		}
+		for i := range d {
+			if res.Realized[i] != d[i] {
+				t.Fatalf("input %d reached %d, want %d", i, res.Realized[i], d[i])
+			}
+		}
+	}
+}
+
+// TestInverseRealizedCorrect: conflict-free backwards routing delivers
+// input i to terminal d[i].
+func TestInverseRealizedCorrect(t *testing.T) {
+	n := 4
+	o := New(n)
+	d := perm.SegmentCyclicShift(n, 2, 1)
+	res := o.RouteInverse(d)
+	if !res.OK() {
+		t.Fatal("segment shift blocked on inverse omega")
+	}
+	for i := range d {
+		if res.Realized[i] != d[i] {
+			t.Fatalf("input %d reached %d, want %d", i, res.Realized[i], d[i])
+		}
+	}
+}
+
+// TestConflictAccounting: a blocked permutation reports at least one
+// conflict with a valid (stage, switch) location, and the dropped
+// signals show up as -1 in Realized.
+func TestConflictAccounting(t *testing.T) {
+	n := 3
+	o := New(n)
+	d := perm.BitReversal(n) // not in Omega for n >= 2
+	res := o.Route(d)
+	if res.OK() {
+		t.Fatal("bit reversal should conflict on the omega network")
+	}
+	if len(res.ConflictAt) != res.Conflicts {
+		t.Fatal("conflict locations out of sync with count")
+	}
+	for _, loc := range res.ConflictAt {
+		if loc[0] < 0 || loc[0] >= n || loc[1] < 0 || loc[1] >= o.N()/2 {
+			t.Fatalf("conflict location %v out of range", loc)
+		}
+	}
+	dropped := 0
+	for _, r := range res.Realized {
+		if r == -1 {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("conflicting route should drop signals")
+	}
+	if dropped != res.Conflicts {
+		t.Fatalf("dropped %d signals but recorded %d conflicts", dropped, res.Conflicts)
+	}
+}
+
+// TestSurvivorsDistinct: even with conflicts, surviving signals occupy
+// distinct outputs.
+func TestSurvivorsDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	o := New(5)
+	for trial := 0; trial < 100; trial++ {
+		res := o.Route(perm.Random(32, rng))
+		seen := make(map[int]bool)
+		for _, r := range res.Realized {
+			if r == -1 {
+				continue
+			}
+			if seen[r] {
+				t.Fatal("two survivors at one output")
+			}
+			seen[r] = true
+		}
+	}
+}
+
+// TestSurvivorsReachTheirTags: every surviving signal lands exactly at
+// its destination tag (unique-path property: a signal is either dropped
+// or delivered correctly).
+func TestSurvivorsReachTheirTags(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	o := New(4)
+	for trial := 0; trial < 100; trial++ {
+		d := perm.Random(16, rng)
+		res := o.Route(d)
+		for i, r := range res.Realized {
+			if r != -1 && r != d[i] {
+				t.Fatalf("survivor %d reached %d, want %d", i, r, d[i])
+			}
+		}
+	}
+}
+
+// TestOmegaFractionSmall: the omega network realizes 2^(n*N/2) of the N!
+// permutations; at N=4 that is 16/24. The Benes network must strictly
+// dominate (checked in the experiment driver); here pin the omega count.
+func TestOmegaFractionSmall(t *testing.T) {
+	o := New(2)
+	count := 0
+	perm.ForEach(4, func(p perm.Perm) bool {
+		if o.Realizes(p) {
+			count++
+		}
+		return true
+	})
+	if count != 16 {
+		t.Fatalf("omega N=4 realizes %d permutations, want 16", count)
+	}
+}

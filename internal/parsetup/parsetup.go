@@ -1,0 +1,163 @@
+// Package parsetup implements a data-parallel setup algorithm for the
+// Benes network, the comparison point the paper cites from Nassimi &
+// Sahni's parallel-setup work [7]: even with a parallel algorithm,
+// computing switch states for an arbitrary permutation costs
+// polylogarithmic *rounds* (O(log^2 N) on an idealized PRAM; more on a
+// real CCC/PSC where each round itself routes), which is why the
+// zero-setup self-routing scheme wins whenever the permutation is in F.
+//
+// The algorithm parallelizes the classic looping 2-coloring. At each
+// recursion level all blocks are processed simultaneously:
+//
+//  1. every input position k computes its loop successor
+//     next(k) = partner(sibling-destination(k)) locally;
+//  2. every next-cycle elects its minimum position as leader by
+//     pointer-jumping (min-doubling, ceil(log cycle-length) rounds);
+//  3. a cycle routes its members through the upper subnetwork iff its
+//     leader is smaller than the leader of its partner cycle (the cycle
+//     holding the switch-partners k XOR 1) — a local comparison that
+//     reproduces the sequential algorithm's choices exactly, so the
+//     resulting switch states are bit-identical to core.Network.Setup.
+//
+// Rounds are counted per pointer-jumping iteration plus a constant per
+// level for the local steps, summed over the log N levels.
+package parsetup
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+)
+
+// Stats reports the parallel cost of one setup.
+type Stats struct {
+	Levels        int   // recursion levels processed (log N - 1 plus the base)
+	JumpRounds    int   // pointer-jumping rounds across all levels
+	LocalRounds   int   // constant-time parallel steps (successor/compare/scatter)
+	RoundsByLevel []int // jump rounds spent at each level, outermost first
+}
+
+// TotalRounds returns the total synchronous parallel rounds.
+func (s Stats) TotalRounds() int { return s.JumpRounds + s.LocalRounds }
+
+// Setup computes switch states realizing d on b, in parallel-rounds
+// accounting. The states are identical to b.Setup(d).
+func Setup(b *core.Network, d perm.Perm) (core.States, Stats) {
+	if err := d.Validate(); err != nil {
+		panic("parsetup: " + err.Error())
+	}
+	if len(d) != b.N() {
+		panic(fmt.Sprintf("parsetup: permutation length %d != N %d", len(d), b.N()))
+	}
+	n := b.LogN()
+	st := b.NewStates()
+	stats := Stats{}
+
+	// dests[k] is the block-local destination of the element at global
+	// position k; blocks at level l (block size 2^(n-l)) are contiguous.
+	dests := append([]int(nil), d...)
+	N := len(d)
+
+	for level := 0; level <= n-2; level++ {
+		m := n - level       // current block size is 2^m
+		size := 1 << uint(m) // block size
+		mask := size - 1     //
+		s0 := level          // first stage this level owns
+		lastStage := 2*n - 2 - level
+
+		stats.Levels++
+
+		// --- local steps (each O(1) parallel time) ---
+		// invDest within each block.
+		invDest := make([]int, N)
+		for k, v := range dests {
+			base := k &^ mask
+			invDest[base+v] = k & mask
+		}
+		// Loop successor.
+		next := make([]int, N)
+		for k, v := range dests {
+			base := k &^ mask
+			sibIn := base + invDest[base+(v^1)]
+			next[k] = sibIn ^ 1
+		}
+		stats.LocalRounds += 2
+
+		// --- leader election by min-doubling ---
+		leader := make([]int, N)
+		ptr := make([]int, N)
+		for k := range leader {
+			leader[k] = k & mask
+			ptr[k] = next[k]
+		}
+		rounds := 0
+		newLeader := make([]int, N)
+		newPtr := make([]int, N)
+		for {
+			changed := false
+			for k := range ptr {
+				l := leader[k]
+				if other := leader[ptr[k]]; other < l {
+					l = other
+					changed = true
+				}
+				newLeader[k] = l
+				newPtr[k] = ptr[ptr[k]]
+			}
+			leader, newLeader = newLeader, leader
+			ptr, newPtr = newPtr, ptr
+			rounds++
+			// One quiet round means every node already knows its cycle
+			// minimum (min-doubling converges in ceil(log L)+1 rounds).
+			if !changed {
+				break
+			}
+		}
+		stats.JumpRounds += rounds
+		stats.RoundsByLevel = append(stats.RoundsByLevel, rounds)
+
+		// --- primary-cycle rule: up iff my leader < partner's leader ---
+		up := make([]bool, N)
+		for k := range up {
+			up[k] = leader[k] < leader[k^1]
+		}
+		stats.LocalRounds++
+
+		// --- emit switch states and scatter sub-destinations ---
+		newDests := make([]int, N)
+		for k, v := range dests {
+			base := k &^ mask
+			blockSwitchBase := base / 2
+			if k&1 == 0 {
+				// First-stage switch for pair (k, k+1): straight when
+				// the upper input goes up.
+				st[s0][blockSwitchBase+(k&mask)/2] = !up[k]
+			}
+			// Last-stage switch for destination pair (v, v XOR 1) is
+			// written by the element routed up.
+			if up[k] {
+				st[lastStage][blockSwitchBase+v/2] = v%2 == 1
+			}
+			// Sub-destination: position within the half-size block.
+			half := size / 2
+			sub := v / 2
+			if up[k] {
+				newDests[base+(k&mask)/2] = sub
+			} else {
+				newDests[base+half+(k&mask)/2] = sub
+			}
+		}
+		stats.LocalRounds++
+		dests = newDests
+	}
+
+	// Base level: blocks of size 2 are single switches at the middle
+	// stage n-1.
+	mid := n - 1
+	for k := 0; k < N; k += 2 {
+		st[mid][k/2] = dests[k] == 1
+	}
+	stats.LocalRounds++
+	return st, stats
+}

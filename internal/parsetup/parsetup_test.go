@@ -1,0 +1,156 @@
+package parsetup
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+)
+
+// TestMatchesSequentialSetup: the parallel algorithm must emit
+// bit-identical states to the sequential looping algorithm — exhaustive
+// at N=4 and N=8, random beyond.
+func TestMatchesSequentialSetup(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		b := core.New(n)
+		perm.ForEach(1<<uint(n), func(p perm.Perm) bool {
+			seq := b.Setup(p)
+			par, _ := Setup(b, p)
+			for s := range seq {
+				for i := range seq[s] {
+					if seq[s][i] != par[s][i] {
+						t.Fatalf("n=%d %v: states differ at stage %d switch %d", n, p.Clone(), s, i)
+					}
+				}
+			}
+			return true
+		})
+	}
+	rng := rand.New(rand.NewSource(191))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(9)
+		b := core.New(n)
+		p := perm.Random(1<<uint(n), rng)
+		seq := b.Setup(p)
+		par, _ := Setup(b, p)
+		for s := range seq {
+			for i := range seq[s] {
+				if seq[s][i] != par[s][i] {
+					t.Fatalf("n=%d: random permutation state mismatch at stage %d", n, s)
+				}
+			}
+		}
+	}
+}
+
+// TestRealizesEverything: parallel setup states must route every
+// permutation.
+func TestRealizesEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(192))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(10)
+		b := core.New(n)
+		p := perm.Random(1<<uint(n), rng)
+		st, _ := Setup(b, p)
+		if !b.ExternalRoute(p, st).OK() {
+			t.Fatalf("n=%d: parallel setup failed to realize %v", n, p)
+		}
+	}
+}
+
+// TestRoundsGrowth: total rounds must grow as O(log^2 N) — roughly
+// quadratic in n, and certainly far below N.
+func TestRoundsGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(193))
+	prev := 0
+	for n := 2; n <= 12; n++ {
+		b := core.New(n)
+		worst := 0
+		for trial := 0; trial < 10; trial++ {
+			_, stats := Setup(b, perm.Random(1<<uint(n), rng))
+			if r := stats.TotalRounds(); r > worst {
+				worst = r
+			}
+		}
+		// Upper bound: levels * (max jump rounds + constants). Each
+		// level runs at most m+2 jump rounds, so total <= sum (m+2)+4
+		// which is < 2n^2 for the sizes tested.
+		if worst > 2*n*n+8*n {
+			t.Errorf("n=%d: %d rounds exceeds O(log^2 N) envelope", n, worst)
+		}
+		if worst < prev/4 {
+			t.Errorf("n=%d: rounds %d suspiciously collapsed from %d", n, worst, prev)
+		}
+		prev = worst
+	}
+}
+
+// TestStatsShape: levels and per-level rounds are recorded coherently.
+func TestStatsShape(t *testing.T) {
+	b := core.New(6)
+	rng := rand.New(rand.NewSource(194))
+	_, stats := Setup(b, perm.Random(64, rng))
+	if stats.Levels != 5 {
+		t.Errorf("levels = %d, want 5", stats.Levels)
+	}
+	if len(stats.RoundsByLevel) != 5 {
+		t.Errorf("per-level rounds has %d entries", len(stats.RoundsByLevel))
+	}
+	sum := 0
+	for _, r := range stats.RoundsByLevel {
+		if r < 1 {
+			t.Errorf("level with %d rounds", r)
+		}
+		sum += r
+	}
+	if sum != stats.JumpRounds {
+		t.Errorf("jump rounds %d != sum of levels %d", stats.JumpRounds, sum)
+	}
+	if stats.TotalRounds() != stats.JumpRounds+stats.LocalRounds {
+		t.Error("TotalRounds inconsistent")
+	}
+}
+
+// TestIdentityIsFast: the identity's loops are all 2-cycles, so leader
+// election converges in a couple of rounds per level.
+func TestIdentityIsFast(t *testing.T) {
+	b := core.New(10)
+	_, stats := Setup(b, perm.Identity(1024))
+	for lvl, r := range stats.RoundsByLevel {
+		if r > 3 {
+			t.Errorf("identity level %d used %d jump rounds", lvl, r)
+		}
+	}
+}
+
+// TestWorstCaseSingleLoop: a cyclic shift by 1 creates long loops;
+// rounds per level must stay logarithmic in the block size.
+func TestWorstCaseSingleLoop(t *testing.T) {
+	n := 10
+	b := core.New(n)
+	_, stats := Setup(b, perm.CyclicShift(n, 1))
+	for lvl, r := range stats.RoundsByLevel {
+		m := n - lvl
+		if r > m+2 {
+			t.Errorf("level %d (block 2^%d): %d rounds exceeds log-bound %d", lvl, m, r, m+2)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	b := core.New(3)
+	for _, bad := range []func(){
+		func() { Setup(b, perm.Perm{0, 0, 1, 1, 2, 2, 3, 3}) },
+		func() { Setup(b, perm.Identity(4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

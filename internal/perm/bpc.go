@@ -1,0 +1,319 @@
+package perm
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/bits"
+)
+
+// A BPC value is the compact A-vector representation of a
+// bit-permute-complement permutation (Section II). The paper writes
+// A = (A_{n-1}, ..., A_0) where |A_j| is a permutation of (0,...,n-1)
+// and the sign of A_j (with +0 and -0 distinguished) says whether source
+// bit j is complemented. Go integers cannot distinguish -0, so each axis
+// is a struct: Axis{Pos, Comp} means bit j of the input goes to bit Pos
+// of the destination, complemented iff Comp.
+//
+// The destination of input i is defined by the paper's equation (3):
+//
+//	(D_i)_{|A_j|} = (i)_j        if A_j >= 0
+//	(D_i)_{|A_j|} = 1 - (i)_j    if A_j < 0.
+type BPC []Axis
+
+// Axis describes where one source bit lands. See BPC.
+type Axis struct {
+	Pos  int  // destination bit position |A_j|
+	Comp bool // complement the bit (negative sign in the paper)
+}
+
+// N returns the input/output count 2^n of the permutation the spec
+// describes.
+func (a BPC) N() int { return 1 << uint(len(a)) }
+
+// Valid reports whether the destination positions form a permutation of
+// (0, ..., n-1).
+func (a BPC) Valid() bool {
+	seen := make([]bool, len(a))
+	for _, ax := range a {
+		if ax.Pos < 0 || ax.Pos >= len(a) || seen[ax.Pos] {
+			return false
+		}
+		seen[ax.Pos] = true
+	}
+	return true
+}
+
+// Perm expands the A-vector into destination-tag form on N = 2^n
+// elements, evaluating equation (3) for every input.
+func (a BPC) Perm() Perm {
+	if !a.Valid() {
+		panic("perm: invalid BPC spec")
+	}
+	n := len(a)
+	p := make(Perm, 1<<uint(n))
+	for i := range p {
+		d := 0
+		for j, ax := range a {
+			b := bits.Bit(i, j)
+			if ax.Comp {
+				b = 1 - b
+			}
+			d |= b << uint(ax.Pos)
+		}
+		p[i] = d
+	}
+	return p
+}
+
+// Dest evaluates the destination of a single input without expanding the
+// whole permutation; PEs use this to compute their own tag locally in
+// O(n) steps (Section III).
+func (a BPC) Dest(i int) int {
+	d := 0
+	for j, ax := range a {
+		b := bits.Bit(i, j)
+		if ax.Comp {
+			b = 1 - b
+		}
+		d |= b << uint(ax.Pos)
+	}
+	return d
+}
+
+// Inverse returns the spec of the inverse permutation: if bit j goes to
+// position p (complemented or not), then in the inverse bit p goes back
+// to position j with the same complement flag.
+func (a BPC) Inverse() BPC {
+	inv := make(BPC, len(a))
+	for j, ax := range a {
+		inv[ax.Pos] = Axis{Pos: j, Comp: ax.Comp}
+	}
+	return inv
+}
+
+// Compose returns the spec of a∘b: first permute by b, then by a (so
+// (a.Compose(b)).Perm() equals a.Perm().Compose(b.Perm())). BPC is
+// closed under composition even though F is not.
+func (a BPC) Compose(b BPC) BPC {
+	if len(a) != len(b) {
+		panic("perm: BPC Compose length mismatch")
+	}
+	c := make(BPC, len(a))
+	for j, bx := range b {
+		// b sends source bit j to bx.Pos; a then sends bit bx.Pos onward.
+		ax := a[bx.Pos]
+		c[j] = Axis{Pos: ax.Pos, Comp: ax.Comp != bx.Comp}
+	}
+	return c
+}
+
+// Equal reports whether two specs are identical.
+func (a BPC) Equal(b BPC) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for j := range a {
+		if a[j] != b[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsIdentity reports whether the spec is the identity (every bit stays
+// put, uncomplemented).
+func (a BPC) IsIdentity() bool {
+	for j, ax := range a {
+		if ax.Pos != j || ax.Comp {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the spec in the paper's signed notation,
+// (A_{n-1}, ..., A_0), using -0 for a complemented move to position 0:
+// for example "(0,-1,-2)" for the paper's worked example.
+func (a BPC) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for j := len(a) - 1; j >= 0; j-- {
+		ax := a[j]
+		if ax.Comp {
+			b.WriteByte('-')
+		}
+		b.WriteString(strconv.Itoa(ax.Pos))
+		if j > 0 {
+			b.WriteByte(',')
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// ParseBPC parses the paper's signed A-vector notation, e.g. "(0,-1,-2)".
+// The list is given most-significant position first: the first element is
+// A_{n-1} and the last is A_0, exactly as printed in the paper. "-0" is
+// honoured as "move to position 0, complemented".
+func ParseBPC(s string) (BPC, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "(")
+	s = strings.TrimSuffix(s, ")")
+	parts := strings.Split(s, ",")
+	n := len(parts)
+	a := make(BPC, n)
+	for idx, part := range parts {
+		part = strings.TrimSpace(part)
+		comp := strings.HasPrefix(part, "-")
+		part = strings.TrimPrefix(part, "-")
+		part = strings.TrimPrefix(part, "+")
+		pos, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("perm: bad BPC element %q: %v", parts[idx], err)
+		}
+		j := n - 1 - idx // first element is A_{n-1}
+		a[j] = Axis{Pos: pos, Comp: comp}
+	}
+	if !a.Valid() {
+		return nil, fmt.Errorf("perm: BPC positions in %q are not a permutation of bits", s)
+	}
+	return a, nil
+}
+
+// IdentityBPC returns the identity spec on n bits.
+func IdentityBPC(n int) BPC {
+	a := make(BPC, n)
+	for j := range a {
+		a[j] = Axis{Pos: j}
+	}
+	return a
+}
+
+// RandomBPC returns a uniformly random BPC spec on n bits: a random bit
+// permutation with each complement flag set independently with
+// probability 1/2. There are 2^n * n! such specs, each describing a
+// distinct permutation.
+func RandomBPC(n int, rng *rand.Rand) BPC {
+	pos := rng.Perm(n)
+	a := make(BPC, n)
+	for j := range a {
+		a[j] = Axis{Pos: pos[j], Comp: rng.Intn(2) == 1}
+	}
+	return a
+}
+
+// RecognizeBPC determines whether p is a bit-permute-complement
+// permutation, and if so returns its A-vector. The reconstruction checks
+// every input, so a true result is a proof of membership.
+func RecognizeBPC(p Perm) (BPC, bool) {
+	N := len(p)
+	if !bits.IsPow2(N) || !p.Valid() {
+		return nil, false
+	}
+	n := bits.Log2(N)
+	if N == 1 {
+		return BPC{}, true
+	}
+	a := make(BPC, n)
+	d0 := p[0]
+	for j := 0; j < n; j++ {
+		// Flipping source bit j must flip exactly one destination bit,
+		// always the same one.
+		diff := d0 ^ p[1<<uint(j)]
+		if bits.OnesCount(diff) != 1 {
+			return nil, false
+		}
+		pos := bits.Log2(diff)
+		// Comp: when (i)_j = 0 the destination bit is 0 iff not
+		// complemented. d0 has source bit j = 0.
+		a[j] = Axis{Pos: pos, Comp: bits.Bit(d0, pos) == 1}
+	}
+	if !a.Valid() {
+		return nil, false
+	}
+	// Verify globally.
+	for i := range p {
+		if a.Dest(i) != p[i] {
+			return nil, false
+		}
+	}
+	return a, true
+}
+
+// Named Table I specs. Each returns the A-vector whose expansion equals
+// the corresponding direct generator in named.go; the equivalence is
+// enforced by tests.
+
+// MatrixTransposeBPC is Table I row 1: A_j = (j + n/2) mod n.
+func MatrixTransposeBPC(n int) BPC {
+	if n%2 != 0 {
+		panic("perm: MatrixTransposeBPC requires even n")
+	}
+	a := make(BPC, n)
+	for j := range a {
+		a[j] = Axis{Pos: (j + n/2) % n}
+	}
+	return a
+}
+
+// BitReversalBPC is Table I row 2: A_j = n-1-j.
+func BitReversalBPC(n int) BPC {
+	a := make(BPC, n)
+	for j := range a {
+		a[j] = Axis{Pos: n - 1 - j}
+	}
+	return a
+}
+
+// VectorReversalBPC is Table I row 3: A_j = -j (every bit complemented
+// in place).
+func VectorReversalBPC(n int) BPC {
+	a := make(BPC, n)
+	for j := range a {
+		a[j] = Axis{Pos: j, Comp: true}
+	}
+	return a
+}
+
+// PerfectShuffleBPC is Table I row 4: A_j = (j+1) mod n.
+func PerfectShuffleBPC(n int) BPC {
+	a := make(BPC, n)
+	for j := range a {
+		a[j] = Axis{Pos: (j + 1) % n}
+	}
+	return a
+}
+
+// UnshuffleBPC is Table I row 5: A_j = (j-1) mod n.
+func UnshuffleBPC(n int) BPC {
+	a := make(BPC, n)
+	for j := range a {
+		a[j] = Axis{Pos: (j + n - 1) % n}
+	}
+	return a
+}
+
+// ShuffledRowMajorBPC is Table I row 6: low-half bit j goes to position
+// 2j, high-half bit h+j goes to position 2j+1.
+func ShuffledRowMajorBPC(n int) BPC {
+	if n%2 != 0 {
+		panic("perm: ShuffledRowMajorBPC requires even n")
+	}
+	h := n / 2
+	a := make(BPC, n)
+	for j := 0; j < h; j++ {
+		a[j] = Axis{Pos: 2 * j}
+		a[h+j] = Axis{Pos: 2*j + 1}
+	}
+	return a
+}
+
+// BitShuffleBPC is Table I row 7, the inverse of ShuffledRowMajorBPC:
+// even source bit 2j goes to position j, odd source bit 2j+1 to position
+// h+j.
+func BitShuffleBPC(n int) BPC {
+	return ShuffledRowMajorBPC(n).Inverse()
+}

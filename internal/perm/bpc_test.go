@@ -1,0 +1,204 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPaperBPCExample checks the worked example from Section II:
+// A = (0,-1,-2) on n=3 gives D = (6,2,4,0,7,3,5,1).
+func TestPaperBPCExample(t *testing.T) {
+	a, err := ParseBPC("(0,-1,-2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Perm{6, 2, 4, 0, 7, 3, 5, 1}
+	if got := a.Perm(); !got.Equal(want) {
+		t.Fatalf("A=(0,-1,-2) expands to %v, want %v", got, want)
+	}
+}
+
+func TestBPCStringRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		a := RandomBPC(1+rng.Intn(8), rng)
+		b, err := ParseBPC(a.String())
+		if err != nil {
+			t.Fatalf("ParseBPC(%q): %v", a.String(), err)
+		}
+		if !a.Equal(b) {
+			t.Fatalf("round trip %q -> %v", a.String(), b)
+		}
+	}
+}
+
+func TestBPCMinusZero(t *testing.T) {
+	// "-0" must parse as position 0, complemented — the paper
+	// distinguishes +0 from -0.
+	a, err := ParseBPC("(1,-0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Pos != 0 || !a[0].Comp {
+		t.Fatalf("-0 parsed as %+v", a[0])
+	}
+	// Expansion: bit0 complemented in place, bit1 in place.
+	want := Perm{1, 0, 3, 2}
+	if got := a.Perm(); !got.Equal(want) {
+		t.Fatalf("(1,-0) expands to %v, want %v", got, want)
+	}
+}
+
+func TestBPCInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 100; trial++ {
+		a := RandomBPC(1+rng.Intn(7), rng)
+		inv := a.Inverse()
+		if !a.Perm().Compose(inv.Perm()).IsIdentity() {
+			t.Fatalf("BPC inverse failed for %v", a)
+		}
+		if !inv.Perm().Equal(a.Perm().Inverse()) {
+			t.Fatalf("BPC inverse expansion mismatch for %v", a)
+		}
+	}
+}
+
+func TestBPCCompose(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(7)
+		a, b := RandomBPC(n, rng), RandomBPC(n, rng)
+		got := a.Compose(b).Perm()
+		want := a.Perm().Compose(b.Perm())
+		if !got.Equal(want) {
+			t.Fatalf("BPC compose mismatch: a=%v b=%v", a, b)
+		}
+	}
+}
+
+func TestBPCDestMatchesPerm(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	a := RandomBPC(8, rng)
+	p := a.Perm()
+	for i := range p {
+		if a.Dest(i) != p[i] {
+			t.Fatalf("Dest(%d) = %d, want %d", i, a.Dest(i), p[i])
+		}
+	}
+}
+
+func TestRecognizeBPCRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		a := RandomBPC(n, rng)
+		got, ok := RecognizeBPC(a.Perm())
+		if !ok {
+			t.Fatalf("RecognizeBPC rejected BPC perm %v", a)
+		}
+		if !got.Equal(a) {
+			t.Fatalf("RecognizeBPC(%v) = %v", a, got)
+		}
+	}
+}
+
+func TestRecognizeBPCRejects(t *testing.T) {
+	// Cyclic shift by 1 is not BPC unless trivial (the paper notes
+	// cyclic shift is not in BPC(n) for k mod N != 0).
+	for n := 2; n <= 6; n++ {
+		if _, ok := RecognizeBPC(CyclicShift(n, 1)); ok {
+			t.Errorf("cyclic shift recognized as BPC at n=%d", n)
+		}
+	}
+	// A random non-BPC permutation.
+	if _, ok := RecognizeBPC(Perm{1, 2, 3, 0}); ok {
+		t.Error("4-cycle recognized as BPC")
+	}
+	// Invalid input.
+	if _, ok := RecognizeBPC(Perm{0, 0, 1, 1}); ok {
+		t.Error("non-permutation recognized as BPC")
+	}
+	// Non-power-of-two length.
+	if _, ok := RecognizeBPC(Perm{2, 0, 1}); ok {
+		t.Error("length-3 recognized as BPC")
+	}
+}
+
+func TestBPCCountDistinct(t *testing.T) {
+	// The paper: BPC(n) contains 2^n * n! permutations. All specs give
+	// distinct permutations; verify for n = 3 (8 * 6 = 48 specs).
+	seen := make(map[string]bool)
+	ForEachBPC(3, func(a BPC) bool {
+		seen[a.Perm().String()] = true
+		return true
+	})
+	if len(seen) != 48 {
+		t.Fatalf("BPC(3) yields %d distinct permutations, want 48", len(seen))
+	}
+}
+
+// TestTableISpecsMatchGenerators pins each Table I A-vector to the
+// direct index-arithmetic generator of the same permutation.
+func TestTableISpecsMatchGenerators(t *testing.T) {
+	for n := 2; n <= 8; n += 2 {
+		cases := []struct {
+			name string
+			spec BPC
+			perm Perm
+		}{
+			{"matrix transpose", MatrixTransposeBPC(n), MatrixTranspose(n)},
+			{"bit reversal", BitReversalBPC(n), BitReversal(n)},
+			{"vector reversal", VectorReversalBPC(n), VectorReversal(n)},
+			{"perfect shuffle", PerfectShuffleBPC(n), PerfectShuffle(n)},
+			{"unshuffle", UnshuffleBPC(n), Unshuffle(n)},
+			{"shuffled row major", ShuffledRowMajorBPC(n), ShuffledRowMajor(n)},
+			{"bit shuffle", BitShuffleBPC(n), BitShuffle(n)},
+		}
+		for _, c := range cases {
+			if got := c.spec.Perm(); !got.Equal(c.perm) {
+				t.Errorf("n=%d %s: spec %v expands to %v, generator gives %v",
+					n, c.name, c.spec, got, c.perm)
+			}
+		}
+	}
+}
+
+func TestTableIInverses(t *testing.T) {
+	for n := 2; n <= 6; n += 2 {
+		if !PerfectShuffle(n).Compose(Unshuffle(n)).IsIdentity() {
+			t.Errorf("n=%d: shuffle∘unshuffle != id", n)
+		}
+		if !ShuffledRowMajor(n).Compose(BitShuffle(n)).IsIdentity() {
+			t.Errorf("n=%d: SRM∘bitshuffle != id", n)
+		}
+		// Transpose, bit reversal and vector reversal are involutions.
+		for _, c := range []struct {
+			name string
+			p    Perm
+		}{
+			{"transpose", MatrixTranspose(n)},
+			{"bit reversal", BitReversal(n)},
+			{"vector reversal", VectorReversal(n)},
+		} {
+			if !c.p.Compose(c.p).IsIdentity() {
+				t.Errorf("n=%d: %s is not an involution", n, c.name)
+			}
+		}
+	}
+}
+
+func TestIdentityBPC(t *testing.T) {
+	a := IdentityBPC(5)
+	if !a.IsIdentity() || !a.Perm().IsIdentity() {
+		t.Fatal("IdentityBPC is not identity")
+	}
+}
+
+func TestBPCValid(t *testing.T) {
+	if (BPC{{Pos: 0}, {Pos: 0}}).Valid() {
+		t.Error("duplicate positions accepted")
+	}
+	if (BPC{{Pos: 2}, {Pos: 0}}).Valid() {
+		t.Error("out-of-range position accepted")
+	}
+}

@@ -1,0 +1,243 @@
+package perm
+
+import (
+	"sort"
+
+	"repro/internal/bits"
+)
+
+// This file implements the block-composite constructions of Theorems 4,
+// 5 and 6, which the paper uses to demonstrate the richness of F(n):
+// J-partitions of the index space, intra-block permutations (Theorem 4),
+// permuted blocks (Theorem 5), and hierarchical multi-level composites
+// (Theorem 6).
+
+// A JPartition divides the indices 0..2^n-1 into blocks: i and j are in
+// the same block iff they agree on every bit position in J. With
+// |J| = n-r, there are 2^(n-r) blocks of 2^r elements each. Blocks are
+// indexed by packing the J bits in ascending position order; elements
+// within a block are indexed by packing the remaining ("free") bits in
+// ascending position order, which coincides with ordering block members
+// by increasing global index (the reindexing Theorem 4 calls for).
+type JPartition struct {
+	n    int
+	j    []int // sorted bit positions in J
+	free []int // sorted bit positions not in J
+}
+
+// NewJPartition builds the partition of 0..2^n-1 induced by the bit
+// position set J. Positions must be in [0, n) and duplicate-free.
+func NewJPartition(n int, J []int) JPartition {
+	inJ := make([]bool, n)
+	for _, b := range J {
+		if b < 0 || b >= n {
+			panic("perm: JPartition bit position out of range")
+		}
+		if inJ[b] {
+			panic("perm: JPartition duplicate bit position")
+		}
+		inJ[b] = true
+	}
+	p := JPartition{n: n}
+	for b := 0; b < n; b++ {
+		if inJ[b] {
+			p.j = append(p.j, b)
+		} else {
+			p.free = append(p.free, b)
+		}
+	}
+	sort.Ints(p.j)
+	sort.Ints(p.free)
+	return p
+}
+
+// N returns 2^n, the number of indices partitioned.
+func (p JPartition) N() int { return 1 << uint(p.n) }
+
+// Blocks returns the number of blocks, 2^|J|.
+func (p JPartition) Blocks() int { return 1 << uint(len(p.j)) }
+
+// BlockSize returns the number of elements per block, 2^(n-|J|).
+func (p JPartition) BlockSize() int { return 1 << uint(len(p.free)) }
+
+// BlockOf returns the block index of global index x: the J bits of x
+// packed in ascending position order.
+func (p JPartition) BlockOf(x int) int {
+	b := 0
+	for k, pos := range p.j {
+		b |= bits.Bit(x, pos) << uint(k)
+	}
+	return b
+}
+
+// LocalOf returns the within-block index of global index x: the free
+// bits of x packed in ascending position order.
+func (p JPartition) LocalOf(x int) int {
+	l := 0
+	for k, pos := range p.free {
+		l |= bits.Bit(x, pos) << uint(k)
+	}
+	return l
+}
+
+// Global reconstructs the global index from a block index and a local
+// index; it is the inverse of (BlockOf, LocalOf).
+func (p JPartition) Global(block, local int) int {
+	x := 0
+	for k, pos := range p.j {
+		x |= bits.Bit(block, k) << uint(pos)
+	}
+	for k, pos := range p.free {
+		x |= bits.Bit(local, k) << uint(pos)
+	}
+	return x
+}
+
+// Members returns the global indices of block b in increasing order.
+func (p JPartition) Members(b int) []int {
+	m := make([]int, p.BlockSize())
+	for l := range m {
+		m[l] = p.Global(b, l)
+	}
+	sort.Ints(m)
+	return m
+}
+
+// Theorem4 builds the composite permutation of Theorem 4: each block of
+// the J-partition is permuted within itself by its own permutation
+// G[b] (a permutation of the block's 2^r local indices). If every G[b]
+// is in F(r), the theorem guarantees the result is in F(n).
+func Theorem4(p JPartition, G []Perm) Perm {
+	if len(G) != p.Blocks() {
+		panic("perm: Theorem4 needs one permutation per block")
+	}
+	out := make(Perm, p.N())
+	for x := range out {
+		b := p.BlockOf(x)
+		g := G[b]
+		if len(g) != p.BlockSize() {
+			panic("perm: Theorem4 block permutation has wrong size")
+		}
+		out[x] = p.Global(b, g[p.LocalOf(x)])
+	}
+	return out
+}
+
+// Theorem5 builds the composite permutation of Theorem 5: block b's
+// elements are permuted by G[b] and the whole block is mapped onto block
+// B[b]. If every G[b] is in F(r) and B is in F(n-r), the result is in
+// F(n).
+func Theorem5(p JPartition, G []Perm, B Perm) Perm {
+	if len(G) != p.Blocks() || len(B) != p.Blocks() {
+		panic("perm: Theorem5 needs one permutation per block and a block map")
+	}
+	out := make(Perm, p.N())
+	for x := range out {
+		b := p.BlockOf(x)
+		g := G[b]
+		out[x] = p.Global(B[b], g[p.LocalOf(x)])
+	}
+	return out
+}
+
+// A Level describes one level of the hierarchical composite of
+// Theorem 6: the bit positions J of this level, and a chooser that
+// returns the F(|J|) permutation applied to this level's field given the
+// packed values of all *previous* levels' fields (the ancestor blocks in
+// the partition tree). The chooser may ignore its argument to apply a
+// uniform permutation.
+type Level struct {
+	J   []int
+	Phi func(ancestors int) Perm
+}
+
+// Theorem6 builds the hierarchical composite of Theorem 6 over disjoint
+// levels whose J sets cover all n bit positions. Processing levels k
+// down to 1 as in the paper, the value of level t's field in the output
+// is Phi_t(ancestor fields of x)(level t's field of x); ancestor fields
+// are packed level-1-first, each in ascending bit-position order.
+func Theorem6(n int, levels []Level) Perm {
+	// Validate disjoint cover.
+	used := make([]bool, n)
+	for _, lv := range levels {
+		for _, b := range lv.J {
+			if b < 0 || b >= n || used[b] {
+				panic("perm: Theorem6 levels must have disjoint in-range bit sets")
+			}
+			used[b] = true
+		}
+	}
+	for _, u := range used {
+		if !u {
+			panic("perm: Theorem6 levels must cover all bit positions")
+		}
+	}
+	fields := make([][]int, len(levels))
+	for t, lv := range levels {
+		fields[t] = append([]int(nil), lv.J...)
+		sort.Ints(fields[t])
+	}
+	extract := func(x int, pos []int) int {
+		v := 0
+		for k, b := range pos {
+			v |= bits.Bit(x, b) << uint(k)
+		}
+		return v
+	}
+	deposit := func(v int, pos []int) int {
+		x := 0
+		for k, b := range pos {
+			x |= bits.Bit(v, k) << uint(b)
+		}
+		return x
+	}
+	out := make(Perm, 1<<uint(n))
+	for x := range out {
+		y := 0
+		anc := 0
+		ancBits := 0
+		for t, lv := range levels {
+			v := extract(x, fields[t])
+			phi := lv.Phi(anc)
+			if len(phi) != 1<<uint(len(fields[t])) {
+				panic("perm: Theorem6 Phi has wrong size for its level")
+			}
+			y |= deposit(phi[v], fields[t])
+			anc |= v << uint(ancBits)
+			ancBits += len(fields[t])
+		}
+		out[x] = y
+	}
+	return out
+}
+
+// ThreeDimExample builds the worked example following Theorem 6: a
+// 2^r x 2^s x 2^t array A indexed in row-major order (i the most
+// significant field), mapped by
+//
+//	A(i, j, k) -> A((i+j+k) mod 2^r, (p*j) mod 2^s, j XOR k)
+//
+// with p odd. The i' field depends on the (ancestor) fields j and k, the
+// j' field is a p-ordering, and the k' field is a conditional exchange
+// keyed on the ancestor j — all F permutations at their level, so the
+// composite is in F(r+s+t) by Theorem 6.
+func ThreeDimExample(r, s, t, p int) Perm {
+	if p%2 == 0 {
+		panic("perm: ThreeDimExample requires odd p")
+	}
+	n := r + s + t
+	out := make(Perm, 1<<uint(n))
+	maskT := (1 << uint(t)) - 1
+	maskS := (1 << uint(s)) - 1
+	maskR := (1 << uint(r)) - 1
+	for x := range out {
+		k := x & maskT
+		j := (x >> uint(t)) & maskS
+		i := (x >> uint(t+s)) & maskR
+		i2 := (i + j + k) & maskR
+		j2 := (p * j) & maskS
+		k2 := (j & maskT) ^ k
+		out[x] = i2<<uint(t+s) | j2<<uint(t) | k2
+	}
+	return out
+}

@@ -1,0 +1,267 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestJPartitionPaperExample(t *testing.T) {
+	// Paper: n = 3, J = {1} partitions {0..7} into {0,1,4,5} and
+	// {2,3,6,7}.
+	p := NewJPartition(3, []int{1})
+	if p.Blocks() != 2 || p.BlockSize() != 4 {
+		t.Fatalf("blocks=%d size=%d", p.Blocks(), p.BlockSize())
+	}
+	b0 := p.Members(0)
+	b1 := p.Members(1)
+	want0 := []int{0, 1, 4, 5}
+	want1 := []int{2, 3, 6, 7}
+	for i := range want0 {
+		if b0[i] != want0[i] || b1[i] != want1[i] {
+			t.Fatalf("members = %v / %v", b0, b1)
+		}
+	}
+}
+
+func TestJPartitionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(8)
+		var J []int
+		for b := 0; b < n; b++ {
+			if rng.Intn(2) == 0 {
+				J = append(J, b)
+			}
+		}
+		p := NewJPartition(n, J)
+		for x := 0; x < p.N(); x++ {
+			if p.Global(p.BlockOf(x), p.LocalOf(x)) != x {
+				t.Fatalf("round trip failed n=%d J=%v x=%d", n, J, x)
+			}
+		}
+		if p.Blocks()*p.BlockSize() != p.N() {
+			t.Fatal("block count mismatch")
+		}
+	}
+}
+
+func TestJPartitionPanics(t *testing.T) {
+	for _, J := range [][]int{{3}, {-1}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewJPartition(3, %v) should panic", J)
+				}
+			}()
+			NewJPartition(3, J)
+		}()
+	}
+}
+
+// randomFBlock returns a random permutation known to be in F(r): a
+// random BPC or a random p-ordering-with-shift (inverse-omega), both
+// proven subsets of F.
+func randomFBlock(r int, rng *rand.Rand) Perm {
+	if r == 0 {
+		return Perm{0}
+	}
+	if rng.Intn(2) == 0 {
+		return RandomBPC(r, rng).Perm()
+	}
+	N := 1 << uint(r)
+	return POrderingShift(r, 2*rng.Intn(N/2)+1, rng.Intn(N))
+}
+
+// TestTheorem4 verifies the paper's Theorem 4: intra-block F
+// permutations compose to an F permutation of the whole index space.
+func TestTheorem4(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(7)
+		var J []int
+		for b := 0; b < n; b++ {
+			if rng.Intn(2) == 0 {
+				J = append(J, b)
+			}
+		}
+		part := NewJPartition(n, J)
+		r := n - len(J)
+		G := make([]Perm, part.Blocks())
+		for i := range G {
+			G[i] = randomFBlock(r, rng)
+		}
+		g := Theorem4(part, G)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Theorem4 output invalid: %v", err)
+		}
+		if !InF(g) {
+			t.Fatalf("Theorem4 output not in F: n=%d J=%v", n, J)
+		}
+	}
+}
+
+// TestTheorem5 verifies block-moving composites: blocks permuted by an
+// F(n-r) block map while each block's contents are permuted by F(r)
+// permutations.
+func TestTheorem5(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(7)
+		var J []int
+		for b := 0; b < n; b++ {
+			if rng.Intn(2) == 0 {
+				J = append(J, b)
+			}
+		}
+		part := NewJPartition(n, J)
+		r := n - len(J)
+		G := make([]Perm, part.Blocks())
+		for i := range G {
+			G[i] = randomFBlock(r, rng)
+		}
+		B := randomFBlock(len(J), rng)
+		g := Theorem5(part, G, B)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Theorem5 output invalid: %v", err)
+		}
+		if !InF(g) {
+			t.Fatalf("Theorem5 output not in F: n=%d J=%v", n, J)
+		}
+	}
+}
+
+// TestTheorem5ReducesToTheorem4 with the identity block map.
+func TestTheorem5ReducesToTheorem4(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	n := 6
+	part := NewJPartition(n, []int{0, 3, 5})
+	G := make([]Perm, part.Blocks())
+	for i := range G {
+		G[i] = randomFBlock(3, rng)
+	}
+	if !Theorem5(part, G, Identity(part.Blocks())).Equal(Theorem4(part, G)) {
+		t.Fatal("Theorem5 with identity block map != Theorem4")
+	}
+}
+
+// TestCannonMappings checks the matrix mappings listed after Theorem 4
+// (Cannon's algorithm and Dekel-Nassimi-Sahni) are all in F.
+func TestCannonMappings(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for n := 2; n <= 8; n += 2 {
+		h := n / 2
+		phi := randomFBlock(h, rng)
+		cases := []struct {
+			name string
+			p    Perm
+		}{
+			{"row rotation", RowRotation(n)},
+			{"column rotation", ColumnRotation(n)},
+			{"row perm", RowPerm(n, phi)},
+			{"col perm", ColPerm(n, phi)},
+			{"row xor", RowXor(n)},
+			{"row bit reversal", RowBitReversal(n)},
+		}
+		for _, c := range cases {
+			if err := c.p.Validate(); err != nil {
+				t.Fatalf("n=%d %s: invalid: %v", n, c.name, err)
+			}
+			if !InF(c.p) {
+				t.Errorf("n=%d: %s not in F", n, c.name)
+			}
+		}
+	}
+}
+
+// TestTheorem6ThreeDim verifies the paper's worked 3-D array example and
+// that ThreeDimExample agrees with an explicit Theorem6 construction.
+func TestTheorem6ThreeDim(t *testing.T) {
+	for _, dims := range [][3]int{{2, 2, 2}, {3, 2, 2}, {2, 3, 1}, {1, 1, 1}, {3, 3, 3}} {
+		r, s, tt := dims[0], dims[1], dims[2]
+		p := 3
+		g := ThreeDimExample(r, s, tt, p)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("dims=%v: invalid: %v", dims, err)
+		}
+		if !InF(g) {
+			t.Errorf("dims=%v: 3-D example not in F", dims)
+		}
+	}
+}
+
+func TestTheorem6MatchesDirect(t *testing.T) {
+	// Build the 3-D example through the generic Theorem6 constructor:
+	// levels ordered j-field, k-field, i-field so each level's Phi sees
+	// the ancestors it needs.
+	r, s, tt, p := 2, 2, 2, 3
+	n := r + s + tt
+	jBits := []int{tt, tt + 1}
+	kBits := []int{0, 1}
+	iBits := []int{tt + s, tt + s + 1}
+	maskT := (1 << uint(tt)) - 1
+	levels := []Level{
+		{J: jBits, Phi: func(anc int) Perm { return POrdering(s, p) }},
+		{J: kBits, Phi: func(anc int) Perm {
+			// ancestors = j value; k' = (j mod 2^t) XOR k.
+			j := anc
+			q := make(Perm, 1<<uint(tt))
+			for k := range q {
+				q[k] = (j & maskT) ^ k
+			}
+			return q
+		}},
+		{J: iBits, Phi: func(anc int) Perm {
+			// ancestors = j then k packed; i' = (i+j+k) mod 2^r.
+			j := anc & ((1 << uint(s)) - 1)
+			k := anc >> uint(s)
+			return CyclicShift(r, j+k)
+		}},
+	}
+	got := Theorem6(n, levels)
+	want := ThreeDimExample(r, s, tt, p)
+	if !got.Equal(want) {
+		t.Fatalf("Theorem6 construction %v != direct %v", got, want)
+	}
+	if !InF(got) {
+		t.Fatal("Theorem6 3-D composite not in F")
+	}
+}
+
+func TestTheorem6Validation(t *testing.T) {
+	id := func(int) Perm { return Identity(2) }
+	for _, levels := range [][]Level{
+		{{J: []int{0}, Phi: id}},                         // does not cover bit 1
+		{{J: []int{0}, Phi: id}, {J: []int{0}, Phi: id}}, // overlap
+		{{J: []int{0}, Phi: id}, {J: []int{5}, Phi: id}}, // out of range
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Theorem6(2, %v) should panic", levels)
+				}
+			}()
+			Theorem6(2, levels)
+		}()
+	}
+}
+
+func TestTheorem6UniformLevels(t *testing.T) {
+	// A Theorem 6 composite with uniform per-level permutations over a
+	// 3-level split of 6 bits.
+	rng := rand.New(rand.NewSource(56))
+	for trial := 0; trial < 20; trial++ {
+		phis := [3]Perm{randomFBlock(2, rng), randomFBlock(2, rng), randomFBlock(2, rng)}
+		levels := []Level{
+			{J: []int{0, 3}, Phi: func(int) Perm { return phis[0] }},
+			{J: []int{1, 4}, Phi: func(int) Perm { return phis[1] }},
+			{J: []int{2, 5}, Phi: func(int) Perm { return phis[2] }},
+		}
+		g := Theorem6(6, levels)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("invalid: %v", err)
+		}
+		if !InF(g) {
+			t.Fatal("uniform Theorem6 composite not in F")
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package perm
+
+// Enumeration helpers for the exhaustive small-N studies (experiment
+// E10: |F(n)| vs |BPC(n)| vs |Omega(n)| vs N!).
+
+// ForEach calls fn with every permutation of (0, ..., n-1) exactly once,
+// using Heap's algorithm. The slice passed to fn is reused between
+// calls; fn must not retain or modify it. If fn returns false the
+// enumeration stops early.
+func ForEach(n int, fn func(Perm) bool) {
+	p := Identity(n)
+	if !fn(p) {
+		return
+	}
+	c := make([]int, n)
+	i := 0
+	for i < n {
+		if c[i] < i {
+			if i%2 == 0 {
+				p[0], p[i] = p[i], p[0]
+			} else {
+				p[c[i]], p[i] = p[i], p[c[i]]
+			}
+			if !fn(p) {
+				return
+			}
+			c[i]++
+			i = 0
+		} else {
+			c[i] = 0
+			i++
+		}
+	}
+}
+
+// Count returns the number of permutations of (0, ..., n-1) satisfying
+// pred. It enumerates all n! permutations; callers keep n small.
+func Count(n int, pred func(Perm) bool) int {
+	count := 0
+	ForEach(n, func(p Perm) bool {
+		if pred(p) {
+			count++
+		}
+		return true
+	})
+	return count
+}
+
+// Factorial returns n! as an int; it panics on overflow so the
+// exhaustive experiments fail loudly rather than report nonsense.
+func Factorial(n int) int {
+	f := 1
+	for i := 2; i <= n; i++ {
+		next := f * i
+		if next/i != f {
+			panic("perm: Factorial overflow")
+		}
+		f = next
+	}
+	return f
+}
+
+// ForEachBPC calls fn with every BPC spec on n bits exactly once
+// (2^n * n! specs). The spec passed to fn is reused; fn must not retain
+// it. Returning false stops the enumeration.
+func ForEachBPC(n int, fn func(BPC) bool) {
+	spec := make(BPC, n)
+	stop := false
+	ForEach(n, func(pos Perm) bool {
+		// For each bit-position assignment, sweep all 2^n complement
+		// masks.
+		for mask := 0; mask < 1<<uint(n); mask++ {
+			for j := 0; j < n; j++ {
+				spec[j] = Axis{Pos: pos[j], Comp: mask>>uint(j)&1 == 1}
+			}
+			if !fn(spec) {
+				stop = true
+				return false
+			}
+		}
+		return true
+	})
+	_ = stop
+}

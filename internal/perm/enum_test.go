@@ -1,0 +1,75 @@
+package perm
+
+import "testing"
+
+func TestForEachCounts(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		count := 0
+		ForEach(n, func(Perm) bool { count++; return true })
+		if count != Factorial(n) {
+			t.Errorf("ForEach(%d) visited %d perms, want %d", n, count, Factorial(n))
+		}
+	}
+}
+
+func TestForEachDistinctAndValid(t *testing.T) {
+	seen := make(map[string]bool)
+	ForEach(5, func(p Perm) bool {
+		if !p.Valid() {
+			t.Fatalf("ForEach produced invalid %v", p)
+		}
+		s := p.String()
+		if seen[s] {
+			t.Fatalf("ForEach repeated %s", s)
+		}
+		seen[s] = true
+		return true
+	})
+	if len(seen) != 120 {
+		t.Fatalf("saw %d distinct perms, want 120", len(seen))
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	count := 0
+	ForEach(5, func(Perm) bool { count++; return count < 7 })
+	if count != 7 {
+		t.Errorf("early stop visited %d, want 7", count)
+	}
+}
+
+func TestCount(t *testing.T) {
+	// Number of involutions on 4 elements is 10.
+	inv := Count(4, func(p Perm) bool { return p.Compose(p).IsIdentity() })
+	if inv != 10 {
+		t.Errorf("involutions on 4 = %d, want 10", inv)
+	}
+}
+
+func TestFactorial(t *testing.T) {
+	want := []int{1, 1, 2, 6, 24, 120, 720}
+	for n, w := range want {
+		if Factorial(n) != w {
+			t.Errorf("Factorial(%d) = %d, want %d", n, Factorial(n), w)
+		}
+	}
+}
+
+func TestForEachBPCCount(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		count := 0
+		ForEachBPC(n, func(BPC) bool { count++; return true })
+		want := (1 << uint(n)) * Factorial(n)
+		if count != want {
+			t.Errorf("ForEachBPC(%d) visited %d, want %d", n, count, want)
+		}
+	}
+}
+
+func TestForEachBPCEarlyStop(t *testing.T) {
+	count := 0
+	ForEachBPC(3, func(BPC) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Errorf("early stop visited %d, want 5", count)
+	}
+}

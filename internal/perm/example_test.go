@@ -1,0 +1,84 @@
+package perm_test
+
+import (
+	"fmt"
+
+	"repro/internal/perm"
+)
+
+// InF applies Theorem 1 without touching a network.
+func ExampleInF() {
+	fmt.Println(perm.InF(perm.BitReversal(3)))
+	fmt.Println(perm.InF(perm.Perm{1, 3, 2, 0}))
+	// Output:
+	// true
+	// false
+}
+
+// The paper's Section II worked example: A = (0,-1,-2) on three bits.
+func ExampleParseBPC() {
+	a, err := perm.ParseBPC("(0,-1,-2)")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(a.Perm())
+	// Output:
+	// (6,2,4,0,7,3,5,1)
+}
+
+// Table I's A-vectors expand to the classic data-movement permutations.
+func ExampleBPC_Perm() {
+	fmt.Println(perm.MatrixTransposeBPC(4).Perm())
+	// Output:
+	// (0,4,8,12,1,5,9,13,2,6,10,14,3,7,11,15)
+}
+
+// RecognizeBPC recovers the compact form from destination tags.
+func ExampleRecognizeBPC() {
+	a, ok := perm.RecognizeBPC(perm.BitReversal(4))
+	fmt.Println(ok, a)
+	_, ok = perm.RecognizeBPC(perm.CyclicShift(4, 1))
+	fmt.Println(ok)
+	// Output:
+	// true (0,1,2,3)
+	// false
+}
+
+// Omega and inverse-omega membership are pure window conditions.
+func ExampleIsOmega() {
+	fmt.Println(perm.IsOmega(perm.CyclicShift(4, 5)))
+	fmt.Println(perm.IsOmega(perm.BitReversal(4)))
+	// Output:
+	// true
+	// false
+}
+
+// Theorem 4: independent F permutations inside each block of a
+// J-partition compose to an F permutation.
+func ExampleTheorem4() {
+	part := perm.NewJPartition(3, []int{1}) // blocks {0,1,4,5}, {2,3,6,7}
+	g := perm.Theorem4(part, []perm.Perm{
+		perm.VectorReversal(2), // reverse the first block
+		perm.Identity(4),       // leave the second alone
+	})
+	fmt.Println(g, perm.InF(g))
+	// Output:
+	// (5,4,2,3,1,0,6,7) true
+}
+
+// The product counterexample from Section II.
+func ExamplePerm_Then() {
+	a := perm.Perm{3, 0, 1, 2}
+	b := perm.Perm{0, 1, 3, 2}
+	ab := a.Then(b)
+	fmt.Println(ab, perm.InF(a), perm.InF(b), perm.InF(ab))
+	// Output:
+	// (2,0,1,3) true true false
+}
+
+// CountF computes |F(n)| structurally, far beyond enumeration range.
+func ExampleCountF() {
+	fmt.Println(perm.CountF(2), perm.CountF(3))
+	// Output:
+	// 20 11632
+}

@@ -1,0 +1,103 @@
+package perm
+
+// This file makes the classic "Benes = inverse-omega followed by omega"
+// correspondence constructive at the permutation level: OmegaFactor
+// splits an arbitrary permutation D into
+//
+//	D = f1 then f2,   f1 in InverseOmega(n),   f2 in Omega(n),
+//
+// in O(N log N) time. Combined with the paper's network features this
+// means ANY permutation can be performed in two self-routed passes of
+// the Benes network: pass one self-routes f1 (inverse-omega is inside
+// F, Theorem 3), pass two routes f2 with the omega bit asserted
+// (Section II). No switch-state computation is ever exposed to the
+// network — both passes are tag-driven.
+//
+// Construction: run the looping algorithm's recursion, but instead of
+// emitting switch states, record for every input i the up/down choice
+// made at each level as bit l of a "middle address" M_i. Inputs paired
+// at level l (same position group) receive opposite bits, and so do
+// inputs whose destinations are paired — the looping invariants. By
+// induction, inputs agreeing on the low b bits of M lie in the same
+// level-b subnetwork, where (a) their position groups have already
+// separated — giving the inverse-omega window condition for M — and
+// (b) their remaining destinations form a permutation — giving the
+// omega window condition for f2 = M^{-1} then D. The factor f1 = M.
+
+// OmegaFactor returns f1 in InverseOmega(n) and f2 in Omega(n) with
+// d = f1 then f2 (that is, f2[f1[i]] = d[i]). It panics if d is not a
+// valid permutation of power-of-two length.
+func OmegaFactor(d Perm) (f1, f2 Perm) {
+	if err := d.Validate(); err != nil {
+		panic("perm: OmegaFactor: " + err.Error())
+	}
+	n := d.LogN()
+	N := len(d)
+	m := make(Perm, N)
+	orig := make([]int, N)
+	dests := make([]int, N)
+	for i := range orig {
+		orig[i] = i
+		dests[i] = d[i]
+	}
+	omegaFactorRec(orig, dests, 0, m)
+	_ = n
+	f1 = m
+	f2 = make(Perm, N)
+	for i, mi := range m {
+		f2[mi] = d[i]
+	}
+	return f1, f2
+}
+
+// omegaFactorRec colours one level's loops and recurses. orig[k] is the
+// original input index at local position k; dests[k] its local
+// destination; bitpos the M bit this level decides.
+func omegaFactorRec(orig, dests []int, bitpos int, m Perm) {
+	size := len(orig)
+	if size == 1 {
+		return
+	}
+	invDest := make([]int, size)
+	for k, v := range dests {
+		invDest[v] = k
+	}
+	const unset, goesUp, goesDown = 0, 1, 2
+	up := make([]int, size)
+	for start := 0; start < size; start++ {
+		if up[start] != unset {
+			continue
+		}
+		cur, dir := start, goesUp
+		for {
+			up[cur] = dir
+			sibIn := invDest[dests[cur]^1]
+			if dir == goesUp {
+				up[sibIn] = goesDown
+			} else {
+				up[sibIn] = goesUp
+			}
+			cur = sibIn ^ 1
+			if cur == start {
+				break
+			}
+		}
+	}
+	half := size / 2
+	upOrig := make([]int, half)
+	dnOrig := make([]int, half)
+	upDests := make([]int, half)
+	dnDests := make([]int, half)
+	for k, v := range dests {
+		if up[k] == goesUp {
+			upOrig[k/2] = orig[k]
+			upDests[k/2] = v / 2
+		} else {
+			m[orig[k]] |= 1 << uint(bitpos)
+			dnOrig[k/2] = orig[k]
+			dnDests[k/2] = v / 2
+		}
+	}
+	omegaFactorRec(upOrig, upDests, bitpos+1, m)
+	omegaFactorRec(dnOrig, dnDests, bitpos+1, m)
+}

@@ -1,0 +1,134 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestOmegaFactorExhaustive: for every permutation of N=4 and N=8 the
+// factorization must satisfy all three contracts — f1 inverse-omega,
+// f2 omega, composition exact.
+func TestOmegaFactorExhaustive(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		ForEach(1<<uint(n), func(d Perm) bool {
+			f1, f2 := OmegaFactor(d)
+			if !IsInverseOmega(f1) {
+				t.Fatalf("n=%d d=%v: f1=%v not inverse-omega", n, d.Clone(), f1)
+			}
+			if !IsOmega(f2) {
+				t.Fatalf("n=%d d=%v: f2=%v not omega", n, d.Clone(), f2)
+			}
+			if !f1.Then(f2).Equal(d) {
+				t.Fatalf("n=%d d=%v: composition %v wrong", n, d.Clone(), f1.Then(f2))
+			}
+			return true
+		})
+	}
+}
+
+// TestOmegaFactorRandomLarge up to N=4096.
+func TestOmegaFactorRandomLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(241))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(11)
+		d := Random(1<<uint(n), rng)
+		f1, f2 := OmegaFactor(d)
+		if !IsInverseOmega(f1) || !IsOmega(f2) || !f1.Then(f2).Equal(d) {
+			t.Fatalf("n=%d: factorization contract violated", n)
+		}
+		// f1 is in F (Theorem 3), so pass one self-routes.
+		if !InF(f1) {
+			t.Fatalf("n=%d: f1 not in F", n)
+		}
+	}
+}
+
+// TestOmegaFactorIdentity: the identity factors into identities.
+func TestOmegaFactorIdentity(t *testing.T) {
+	f1, f2 := OmegaFactor(Identity(16))
+	if !f1.IsIdentity() || !f2.IsIdentity() {
+		t.Fatalf("identity factored into %v, %v", f1, f2)
+	}
+}
+
+// TestOmegaFactorOnFMembers: when d is already in the inverse-omega
+// class the factorization still holds (it need not return d itself,
+// only a valid split).
+func TestOmegaFactorOnFMembers(t *testing.T) {
+	rng := rand.New(rand.NewSource(242))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(7)
+		N := 1 << uint(n)
+		d := POrderingShift(n, 2*rng.Intn(N/2)+1, rng.Intn(N))
+		f1, f2 := OmegaFactor(d)
+		if !f1.Then(f2).Equal(d) || !IsInverseOmega(f1) || !IsOmega(f2) {
+			t.Fatalf("n=%d: factorization failed on inverse-omega input", n)
+		}
+	}
+}
+
+// TestFFCoversEverything: as a corollary of the factorization, the
+// product class F∘F is ALL of S_N — pinned exhaustively at N=4 and,
+// unless -short, at N=8 via the constructive factor for each target.
+func TestFFCoversEverything(t *testing.T) {
+	var members []Perm
+	ForEach(4, func(p Perm) bool {
+		if InF(p) {
+			members = append(members, p.Clone())
+		}
+		return true
+	})
+	prod := map[string]bool{}
+	for _, a := range members {
+		for _, b := range members {
+			prod[a.Then(b).String()] = true
+		}
+	}
+	if len(prod) != 24 {
+		t.Fatalf("|F∘F| = %d at N=4, want 24", len(prod))
+	}
+	if testing.Short() {
+		return
+	}
+	// At N=8: direct product enumeration over F(3) x F(3) with early
+	// exit once every one of the 40320 targets has been seen. Coverage
+	// saturates quickly, so this stays fast despite |F(3)|^2 pairs.
+	f3 := EnumerateF(3)
+	key := func(p Perm) uint32 {
+		var k uint32
+		for _, v := range p {
+			k = k*8 + uint32(v)
+		}
+		return k
+	}
+	seen := make(map[uint32]struct{}, 40320)
+	buf := make(Perm, 8)
+	for _, a := range f3 {
+		for _, b := range f3 {
+			for i := 0; i < 8; i++ {
+				buf[i] = b[a[i]]
+			}
+			seen[key(buf)] = struct{}{}
+		}
+		if len(seen) == 40320 {
+			break
+		}
+	}
+	if len(seen) != 40320 {
+		t.Fatalf("|F∘F| = %d at N=8, want 40320", len(seen))
+	}
+}
+
+// TestOmegaFactorPanics on invalid input.
+func TestOmegaFactorPanics(t *testing.T) {
+	for _, bad := range []Perm{{0, 0, 1, 1}, {0, 1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("OmegaFactor(%v) should panic", bad)
+				}
+			}()
+			OmegaFactor(bad)
+		}()
+	}
+}

@@ -1,0 +1,82 @@
+package perm
+
+import (
+	"testing"
+)
+
+// Native fuzz targets (run on their seed corpus during ordinary `go
+// test`; expand with `go test -fuzz`). They guard the parsing surfaces
+// and the factorization against malformed and adversarial inputs.
+
+func FuzzParse(f *testing.F) {
+	f.Add("(1,3,2,0)")
+	f.Add("0,1,2,3")
+	f.Add("")
+	f.Add("(,)")
+	f.Add("(1,1)")
+	f.Add("9999999999999999999999")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return
+		}
+		// Anything accepted must be a valid permutation that round-trips.
+		if !p.Valid() {
+			t.Fatalf("Parse(%q) accepted invalid %v", s, p)
+		}
+		q, err := Parse(p.String())
+		if err != nil || !q.Equal(p) {
+			t.Fatalf("round trip failed for %q", s)
+		}
+	})
+}
+
+func FuzzParseBPC(f *testing.F) {
+	f.Add("(0,-1,-2)")
+	f.Add("(1,-0)")
+	f.Add("(0,0)")
+	f.Add("(-)")
+	f.Add("(2,1,0")
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseBPC(s)
+		if err != nil {
+			return
+		}
+		if !a.Valid() {
+			t.Fatalf("ParseBPC(%q) accepted invalid spec", s)
+		}
+		// Accepted specs expand to valid permutations in F (Theorem 2).
+		p := a.Perm()
+		if !p.Valid() || !InF(p) {
+			t.Fatalf("ParseBPC(%q) expansion violates Theorem 2", s)
+		}
+		// And round-trip through the signed notation.
+		b, err := ParseBPC(a.String())
+		if err != nil || !b.Equal(a) {
+			t.Fatalf("BPC round trip failed for %q", s)
+		}
+	})
+}
+
+// FuzzOmegaFactor drives the factorization with permutations decoded
+// from raw bytes via Lehmer unranking, checking the full contract.
+func FuzzOmegaFactor(f *testing.F) {
+	f.Add(uint8(3), int64(0))
+	f.Add(uint8(3), int64(40319))
+	f.Add(uint8(4), int64(1234567890))
+	f.Add(uint8(1), int64(1))
+	f.Fuzz(func(t *testing.T, nRaw uint8, rank int64) {
+		n := 1 + int(nRaw)%4 // N in {2,4,8,16}
+		N := 1 << uint(n)
+		total := int64(Factorial(N))
+		r := rank % total
+		if r < 0 {
+			r += total
+		}
+		d := Unrank(N, r)
+		f1, f2 := OmegaFactor(d)
+		if !IsInverseOmega(f1) || !IsOmega(f2) || !f1.Then(f2).Equal(d) {
+			t.Fatalf("factorization contract violated for %v", d)
+		}
+	})
+}

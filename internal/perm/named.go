@@ -1,0 +1,280 @@
+package perm
+
+import (
+	"repro/internal/bits"
+)
+
+// This file provides generators for the named permutations the paper
+// works with: the Table I members of BPC(n), and the inverse-omega
+// family listed in Section II (cyclic shift, p-ordering, p-ordering with
+// cyclic shift, cyclic shifts within segments, conditional exchange).
+//
+// Each generator returns the destination-tag form D with D[i] the output
+// index for input i, on N = 2^n elements.
+
+// BitReversal returns the permutation sending i to the n-bit reversal of
+// i (Fig. 4 of the paper; Table I row "Bit Reversal").
+func BitReversal(n int) Perm {
+	p := make(Perm, 1<<uint(n))
+	for i := range p {
+		p[i] = bits.Reverse(i, n)
+	}
+	return p
+}
+
+// VectorReversal returns D[i] = N-1-i (Table I row "Vector Reversal"):
+// every bit of i is complemented in place.
+func VectorReversal(n int) Perm {
+	N := 1 << uint(n)
+	p := make(Perm, N)
+	for i := range p {
+		p[i] = N - 1 - i
+	}
+	return p
+}
+
+// PerfectShuffle returns the perfect-shuffle permutation: D[i] is i
+// rotated left one bit position, so D[i] = 2i mod (N-1) for 0 < i < N-1
+// (Table I row "Perfect Shuffle").
+func PerfectShuffle(n int) Perm {
+	p := make(Perm, 1<<uint(n))
+	for i := range p {
+		p[i] = bits.RotLeft(i, n)
+	}
+	return p
+}
+
+// Unshuffle returns the inverse of PerfectShuffle: D[i] is i rotated
+// right one bit position (Table I row "Unshuffle").
+func Unshuffle(n int) Perm {
+	p := make(Perm, 1<<uint(n))
+	for i := range p {
+		p[i] = bits.RotRight(i, n)
+	}
+	return p
+}
+
+// MatrixTranspose returns the permutation that transposes a 2^(n/2) x
+// 2^(n/2) matrix stored in row-major order: the high and low halves of
+// the index bits are swapped (Table I row "Matrix Transpose"). n must be
+// even.
+func MatrixTranspose(n int) Perm {
+	if n%2 != 0 {
+		panic("perm: MatrixTranspose requires even n")
+	}
+	h := n / 2
+	N := 1 << uint(n)
+	p := make(Perm, N)
+	for i := range p {
+		row := bits.Field(i, n-1, h)
+		col := bits.Field(i, h-1, 0)
+		p[i] = col<<uint(h) | row
+	}
+	return p
+}
+
+// ShuffledRowMajor returns the permutation mapping row-major matrix
+// order to shuffled row-major order (Table I row "Shuffled Row Major"):
+// index bits r_{h-1}..r_0 c_{h-1}..c_0 become
+// r_{h-1} c_{h-1} ... r_0 c_0. n must be even.
+func ShuffledRowMajor(n int) Perm {
+	if n%2 != 0 {
+		panic("perm: ShuffledRowMajor requires even n")
+	}
+	h := n / 2
+	N := 1 << uint(n)
+	p := make(Perm, N)
+	for i := range p {
+		row := bits.Field(i, n-1, h)
+		col := bits.Field(i, h-1, 0)
+		p[i] = bits.Interleave(col, row, h)
+	}
+	return p
+}
+
+// BitShuffle returns the inverse of ShuffledRowMajor (Table I row "Bit
+// Shuffle"): the even-indexed bits of i become the low half of D[i] and
+// the odd-indexed bits become the high half. n must be even.
+func BitShuffle(n int) Perm {
+	if n%2 != 0 {
+		panic("perm: BitShuffle requires even n")
+	}
+	h := n / 2
+	N := 1 << uint(n)
+	p := make(Perm, N)
+	for i := range p {
+		even, odd := bits.Deinterleave(i, h)
+		p[i] = odd<<uint(h) | even
+	}
+	return p
+}
+
+// CyclicShift returns D[i] = (i + k) mod N, an inverse-omega permutation
+// for every k (Section II item 1).
+func CyclicShift(n, k int) Perm {
+	N := 1 << uint(n)
+	p := make(Perm, N)
+	k = ((k % N) + N) % N
+	for i := range p {
+		p[i] = (i + k) % N
+	}
+	return p
+}
+
+// POrdering returns D[i] = (p*i) mod N for odd p (Section II item 2).
+// It panics if p is even, since an even multiplier does not yield a
+// permutation of Z_{2^n}.
+func POrdering(n, pmul int) Perm {
+	if pmul%2 == 0 {
+		panic("perm: POrdering requires odd p")
+	}
+	N := 1 << uint(n)
+	q := make(Perm, N)
+	pm := ((pmul % N) + N) % N
+	for i := range q {
+		q[i] = (i * pm) % N
+	}
+	return q
+}
+
+// InversePOrdering returns the q-ordering that unscrambles POrdering(n, p):
+// q is the multiplicative inverse of p modulo N (Section II item 3).
+func InversePOrdering(n, pmul int) Perm {
+	return POrdering(n, modInversePow2(pmul, n))
+}
+
+// modInversePow2 returns q with (p*q) mod 2^n == 1 for odd p.
+func modInversePow2(p, n int) int {
+	N := 1 << uint(n)
+	p = ((p % N) + N) % N
+	if p%2 == 0 {
+		panic("perm: even p has no inverse mod 2^n")
+	}
+	// Newton iteration doubles correct bits; start with q = p which is
+	// correct mod 8 for odd p (p*p ≡ 1 mod 8).
+	q := p
+	for k := 3; k < n; k *= 2 {
+		q = q * (2 - p*q) % N
+	}
+	q = ((q % N) + N) % N
+	if p*q%N != 1 {
+		// Fall back to brute force for tiny n where the iteration's
+		// precondition (n >= 3) does not hold.
+		for q = 1; q < N; q += 2 {
+			if p*q%N == 1 {
+				break
+			}
+		}
+	}
+	return q
+}
+
+// POrderingShift returns D[i] = (p*i + k) mod N for odd p (Section II
+// item 4; Lenfant's FUB family lambda).
+func POrderingShift(n, pmul, k int) Perm {
+	N := 1 << uint(n)
+	q := make(Perm, N)
+	if pmul%2 == 0 {
+		panic("perm: POrderingShift requires odd p")
+	}
+	pm := ((pmul % N) + N) % N
+	kk := ((k % N) + N) % N
+	for i := range q {
+		q[i] = (i*pm + kk) % N
+	}
+	return q
+}
+
+// SegmentCyclicShift returns the permutation that cyclically shifts by k
+// within each segment of size 2^t (Section II item 5; Lenfant's FUB
+// family delta): the high n-t bits of i are preserved and the low t bits
+// are shifted by k modulo 2^t. t must be in [1, n].
+func SegmentCyclicShift(n, t, k int) Perm {
+	if t < 1 || t > n {
+		panic("perm: SegmentCyclicShift requires 1 <= t <= n")
+	}
+	N := 1 << uint(n)
+	seg := 1 << uint(t)
+	k = ((k % seg) + seg) % seg
+	p := make(Perm, N)
+	for i := range p {
+		lo := i & (seg - 1)
+		p[i] = i - lo + (lo+k)%seg
+	}
+	return p
+}
+
+// ConditionalExchange returns the permutation that exchanges the pair
+// (2i, 2i+1) iff bit k of 2i is 1 (Section II item 6; Lenfant's eta):
+// (D_i)_{n-1:1} = (i)_{n-1:1} and (D_i)_0 = (i)_0 XOR (i)_k.
+// k must be in [1, n-1].
+func ConditionalExchange(n, k int) Perm {
+	if k < 1 || k >= n {
+		panic("perm: ConditionalExchange requires 1 <= k <= n-1")
+	}
+	N := 1 << uint(n)
+	p := make(Perm, N)
+	for i := range p {
+		p[i] = i ^ bits.Bit(i, k)
+	}
+	return p
+}
+
+// Matrix mappings used by Cannon's algorithm and by Dekel, Nassimi &
+// Sahni, listed after Theorem 4. All interpret the N = 2^n inputs as an
+// m x m matrix A (m = 2^(n/2)) stored in row-major order, and return the
+// permutation on row-major indices. n must be even for all of them.
+
+func matrixPerm(n int, f func(i, j, m int) (int, int)) Perm {
+	if n%2 != 0 {
+		panic("perm: matrix mappings require even n")
+	}
+	m := 1 << uint(n/2)
+	p := make(Perm, m*m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			ii, jj := f(i, j, m)
+			p[i*m+j] = ii*m + jj
+		}
+	}
+	if err := p.Validate(); err != nil {
+		panic("perm: matrix mapping is not a permutation: " + err.Error())
+	}
+	return p
+}
+
+// RowRotation returns A(i,j) -> A(i, (i+j) mod m): each row i is
+// cyclically rotated by i (Cannon's initial skew on columns).
+func RowRotation(n int) Perm {
+	return matrixPerm(n, func(i, j, m int) (int, int) { return i, (i + j) % m })
+}
+
+// ColumnRotation returns A(i,j) -> A((i+j) mod m, j): each column j is
+// cyclically rotated by j.
+func ColumnRotation(n int) Perm {
+	return matrixPerm(n, func(i, j, m int) (int, int) { return (i + j) % m, j })
+}
+
+// RowPerm returns A(i,j) -> A(i, phi(j)) for a permutation phi on
+// columns applied within every row.
+func RowPerm(n int, phi Perm) Perm {
+	return matrixPerm(n, func(i, j, m int) (int, int) { return i, phi[j] })
+}
+
+// ColPerm returns A(i,j) -> A(phi(i), j) for a permutation phi on rows.
+func ColPerm(n int, phi Perm) Perm {
+	return matrixPerm(n, func(i, j, m int) (int, int) { return phi[i], j })
+}
+
+// RowXor returns A(i,j) -> A(i XOR j, j), the conditional-exchange style
+// mapping from the Theorem 4 list.
+func RowXor(n int) Perm {
+	return matrixPerm(n, func(i, j, m int) (int, int) { return i ^ j, j })
+}
+
+// RowBitReversal returns A(i,j) -> A(i^R, j) where i^R is the bit
+// reversal of the row index (the last mapping in the Theorem 4 list).
+func RowBitReversal(n int) Perm {
+	h := n / 2
+	return matrixPerm(n, func(i, j, m int) (int, int) { return bits.Reverse(i, h), j })
+}

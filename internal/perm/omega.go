@@ -1,0 +1,91 @@
+package perm
+
+import (
+	"repro/internal/bits"
+)
+
+// This file implements membership predicates for Lawrie's omega and
+// inverse-omega permutation classes (Section II). A permutation D is in
+// Omega(n) exactly when Lawrie's omega network can realize it without
+// blocking; because the omega network is a unique-path network, this is
+// a purely combinatorial window condition on the bits of i and D_i:
+//
+//	D is in Omega(n) iff for every pair i != j and every b in [1, n-1]:
+//	    (i)_{b-1:0} = (j)_{b-1:0}  implies  (D_i)_{n-1:b} != (D_j)_{n-1:b}.
+//
+// Intuitively, after stage n-1-b of the omega network the line occupied
+// by input i is determined by the low b bits of i and the high n-b bits
+// of D_i; two inputs collide exactly when those coincide. D is in
+// InverseOmega(n) iff D^{-1} is in Omega(n), i.e. the same condition
+// with the roles of i and D_i exchanged.
+//
+// The predicates here are validated against a gate-level simulation of
+// the omega network (package omega) by tests.
+
+// IsOmega reports whether p is an omega permutation: realizable by the
+// self-routing omega network without conflicts. It runs in O(N log N).
+func IsOmega(p Perm) bool {
+	if !p.Valid() {
+		return false
+	}
+	N := len(p)
+	if N == 1 {
+		return true
+	}
+	if !bits.IsPow2(N) {
+		return false
+	}
+	n := bits.Log2(N)
+	// For each window b, the pair (low b bits of i, high n-b bits of
+	// D_i) must be distinct across all i. Encode the pair as one integer
+	// and count occupancy.
+	occupied := make([]bool, N)
+	for b := 1; b <= n-1; b++ {
+		for i := range occupied {
+			occupied[i] = false
+		}
+		for i, d := range p {
+			low := i & ((1 << uint(b)) - 1)
+			high := d >> uint(b)
+			key := high<<uint(b) | low
+			if occupied[key] {
+				return false
+			}
+			occupied[key] = true
+		}
+	}
+	return true
+}
+
+// IsInverseOmega reports whether p is an inverse-omega permutation:
+// realizable by an omega network run backwards. Equivalently,
+// p.Inverse() is in Omega(n).
+func IsInverseOmega(p Perm) bool {
+	if !p.Valid() {
+		return false
+	}
+	N := len(p)
+	if N == 1 {
+		return true
+	}
+	if !bits.IsPow2(N) {
+		return false
+	}
+	n := bits.Log2(N)
+	occupied := make([]bool, N)
+	for b := 1; b <= n-1; b++ {
+		for i := range occupied {
+			occupied[i] = false
+		}
+		for i, d := range p {
+			low := d & ((1 << uint(b)) - 1)
+			high := i >> uint(b)
+			key := high<<uint(b) | low
+			if occupied[key] {
+				return false
+			}
+			occupied[key] = true
+		}
+	}
+	return true
+}

@@ -1,0 +1,169 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOmegaIdentity(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		id := Identity(1 << uint(n))
+		if !IsOmega(id) || !IsInverseOmega(id) {
+			t.Errorf("identity rejected at n=%d", n)
+		}
+	}
+}
+
+// TestSectionIIFamiliesAreInverseOmega verifies the paper's Section II
+// list: cyclic shift, p-ordering, inverse p-ordering, p-ordering with
+// cyclic shift, cyclic shifts within segments, and conditional exchange
+// are all inverse-omega permutations.
+func TestSectionIIFamiliesAreInverseOmega(t *testing.T) {
+	for n := 2; n <= 7; n++ {
+		N := 1 << uint(n)
+		var families []struct {
+			name string
+			p    Perm
+		}
+		for _, k := range []int{1, 3, N / 2, N - 1} {
+			families = append(families, struct {
+				name string
+				p    Perm
+			}{"cyclic shift", CyclicShift(n, k)})
+		}
+		for _, p := range []int{3, 5, N - 1} {
+			families = append(families,
+				struct {
+					name string
+					p    Perm
+				}{"p-ordering", POrdering(n, p)},
+				struct {
+					name string
+					p    Perm
+				}{"inverse p-ordering", InversePOrdering(n, p)},
+				struct {
+					name string
+					p    Perm
+				}{"p-ordering+shift", POrderingShift(n, p, 2)})
+		}
+		for tseg := 1; tseg < n; tseg++ {
+			families = append(families, struct {
+				name string
+				p    Perm
+			}{"segment cyclic shift", SegmentCyclicShift(n, tseg, 1)})
+		}
+		for k := 1; k < n; k++ {
+			families = append(families, struct {
+				name string
+				p    Perm
+			}{"conditional exchange", ConditionalExchange(n, k)})
+		}
+		for _, f := range families {
+			if !IsInverseOmega(f.p) {
+				t.Errorf("n=%d: %s not in inverse-omega: %v", n, f.name, f.p)
+			}
+		}
+	}
+}
+
+// TestSectionIIFamiliesAlsoOmega checks the paper's remark that "all of
+// the above Omega^{-1}(n) permutations are also members of Omega(n)".
+func TestSectionIIFamiliesAlsoOmega(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		N := 1 << uint(n)
+		cases := []Perm{
+			CyclicShift(n, 1), CyclicShift(n, N-1),
+			POrdering(n, 3), POrderingShift(n, 3, 5),
+			SegmentCyclicShift(n, n-1, 1),
+			ConditionalExchange(n, n-1),
+		}
+		for i, p := range cases {
+			if !IsOmega(p) {
+				t.Errorf("n=%d case %d not in omega: %v", n, i, p)
+			}
+		}
+	}
+}
+
+func TestInverseOmegaIsOmegaOfInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(5)
+		p := Random(1<<uint(n), rng)
+		if IsInverseOmega(p) != IsOmega(p.Inverse()) {
+			t.Fatalf("predicate asymmetry for %v", p)
+		}
+		if IsOmega(p) != IsInverseOmega(p.Inverse()) {
+			t.Fatalf("predicate asymmetry (2) for %v", p)
+		}
+	}
+}
+
+// TestOmegaCount verifies |Omega(n)| = 2^(n*N/2): every switch-setting
+// of the omega network realizes a distinct permutation... except that
+// settings producing non-permutations are excluded, so the count is the
+// number of conflict-free routings. For n=2 (N=4) the known count of
+// omega-passable permutations is 16 of 24.
+func TestOmegaCount(t *testing.T) {
+	count := Count(4, IsOmega)
+	if count != 16 {
+		t.Errorf("|Omega(2)| = %d, want 16", count)
+	}
+	countInv := Count(4, IsInverseOmega)
+	if countInv != 16 {
+		t.Errorf("|InverseOmega(2)| = %d, want 16", countInv)
+	}
+}
+
+// TestFigure5PermIsOmega: the paper notes D = (1,3,2,0) is in Omega(2)
+// (but not in F(2), shown in f_test.go).
+func TestFigure5PermIsOmega(t *testing.T) {
+	d := Perm{1, 3, 2, 0}
+	if !IsOmega(d) {
+		t.Error("(1,3,2,0) should be in Omega(2)")
+	}
+}
+
+// TestBPCOffDiagonalNotOmega checks the paper's noncontainment claim:
+// a BPC permutation whose A-vector moves at least one bit (|A_j| != j
+// for some j) is in neither Omega(n) nor InverseOmega(n). Spot-check
+// with bit reversal and perfect shuffle.
+func TestBPCOffDiagonalNotOmega(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		for _, c := range []struct {
+			name string
+			p    Perm
+		}{
+			{"bit reversal", BitReversal(n)},
+			{"perfect shuffle", PerfectShuffle(n)},
+			{"unshuffle", Unshuffle(n)},
+		} {
+			if IsOmega(c.p) {
+				t.Errorf("n=%d: %s unexpectedly in Omega", n, c.name)
+			}
+			if IsInverseOmega(c.p) {
+				t.Errorf("n=%d: %s unexpectedly in InverseOmega", n, c.name)
+			}
+		}
+	}
+}
+
+func TestOmegaRejectsInvalid(t *testing.T) {
+	if IsOmega(Perm{0, 0, 1, 1}) || IsInverseOmega(Perm{0, 0, 1, 1}) {
+		t.Error("non-permutation accepted")
+	}
+	if IsOmega(Perm{2, 0, 1}) || IsInverseOmega(Perm{2, 0, 1}) {
+		t.Error("non-power-of-two length accepted")
+	}
+}
+
+func TestPOrderingInverse(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		N := 1 << uint(n)
+		for _, p := range []int{1, 3, 5, 7, N - 1} {
+			if !POrdering(n, p).Compose(InversePOrdering(n, p)).IsIdentity() {
+				t.Errorf("n=%d p=%d: q-ordering does not unscramble", n, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package perm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// This file concentrates the property-based tests: testing/quick
+// generates the randomness, and each property is an invariant the rest
+// of the library depends on. Custom generators map quick's raw values
+// into permutations and BPC specs of bounded size.
+
+// genPerm builds a permutation of size 2^(2..6) from a seed.
+func genPerm(seed int64) Perm {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(5)
+	return Random(1<<uint(n), rng)
+}
+
+func genBPC(seed int64) BPC {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(8)
+	return RandomBPC(n, rng)
+}
+
+func TestQuickInverseInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		p := genPerm(seed)
+		return p.Inverse().Inverse().Equal(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickComposeWithInverseIsIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		p := genPerm(seed)
+		return p.Compose(p.Inverse()).IsIdentity() && p.Inverse().Compose(p).IsIdentity()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickThenReversesCompose(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		p := Random(1<<uint(n), rng)
+		q := Random(1<<uint(n), rng)
+		return p.Then(q).Equal(q.Compose(p))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickApplyComposes(t *testing.T) {
+	// Apply(q, Apply(p, x)) == Apply(p.Then(q), x).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		N := 1 << uint(n)
+		p := Random(N, rng)
+		q := Random(N, rng)
+		x := make([]int, N)
+		for i := range x {
+			x[i] = rng.Int()
+		}
+		lhs := Apply(q, Apply(p, x))
+		rhs := Apply(p.Then(q), x)
+		return reflect.DeepEqual(lhs, rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBPCAlgebraHomomorphism(t *testing.T) {
+	// Spec-level compose and inverse commute with expansion.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(7)
+		a, b := RandomBPC(n, rng), RandomBPC(n, rng)
+		if !a.Compose(b).Perm().Equal(a.Perm().Compose(b.Perm())) {
+			return false
+		}
+		return a.Inverse().Perm().Equal(a.Perm().Inverse())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBPCAlwaysInF(t *testing.T) {
+	// Theorem 2 as a quick property.
+	f := func(seed int64) bool {
+		return InF(genBPC(seed).Perm())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRecognizeBPCFaithful(t *testing.T) {
+	f := func(seed int64) bool {
+		a := genBPC(seed)
+		got, ok := RecognizeBPC(a.Perm())
+		return ok && got.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOmegaDuality(t *testing.T) {
+	// IsInverseOmega(p) == IsOmega(p^-1), for arbitrary p.
+	f := func(seed int64) bool {
+		p := genPerm(seed)
+		return IsInverseOmega(p) == IsOmega(p.Inverse())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAffineAlwaysBothOmega(t *testing.T) {
+	// (p*i + k) mod N with odd p is in Omega and InverseOmega — the
+	// Section II families, as a quick property over all parameters.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(9)
+		N := 1 << uint(n)
+		p := POrderingShift(n, 2*rng.Intn(N/2)+1, rng.Intn(N))
+		return IsOmega(p) && IsInverseOmega(p) && InF(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRandomFInF(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		return InF(RandomF(n, rng))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTheorem4Closure(t *testing.T) {
+	// Random J-partition with RandomF blocks stays in F.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		var J []int
+		for b := 0; b < n; b++ {
+			if rng.Intn(2) == 0 {
+				J = append(J, b)
+			}
+		}
+		part := NewJPartition(n, J)
+		r := n - len(J)
+		G := make([]Perm, part.Blocks())
+		for i := range G {
+			if r == 0 {
+				G[i] = Perm{0}
+			} else {
+				G[i] = RandomF(r, rng)
+			}
+		}
+		return InF(Theorem4(part, G))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCyclesPartition(t *testing.T) {
+	// Cycle decomposition covers every element exactly once.
+	f := func(seed int64) bool {
+		p := genPerm(seed)
+		seen := make([]bool, len(p))
+		for _, c := range p.Cycles() {
+			for _, e := range c {
+				if seen[e] {
+					return false
+				}
+				seen[e] = true
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStringParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		p := genPerm(seed)
+		q, err := Parse(p.String())
+		return err == nil && q.Equal(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFSigmaIsPermutation(t *testing.T) {
+	// For F members, the pairing sigma is always a permutation of the
+	// half-range.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		d := RandomF(n, rng)
+		return Perm(FSigma(d)).Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

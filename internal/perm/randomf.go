@@ -1,0 +1,232 @@
+package perm
+
+import (
+	"math/rand"
+)
+
+// This file turns Theorem 1 into a *constructive* tool: a sampler that
+// generates members of F(n) directly (RandomF) and an exact counter for
+// |F(n)| (CountF) that needs no enumeration of S_N.
+//
+// The construction inverts the proof of Theorem 1. A permutation
+// D ∈ F(n) is equivalent to:
+//
+//   - two sub-permutations U', L' ∈ F(n-1) (the tag streams with bit 0
+//     dropped),
+//   - a bit c_i for each first-stage switch — bit 0 of the tag routed to
+//     the *upper* subnetwork through switch i — and the induced
+//     d_i = bit 0 of the tag routed down, which is forced:
+//     d_j = 1 - c_{sigma(j)} with sigma = U'^{-1} ∘ L' (the two tags
+//     sharing high bits v must differ in bit 0), and
+//   - a placement of the two tags on the switch's physical inputs that
+//     the self-routing rule honours: with state = bit 0 of the tag on
+//     input 2i, switch i routes its upper tag up iff
+//     (c_i = 0 and the U-tag sits on input 2i) or
+//     (d_i = 1 and the U-tag sits on input 2i+1).
+//
+// Consequently (c_i, d_i) = (1, 0) is unrealizable, which translates to
+// the cyclic constraint "c_i = 1 implies c_{sigma(i)} = 0"; a switch
+// with (c_i, d_i) = (0, 1) admits BOTH placements (a factor of 2), and
+// every other realizable switch admits exactly one. The correspondence
+// (U', L', c, placement) <-> D is a bijection onto F(n), which gives
+// both a sampler and the counting recurrence
+//
+//	|F(n)| = sum over (U', L') in F(n-1)^2 of  prod over cycles of
+//	          sigma = U'^{-1}∘L'  of  trace(M^len),   M = [[2,1],[1,0]],
+//
+// where the transfer matrix M encodes: consecutive (0,0) around a cycle
+// contributes weight 2 (free placement), (1,1) is forbidden, the rest
+// weight 1. (Checked: |F(1)|=2, |F(2)|=20, |F(3)|=11632 — matching
+// exhaustive enumeration — and |F(4)| becomes computable even though
+// 16! ≈ 2·10^13 rules out enumeration.)
+
+// RandomF returns a permutation drawn from F(n). The distribution has
+// full support on F(n) (every member has positive probability) but is
+// not exactly uniform; it is intended for property testing and
+// experiments that need many diverse F members cheaply.
+func RandomF(n int, rng *rand.Rand) Perm {
+	if n < 1 {
+		panic("perm: RandomF requires n >= 1")
+	}
+	return randomF(n, rng)
+}
+
+func randomF(m int, rng *rand.Rand) Perm {
+	if m == 1 {
+		if rng.Intn(2) == 0 {
+			return Perm{0, 1}
+		}
+		return Perm{1, 0}
+	}
+	half := 1 << uint(m-1)
+	u := randomF(m-1, rng)
+	l := randomF(m-1, rng)
+	// sigma(j) = U'^{-1}(L'(j)).
+	uInv := u.Inverse()
+	sigma := make([]int, half)
+	for j := range sigma {
+		sigma[j] = uInv[l[j]]
+	}
+	c := sampleNoAdjacentOnes(sigma, rng)
+	d := make([]int, half)
+	for j := range d {
+		d[j] = 1 - c[sigma[j]]
+	}
+	out := make(Perm, 2*half)
+	for i := 0; i < half; i++ {
+		uTag := 2*u[i] + c[i]
+		lTag := 2*l[i] + d[i]
+		uOnUpper := true
+		switch {
+		case c[i] == 0 && d[i] == 1:
+			uOnUpper = rng.Intn(2) == 0 // both placements legal
+		case c[i] == 0:
+			uOnUpper = true
+		default: // c[i] == 1, d[i] == 1 guaranteed by the constraint
+			uOnUpper = false
+		}
+		if uOnUpper {
+			out[2*i], out[2*i+1] = uTag, lTag
+		} else {
+			out[2*i], out[2*i+1] = lTag, uTag
+		}
+	}
+	return out
+}
+
+// sampleNoAdjacentOnes draws a bit per position such that c[i] = 1
+// implies c[sigma[i]] = 0, walking each cycle of sigma with fair coins
+// and resolving the wrap-around. Every valid assignment has positive
+// probability.
+func sampleNoAdjacentOnes(sigma []int, rng *rand.Rand) []int {
+	c := make([]int, len(sigma))
+	seen := make([]bool, len(sigma))
+	for start := range sigma {
+		if seen[start] {
+			continue
+		}
+		// Collect the cycle in successor order.
+		var cyc []int
+		for i := start; !seen[i]; i = sigma[i] {
+			seen[i] = true
+			cyc = append(cyc, i)
+		}
+		if len(cyc) == 1 {
+			c[cyc[0]] = 0 // a fixed point may never carry a 1
+			continue
+		}
+		prev := 0
+		for k, i := range cyc {
+			if prev == 1 {
+				c[i] = 0
+			} else {
+				c[i] = rng.Intn(2)
+			}
+			if k == len(cyc)-1 && c[i] == 1 && c[cyc[0]] == 1 {
+				c[i] = 0 // wrap-around repair
+			}
+			prev = c[i]
+		}
+	}
+	return c
+}
+
+// CountF computes |F(n)| exactly via the Theorem-1 bijection. It
+// enumerates F(n-1) once (via the same recurrence bottomed out at the
+// exhaustively-verified F(2)) and sums transfer-matrix weights over all
+// ordered pairs, so its cost is |F(n-1)|^2 * 2^(n-1): instant for
+// n <= 3, a few seconds for n = 4, and out of reach beyond — exactly
+// the sizes where enumeration of S_N already fails (16! ≈ 2·10^13).
+func CountF(n int) int64 {
+	if n < 1 {
+		panic("perm: CountF requires n >= 1")
+	}
+	if n == 1 {
+		return 2
+	}
+	members := EnumerateF(n - 1)
+	half := 1 << uint(n-1)
+	// Precompute trace(M^L) for L = 1..half.
+	tr := traceTable(half)
+	var total int64
+	sigma := make([]int, half)
+	seen := make([]bool, half)
+	for _, u := range members {
+		uInv := u.Inverse()
+		for _, l := range members {
+			for j := range sigma {
+				sigma[j] = uInv[l[j]]
+			}
+			var prod int64 = 1
+			for i := range seen {
+				seen[i] = false
+			}
+			for i := range sigma {
+				if seen[i] {
+					continue
+				}
+				length := 0
+				for j := i; !seen[j]; j = sigma[j] {
+					seen[j] = true
+					length++
+				}
+				prod *= tr[length]
+			}
+			total += prod
+		}
+	}
+	return total
+}
+
+// EnumerateF materializes every member of F(n). Feasible for n <= 3
+// (|F(3)| = 11632); it is the support set CountF(n+1) integrates over.
+func EnumerateF(n int) []Perm {
+	if n > 3 {
+		panic("perm: EnumerateF beyond n=3 is not materializable")
+	}
+	var out []Perm
+	ForEach(1<<uint(n), func(p Perm) bool {
+		if InF(p) {
+			out = append(out, p.Clone())
+		}
+		return true
+	})
+	return out
+}
+
+// traceTable returns trace(M^L) for L in 1..max with M = [[2,1],[1,0]]:
+// the weighted count of cyclic bit strings with no adjacent ones, where
+// each adjacent (0,0) pair doubles the weight.
+func traceTable(max int) []int64 {
+	tr := make([]int64, max+1)
+	// Power M^L by repeated multiplication (max is small).
+	a, b, cM, dM := int64(2), int64(1), int64(1), int64(0) // M itself
+	pa, pb, pc, pd := a, b, cM, dM
+	tr[1] = pa + pd
+	for L := 2; L <= max; L++ {
+		na := pa*a + pb*cM
+		nb := pa*b + pb*dM
+		nc := pc*a + pd*cM
+		nd := pc*b + pd*dM
+		pa, pb, pc, pd = na, nb, nc, nd
+		tr[L] = pa + pd
+	}
+	return tr
+}
+
+// FSigma exposes sigma = U'^{-1}∘L' for a D in F(n): the pairing
+// permutation whose cycle structure governs the free-placement count.
+// It is primarily for tests and the fcount tooling.
+func FSigma(d Perm) []int {
+	upper, lower := SplitUL(d)
+	half := len(d) / 2
+	uInv := make([]int, half)
+	for i, t := range upper {
+		uInv[t>>1] = i
+	}
+	sigma := make([]int, half)
+	for j, t := range lower {
+		sigma[j] = uInv[t>>1]
+	}
+	return sigma
+}

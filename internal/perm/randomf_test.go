@@ -1,0 +1,175 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRandomFAlwaysInF: the sampler may only emit members of F.
+func TestRandomFAlwaysInF(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(9)
+		p := RandomF(n, rng)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("RandomF(%d) invalid: %v", n, err)
+		}
+		if !InF(p) {
+			t.Fatalf("RandomF(%d) emitted non-member %v", n, p)
+		}
+	}
+}
+
+// TestRandomFFullSupport: sampling must eventually reach every member
+// of F(2) (20 permutations).
+func TestRandomFFullSupport(t *testing.T) {
+	rng := rand.New(rand.NewSource(152))
+	seen := make(map[string]bool)
+	for trial := 0; trial < 5000 && len(seen) < 20; trial++ {
+		seen[RandomF(2, rng).String()] = true
+	}
+	if len(seen) != 20 {
+		t.Fatalf("RandomF(2) reached only %d of 20 members", len(seen))
+	}
+}
+
+// TestRandomFDiverseAtScale: at n=8 the sampler should essentially never
+// repeat (|F(8)| is astronomically large).
+func TestRandomFDiverseAtScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(153))
+	seen := make(map[string]bool)
+	for trial := 0; trial < 200; trial++ {
+		seen[RandomF(8, rng).String()] = true
+	}
+	if len(seen) < 199 {
+		t.Fatalf("RandomF(8) produced only %d distinct of 200", len(seen))
+	}
+}
+
+// TestCountFMatchesEnumeration: the transfer-matrix recurrence against
+// exhaustive enumeration for every enumerable size.
+func TestCountFMatchesEnumeration(t *testing.T) {
+	want := map[int]int64{1: 2, 2: 20, 3: 11632}
+	for n, w := range want {
+		if got := CountF(n); got != w {
+			t.Errorf("CountF(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+// TestEnumerateF sizes.
+func TestEnumerateF(t *testing.T) {
+	if got := len(EnumerateF(2)); got != 20 {
+		t.Errorf("|EnumerateF(2)| = %d", got)
+	}
+	for _, p := range EnumerateF(2) {
+		if !InF(p) {
+			t.Fatalf("EnumerateF emitted non-member %v", p)
+		}
+	}
+	if got := len(EnumerateF(3)); got != 11632 {
+		t.Errorf("|EnumerateF(3)| = %d", got)
+	}
+}
+
+// TestTraceTable pins the transfer-matrix values derived by hand:
+// T(1)=2 (a fixed point must carry 0, doubling for the free placement),
+// T(2)=6, and the Lucas-like recurrence T(L) = 2T(L-1) + T(L-2) ... via
+// trace identities of M = [[2,1],[1,0]].
+func TestTraceTable(t *testing.T) {
+	tr := traceTable(8)
+	if tr[1] != 2 || tr[2] != 6 {
+		t.Fatalf("T(1)=%d T(2)=%d", tr[1], tr[2])
+	}
+	// trace(M^L) satisfies t_L = 2 t_{L-1} + t_{L-2} (char. poly x^2-2x-1).
+	for L := 3; L <= 8; L++ {
+		if tr[L] != 2*tr[L-1]+tr[L-2] {
+			t.Errorf("trace recurrence fails at L=%d: %v", L, tr[:L+1])
+		}
+	}
+}
+
+// TestTraceTableByBruteForce: T(L) really is the weighted count of
+// cyclic no-adjacent-ones strings with (0,0) pairs doubled.
+func TestTraceTableByBruteForce(t *testing.T) {
+	tr := traceTable(10)
+	for L := 1; L <= 10; L++ {
+		var want int64
+		for mask := 0; mask < 1<<uint(L); mask++ {
+			valid := true
+			var weight int64 = 1
+			for i := 0; i < L; i++ {
+				a := (mask >> uint(i)) & 1
+				b := (mask >> uint((i+1)%L)) & 1
+				if a == 1 && b == 1 {
+					valid = false
+					break
+				}
+				if a == 0 && b == 0 {
+					weight *= 2
+				}
+			}
+			if valid {
+				want += weight
+			}
+		}
+		if tr[L] != want {
+			t.Errorf("T(%d) = %d, brute force %d", L, tr[L], want)
+		}
+	}
+}
+
+// TestFSigmaConstraint: for every member of F, the derived (c, d) bits
+// must satisfy the realizability constraint — the structural fact the
+// bijection rests on.
+func TestFSigmaConstraint(t *testing.T) {
+	rng := rand.New(rand.NewSource(154))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(7)
+		d := RandomF(n, rng)
+		sigma := FSigma(d)
+		upper, lower := SplitUL(d)
+		half := len(d) / 2
+		c := make([]int, half)
+		dd := make([]int, half)
+		for i := 0; i < half; i++ {
+			c[i] = upper[i] & 1
+			dd[i] = lower[i] & 1
+		}
+		for i := 0; i < half; i++ {
+			if c[i] == 1 && dd[i] == 0 {
+				t.Fatalf("unrealizable (c,d)=(1,0) appeared in F member %v", d)
+			}
+			// d is forced: d_j = 1 - c_{sigma(j)}.
+			if dd[i] != 1-c[sigma[i]] {
+				t.Fatalf("forced-d identity violated at %d for %v", i, d)
+			}
+		}
+	}
+}
+
+// TestCountFConsistentWithMonteCarlo: CountF(4)/16! must agree with a
+// Monte-Carlo estimate of the F(4) density within sampling error.
+// CountF(4) integrates over 11632^2 pairs, so this test is skipped in
+// -short mode.
+func TestCountFConsistentWithMonteCarlo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CountF(4) sums over |F(3)|^2 pairs")
+	}
+	exact := CountF(4)
+	fact16 := float64(20922789888000) // 16!
+	density := float64(exact) / fact16
+	rng := rand.New(rand.NewSource(155))
+	const samples = 40000
+	hits := 0
+	for s := 0; s < samples; s++ {
+		if InF(Random(16, rng)) {
+			hits++
+		}
+	}
+	est := float64(hits) / samples
+	if density < est/2 || density > est*2 {
+		t.Fatalf("CountF(4)=%d -> density %.5f, Monte-Carlo %.5f — inconsistent", exact, density, est)
+	}
+	t.Logf("|F(4)| = %d (density %.5f, MC %.5f)", exact, density, est)
+}

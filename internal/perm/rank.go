@@ -1,0 +1,66 @@
+package perm
+
+// Lexicographic ranking of permutations (Lehmer codes), used by the
+// experiment tooling for reproducible, collision-free sampling of S_N
+// and for compact storage of exhaustive study results.
+
+// Rank returns the zero-based position of p in the lexicographic order
+// of all len(p)! permutations. It panics if p is invalid and on sizes
+// whose factorial overflows int64 (len(p) > 20).
+func Rank(p Perm) int64 {
+	if !p.Valid() {
+		panic("perm: Rank of invalid permutation")
+	}
+	if len(p) > 20 {
+		panic("perm: Rank overflows beyond 20 elements")
+	}
+	// Lehmer digit i = number of later elements smaller than p[i].
+	var rank int64
+	fact := int64(1)
+	for i := 2; i < len(p); i++ {
+		fact *= int64(i)
+	}
+	for i := 0; i < len(p)-1; i++ {
+		smaller := int64(0)
+		for j := i + 1; j < len(p); j++ {
+			if p[j] < p[i] {
+				smaller++
+			}
+		}
+		rank += smaller * fact
+		if len(p)-1-i > 0 {
+			fact /= int64(len(p) - 1 - i)
+		}
+	}
+	return rank
+}
+
+// Unrank returns the permutation of n elements at the given
+// lexicographic rank; the inverse of Rank.
+func Unrank(n int, rank int64) Perm {
+	if n < 0 || n > 20 {
+		panic("perm: Unrank supports 0..20 elements")
+	}
+	fact := int64(1)
+	for i := 2; i < n; i++ {
+		fact *= int64(i)
+	}
+	avail := Identity(n)
+	out := make(Perm, 0, n)
+	for i := 0; i < n; i++ {
+		var idx int64
+		if fact > 0 {
+			idx = rank / fact
+			rank %= fact
+		}
+		if idx < 0 || idx >= int64(len(avail)) {
+			panic("perm: Unrank rank out of range")
+		}
+		out = append(out, avail[idx])
+		avail = append(avail[:idx], avail[idx+1:]...)
+		if n-1-i > 0 {
+			fact /= int64(n - 1 - i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRankUnrankRoundTripExhaustive(t *testing.T) {
+	for n := 0; n <= 6; n++ {
+		// Enumerate ranks directly: every rank must unrank to a valid
+		// permutation that ranks back to itself, and all must be
+		// distinct.
+		seen := make(map[string]bool)
+		total := int64(Factorial(n))
+		for r := int64(0); r < total; r++ {
+			p := Unrank(n, r)
+			if !p.Valid() {
+				t.Fatalf("Unrank(%d,%d) invalid: %v", n, r, p)
+			}
+			if Rank(p) != r {
+				t.Fatalf("Rank(Unrank(%d,%d)) = %d", n, r, Rank(p))
+			}
+			seen[p.String()] = true
+		}
+		if int64(len(seen)) != total {
+			t.Fatalf("n=%d: %d distinct of %d", n, len(seen), total)
+		}
+	}
+}
+
+func TestRankLexOrder(t *testing.T) {
+	// Unrank must be monotone in lexicographic order.
+	n := 5
+	prev := Unrank(n, 0)
+	for r := int64(1); r < int64(Factorial(n)); r++ {
+		cur := Unrank(n, r)
+		if !lexLess(prev, cur) {
+			t.Fatalf("rank %d (%v) not lex-greater than %d (%v)", r, cur, r-1, prev)
+		}
+		prev = cur
+	}
+}
+
+func lexLess(a, b Perm) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func TestRankKnownValues(t *testing.T) {
+	if Rank(Identity(8)) != 0 {
+		t.Error("identity must rank 0")
+	}
+	last := Perm{7, 6, 5, 4, 3, 2, 1, 0}
+	if Rank(last) != int64(Factorial(8))-1 {
+		t.Errorf("descending ranks %d, want %d", Rank(last), Factorial(8)-1)
+	}
+}
+
+func TestRankLarger(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 50; trial++ {
+		p := Random(12, rng)
+		if !Unrank(12, Rank(p)).Equal(p) {
+			t.Fatalf("round trip failed for %v", p)
+		}
+	}
+}
+
+func TestRankPanics(t *testing.T) {
+	for _, bad := range []func(){
+		func() { Rank(Perm{0, 0}) },
+		func() { Rank(Identity(21)) },
+		func() { Unrank(3, 99) },
+		func() { Unrank(25, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

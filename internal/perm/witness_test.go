@@ -1,0 +1,67 @@
+package perm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestOmegaWitnessConsistent: the witness must agree with IsOmega on
+// every permutation of N=4 and N=8 and explain every rejection.
+func TestOmegaWitnessConsistent(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		ForEach(1<<uint(n), func(p Perm) bool {
+			ok, detail := OmegaWitness(p)
+			if ok != IsOmega(p) {
+				t.Fatalf("n=%d: witness and IsOmega disagree on %v", n, p.Clone())
+			}
+			if !ok && detail == "" {
+				t.Fatalf("n=%d: rejection without explanation for %v", n, p.Clone())
+			}
+			if ok && detail != "" {
+				t.Fatalf("n=%d: acceptance with explanation for %v", n, p.Clone())
+			}
+			return true
+		})
+	}
+}
+
+func TestInverseOmegaWitnessConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(271))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		p := Random(1<<uint(n), rng)
+		ok, detail := InverseOmegaWitness(p)
+		if ok != IsInverseOmega(p) {
+			t.Fatalf("witness and IsInverseOmega disagree on %v", p)
+		}
+		if !ok && detail == "" {
+			t.Fatal("rejection without explanation")
+		}
+	}
+}
+
+// TestWitnessNamesRealConflict: the named pair must actually violate
+// the window condition.
+func TestWitnessNamesRealConflict(t *testing.T) {
+	d := BitReversal(3) // not in Omega
+	ok, detail := OmegaWitness(d)
+	if ok {
+		t.Fatal("bit reversal should be rejected")
+	}
+	if !strings.Contains(detail, "collide at omega stage") {
+		t.Fatalf("unexpected detail: %s", detail)
+	}
+}
+
+func TestWitnessRejectsInvalid(t *testing.T) {
+	if ok, _ := OmegaWitness(Perm{0, 0, 1, 1}); ok {
+		t.Error("non-permutation accepted")
+	}
+	if ok, _ := OmegaWitness(Perm{2, 0, 1}); ok {
+		t.Error("length-3 accepted")
+	}
+	if ok, _ := InverseOmegaWitness(Perm{0, 0, 1, 1}); ok {
+		t.Error("non-permutation accepted by inverse witness")
+	}
+}

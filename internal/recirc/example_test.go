@@ -1,0 +1,28 @@
+package recirc_test
+
+import (
+	"fmt"
+
+	"repro/internal/perm"
+	"repro/internal/recirc"
+)
+
+// One switch column plus shuffle wiring realizes all of F in
+// 4 log N - 3 recirculating passes.
+func ExampleNetwork_RouteF() {
+	r := recirc.New(3)
+	res := r.RouteF(perm.BitReversal(3))
+	fmt.Println("ok:", res.OK(), "switches:", r.SwitchCount(),
+		"exchanges:", res.Exchanges, "wire trips:", res.WireTrips)
+	// Output:
+	// ok: true switches: 4 exchanges: 5 wire trips: 4
+}
+
+// Omega permutations need only log N passes.
+func ExampleNetwork_RouteOmega() {
+	r := recirc.New(4)
+	res := r.RouteOmega(perm.CyclicShift(4, 3))
+	fmt.Println("ok:", res.OK(), "passes:", res.Passes())
+	// Output:
+	// ok: true passes: 8
+}

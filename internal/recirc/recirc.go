@@ -1,0 +1,187 @@
+// Package recirc implements a recirculating shuffle-exchange network:
+// a SINGLE column of N/2 two-state switches whose outputs feed back to
+// its inputs through shuffle (and unshuffle) wiring. This is the
+// cheap-hardware design point the paper contrasts with in Section I
+// (networks in the Lang & Stone tradition): only N/2 switches — a
+// 2 log N - 1 factor less than the Benes network — at the price of one
+// column traversal per pass.
+//
+// Modes:
+//   - RouteF: the Section III PSC schedule executed in hardware,
+//     4 log N - 3 passes, realizing exactly the class F(n);
+//   - RouteOmega: n passes of shuffle+exchange, realizing exactly
+//     Omega(n) (a recirculating omega network);
+//   - RouteInverseOmega: n passes of exchange+unshuffle, realizing
+//     exactly the inverse-omega class.
+//
+// Every mode self-routes from destination tags with the paper's rule:
+// a switch crosses iff the control bit of its UPPER input's tag is 1.
+package recirc
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/perm"
+)
+
+// Network is the single-column recirculating fabric.
+type Network struct {
+	n    int
+	size int
+}
+
+// New builds the fabric for 2^n lines.
+func New(n int) *Network {
+	if n < 1 {
+		panic("recirc: New requires n >= 1")
+	}
+	return &Network{n: n, size: 1 << uint(n)}
+}
+
+// N returns the line count.
+func (r *Network) N() int { return r.size }
+
+// LogN returns n.
+func (r *Network) LogN() int { return r.n }
+
+// SwitchCount returns the physical switches: one column, N/2.
+func (r *Network) SwitchCount() int { return r.size / 2 }
+
+// PassesF returns the sequential steps (column traversals plus
+// recirculation wire trips) for an F permutation: 2 log N - 1 exchanges
+// and 2 log N - 2 wire trips, 4 log N - 3 in all — the same count as
+// the PSC unit routes, now reread as hardware delay.
+func (r *Network) PassesF() int { return 4*r.n - 3 }
+
+// PassesOmega returns the steps for an Omega (or inverse-omega)
+// permutation: log N exchanges plus log N wire trips.
+func (r *Network) PassesOmega() int { return 2 * r.n }
+
+// Result reports one recirculating routing.
+type Result struct {
+	Realized  perm.Perm
+	Misrouted []int
+	Exchanges int // switch-column traversals
+	WireTrips int // shuffle/unshuffle recirculations
+}
+
+// Passes returns the total sequential steps: the column is a shared
+// resource, so exchanges and wire trips serialize.
+func (res *Result) Passes() int { return res.Exchanges + res.WireTrips }
+
+// OK reports whether the permutation was realized.
+func (res *Result) OK() bool { return len(res.Misrouted) == 0 }
+
+// state is the recirculating register contents.
+type state struct {
+	tags []int
+	src  []int
+	n    int
+}
+
+func newState(d perm.Perm, n int) *state {
+	s := &state{tags: append([]int(nil), d...), src: make([]int, len(d)), n: n}
+	for i := range s.src {
+		s.src[i] = i
+	}
+	return s
+}
+
+// exchange runs the switch column once, deciding each switch from bit
+// cb of its upper input's tag.
+func (s *state) exchange(cb int) {
+	for i := 0; i < len(s.tags); i += 2 {
+		if bits.Bit(s.tags[i], cb) == 1 {
+			s.tags[i], s.tags[i+1] = s.tags[i+1], s.tags[i]
+			s.src[i], s.src[i+1] = s.src[i+1], s.src[i]
+		}
+	}
+}
+
+// shuffle recirculates through the shuffle wiring.
+func (s *state) shuffle() {
+	nt := make([]int, len(s.tags))
+	ns := make([]int, len(s.src))
+	for i := range s.tags {
+		to := bits.RotLeft(i, s.n)
+		nt[to], ns[to] = s.tags[i], s.src[i]
+	}
+	s.tags, s.src = nt, ns
+}
+
+// unshuffle recirculates through the reverse wiring.
+func (s *state) unshuffle() {
+	nt := make([]int, len(s.tags))
+	ns := make([]int, len(s.src))
+	for i := range s.tags {
+		to := bits.RotRight(i, s.n)
+		nt[to], ns[to] = s.tags[i], s.src[i]
+	}
+	s.tags, s.src = nt, ns
+}
+
+func (s *state) result(d perm.Perm, exchanges, wireTrips int) *Result {
+	res := &Result{Realized: make(perm.Perm, len(d)), Exchanges: exchanges, WireTrips: wireTrips}
+	for line, src := range s.src {
+		res.Realized[src] = line
+	}
+	for i, dest := range d {
+		if res.Realized[i] != dest {
+			res.Misrouted = append(res.Misrouted, i)
+		}
+	}
+	return res
+}
+
+func (r *Network) check(d perm.Perm) {
+	if len(d) != r.size {
+		panic(fmt.Sprintf("recirc: permutation length %d != N %d", len(d), r.size))
+	}
+}
+
+// RouteF runs the full F schedule: exchange(bit b)+unshuffle for
+// b = 0..n-2, exchange(bit n-1), then shuffle+exchange(bit b) for
+// b = n-2..0. It realizes exactly F(n) in 4 log N - 3 passes.
+func (r *Network) RouteF(d perm.Perm) *Result {
+	r.check(d)
+	s := newState(d, r.n)
+	ex, wt := 0, 0
+	for b := 0; b <= r.n-2; b++ {
+		s.exchange(b)
+		s.unshuffle()
+		ex, wt = ex+1, wt+1
+	}
+	s.exchange(r.n - 1)
+	ex++
+	for b := r.n - 2; b >= 0; b-- {
+		s.shuffle()
+		s.exchange(b)
+		ex, wt = ex+1, wt+1
+	}
+	return s.result(d, ex, wt)
+}
+
+// RouteOmega runs n passes of shuffle+exchange(bit n-1-k): the
+// recirculating omega network. Realizes exactly Omega(n).
+func (r *Network) RouteOmega(d perm.Perm) *Result {
+	r.check(d)
+	s := newState(d, r.n)
+	for k := 0; k < r.n; k++ {
+		s.shuffle()
+		s.exchange(r.n - 1 - k)
+	}
+	return s.result(d, r.n, r.n)
+}
+
+// RouteInverseOmega runs n passes of exchange(bit k)+unshuffle: the
+// omega network backwards. Realizes exactly the inverse-omega class.
+func (r *Network) RouteInverseOmega(d perm.Perm) *Result {
+	r.check(d)
+	s := newState(d, r.n)
+	for k := 0; k < r.n; k++ {
+		s.exchange(k)
+		s.unshuffle()
+	}
+	return s.result(d, r.n, r.n)
+}

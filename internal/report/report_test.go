@@ -1,0 +1,92 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Title", "a", "bbbb", "c")
+	tab.Add(1, "x", 3.5)
+	tab.Add("long-cell", 22, "z")
+	tab.Note("footnote %d", 7)
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "a") || !strings.Contains(lines[1], "bbbb") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.Contains(out, "long-cell") || !strings.Contains(out, "22") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	if !strings.Contains(out, "note: footnote 7") {
+		t.Errorf("missing note:\n%s", out)
+	}
+	// Columns align: "bbbb" column starts at the same offset in header
+	// and data rows.
+	col := strings.Index(lines[1], "bbbb")
+	if lines[3][col:col+1] != "x" && lines[4][col:col+2] != "22" {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tab := NewTable("", "h")
+	tab.Add("v")
+	if strings.HasPrefix(tab.String(), "\n") {
+		t.Error("empty title should not emit a blank line")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("fig", []string{"a", "bb"}, []float64{2, 4}, 10)
+	if !strings.Contains(out, "fig") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	aHashes := strings.Count(lines[1], "#")
+	bHashes := strings.Count(lines[2], "#")
+	if bHashes != 10 || aHashes != 5 {
+		t.Errorf("bar scaling wrong: a=%d b=%d\n%s", aHashes, bHashes, out)
+	}
+}
+
+func TestBarsZeroAndTiny(t *testing.T) {
+	out := Bars("", []string{"zero", "tiny", "big"}, []float64{0, 0.01, 100}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Count(lines[0], "#") != 0 {
+		t.Error("zero value should have no bar")
+	}
+	if strings.Count(lines[1], "#") != 1 {
+		t.Error("tiny nonzero value should show one mark")
+	}
+}
+
+func TestBarsPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Bars("", []string{"a"}, []float64{1, 2}, 10)
+}
+
+func TestCSV(t *testing.T) {
+	tab := NewTable("ignored title", "a", "b")
+	tab.Add(1, "plain")
+	tab.Add(2, `with,comma and "quote"`)
+	tab.Note("notes are not emitted")
+	got := tab.CSV()
+	want := "a,b\n1,plain\n2,\"with,comma and \"\"quote\"\"\"\n"
+	if got != want {
+		t.Fatalf("CSV:\n%q\nwant:\n%q", got, want)
+	}
+	if strings.Contains(got, "ignored title") || strings.Contains(got, "notes") {
+		t.Fatal("CSV leaked title or notes")
+	}
+}

@@ -1,0 +1,74 @@
+package simd
+
+import (
+	"repro/internal/bits"
+	"repro/internal/perm"
+)
+
+// Lower bounds on routing cost, used by the optimality experiments: the
+// paper states its CCC algorithm is within a factor of two of optimal
+// for BPC permutations and the MCC algorithm within a factor of four
+// (citing the optimal algorithms of Nassimi & Sahni [6], [12]).
+//
+// The bound below is the elementary "dimension-crossing" argument: if
+// any record must change bit b of its PE index, at least one unit route
+// across dimension b (or, on a mesh, across the corresponding distance)
+// is unavoidable.
+
+// RequiredDimensions returns the set of cube dimensions b (as a bitmask
+// and a count) such that some record's destination differs from its
+// source in bit b. Any CCC algorithm must spend at least one unit route
+// per required dimension.
+func RequiredDimensions(d perm.Perm) (mask, count int) {
+	n := bits.Log2(len(d))
+	for i, dest := range d {
+		mask |= i ^ dest
+	}
+	mask &= (1 << uint(n)) - 1
+	return mask, bits.OnesCount(mask)
+}
+
+// CCCLowerBound returns the dimension-crossing lower bound on unit
+// routes for performing d on a cube-connected computer (one-word
+// model).
+func CCCLowerBound(d perm.Perm) int {
+	_, count := RequiredDimensions(d)
+	return count
+}
+
+// MCCLowerBound returns the mesh analogue: for every required dimension
+// b, some record must travel the mesh distance 2^(b mod log sqrt N), and
+// those moves cannot be shared across dimensions, so the distances sum.
+func MCCLowerBound(d perm.Perm) int {
+	n := bits.Log2(len(d))
+	if n%2 != 0 {
+		panic("simd: MCCLowerBound requires a square mesh")
+	}
+	m := n / 2
+	mask, _ := RequiredDimensions(d)
+	sum := 0
+	for b := 0; b < n; b++ {
+		if mask>>uint(b)&1 == 1 {
+			sum += 1 << uint(b%m)
+		}
+	}
+	return sum
+}
+
+// BPCSkipRoutes returns the unit routes the skipping CCC algorithm
+// spends on the BPC permutation given by spec (one-word model): the
+// full 2n-1 minus 2 per interior fixed axis and 1 for a fixed top axis.
+func BPCSkipRoutes(spec perm.BPC) int {
+	n := len(spec)
+	routes := 2*n - 1
+	for j, ax := range spec {
+		if ax.Pos == j && !ax.Comp {
+			if j == n-1 {
+				routes--
+			} else {
+				routes -= 2
+			}
+		}
+	}
+	return routes
+}

@@ -1,0 +1,101 @@
+package simd
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+func TestRequiredDimensions(t *testing.T) {
+	// Identity needs nothing.
+	if _, c := RequiredDimensions(perm.Identity(16)); c != 0 {
+		t.Errorf("identity requires %d dimensions", c)
+	}
+	// Vector reversal flips every bit.
+	if mask, c := RequiredDimensions(perm.VectorReversal(4)); c != 4 || mask != 0b1111 {
+		t.Errorf("vector reversal: mask=%b count=%d", mask, c)
+	}
+	// Conditional exchange touches only bit 0.
+	if mask, c := RequiredDimensions(perm.ConditionalExchange(4, 2)); c != 1 || mask != 1 {
+		t.Errorf("conditional exchange: mask=%b count=%d", mask, c)
+	}
+}
+
+// TestCCCWithinFactorTwoOfOptimal is the paper's optimality remark: the
+// skipping algorithm spends at most twice the dimension-crossing lower
+// bound on any BPC permutation.
+func TestCCCWithinFactorTwoOfOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(9)
+		spec := perm.RandomBPC(n, rng)
+		d := spec.Perm()
+		c := NewCCC(d, 1)
+		c.PermuteBPC(spec)
+		if !c.OK() {
+			t.Fatal("BPC routing failed")
+		}
+		lb := CCCLowerBound(d)
+		if lb == 0 {
+			if c.Routes() != 0 {
+				t.Fatalf("identity-like BPC used %d routes", c.Routes())
+			}
+			continue
+		}
+		if c.Routes() > 2*lb {
+			t.Fatalf("n=%d spec=%v: %d routes vs lower bound %d — beyond factor 2",
+				n, spec, c.Routes(), lb)
+		}
+		if c.Routes() != BPCSkipRoutes(spec) {
+			t.Fatalf("BPCSkipRoutes mismatch: %d vs %d", c.Routes(), BPCSkipRoutes(spec))
+		}
+	}
+}
+
+// TestMCCWithinFactorFourOfOptimal mirrors the mesh remark.
+func TestMCCWithinFactorFourOfOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(172))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 * (1 + rng.Intn(4))
+		spec := perm.RandomBPC(n, rng)
+		d := spec.Perm()
+		mc := NewMCC(d)
+		mc.PermuteBPC(spec)
+		if !mc.OK() {
+			t.Fatal("BPC mesh routing failed")
+		}
+		lb := MCCLowerBound(d)
+		if lb == 0 {
+			continue
+		}
+		if mc.Routes() > 4*lb {
+			t.Fatalf("n=%d: %d routes vs lower bound %d — beyond factor 4", n, mc.Routes(), lb)
+		}
+	}
+}
+
+// TestLowerBoundIsABound: no algorithm variant may beat the lower
+// bound.
+func TestLowerBoundIsABound(t *testing.T) {
+	rng := rand.New(rand.NewSource(173))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(7)
+		spec := perm.RandomBPC(n, rng)
+		d := spec.Perm()
+		c := NewCCC(d, 1)
+		c.PermuteBPC(spec)
+		if c.Routes() < CCCLowerBound(d) {
+			t.Fatalf("algorithm used %d routes, below lower bound %d", c.Routes(), CCCLowerBound(d))
+		}
+	}
+}
+
+func TestMCCLowerBoundPanicsOnOddLog(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MCCLowerBound(perm.Identity(8))
+}

@@ -1,0 +1,227 @@
+package simd
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+func TestBitSequence(t *testing.T) {
+	got := BitSequence(3)
+	want := []int{0, 1, 2, 1, 0}
+	if len(got) != len(want) {
+		t.Fatalf("BitSequence(3) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BitSequence(3) = %v, want %v", got, want)
+		}
+	}
+	if len(BitSequence(10)) != 19 {
+		t.Fatal("BitSequence(10) length wrong")
+	}
+}
+
+// TestCCCRealizesExactlyF: the CCC simulation succeeds exactly on F —
+// the paper's core claim that the algorithm simulates the self-routing
+// Benes network. Exhaustive at N=4 and N=8.
+func TestCCCRealizesExactlyF(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		perm.ForEach(1<<uint(n), func(p perm.Perm) bool {
+			c := NewCCC(p, 1)
+			c.Permute()
+			if c.OK() != perm.InF(p) {
+				t.Fatalf("n=%d: CCC and Theorem 1 disagree on %v", n, p.Clone())
+			}
+			if c.OK() && !c.Realized().Equal(p) {
+				t.Fatalf("n=%d: CCC realized %v, want %v", n, c.Realized(), p.Clone())
+			}
+			return true
+		})
+	}
+	rng := rand.New(rand.NewSource(121))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(9)
+		p := perm.Random(1<<uint(n), rng)
+		c := NewCCC(p, 1)
+		c.Permute()
+		if c.OK() != perm.InF(p) {
+			t.Fatalf("n=%d: CCC and Theorem 1 disagree on %v", n, p)
+		}
+	}
+}
+
+// TestCCCRouteCounts: 2 log N - 1 unit routes in the one-word model,
+// 4 log N - 2 in the two-route model.
+func TestCCCRouteCounts(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		d := perm.Identity(1 << uint(n))
+		c1 := NewCCC(d, 1)
+		c1.Permute()
+		if c1.Routes() != 2*n-1 {
+			t.Errorf("n=%d: cost-1 routes=%d, want %d", n, c1.Routes(), 2*n-1)
+		}
+		c2 := NewCCC(d, 2)
+		c2.Permute()
+		if c2.Routes() != 4*n-2 {
+			t.Errorf("n=%d: cost-2 routes=%d, want %d", n, c2.Routes(), 4*n-2)
+		}
+	}
+}
+
+// TestCCCOmegaShortcut: Omega permutations route with the first n-1
+// iterations skipped, in n unit routes.
+func TestCCCOmegaShortcut(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		perm.ForEach(1<<uint(n), func(p perm.Perm) bool {
+			if !perm.IsOmega(p) {
+				return true
+			}
+			c := NewCCC(p, 1)
+			c.PermuteOmega()
+			if !c.OK() {
+				t.Fatalf("n=%d: omega shortcut failed on %v", n, p.Clone())
+			}
+			if c.Routes() != n {
+				t.Fatalf("n=%d: omega shortcut used %d routes, want %d", n, c.Routes(), n)
+			}
+			if c.Skipped() != n-1 {
+				t.Fatalf("n=%d: skipped %d, want %d", n, c.Skipped(), n-1)
+			}
+			return true
+		})
+	}
+	// Larger spot checks.
+	for n := 4; n <= 9; n++ {
+		N := 1 << uint(n)
+		for _, p := range []perm.Perm{perm.CyclicShift(n, 3), perm.POrdering(n, N-1)} {
+			if !perm.IsOmega(p) {
+				t.Fatalf("test perm not omega at n=%d", n)
+			}
+			c := NewCCC(p, 1)
+			c.PermuteOmega()
+			if !c.OK() {
+				t.Fatalf("n=%d: omega shortcut failed", n)
+			}
+		}
+	}
+}
+
+// TestCCCInverseOmegaShortcut: inverse-omega permutations route with
+// the last n-1 iterations skipped.
+func TestCCCInverseOmegaShortcut(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		perm.ForEach(1<<uint(n), func(p perm.Perm) bool {
+			if !perm.IsInverseOmega(p) {
+				return true
+			}
+			c := NewCCC(p, 1)
+			c.PermuteInverseOmega()
+			if !c.OK() {
+				t.Fatalf("n=%d: inverse-omega shortcut failed on %v", n, p.Clone())
+			}
+			if c.Routes() != n {
+				t.Fatalf("n=%d: shortcut used %d routes, want %d", n, c.Routes(), n)
+			}
+			return true
+		})
+	}
+}
+
+// TestCCCBPCShortcut: for a BPC permutation, iterations with A_j = +j
+// are skipped and routing still succeeds. The route count drops by
+// 2 per interior fixed bit (1 for bit n-1) — within a factor of two of
+// optimal, as the paper notes.
+func TestCCCBPCShortcut(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(8)
+		spec := perm.RandomBPC(n, rng)
+		d := spec.Perm()
+		c := NewCCC(d, 1)
+		c.PermuteBPC(spec)
+		if !c.OK() {
+			t.Fatalf("BPC shortcut failed for %v", spec)
+		}
+		saved := 0
+		for j, ax := range spec {
+			if ax.Pos == j && !ax.Comp {
+				if j == n-1 {
+					saved++
+				} else {
+					saved += 2
+				}
+			}
+		}
+		if c.Routes() != 2*n-1-saved {
+			t.Fatalf("BPC shortcut used %d routes, want %d (spec %v)", c.Routes(), 2*n-1-saved, spec)
+		}
+		if c.Skipped() != saved {
+			t.Fatalf("skipped %d, want %d", c.Skipped(), saved)
+		}
+	}
+}
+
+// TestCCCIdentityBPCFree: the identity BPC spec skips every iteration —
+// zero routes.
+func TestCCCIdentityBPCFree(t *testing.T) {
+	n := 6
+	c := NewCCC(perm.Identity(1<<uint(n)), 1)
+	c.PermuteBPC(perm.IdentityBPC(n))
+	if !c.OK() || c.Routes() != 0 {
+		t.Fatalf("identity BPC should cost nothing, used %d routes", c.Routes())
+	}
+}
+
+// TestFig6Trace reproduces the paper's Fig. 6: the per-iteration D(i)
+// columns for bit reversal on 8 PEs.
+func TestFig6Trace(t *testing.T) {
+	trace, seq := Fig6Trace(perm.BitReversal(3))
+	if len(trace) != 6 || len(seq) != 5 {
+		t.Fatalf("trace has %d rows, want 6", len(trace))
+	}
+	check := func(row int, want []int) {
+		for i, w := range want {
+			if trace[row][i] != w {
+				t.Fatalf("trace row %d = %v, want %v", row, trace[row], want)
+			}
+		}
+	}
+	// Initial tags: bit reversal of 0..7.
+	check(0, []int{0, 4, 2, 6, 1, 5, 3, 7})
+	// After b=0: PE4<->PE5 and PE6<->PE7 exchange (the two examples the
+	// paper calls out).
+	check(1, []int{0, 4, 2, 6, 5, 1, 7, 3})
+	// After b=2 (iteration 3): PE1<->PE5 and PE3<->PE7 exchange, PE0/PE4
+	// do not — the other two examples in the text.
+	check(3, []int{0, 1, 2, 3, 5, 4, 7, 6})
+	// Final: every tag home.
+	check(5, []int{0, 1, 2, 3, 4, 5, 6, 7})
+}
+
+func TestFig6TracePanicsOnNonF(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fig6Trace should panic on non-F permutation")
+		}
+	}()
+	Fig6Trace(perm.Perm{1, 3, 2, 0})
+}
+
+func TestNewCCCValidation(t *testing.T) {
+	for _, bad := range []func(){
+		func() { NewCCC(perm.Perm{0, 0, 1, 1}, 1) },
+		func() { NewCCC(perm.Identity(4), 3) },
+		func() { NewCCC(perm.Identity(3), 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

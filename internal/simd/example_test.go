@@ -1,0 +1,68 @@
+package simd_test
+
+import (
+	"fmt"
+
+	"repro/internal/perm"
+	"repro/internal/simd"
+)
+
+// The Section III cube algorithm: 2 log N - 1 masked interchanges.
+func ExampleCCC_Permute() {
+	c := simd.NewCCC(perm.BitReversal(3), 1)
+	c.Permute()
+	fmt.Println("ok:", c.OK(), "unit routes:", c.Routes())
+	// Output:
+	// ok: true unit routes: 5
+}
+
+// BPC shortcut: dimensions with A_j = +j never route.
+func ExampleCCC_PermuteBPC() {
+	spec := perm.MatrixTransposeBPC(4) // no fixed axes
+	c := simd.NewCCC(spec.Perm(), 1)
+	c.PermuteBPC(spec)
+	fmt.Println("ok:", c.OK(), "routes:", c.Routes(), "skipped:", c.Skipped())
+
+	id := perm.IdentityBPC(4) // every axis fixed
+	c2 := simd.NewCCC(id.Perm(), 1)
+	c2.PermuteBPC(id)
+	fmt.Println("identity routes:", c2.Routes())
+	// Output:
+	// ok: true routes: 7 skipped: 0
+	// identity routes: 0
+}
+
+// The perfect-shuffle computer uses 4 log N - 3 unit routes.
+func ExamplePSC_Permute() {
+	p := simd.NewPSC(perm.BitReversal(4))
+	p.Permute()
+	fmt.Println("ok:", p.OK(), "unit routes:", p.Routes())
+	// Output:
+	// ok: true unit routes: 13
+}
+
+// The mesh pays distance: 7 sqrt(N) - 8 in all.
+func ExampleMCC_Permute() {
+	m := simd.NewMCC(perm.MatrixTranspose(6)) // an 8x8 mesh
+	m.Permute()
+	fmt.Println("ok:", m.OK(), "unit routes:", m.Routes())
+	// Output:
+	// ok: true unit routes: 48
+}
+
+// Destination tags are computed locally from compact representations.
+func ExampleTagsFromAffine() {
+	res := simd.TagsFromAffine(3, 3, 1) // D(i) = (3i + 1) mod 8
+	fmt.Println(res.Tags, "local steps:", res.LocalSteps, "routes:", res.UnitRoutes)
+	// Output:
+	// (1,4,7,2,5,0,3,6) local steps: 3 routes: 0
+}
+
+// Bitonic sorting handles permutations outside F, at log^2 N cost.
+func ExampleSortCCC() {
+	notInF := perm.Perm{1, 3, 2, 0}
+	realized, routes := simd.SortCCC(notInF, 1)
+	fmt.Println("realized:", realized.Equal(notInF), "routes:", routes)
+	// Output:
+	// realized: true routes: 3
+}

@@ -1,0 +1,134 @@
+package simd
+
+import (
+	"repro/internal/bits"
+	"repro/internal/perm"
+)
+
+// MCC simulates a sqrt(N) x sqrt(N) mesh-connected computer holding PEs
+// in row-major order. The permutation algorithm is the CCC loop with
+// each cube interchange implemented by mesh moves: PEs differing in bit
+// b of their row-major index are 2^b columns apart when b < log sqrt(N)
+// and 2^(b - log sqrt(N)) rows apart otherwise; an interchange between
+// PEs 2^k apart costs 2*2^k unit routes (each record travels the
+// distance, in opposite directions). The full loop therefore costs
+// exactly 7 sqrt(N) - 8 unit routes (Section III).
+type MCC struct {
+	n    int // log2 N; must be even
+	m    int // log2 sqrt(N)
+	size int
+	r    []int
+	d    []int
+
+	routes  int
+	skipped int
+}
+
+// NewMCC prepares an MCC holding destination tags dest; the tag count
+// must be an even power of two (a square mesh).
+func NewMCC(dest perm.Perm) *MCC {
+	if err := dest.Validate(); err != nil {
+		panic("simd: NewMCC: " + err.Error())
+	}
+	size := len(dest)
+	n := bits.Log2(size)
+	if n%2 != 0 {
+		panic("simd: NewMCC requires a square mesh (even log N)")
+	}
+	mc := &MCC{
+		n:    n,
+		m:    n / 2,
+		size: size,
+		r:    make([]int, size),
+		d:    append([]int(nil), dest...),
+	}
+	for i := range mc.r {
+		mc.r[i] = i
+	}
+	return mc
+}
+
+// N returns the number of PEs.
+func (mc *MCC) N() int { return mc.size }
+
+// Side returns sqrt(N), the mesh dimension.
+func (mc *MCC) Side() int { return 1 << uint(mc.m) }
+
+// Routes returns the unit routes consumed so far.
+func (mc *MCC) Routes() int { return mc.routes }
+
+// Skipped returns the iterations skipped by shortcuts.
+func (mc *MCC) Skipped() int { return mc.skipped }
+
+// StepCost returns the unit-route cost of the dimension-b interchange:
+// twice the mesh distance 2^(b mod log sqrt(N)).
+func (mc *MCC) StepCost(b int) int {
+	return 2 * (1 << uint(b%mc.m))
+}
+
+// Step performs the dimension-b masked interchange, charged at mesh
+// distance.
+func (mc *MCC) Step(b int) {
+	for i := 0; i < mc.size; i++ {
+		if bits.Bit(i, b) == 0 && bits.Bit(mc.d[i], b) == 1 {
+			j := bits.Flip(i, b)
+			mc.r[i], mc.r[j] = mc.r[j], mc.r[i]
+			mc.d[i], mc.d[j] = mc.d[j], mc.d[i]
+		}
+	}
+	mc.routes += mc.StepCost(b)
+}
+
+// Permute runs the full loop: 7 sqrt(N) - 8 unit routes.
+func (mc *MCC) Permute() {
+	for _, b := range BitSequence(mc.n) {
+		mc.Step(b)
+	}
+}
+
+// PermuteSkipping runs the loop skipping marked dimensions (the BPC
+// A_j = +j shortcut; skipped iterations are free).
+func (mc *MCC) PermuteSkipping(skip func(b int) bool) {
+	for _, b := range BitSequence(mc.n) {
+		if skip(b) {
+			mc.skipped++
+			continue
+		}
+		mc.Step(b)
+	}
+}
+
+// PermuteBPC skips every dimension fixed by the spec.
+func (mc *MCC) PermuteBPC(spec perm.BPC) {
+	if len(spec) != mc.n {
+		panic("simd: BPC spec size mismatch")
+	}
+	mc.PermuteSkipping(func(b int) bool {
+		return spec[b].Pos == b && !spec[b].Comp
+	})
+}
+
+// Realized reads back the performed permutation.
+func (mc *MCC) Realized() perm.Perm {
+	out := make(perm.Perm, mc.size)
+	for pe, rec := range mc.r {
+		out[rec] = pe
+	}
+	return out
+}
+
+// OK reports whether every record reached its destination.
+func (mc *MCC) OK() bool {
+	for pe, want := range mc.d {
+		if want != pe {
+			return false
+		}
+	}
+	return true
+}
+
+// FullLoopCost returns the closed-form route count of Permute for a
+// mesh of 2^n PEs: 7 sqrt(N) - 8.
+func FullLoopCost(n int) int {
+	return 7*(1<<uint(n/2)) - 8
+}

@@ -1,0 +1,92 @@
+package simd
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+// TestDetailedMatchesAggregate: hop-level and aggregate mesh machines
+// must agree on outcome and on total unit routes.
+func TestDetailedMatchesAggregate(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 * (1 + rng.Intn(4))
+		var d perm.Perm
+		if trial%2 == 0 {
+			d = perm.Random(1<<uint(n), rng)
+		} else {
+			d = perm.RandomBPC(n, rng).Perm()
+		}
+		agg := NewMCC(d)
+		agg.Permute()
+		det := NewMCCDetailed(d)
+		det.Permute()
+		if agg.OK() != det.OK() {
+			t.Fatalf("n=%d: success flags differ", n)
+		}
+		if !agg.Realized().Equal(det.Realized()) {
+			t.Fatalf("n=%d: realized mappings differ", n)
+		}
+		if agg.Routes() != det.Routes() {
+			t.Fatalf("n=%d: routes %d (aggregate) vs %d (detailed)", n, agg.Routes(), det.Routes())
+		}
+	}
+}
+
+// TestDetailedMovesAreNeighbourOnly: every observed transfer crosses
+// exactly one mesh edge — one column or one row, never more, never
+// diagonal, never off the mesh.
+func TestDetailedMovesAreNeighbourOnly(t *testing.T) {
+	n := 6
+	d := perm.MatrixTranspose(n)
+	mc := NewMCCDetailed(d)
+	side := mc.side
+	moves := 0
+	mc.OnMove(func(from, to int) {
+		moves++
+		if from < 0 || from >= mc.size || to < 0 || to >= mc.size {
+			t.Fatalf("transfer off the mesh: %d -> %d", from, to)
+		}
+		fr, fc := from/side, from%side
+		tr, tc := to/side, to%side
+		rowStep, colStep := tr-fr, tc-fc
+		if rowStep < 0 {
+			rowStep = -rowStep
+		}
+		if colStep < 0 {
+			colStep = -colStep
+		}
+		if rowStep+colStep != 1 {
+			t.Fatalf("non-neighbour transfer: (%d,%d) -> (%d,%d)", fr, fc, tr, tc)
+		}
+	})
+	mc.Permute()
+	if !mc.OK() {
+		t.Fatal("transpose failed on detailed mesh")
+	}
+	if moves == 0 {
+		t.Fatal("no transfers observed")
+	}
+}
+
+// TestDetailedRouteBound: the full loop costs exactly 7 sqrt(N) - 8.
+func TestDetailedRouteBound(t *testing.T) {
+	for n := 2; n <= 10; n += 2 {
+		mc := NewMCCDetailed(perm.Identity(1 << uint(n)))
+		mc.Permute()
+		if mc.Routes() != FullLoopCost(n) {
+			t.Errorf("n=%d: routes=%d, want %d", n, mc.Routes(), FullLoopCost(n))
+		}
+	}
+}
+
+func TestDetailedRejectsOddLog(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMCCDetailed(perm.Identity(8))
+}

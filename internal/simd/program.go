@@ -1,0 +1,198 @@
+package simd
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bits"
+	"repro/internal/perm"
+)
+
+// This file expresses the Section III algorithms as explicit SIMD
+// *programs* — ordered instruction streams the control unit would
+// broadcast — and provides an interpreter with unit-route accounting.
+// The direct implementations (CCC.Permute etc.) stay the fast path; the
+// programs exist so the algorithms can be printed, inspected, costed
+// per-instruction, and cross-checked instruction-for-instruction
+// against the direct code (see tests).
+
+// Op is an SIMD instruction opcode.
+type Op int
+
+const (
+	// OpExchangeDim is the CCC masked interchange across cube dimension
+	// Arg: records move between PE(i) and PE(i^(Arg)) when (i)_Arg = 0
+	// and bit Arg of D(i) is 1.
+	OpExchangeDim Op = iota
+	// OpExchangeTag is the PSC masked exchange: PE pairs (2i, 2i+1)
+	// swap when bit Arg of D(2i) is 1.
+	OpExchangeTag
+	// OpShuffle routes every record along the perfect-shuffle wire.
+	OpShuffle
+	// OpUnshuffle routes every record along the unshuffle wire.
+	OpUnshuffle
+)
+
+// Instr is one broadcast instruction.
+type Instr struct {
+	Op  Op
+	Arg int // tag bit / dimension for the exchange ops
+}
+
+func (in Instr) String() string {
+	switch in.Op {
+	case OpExchangeDim:
+		return fmt.Sprintf("XCHG.dim %d", in.Arg)
+	case OpExchangeTag:
+		return fmt.Sprintf("XCHG.tag %d", in.Arg)
+	case OpShuffle:
+		return "SHUF"
+	case OpUnshuffle:
+		return "UNSHUF"
+	}
+	return fmt.Sprintf("Instr(%d,%d)", int(in.Op), in.Arg)
+}
+
+// Program is an instruction stream with a listing.
+type Program []Instr
+
+// String renders the stream one instruction per line.
+func (p Program) String() string {
+	var sb strings.Builder
+	for i, in := range p {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(in.String())
+	}
+	return sb.String()
+}
+
+// UnitRoutes returns the program's cost in unit routes under the
+// one-word model: every instruction is one route.
+func (p Program) UnitRoutes() int { return len(p) }
+
+// CCCProgram returns the Section III cube program for 2^n PEs:
+// XCHG.dim over the Benes bit sequence, 2n-1 instructions.
+func CCCProgram(n int) Program {
+	var prog Program
+	for _, b := range BitSequence(n) {
+		prog = append(prog, Instr{Op: OpExchangeDim, Arg: b})
+	}
+	return prog
+}
+
+// PSCProgram returns the Section III shuffle program: 4n-3
+// instructions.
+func PSCProgram(n int) Program {
+	var prog Program
+	for b := 0; b <= n-2; b++ {
+		prog = append(prog, Instr{Op: OpExchangeTag, Arg: b}, Instr{Op: OpUnshuffle})
+	}
+	prog = append(prog, Instr{Op: OpExchangeTag, Arg: n - 1})
+	for b := n - 2; b >= 0; b-- {
+		prog = append(prog, Instr{Op: OpShuffle}, Instr{Op: OpExchangeTag, Arg: b})
+	}
+	return prog
+}
+
+// PSCOmegaProgram is the omega shortcut: 2n instructions.
+func PSCOmegaProgram(n int) Program {
+	prog := Program{{Op: OpShuffle}, {Op: OpExchangeTag, Arg: n - 1}}
+	for b := n - 2; b >= 0; b-- {
+		prog = append(prog, Instr{Op: OpShuffle}, Instr{Op: OpExchangeTag, Arg: b})
+	}
+	return prog
+}
+
+// Machine is the interpreter state: per-PE records (R, D).
+type Machine struct {
+	n      int
+	size   int
+	r, d   []int
+	routes int
+}
+
+// NewMachine loads destination tags; R(i) = i.
+func NewMachine(dest perm.Perm) *Machine {
+	if err := dest.Validate(); err != nil {
+		panic("simd: NewMachine: " + err.Error())
+	}
+	m := &Machine{
+		n:    bits.Log2(len(dest)),
+		size: len(dest),
+		r:    make([]int, len(dest)),
+		d:    append([]int(nil), dest...),
+	}
+	for i := range m.r {
+		m.r[i] = i
+	}
+	return m
+}
+
+// Exec runs one instruction.
+func (m *Machine) Exec(in Instr) {
+	switch in.Op {
+	case OpExchangeDim:
+		for i := 0; i < m.size; i++ {
+			if bits.Bit(i, in.Arg) == 0 && bits.Bit(m.d[i], in.Arg) == 1 {
+				j := bits.Flip(i, in.Arg)
+				m.r[i], m.r[j] = m.r[j], m.r[i]
+				m.d[i], m.d[j] = m.d[j], m.d[i]
+			}
+		}
+	case OpExchangeTag:
+		for i := 0; i < m.size; i += 2 {
+			if bits.Bit(m.d[i], in.Arg) == 1 {
+				m.r[i], m.r[i+1] = m.r[i+1], m.r[i]
+				m.d[i], m.d[i+1] = m.d[i+1], m.d[i]
+			}
+		}
+	case OpShuffle:
+		nr, nd := make([]int, m.size), make([]int, m.size)
+		for i := 0; i < m.size; i++ {
+			to := bits.RotLeft(i, m.n)
+			nr[to], nd[to] = m.r[i], m.d[i]
+		}
+		m.r, m.d = nr, nd
+	case OpUnshuffle:
+		nr, nd := make([]int, m.size), make([]int, m.size)
+		for i := 0; i < m.size; i++ {
+			to := bits.RotRight(i, m.n)
+			nr[to], nd[to] = m.r[i], m.d[i]
+		}
+		m.r, m.d = nr, nd
+	default:
+		panic("simd: unknown instruction")
+	}
+	m.routes++
+}
+
+// Run executes a whole program.
+func (m *Machine) Run(p Program) {
+	for _, in := range p {
+		m.Exec(in)
+	}
+}
+
+// Routes returns the unit routes consumed.
+func (m *Machine) Routes() int { return m.routes }
+
+// OK reports whether every tag is home.
+func (m *Machine) OK() bool {
+	for pe, want := range m.d {
+		if want != pe {
+			return false
+		}
+	}
+	return true
+}
+
+// Realized reads back the performed permutation.
+func (m *Machine) Realized() perm.Perm {
+	out := make(perm.Perm, m.size)
+	for pe, rec := range m.r {
+		out[rec] = pe
+	}
+	return out
+}

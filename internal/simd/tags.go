@@ -1,0 +1,61 @@
+package simd
+
+import (
+	"repro/internal/perm"
+)
+
+// This file implements the end of Section III: destination tags can be
+// computed locally by each PE from a compact permutation representation,
+// without any PE-to-PE communication. From a BPC A-vector (log N words
+// broadcast in the instruction stream) each PE derives its own tag in
+// O(log N) local steps; from the constants (p, k) of a
+// "p-ordering and cyclic shift" each PE needs only O(1) steps.
+
+// TagResult carries the computed tags together with the cost model: the
+// maximum number of local operations executed by any single PE (all PEs
+// work in lockstep, so this is the SIMD step count) and the unit routes
+// used (always zero — the computation is purely local).
+type TagResult struct {
+	Tags       perm.Perm
+	LocalSteps int
+	UnitRoutes int
+}
+
+// TagsFromBPC has every PE compute D(i) from the broadcast A-vector.
+// Each PE performs one extract-complement-deposit step per bit:
+// O(log N) local steps.
+func TagsFromBPC(spec perm.BPC) TagResult {
+	n := len(spec)
+	size := 1 << uint(n)
+	tags := make(perm.Perm, size)
+	for i := range tags {
+		d := 0
+		for j, ax := range spec {
+			b := (i >> uint(j)) & 1
+			if ax.Comp {
+				b = 1 - b
+			}
+			d |= b << uint(ax.Pos)
+		}
+		tags[i] = d
+	}
+	return TagResult{Tags: tags, LocalSteps: n}
+}
+
+// TagsFromAffine has every PE compute D(i) = (p*i + k) mod N from the
+// broadcast constants: one multiply, one add, one mask — O(1) local
+// steps regardless of N.
+func TagsFromAffine(n, p, k int) TagResult {
+	if p%2 == 0 {
+		panic("simd: TagsFromAffine requires odd p")
+	}
+	size := 1 << uint(n)
+	tags := make(perm.Perm, size)
+	mask := size - 1
+	pp := ((p % size) + size) % size
+	kk := ((k % size) + size) % size
+	for i := range tags {
+		tags[i] = (pp*i + kk) & mask
+	}
+	return TagResult{Tags: tags, LocalSteps: 3}
+}
