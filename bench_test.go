@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/crossbar"
+	"repro/internal/engine"
 	"repro/internal/gcn"
 	"repro/internal/lenfant"
 	"repro/internal/machine"
@@ -626,6 +627,44 @@ func BenchmarkE32_Machine(b *testing.B) {
 		m.Apply(d)
 	}
 	b.ReportMetric(m.Time()/float64(b.N), "modelled-time/op")
+}
+
+// BenchmarkE33_Engine measures the serving engine of internal/engine
+// at N=1024: the per-call Setup+route baseline, a cold cache (every
+// request computes a plan), and a warm cache (hits replay the cached
+// plan, skipping setup entirely). The warm/baseline ratio is the
+// serving-layer payoff of caching the paper's expensive setup step.
+func BenchmarkE33_Engine(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	d := perm.Random(1<<benchN, rng) // almost surely outside F -> looping setup
+	data := make([]int, 1<<benchN)
+	for i := range data {
+		data[i] = i
+	}
+	b.Run("per-call-setup", func(b *testing.B) {
+		net := core.New(benchN)
+		for i := 0; i < b.N; i++ {
+			st := net.Setup(d)
+			res := net.ExternalRoute(d, st)
+			_ = perm.Apply(res.Realized, data)
+		}
+	})
+	b.Run("warm-cache", func(b *testing.B) {
+		eng, err := engine.New[int](engine.Config{LogN: benchN})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Close()
+		eng.Route(d, data) // prime the plan cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if resp := eng.Route(d, data); resp.Err != nil {
+				b.Fatal(resp.Err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(eng.Stats().HitRate, "hit-rate")
+	})
 }
 
 func itoa(v int) string {

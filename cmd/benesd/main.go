@@ -1,0 +1,127 @@
+// Command benesd is a demo routing server over the batched engine of
+// internal/engine: it accepts permutation requests over HTTP, serves
+// them through the sharded worker pool with the LRU plan cache, and
+// exposes the engine's metrics.
+//
+// Endpoints:
+//
+//	POST /route    {"dest":[...], "data":[...]} -> routed payload
+//	               ("data" optional; defaults to the identity payload
+//	               0..N-1, so the response shows where each input went)
+//	GET  /stats    full engine metrics snapshot (hits, misses,
+//	               fallbacks, per-stage latency histograms, queue depth)
+//	GET  /healthz  liveness probe
+//	GET  /debug/vars  standard expvar, with the engine published
+//	               under "engine"
+//
+// Example:
+//
+//	benesd -n 10 &
+//	curl -s localhost:8080/route -d '{"dest":[1,0,3,2,...]}'
+//	curl -s localhost:8080/stats
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro/internal/engine"
+	"repro/internal/perm"
+)
+
+type server struct {
+	eng *engine.Engine[int]
+}
+
+type routeRequest struct {
+	Dest []int `json:"dest"`
+	Data []int `json:"data,omitempty"`
+}
+
+type routeResponse struct {
+	Data     []int  `json:"data"`
+	Kind     string `json:"kind"`
+	CacheHit bool   `json:"cache_hit"`
+}
+
+func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	var req routeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON: %v", err))
+		return
+	}
+	if req.Data == nil {
+		req.Data = make([]int, len(req.Dest))
+		for i := range req.Data {
+			req.Data[i] = i
+		}
+	}
+	resp := s.eng.Route(perm.Perm(req.Dest), req.Data)
+	if resp.Err != nil {
+		httpError(w, http.StatusBadRequest, resp.Err.Error())
+		return
+	}
+	writeJSON(w, routeResponse{Data: resp.Data, Kind: resp.Kind.String(), CacheHit: resp.CacheHit})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.eng.Stats())
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(map[string]string{"error": msg}); err != nil {
+		log.Printf("benesd: encoding error response: %v", err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("benesd: encoding response: %v", err)
+	}
+}
+
+// newMux wires the handlers; split from main so tests can mount the
+// mux on an httptest server.
+func newMux(eng *engine.Engine[int]) *http.ServeMux {
+	s := &server{eng: eng}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /route", s.handleRoute)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		n       = flag.Int("n", 10, "network size exponent: B(n) routes N=2^n terminals")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		cache   = flag.Int("cache", engine.DefaultCacheCapacity, "plan cache capacity (plans)")
+		replay  = flag.Bool("replay", false, "replay cached states gate-by-gate instead of applying the mapping")
+	)
+	flag.Parse()
+
+	eng, err := engine.New[int](engine.Config{
+		LogN:          *n,
+		Workers:       *workers,
+		CacheCapacity: *cache,
+		ReplayStates:  *replay,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	expvar.Publish("engine", expvar.Func(func() any { return eng.Stats() }))
+
+	log.Printf("benesd: serving B(%d) (N=%d) on %s", *n, eng.Network().N(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, newMux(eng)))
+}

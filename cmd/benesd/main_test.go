@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/perm"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *engine.Engine[int]) {
+	t.Helper()
+	eng, err := engine.New[int](engine.Config{LogN: 4}) // N = 16
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newMux(eng))
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+	return srv, eng
+}
+
+func postRoute(t *testing.T, url string, body any) (*http.Response, routeResponse) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/route", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rr routeResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, rr
+}
+
+// TestRouteEndpoint routes the Fig. 4 bit-reversal twice: the first
+// call computes a self-routed plan, the second must hit the cache.
+func TestRouteEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	d := perm.BitReversal(4)
+
+	resp, rr := postRoute(t, srv.URL, routeRequest{Dest: d})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if rr.Kind != "self-routed" || rr.CacheHit {
+		t.Fatalf("first call: kind=%q hit=%v, want self-routed miss", rr.Kind, rr.CacheHit)
+	}
+	want := perm.Apply(d, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	for i, v := range want {
+		if rr.Data[i] != v {
+			t.Fatalf("routed payload wrong at %d: got %v want %v", i, rr.Data, want)
+		}
+	}
+
+	_, rr = postRoute(t, srv.URL, routeRequest{Dest: d})
+	if !rr.CacheHit {
+		t.Fatal("second identical request must be a cache hit")
+	}
+}
+
+// TestRoutePayloadAndFallback sends an explicit payload with a non-F
+// permutation and expects the looping fallback.
+func TestRoutePayloadAndFallback(t *testing.T) {
+	srv, _ := newTestServer(t)
+	// Fig. 5's non-self-routable witness embedded in the identity.
+	d := perm.Identity(16)
+	d[0], d[1], d[2], d[3] = 1, 3, 2, 0
+	if perm.InF(d) {
+		t.Fatal("test premise: d must be outside F")
+	}
+	data := make([]int, 16)
+	for i := range data {
+		data[i] = 100 + i
+	}
+	resp, rr := postRoute(t, srv.URL, routeRequest{Dest: d, Data: data})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if rr.Kind != "looped" {
+		t.Fatalf("non-F permutation should be looped, got %q", rr.Kind)
+	}
+	for i, dest := range d {
+		if rr.Data[dest] != 100+i {
+			t.Fatalf("payload element %d misplaced: %v", i, rr.Data)
+		}
+	}
+}
+
+// TestRouteErrors exercises the 400 paths.
+func TestRouteErrors(t *testing.T) {
+	srv, _ := newTestServer(t)
+	for name, body := range map[string]routeRequest{
+		"wrong length": {Dest: []int{0, 1, 2}},
+		"not a perm":   {Dest: []int{0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14}},
+	} {
+		resp, _ := postRoute(t, srv.URL, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(srv.URL+"/route", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestStatsAndHealth checks /stats reflects traffic and /healthz
+// responds.
+func TestStatsAndHealth(t *testing.T) {
+	srv, _ := newTestServer(t)
+	d := perm.PerfectShuffle(4)
+	postRoute(t, srv.URL, routeRequest{Dest: d})
+	postRoute(t, srv.URL, routeRequest{Dest: d})
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var s engine.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Requests != 2 || s.Hits != 1 || s.Misses != 1 || s.PlansCached != 1 {
+		t.Fatalf("stats don't reflect traffic: %+v", s)
+	}
+
+	hresp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", hresp.StatusCode)
+	}
+}

@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+)
+
+// PlanKind records which setup path produced a routing plan.
+type PlanKind int
+
+const (
+	// PlanSelfRouted marks a plan whose states were decided by the
+	// network's own destination-tag logic (the permutation is in F(n),
+	// the paper's O(log N) setup-free path).
+	PlanSelfRouted PlanKind = iota
+	// PlanLooped marks a plan computed by the classic looping algorithm
+	// (core.Setup) because the permutation is outside F(n).
+	PlanLooped
+)
+
+func (k PlanKind) String() string {
+	switch k {
+	case PlanSelfRouted:
+		return "self-routed"
+	case PlanLooped:
+		return "looped"
+	}
+	return "unknown"
+}
+
+// Plan is a fully resolved switch setting for one permutation. Once
+// cached, serving the same permutation again needs neither the looping
+// algorithm nor a self-routing pass: the states pin every switch, so
+// the data pass is a wire-speed traversal whose end-to-end effect is
+// exactly Dest.
+type Plan struct {
+	Kind   PlanKind
+	States core.States // switch setting realizing Dest on B(n)
+	Dest   perm.Perm   // the permutation the plan realizes (input i -> Dest[i])
+	key    uint64      // hashPerm(Dest), the cache key
+}
+
+// hashPerm returns the 64-bit plan-cache key for a destination vector:
+// a word-at-a-time FNV-1a variant. Collisions are tolerated — lookups
+// always confirm the full permutation — so speed matters more than
+// cryptographic strength.
+func hashPerm(p perm.Perm) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for _, d := range p {
+		h ^= uint64(d) + 1 // +1 so a leading 0 perturbs the state
+		h *= prime64
+	}
+	return h
+}
+
+// planCache is a sharded LRU cache of routing plans. Each shard owns an
+// independent lock, recency list, and capacity slice, so concurrent
+// workers rarely contend on the same mutex.
+type planCache struct {
+	shards    []cacheShard
+	mask      uint64
+	evictions *atomic.Int64
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List               // front = most recently used; values are *Plan
+	items map[uint64]*list.Element // key -> element in ll
+}
+
+// newPlanCache builds a cache holding about `capacity` plans across
+// `shards` shards (rounded up to a power of two, each shard holding at
+// least one plan). evictions is incremented once per displaced plan.
+func newPlanCache(capacity, shards int, evictions *atomic.Int64) *planCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	perShard := (capacity + n - 1) / n
+	c := &planCache{shards: make([]cacheShard, n), mask: uint64(n - 1), evictions: evictions}
+	for i := range c.shards {
+		c.shards[i].cap = perShard
+		c.shards[i].ll = list.New()
+		c.shards[i].items = make(map[uint64]*list.Element, perShard)
+	}
+	return c
+}
+
+// get returns the cached plan for d, or nil on a miss. The stored
+// permutation is compared in full, so a hash collision reads as a miss
+// rather than a wrong answer.
+func (c *planCache) get(key uint64, d perm.Perm) *Plan {
+	sh := &c.shards[key&c.mask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.items[key]
+	if !ok {
+		return nil
+	}
+	pl := e.Value.(*Plan)
+	if !pl.Dest.Equal(d) {
+		return nil
+	}
+	sh.ll.MoveToFront(e)
+	return pl
+}
+
+// put inserts (or replaces) a plan and evicts the shard's least
+// recently used entry when over capacity.
+func (c *planCache) put(pl *Plan) {
+	sh := &c.shards[pl.key&c.mask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.items[pl.key]; ok {
+		e.Value = pl
+		sh.ll.MoveToFront(e)
+		return
+	}
+	sh.items[pl.key] = sh.ll.PushFront(pl)
+	for sh.ll.Len() > sh.cap {
+		oldest := sh.ll.Back()
+		sh.ll.Remove(oldest)
+		delete(sh.items, oldest.Value.(*Plan).key)
+		if c.evictions != nil {
+			c.evictions.Add(1)
+		}
+	}
+}
+
+// len returns the number of plans currently cached across all shards.
+func (c *planCache) len() int {
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		total += sh.ll.Len()
+		sh.mu.Unlock()
+	}
+	return total
+}

@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+func mkPlan(d perm.Perm) *Plan {
+	return &Plan{Kind: PlanLooped, Dest: d.Clone(), key: hashPerm(d)}
+}
+
+// TestCacheEvictionLRU fills a single-shard cache past capacity and
+// checks that exactly the least recently used plans are displaced.
+func TestCacheEvictionLRU(t *testing.T) {
+	var ev atomic.Int64
+	c := newPlanCache(4, 1, &ev)
+	perms := make([]perm.Perm, 6)
+	for i := range perms {
+		p := perm.Identity(8)
+		p[0], p[i+1] = p[i+1], p[0] // six distinct transpositions
+		perms[i] = p
+	}
+	for _, p := range perms[:4] {
+		c.put(mkPlan(p))
+	}
+	if c.len() != 4 {
+		t.Fatalf("cache should hold 4 plans, has %d", c.len())
+	}
+	// Touch perms[0] so it becomes most recently used, then overflow by
+	// two: the untouched perms[1] and perms[2] must go.
+	if c.get(hashPerm(perms[0]), perms[0]) == nil {
+		t.Fatal("perms[0] should be cached")
+	}
+	c.put(mkPlan(perms[4]))
+	c.put(mkPlan(perms[5]))
+	if got := ev.Load(); got != 2 {
+		t.Fatalf("want 2 evictions, got %d", got)
+	}
+	if c.len() != 4 {
+		t.Fatalf("cache should stay at capacity 4, has %d", c.len())
+	}
+	for i, want := range []bool{true, false, false, true, true, true} {
+		got := c.get(hashPerm(perms[i]), perms[i]) != nil
+		if got != want {
+			t.Fatalf("perms[%d] cached = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestCacheCollision simulates a 64-bit hash collision: a lookup whose
+// key matches but whose permutation differs must read as a miss, and a
+// put under the same key must replace, not corrupt.
+func TestCacheCollision(t *testing.T) {
+	var ev atomic.Int64
+	c := newPlanCache(8, 1, &ev)
+	d1 := perm.Identity(8)
+	d2 := perm.BitReversal(3)
+	key := hashPerm(d1)
+	c.put(&Plan{Kind: PlanSelfRouted, Dest: d1, key: key})
+	if c.get(key, d2) != nil {
+		t.Fatal("colliding key with different permutation must miss")
+	}
+	// Overwriting under the same key keeps exactly one entry.
+	c.put(&Plan{Kind: PlanLooped, Dest: d2, key: key})
+	if c.len() != 1 {
+		t.Fatalf("replacement should keep one entry, have %d", c.len())
+	}
+	if pl := c.get(key, d2); pl == nil || pl.Kind != PlanLooped {
+		t.Fatal("replacement plan should now be served")
+	}
+	if c.get(key, d1) != nil {
+		t.Fatal("displaced colliding plan must miss")
+	}
+}
+
+// TestCacheSharding checks shard rounding and that capacity is spread
+// across shards.
+func TestCacheSharding(t *testing.T) {
+	var ev atomic.Int64
+	c := newPlanCache(16, 3, &ev) // shards round up to 4
+	if len(c.shards) != 4 {
+		t.Fatalf("3 shards should round to 4, got %d", len(c.shards))
+	}
+	for i := range c.shards {
+		if c.shards[i].cap != 4 {
+			t.Fatalf("per-shard capacity should be 4, got %d", c.shards[i].cap)
+		}
+	}
+	if c := newPlanCache(0, 0, &ev); len(c.shards) != 1 || c.shards[0].cap != 1 {
+		t.Fatal("degenerate config should clamp to one single-entry shard")
+	}
+}
+
+// TestCacheConcurrent hammers get/put from many goroutines; run under
+// -race it checks the locking discipline.
+func TestCacheConcurrent(t *testing.T) {
+	var ev atomic.Int64
+	c := newPlanCache(32, 8, &ev)
+	rng := rand.New(rand.NewSource(3))
+	pool := make([]perm.Perm, 64)
+	for i := range pool {
+		pool[i] = perm.Random(16, rng)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				d := pool[rng.Intn(len(pool))]
+				key := hashPerm(d)
+				if pl := c.get(key, d); pl == nil {
+					c.put(mkPlan(d))
+				} else if !pl.Dest.Equal(d) {
+					t.Error("cache returned a plan for the wrong permutation")
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if c.len() > 64 {
+		t.Fatalf("cache exceeded capacity headroom: %d", c.len())
+	}
+}
+
+// TestHashPerm sanity-checks the key function: equal perms hash equal,
+// near-misses hash differently.
+func TestHashPerm(t *testing.T) {
+	d := perm.BitReversal(4)
+	if hashPerm(d) != hashPerm(d.Clone()) {
+		t.Fatal("equal permutations must hash equal")
+	}
+	e := d.Clone()
+	e[0], e[15] = e[15], e[0]
+	if hashPerm(d) == hashPerm(e) {
+		t.Fatal("swapping two destinations should change the hash")
+	}
+	if hashPerm(perm.Identity(4)) == hashPerm(perm.Identity(8)) {
+		t.Fatal("different lengths should change the hash")
+	}
+}

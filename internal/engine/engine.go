@@ -1,0 +1,340 @@
+// Package engine is the serving layer over the self-routing Benes
+// network of package core: a concurrent routing engine that accepts
+// streams of route requests (permutation + payload vector), batches
+// them, and serves them through a sharded worker pool with an LRU plan
+// cache keyed by permutation hash.
+//
+// The paper's headline result is that setup is the expensive part of
+// permutation routing: the looping algorithm costs O(N log N) serial
+// work, while members of F(n) set the switches themselves in O(log N)
+// gate delays. The engine treats that observation as a serving-layer
+// design rule:
+//
+//   - a cache MISS on a self-routable permutation (F(n) membership,
+//     Theorem 1) lets the destination tags decide the switch states —
+//     the paper's fast path;
+//   - a miss outside F(n) falls back to the looping algorithm
+//     (core.Setup), the paper's "external setup" mode;
+//   - a cache HIT skips setup entirely: the cached plan pins every
+//     switch, and the payload traverses the network at wire speed. In
+//     software we apply the plan's end-to-end mapping directly
+//     (Section IV's point that a configured network moves a new vector
+//     every clock period); Config.ReplayStates instead replays the
+//     cached core.States through core.ExternalRoute switch by switch
+//     for full-fidelity simulation.
+//
+// Batching follows Section IV's pipelining result: requests that share
+// a permutation inside one worker batch are served by a single plan
+// acquisition, the software analogue of streaming many vectors through
+// one switch setting.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+)
+
+// ErrClosed is returned for requests submitted after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Config parameterizes New. The zero value of every field selects a
+// sensible default; only LogN is required.
+type Config struct {
+	// LogN is n = log2(N), the size of the Benes network B(n).
+	LogN int
+	// Workers is the number of goroutines serving requests.
+	// Defaults to runtime.GOMAXPROCS(0).
+	Workers int
+	// CacheCapacity is the total number of plans the LRU cache holds
+	// across all shards. Defaults to DefaultCacheCapacity.
+	CacheCapacity int
+	// CacheShards is the number of independently locked cache shards,
+	// rounded up to a power of two. Defaults to 2*Workers.
+	CacheShards int
+	// QueueDepth is the buffered request queue length. Submit blocks
+	// once this many requests are in flight. Defaults to 4*Workers.
+	QueueDepth int
+	// MaxBatch caps how many queued requests one worker drains and
+	// serves as a single batch. Defaults to DefaultMaxBatch.
+	MaxBatch int
+	// ReplayStates makes cache hits replay the cached switch states
+	// through core.ExternalRoute (full gate-level fidelity) instead of
+	// applying the plan's end-to-end mapping directly.
+	ReplayStates bool
+}
+
+// Defaults for Config fields left zero.
+const (
+	DefaultCacheCapacity = 1024
+	DefaultMaxBatch      = 16
+)
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = DefaultCacheCapacity
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 2 * c.Workers
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	return c
+}
+
+// Request is one unit of work: deliver Data[i] to position Dest[i].
+type Request[T any] struct {
+	Dest perm.Perm
+	Data []T
+}
+
+// Response reports one served request.
+type Response[T any] struct {
+	// Data is the routed payload: Data[Dest[i]] holds the input element
+	// i carried. Nil when Err is set.
+	Data []T
+	// Kind records which setup path produced the plan.
+	Kind PlanKind
+	// CacheHit is true when the plan was served from the cache (or
+	// reused from an earlier request in the same batch).
+	CacheHit bool
+	Err      error
+}
+
+// pending is a request in flight through the worker pool.
+type pending[T any] struct {
+	req  Request[T]
+	done chan Response[T]
+	enq  time.Time
+}
+
+// Engine routes streams of permutation requests over a shared Benes
+// network. All methods are safe for concurrent use.
+type Engine[T any] struct {
+	net   *core.Network
+	cfg   Config
+	cache *planCache
+	met   *Metrics
+	reqs  chan *pending[T]
+	wg    sync.WaitGroup
+
+	mu     sync.RWMutex // guards closed vs. sends on reqs
+	closed bool
+}
+
+// New builds and starts an engine for B(cfg.LogN).
+func New[T any](cfg Config) (*Engine[T], error) {
+	if cfg.LogN < 1 {
+		return nil, fmt.Errorf("engine: Config.LogN must be >= 1, got %d", cfg.LogN)
+	}
+	cfg = cfg.withDefaults()
+	met := &Metrics{}
+	e := &Engine[T]{
+		net:   core.New(cfg.LogN),
+		cfg:   cfg,
+		cache: newPlanCache(cfg.CacheCapacity, cfg.CacheShards, &met.evictions),
+		met:   met,
+		reqs:  make(chan *pending[T], cfg.QueueDepth),
+	}
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e, nil
+}
+
+// Network returns the underlying wired network.
+func (e *Engine[T]) Network() *core.Network { return e.net }
+
+// Metrics returns the engine's live counters.
+func (e *Engine[T]) Metrics() *Metrics { return e.met }
+
+// Stats captures a complete metrics snapshot, including the current
+// plan-cache occupancy.
+func (e *Engine[T]) Stats() Snapshot {
+	s := e.met.Snapshot()
+	s.PlansCached = e.cache.len()
+	return s
+}
+
+// Submit enqueues one request and returns a channel that receives
+// exactly one Response. Length errors are reported without entering
+// the queue; Submit blocks only when the queue is full.
+func (e *Engine[T]) Submit(req Request[T]) <-chan Response[T] {
+	done := make(chan Response[T], 1)
+	if len(req.Dest) != e.net.N() || len(req.Data) != e.net.N() {
+		e.met.errors.Add(1)
+		done <- Response[T]{Err: fmt.Errorf("engine: request size (dest %d, data %d) does not match N=%d",
+			len(req.Dest), len(req.Data), e.net.N())}
+		return done
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		e.met.errors.Add(1)
+		done <- Response[T]{Err: ErrClosed}
+		return done
+	}
+	e.met.requests.Add(1)
+	e.met.queueDepth.Add(1)
+	e.reqs <- &pending[T]{req: req, done: done, enq: time.Now()}
+	return done
+}
+
+// Route serves one request synchronously.
+func (e *Engine[T]) Route(dest perm.Perm, data []T) Response[T] {
+	return <-e.Submit(Request[T]{Dest: dest, Data: data})
+}
+
+// RouteBatch submits all requests before collecting any response, so
+// the worker pool serves them concurrently. Responses are returned in
+// request order.
+func (e *Engine[T]) RouteBatch(reqs []Request[T]) []Response[T] {
+	chans := make([]<-chan Response[T], len(reqs))
+	for i, r := range reqs {
+		chans[i] = e.Submit(r)
+	}
+	out := make([]Response[T], len(reqs))
+	for i, ch := range chans {
+		out[i] = <-ch
+	}
+	return out
+}
+
+// Close stops accepting requests, waits for queued work to drain, and
+// stops the workers. Close is idempotent.
+func (e *Engine[T]) Close() {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.reqs)
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// worker drains the queue in batches: one blocking receive, then an
+// opportunistic non-blocking drain up to MaxBatch, so light load stays
+// low-latency while heavy load amortizes plan lookups across a batch.
+func (e *Engine[T]) worker() {
+	defer e.wg.Done()
+	batch := make([]*pending[T], 0, e.cfg.MaxBatch)
+	for {
+		p, ok := <-e.reqs
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], p)
+	drain:
+		for len(batch) < e.cfg.MaxBatch {
+			select {
+			case q, ok := <-e.reqs:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, q)
+			default:
+				break drain
+			}
+		}
+		e.serve(batch)
+	}
+}
+
+// batchPlan is one resolved plan within a batch, shared by every
+// request in the batch with the same permutation.
+type batchPlan struct {
+	dest   perm.Perm
+	plan   *Plan
+	err    error
+	cached bool // plan came from the cache (vs. computed for this batch)
+}
+
+// serve resolves plans for a batch and answers every request. Requests
+// sharing a permutation are served by one plan acquisition (Section IV
+// pipelining: one switch setting, many vectors).
+func (e *Engine[T]) serve(batch []*pending[T]) {
+	now := time.Now()
+	for _, p := range batch {
+		e.met.queueDepth.Add(-1)
+		e.met.Wait.Observe(now.Sub(p.enq))
+	}
+	e.met.batches.Add(1)
+	plans := make(map[uint64]*batchPlan, len(batch))
+	for _, p := range batch {
+		key := hashPerm(p.req.Dest)
+		ent := plans[key]
+		reused := false
+		if ent != nil && ent.dest.Equal(p.req.Dest) {
+			// Batch-local reuse: the plan is already in hand, which is
+			// a hit as far as setup cost is concerned.
+			reused = true
+			if ent.err == nil {
+				e.met.hits.Add(1)
+			}
+		} else {
+			pl, hit, err := e.acquire(key, p.req.Dest)
+			ent = &batchPlan{dest: p.req.Dest, plan: pl, err: err, cached: hit}
+			plans[key] = ent
+		}
+		if ent.err != nil {
+			e.met.errors.Add(1)
+			p.done <- Response[T]{Err: ent.err}
+			continue
+		}
+		t0 := time.Now()
+		out := e.applyPlan(ent.plan, p.req.Data)
+		e.met.Apply.Observe(time.Since(t0))
+		p.done <- Response[T]{Data: out, Kind: ent.plan.Kind, CacheHit: ent.cached || reused}
+	}
+}
+
+// acquire returns the plan for d, consulting the cache first. On a
+// miss it tries the paper's self-routing path (valid for F(n) members)
+// and falls back to the looping algorithm otherwise, then caches the
+// result.
+func (e *Engine[T]) acquire(key uint64, d perm.Perm) (*Plan, bool, error) {
+	t0 := time.Now()
+	defer func() { e.met.Plan.Observe(time.Since(t0)) }()
+	if pl := e.cache.get(key, d); pl != nil {
+		e.met.hits.Add(1)
+		return pl, true, nil
+	}
+	if err := d.Validate(); err != nil {
+		return nil, false, err
+	}
+	e.met.misses.Add(1)
+	var pl *Plan
+	if res := e.net.SelfRoute(d); res.OK() {
+		pl = &Plan{Kind: PlanSelfRouted, States: res.States, Dest: d.Clone(), key: key}
+	} else {
+		e.met.fallbacks.Add(1)
+		pl = &Plan{Kind: PlanLooped, States: e.net.Setup(d), Dest: d.Clone(), key: key}
+	}
+	e.cache.put(pl)
+	return pl, false, nil
+}
+
+// applyPlan routes data through the configured network. The default
+// path applies the plan's end-to-end mapping — the software equivalent
+// of a data pass through pinned switches. With ReplayStates the cached
+// states are replayed through the gate-level evaluator instead.
+func (e *Engine[T]) applyPlan(pl *Plan, data []T) []T {
+	if e.cfg.ReplayStates {
+		res := e.net.ExternalRoute(pl.Dest, pl.States)
+		return perm.Apply(res.Realized, data)
+	}
+	return perm.Apply(pl.Dest, data)
+}

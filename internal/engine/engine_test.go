@@ -1,0 +1,254 @@
+package engine
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+// payload returns the canonical test payload 0..N-1, so routed output
+// position Dest[i] must hold value i.
+func payload(n int) []int {
+	data := make([]int, n)
+	for i := range data {
+		data[i] = i
+	}
+	return data
+}
+
+// checkRouted verifies that resp delivered payload(N) according to d.
+func checkRouted(t *testing.T, d perm.Perm, resp Response[int]) {
+	t.Helper()
+	if resp.Err != nil {
+		t.Fatalf("route %v: unexpected error %v", d, resp.Err)
+	}
+	want := perm.Apply(d, payload(len(d)))
+	if len(resp.Data) != len(want) {
+		t.Fatalf("route %v: got %d elements, want %d", d, len(resp.Data), len(want))
+	}
+	for i := range want {
+		if resp.Data[i] != want[i] {
+			t.Fatalf("route %v: output %d = %d, want %d (full: %v)", d, i, resp.Data[i], want[i], resp.Data)
+		}
+	}
+}
+
+// TestExhaustiveN8 routes every permutation of N=8 through the engine
+// and checks (a) the payload lands exactly where perm.Apply says, and
+// (b) the plan kind agrees with the Theorem 1 characterization of F(n).
+// A deliberately tiny cache forces constant eviction churn.
+func TestExhaustiveN8(t *testing.T) {
+	eng, err := New[int](Config{LogN: 3, Workers: 2, CacheCapacity: 8, CacheShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	data := payload(8)
+	perm.ForEach(8, func(p perm.Perm) bool {
+		d := p.Clone() // ForEach reuses the slice
+		resp := eng.Route(d, data)
+		checkRouted(t, d, resp)
+		wantKind := PlanLooped
+		if perm.InF(d) {
+			wantKind = PlanSelfRouted
+		}
+		if resp.Kind != wantKind {
+			t.Fatalf("route %v: plan kind %v, want %v", d, resp.Kind, wantKind)
+		}
+		return true
+	})
+	s := eng.Stats()
+	if s.Misses == 0 || s.Fallbacks == 0 {
+		t.Fatalf("expected misses and fallbacks over all of S_8, got %+v", s)
+	}
+	if s.Evictions == 0 {
+		t.Fatalf("capacity-8 cache over 40320 perms must evict, got %+v", s)
+	}
+}
+
+// TestRandomizedN256 routes random permutations (mostly outside F) and
+// structured F members at N=256, each twice, comparing the fast path,
+// the states-replay path, and direct application.
+func TestRandomizedN256(t *testing.T) {
+	const n = 8 // N = 256
+	rng := rand.New(rand.NewSource(42))
+	fast, err := New[int](Config{LogN: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fast.Close()
+	replay, err := New[int](Config{LogN: n, ReplayStates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replay.Close()
+
+	var cases []perm.Perm
+	for i := 0; i < 60; i++ {
+		cases = append(cases, perm.Random(256, rng))
+	}
+	for i := 0; i < 30; i++ {
+		cases = append(cases, perm.RandomF(n, rng))
+		cases = append(cases, perm.RandomBPC(n, rng).Perm())
+	}
+	cases = append(cases, perm.Identity(256), perm.BitReversal(n))
+
+	data := payload(256)
+	for round := 0; round < 2; round++ {
+		for _, d := range cases {
+			r1 := fast.Route(d, data)
+			checkRouted(t, d, r1)
+			r2 := replay.Route(d, data)
+			checkRouted(t, d, r2)
+			if r1.Kind != r2.Kind {
+				t.Fatalf("fast/replay disagree on plan kind for %v: %v vs %v", d, r1.Kind, r2.Kind)
+			}
+			if round == 1 && !r1.CacheHit {
+				t.Fatalf("second round must hit the cache for %v", d)
+			}
+		}
+	}
+	s := fast.Stats()
+	if s.Hits == 0 || s.Misses == 0 {
+		t.Fatalf("expected both hits and misses, got %+v", s)
+	}
+	if s.HitRate <= 0 || s.HitRate >= 1 {
+		t.Fatalf("hit rate should be in (0,1), got %v", s.HitRate)
+	}
+}
+
+// TestConcurrentHitMiss hammers one shared engine from many goroutines
+// over a small permutation pool with an undersized cache, so hits,
+// misses, and evictions race. Run under -race this is the cache's
+// concurrency test.
+func TestConcurrentHitMiss(t *testing.T) {
+	const n = 5 // N = 32
+	rng := rand.New(rand.NewSource(7))
+	pool := make([]perm.Perm, 48)
+	for i := range pool {
+		if i%2 == 0 {
+			pool[i] = perm.Random(32, rng)
+		} else {
+			pool[i] = perm.RandomF(n, rng)
+		}
+	}
+	eng, err := New[int](Config{LogN: n, CacheCapacity: 16, CacheShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	workers := 2 * runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			data := payload(32)
+			for i := 0; i < 300; i++ {
+				d := pool[rng.Intn(len(pool))]
+				resp := eng.Route(d, data)
+				if resp.Err != nil {
+					errs <- resp.Err
+					return
+				}
+				for j, v := range perm.Apply(d, data) {
+					if resp.Data[j] != v {
+						t.Errorf("goroutine %d: wrong routing for %v", seed, d)
+						return
+					}
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	s := eng.Stats()
+	if s.Hits == 0 || s.Misses == 0 || s.Evictions == 0 {
+		t.Fatalf("expected hits, misses and evictions under churn, got %+v", s)
+	}
+	if s.QueueDepth != 0 {
+		t.Fatalf("queue depth should return to 0 when idle, got %d", s.QueueDepth)
+	}
+}
+
+// TestBatchGrouping verifies that RouteBatch serves duplicate
+// permutations in one batch correctly and reports them as cache hits.
+func TestBatchGrouping(t *testing.T) {
+	const n = 4
+	// One worker with a large MaxBatch makes batching deterministic
+	// enough to observe grouping through the metrics.
+	eng, err := New[int](Config{LogN: n, Workers: 1, MaxBatch: 64, QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	d := perm.BitReversal(n)
+	data := payload(16)
+	reqs := make([]Request[int], 32)
+	for i := range reqs {
+		reqs[i] = Request[int]{Dest: d, Data: data}
+	}
+	resps := eng.RouteBatch(reqs)
+	for _, r := range resps {
+		checkRouted(t, d, r)
+	}
+	s := eng.Stats()
+	if s.Misses != 1 {
+		t.Fatalf("32 identical requests should compute exactly one plan, got %+v", s)
+	}
+	if s.Hits != 31 {
+		t.Fatalf("31 requests should reuse the plan, got %+v", s)
+	}
+}
+
+// TestErrors covers the rejection paths: length mismatch, invalid
+// permutation, and submission after Close.
+func TestErrors(t *testing.T) {
+	eng, err := New[int](Config{LogN: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := eng.Route(perm.Identity(4), payload(8)); resp.Err == nil {
+		t.Fatal("short permutation must be rejected")
+	}
+	if resp := eng.Route(perm.Identity(8), payload(4)); resp.Err == nil {
+		t.Fatal("short payload must be rejected")
+	}
+	bad := perm.Perm{0, 0, 1, 2, 3, 4, 5, 6} // duplicate destination
+	if resp := eng.Route(bad, payload(8)); resp.Err == nil {
+		t.Fatal("invalid permutation must be rejected")
+	}
+	good := eng.Route(perm.Identity(8), payload(8))
+	if good.Err != nil {
+		t.Fatalf("valid request failed: %v", good.Err)
+	}
+	eng.Close()
+	eng.Close() // idempotent
+	if resp := eng.Route(perm.Identity(8), payload(8)); resp.Err != ErrClosed {
+		t.Fatalf("after Close want ErrClosed, got %v", resp.Err)
+	}
+	if _, err := New[int](Config{LogN: 0}); err == nil {
+		t.Fatal("LogN=0 must be rejected")
+	}
+}
+
+// TestSubmitAsync checks the asynchronous API end to end.
+func TestSubmitAsync(t *testing.T) {
+	eng, err := New[int](Config{LogN: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	d := perm.PerfectShuffle(4)
+	ch := eng.Submit(Request[int]{Dest: d, Data: payload(16)})
+	checkRouted(t, d, <-ch)
+}

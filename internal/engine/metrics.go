@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"expvar"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets. Bucket i
+// counts observations with bits.Len64(ns) == i, i.e. durations in
+// [2^(i-1), 2^i) nanoseconds; the last bucket absorbs everything longer
+// (> ~9 minutes).
+const histBuckets = 40
+
+// Histogram is a fixed-allocation, lock-free latency histogram with
+// power-of-two nanosecond buckets. The zero value is ready to use and
+// all methods are safe for concurrent use.
+type Histogram struct {
+	count   atomic.Int64
+	sumNs   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	idx := bits.Len64(uint64(ns))
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	h.buckets[idx].Add(1)
+}
+
+// BucketCount is one non-empty histogram bucket: Count observations at
+// or below UpToNs nanoseconds (and above the previous bucket's bound).
+type BucketCount struct {
+	UpToNs int64 `json:"up_to_ns"`
+	Count  int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time, JSON-friendly view of a
+// Histogram. Quantiles are upper bounds of the containing bucket, so
+// they are conservative to within a factor of two.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	MeanNs  int64         `json:"mean_ns"`
+	P50Ns   int64         `json:"p50_ns"`
+	P90Ns   int64         `json:"p90_ns"`
+	P99Ns   int64         `json:"p99_ns"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the histogram's current state. Concurrent Observe
+// calls may straddle the capture; each bucket is read atomically.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var counts [histBuckets]int64
+	total := int64(0)
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistogramSnapshot{Count: total}
+	if total == 0 {
+		return s
+	}
+	s.MeanNs = h.sumNs.Load() / total
+	s.P50Ns = quantile(&counts, total, 0.50)
+	s.P90Ns = quantile(&counts, total, 0.90)
+	s.P99Ns = quantile(&counts, total, 0.99)
+	for i, c := range counts {
+		if c > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{UpToNs: bucketUpper(i), Count: c})
+		}
+	}
+	return s
+}
+
+// bucketUpper returns the exclusive upper bound (in ns) of bucket i.
+func bucketUpper(i int) int64 {
+	if i == 0 {
+		return 0 // bucket 0 holds only zero-duration observations
+	}
+	return 1 << uint(i)
+}
+
+// quantile returns the upper bound of the bucket containing the q-th
+// quantile observation.
+func quantile(counts *[histBuckets]int64, total int64, q float64) int64 {
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	cum := int64(0)
+	for i, c := range counts {
+		cum += c
+		if cum > rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+// Metrics aggregates everything observable about a running engine:
+// plan-cache traffic, per-stage latency, and instantaneous queue depth.
+// All fields are updated atomically; a Metrics value must not be
+// copied.
+type Metrics struct {
+	requests   atomic.Int64 // vectors accepted by Submit
+	batches    atomic.Int64 // worker batches served
+	hits       atomic.Int64 // plan served from cache (or reused within a batch)
+	misses     atomic.Int64 // plan had to be computed
+	fallbacks  atomic.Int64 // misses outside F(n) that ran the looping algorithm
+	errors     atomic.Int64 // requests rejected (bad length, invalid permutation, closed)
+	evictions  atomic.Int64 // plans displaced from the LRU cache
+	queueDepth atomic.Int64 // requests submitted but not yet picked up by a worker
+
+	// Per-stage latency histograms.
+	Wait  Histogram // submit -> worker pickup
+	Plan  Histogram // plan acquisition (cache lookup, plus setup on a miss)
+	Apply Histogram // payload application (or states replay)
+}
+
+// Hits returns the number of requests whose plan came from the cache.
+func (m *Metrics) Hits() int64 { return m.hits.Load() }
+
+// Misses returns the number of requests that computed a fresh plan.
+func (m *Metrics) Misses() int64 { return m.misses.Load() }
+
+// Fallbacks returns the number of misses that needed the looping
+// algorithm because the permutation is outside F(n).
+func (m *Metrics) Fallbacks() int64 { return m.fallbacks.Load() }
+
+// Evictions returns the number of plans displaced from the cache.
+func (m *Metrics) Evictions() int64 { return m.evictions.Load() }
+
+// QueueDepth returns the number of requests currently waiting for a
+// worker.
+func (m *Metrics) QueueDepth() int64 { return m.queueDepth.Load() }
+
+// Snapshot is the expvar-style export of Metrics: a plain value that
+// marshals to JSON, suitable for expvar.Func or an HTTP stats handler.
+type Snapshot struct {
+	Requests    int64   `json:"requests"`
+	Batches     int64   `json:"batches"`
+	Hits        int64   `json:"hits"`
+	Misses      int64   `json:"misses"`
+	Fallbacks   int64   `json:"fallbacks"`
+	Errors      int64   `json:"errors"`
+	Evictions   int64   `json:"evictions"`
+	HitRate     float64 `json:"hit_rate"`
+	QueueDepth  int64   `json:"queue_depth"`
+	PlansCached int     `json:"plans_cached"`
+
+	Wait  HistogramSnapshot `json:"wait"`
+	Plan  HistogramSnapshot `json:"plan"`
+	Apply HistogramSnapshot `json:"apply"`
+}
+
+// Snapshot captures all counters and histograms. PlansCached is not
+// known to Metrics itself; Engine.Stats fills it in.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Requests:   m.requests.Load(),
+		Batches:    m.batches.Load(),
+		Hits:       m.hits.Load(),
+		Misses:     m.misses.Load(),
+		Fallbacks:  m.fallbacks.Load(),
+		Errors:     m.errors.Load(),
+		Evictions:  m.evictions.Load(),
+		QueueDepth: m.queueDepth.Load(),
+		Wait:       m.Wait.Snapshot(),
+		Plan:       m.Plan.Snapshot(),
+		Apply:      m.Apply.Snapshot(),
+	}
+	if lookups := s.Hits + s.Misses; lookups > 0 {
+		s.HitRate = float64(s.Hits) / float64(lookups)
+	}
+	return s
+}
+
+// Var adapts the metrics to an expvar.Var so callers can
+// expvar.Publish them under /debug/vars.
+func (m *Metrics) Var() expvar.Var {
+	return expvar.Func(func() any { return m.Snapshot() })
+}

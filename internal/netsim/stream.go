@@ -1,0 +1,184 @@
+package netsim
+
+import (
+	"sync"
+
+	"repro/internal/bits"
+	"repro/internal/perm"
+)
+
+// Stream is a persistently running concurrent network: the switch
+// goroutines start once and then route any number of vectors until
+// Close, instead of being rebuilt per Run call. Vectors pipeline
+// through the fabric exactly as in Run — channels preserve per-wire
+// order, so vector k clears each wire before vector k+1 uses it
+// (Section IV).
+//
+// Submit and Results may be used from different goroutines; results
+// arrive in submission order. A Stream is created with Engine.Start.
+type Stream struct {
+	eng     *Engine
+	feed    chan perm.Perm
+	results chan VectorResult
+	wg      sync.WaitGroup
+	once    sync.Once
+}
+
+// Start launches the switch goroutines and returns a Stream ready to
+// route. depth bounds the number of vectors in flight inside the
+// fabric: every wire is buffered to depth, so up to depth vectors
+// pipeline without blocking the feeder (depth < 1 is treated as 1).
+func (e *Engine) Start(depth int) *Stream {
+	if depth < 1 {
+		depth = 1
+	}
+	N := e.net.N()
+	stages := e.net.Stages()
+
+	// wires[s][y] carries the signal entering stage s on line y;
+	// wires[stages] holds the network outputs.
+	wires := make([][]chan Msg, stages+1)
+	for s := range wires {
+		wires[s] = make([]chan Msg, N)
+		for y := range wires[s] {
+			wires[s][y] = make(chan Msg, depth)
+		}
+	}
+	link := e.net.Wiring()
+
+	s := &Stream{
+		eng:     e,
+		feed:    make(chan perm.Perm, depth),
+		results: make(chan VectorResult, depth),
+	}
+
+	// One goroutine per switch, running until its inputs close. Each
+	// wire has exactly one writer, so a switch closing its two output
+	// wires on shutdown propagates termination stage by stage.
+	for st := 0; st < stages; st++ {
+		cb := e.net.ControlBit(st)
+		for i := 0; i < N/2; i++ {
+			s.wg.Add(1)
+			go func(st, i, cb int) {
+				defer s.wg.Done()
+				upIn, loIn := wires[st][2*i], wires[st][2*i+1]
+				var upOut, loOut chan Msg
+				if st == stages-1 {
+					upOut, loOut = wires[stages][2*i], wires[stages][2*i+1]
+				} else {
+					upOut, loOut = wires[st+1][link[st][2*i]], wires[st+1][link[st][2*i+1]]
+				}
+				for {
+					u, ok := <-upIn
+					if !ok {
+						close(upOut)
+						close(loOut)
+						return
+					}
+					// Fig. 3: decide from the upper input's control bit,
+					// forward immediately — self-timing.
+					crossed := bits.Bit(u.Tag, cb) == 1
+					if crossed {
+						loOut <- u
+					} else {
+						upOut <- u
+					}
+					l := <-loIn
+					if crossed {
+						upOut <- l
+					} else {
+						loOut <- l
+					}
+				}
+			}(st, i, cb)
+		}
+	}
+
+	// Feeder: inject each submitted vector at the inputs, then pass the
+	// expected tags to the collector.
+	expect := make(chan perm.Perm, depth)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for d := range s.feed {
+			for i, tag := range d {
+				wires[0][i] <- Msg{Tag: tag, Src: i}
+			}
+			expect <- d
+		}
+		for i := 0; i < N; i++ {
+			close(wires[0][i])
+		}
+		close(expect)
+	}()
+
+	// Collector: read exactly N outputs per vector — per-wire FIFO
+	// order guarantees they belong to the vector at hand.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for d := range expect {
+			realized := make(perm.Perm, N)
+			for y := 0; y < N; y++ {
+				m := <-wires[stages][y]
+				realized[m.Src] = y
+			}
+			res := VectorResult{Realized: realized}
+			for i, dest := range d {
+				if realized[i] != dest {
+					res.Misrouted = append(res.Misrouted, i)
+				}
+			}
+			s.results <- res
+		}
+		close(s.results)
+	}()
+
+	return s
+}
+
+// Submit feeds one destination-tag vector into the fabric. It blocks
+// when depth vectors are already in flight. Submit must not be called
+// after Close.
+func (s *Stream) Submit(d perm.Perm) {
+	if len(d) != s.eng.net.N() {
+		panic("netsim: vector length mismatch")
+	}
+	s.feed <- d.Clone()
+}
+
+// Results returns the channel of routed vectors, in submission order.
+// The channel closes after Close once every in-flight vector has
+// drained.
+func (s *Stream) Results() <-chan VectorResult { return s.results }
+
+// RouteAll submits all vectors and collects their results — Run
+// semantics on a running stream. It must not race with other Submit
+// or Results readers.
+func (s *Stream) RouteAll(vectors []perm.Perm) []VectorResult {
+	out := make([]VectorResult, 0, len(vectors))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range vectors {
+			out = append(out, <-s.results)
+		}
+	}()
+	for _, d := range vectors {
+		s.Submit(d)
+	}
+	<-done
+	return out
+}
+
+// Close shuts the stream down: no more submissions are accepted,
+// in-flight vectors finish draining, the switch goroutines exit, and
+// the results channel closes. Close is idempotent and blocks until
+// shutdown completes, so every submitted vector must have been (or be
+// concurrently being) consumed from Results — RouteAll guarantees
+// this; ad-hoc submitters should keep a Results reader running. At
+// most depth unread results are tolerated (the channel's buffer).
+func (s *Stream) Close() {
+	s.once.Do(func() { close(s.feed) })
+	s.wg.Wait()
+}

@@ -1,0 +1,125 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+)
+
+// TestStreamMatchesRun routes the same vector set through the per-call
+// Run engine and a persistent Stream and demands identical outcomes.
+func TestStreamMatchesRun(t *testing.T) {
+	const n = 4
+	rng := rand.New(rand.NewSource(1))
+	net := core.New(n)
+	eng := New(net)
+	vectors := []perm.Perm{
+		perm.BitReversal(n),
+		perm.PerfectShuffle(n),
+		perm.Random(1<<n, rng), // almost surely misroutes — must still agree
+		perm.Identity(1 << n),
+	}
+	want, _ := eng.Run(vectors)
+
+	s := eng.Start(len(vectors))
+	defer s.Close()
+	got := s.RouteAll(vectors)
+	if len(got) != len(want) {
+		t.Fatalf("stream returned %d results, want %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k].Realized.Equal(want[k].Realized) {
+			t.Fatalf("vector %d: stream realized %v, run realized %v", k, got[k].Realized, want[k].Realized)
+		}
+		if got[k].OK() != want[k].OK() {
+			t.Fatalf("vector %d: stream OK=%v, run OK=%v", k, got[k].OK(), want[k].OK())
+		}
+	}
+}
+
+// TestStreamReuse routes several separate waves through one Stream —
+// the goroutines must survive across waves, which is the point of the
+// persistent engine.
+func TestStreamReuse(t *testing.T) {
+	const n = 3
+	net := core.New(n)
+	s := New(net).Start(4)
+	defer s.Close()
+	for wave := 0; wave < 5; wave++ {
+		vectors := []perm.Perm{perm.BitReversal(n), perm.VectorReversal(n), perm.Identity(8)}
+		for k, res := range s.RouteAll(vectors) {
+			if !res.OK() {
+				t.Fatalf("wave %d vector %d: misrouted %v", wave, k, res.Misrouted)
+			}
+			if !res.Realized.Equal(vectors[k]) {
+				t.Fatalf("wave %d vector %d: realized %v, want %v", wave, k, res.Realized, vectors[k])
+			}
+		}
+	}
+}
+
+// TestStreamAgainstCore checks the stream against the synchronous
+// evaluator on random permutations, including non-F members.
+func TestStreamAgainstCore(t *testing.T) {
+	const n = 5
+	rng := rand.New(rand.NewSource(9))
+	net := core.New(n)
+	s := New(net).Start(8)
+	defer s.Close()
+	var vectors []perm.Perm
+	for i := 0; i < 12; i++ {
+		vectors = append(vectors, perm.Random(1<<n, rng))
+		vectors = append(vectors, perm.RandomF(n, rng))
+	}
+	results := s.RouteAll(vectors)
+	for k, d := range vectors {
+		want := net.SelfRoute(d)
+		if !results[k].Realized.Equal(want.Realized) {
+			t.Fatalf("vector %d (%v): stream and core disagree", k, d)
+		}
+		if results[k].OK() != want.OK() {
+			t.Fatalf("vector %d: OK mismatch", k)
+		}
+	}
+}
+
+// TestStreamPipelining submits more vectors than the in-flight depth
+// while a consumer drains concurrently.
+func TestStreamPipelining(t *testing.T) {
+	const n = 4
+	net := core.New(n)
+	s := New(net).Start(2)
+	d := perm.BitReversal(n)
+	const waves = 32
+	done := make(chan int)
+	go func() {
+		ok := 0
+		for res := range s.Results() {
+			if res.OK() {
+				ok++
+			}
+		}
+		done <- ok
+	}()
+	for i := 0; i < waves; i++ {
+		s.Submit(d)
+	}
+	s.Close()
+	if ok := <-done; ok != waves {
+		t.Fatalf("%d of %d pipelined vectors routed OK", ok, waves)
+	}
+}
+
+// TestStreamCloseIdempotent double-closes and closes with nothing
+// submitted.
+func TestStreamCloseIdempotent(t *testing.T) {
+	net := core.New(2)
+	s := New(net).Start(1)
+	s.Close()
+	s.Close()
+	if _, open := <-s.Results(); open {
+		t.Fatal("results channel should be closed after Close")
+	}
+}
