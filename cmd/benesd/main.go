@@ -1,40 +1,59 @@
 // Command benesd is a demo routing server over the batched engine of
-// internal/engine: it accepts permutation requests over HTTP, serves
-// them through the sharded worker pool with the LRU plan cache, and
-// exposes the engine's metrics.
+// internal/engine and the packet-mode fabric of internal/fabric: it
+// accepts whole-permutation requests and individual packets over HTTP,
+// serves them through the sharded worker pool / multi-plane frame
+// scheduler, and exposes metrics for both layers.
 //
 // Endpoints:
 //
 //	POST /route    {"dest":[...], "data":[...]} -> routed payload
 //	               ("data" optional; defaults to the identity payload
 //	               0..N-1, so the response shows where each input went)
+//	POST /send     {"src":3, "dst":9} or {"packets":[{"src":..,"dst":..},...]}
+//	               -> per-packet accepted/rejected counts; packets ride
+//	               the VOQ → frame scheduler → plane path
 //	GET  /stats    full engine metrics snapshot (hits, misses,
 //	               fallbacks, per-stage latency histograms, queue depth)
+//	GET  /fabric/stats  fabric snapshot (accepted/rejected/delivered,
+//	               frame fill, per-plane engines, per-VOQ counters)
 //	GET  /healthz  liveness probe
-//	GET  /debug/vars  standard expvar, with the engine published
-//	               under "engine"
+//	GET  /debug/vars  standard expvar, with the engine and fabric
+//	               published under "engine" and "fabric"
+//
+// benesd shuts down gracefully: SIGINT/SIGTERM stops accepting
+// connections, drains in-flight requests via http.Server.Shutdown with
+// a timeout, then closes the fabric (delivering everything queued) and
+// the engine.
 //
 // Example:
 //
-//	benesd -n 10 &
+//	benesd -n 10 -planes 4 &
 //	curl -s localhost:8080/route -d '{"dest":[1,0,3,2,...]}'
-//	curl -s localhost:8080/stats
+//	curl -s localhost:8080/send -d '{"src":0,"dst":511}'
+//	curl -s localhost:8080/fabric/stats
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fabric"
 	"repro/internal/perm"
 )
 
 type server struct {
 	eng *engine.Engine[int]
+	fab *fabric.Fabric[int]
 }
 
 type routeRequest struct {
@@ -65,11 +84,74 @@ func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, resp.Err.Error())
 		return
 	}
-	writeJSON(w, routeResponse{Data: resp.Data, Kind: resp.Kind.String(), CacheHit: resp.CacheHit})
+	writeJSON(w, http.StatusOK, routeResponse{Data: resp.Data, Kind: resp.Kind.String(), CacheHit: resp.CacheHit})
+}
+
+type sendPacket struct {
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+}
+
+type sendRequest struct {
+	// Either a single packet inline...
+	Src *int `json:"src,omitempty"`
+	Dst *int `json:"dst,omitempty"`
+	// ...or a batch.
+	Packets []sendPacket `json:"packets,omitempty"`
+}
+
+type sendResponse struct {
+	Accepted int    `json:"accepted"`
+	Rejected int    `json:"rejected"`
+	Error    string `json:"error,omitempty"`
+}
+
+// handleSend offers packets to the fabric. Backpressure rejections are
+// reported per packet: a fully rejected request gets 429, a mixed or
+// fully accepted one 200. Malformed packets get 400.
+func (s *server) handleSend(w http.ResponseWriter, r *http.Request) {
+	var req sendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON: %v", err))
+		return
+	}
+	pkts := req.Packets
+	if req.Src != nil || req.Dst != nil {
+		if req.Src == nil || req.Dst == nil {
+			httpError(w, http.StatusBadRequest, "single-packet send needs both src and dst")
+			return
+		}
+		pkts = append(pkts, sendPacket{Src: *req.Src, Dst: *req.Dst})
+	}
+	if len(pkts) == 0 {
+		httpError(w, http.StatusBadRequest, "no packets")
+		return
+	}
+	var resp sendResponse
+	for _, p := range pkts {
+		switch err := s.fab.Send(fabric.Packet[int]{Src: p.Src, Dst: p.Dst}); err {
+		case nil:
+			resp.Accepted++
+		case fabric.ErrBackpressure, fabric.ErrClosed:
+			resp.Rejected++
+		default:
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	code := http.StatusOK
+	if resp.Accepted == 0 {
+		code = http.StatusTooManyRequests
+	}
+	writeJSON(w, code, resp)
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.eng.Stats())
+	writeJSON(w, http.StatusOK, s.eng.Stats())
+}
+
+func (s *server) handleFabricStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.fab.Stats())
 }
 
 func httpError(w http.ResponseWriter, code int, msg string) {
@@ -80,8 +162,9 @@ func httpError(w http.ResponseWriter, code int, msg string) {
 	}
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		log.Printf("benesd: encoding response: %v", err)
 	}
@@ -89,16 +172,43 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 // newMux wires the handlers; split from main so tests can mount the
 // mux on an httptest server.
-func newMux(eng *engine.Engine[int]) *http.ServeMux {
-	s := &server{eng: eng}
+func newMux(eng *engine.Engine[int], fab *fabric.Fabric[int]) *http.ServeMux {
+	s := &server{eng: eng, fab: fab}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /route", s.handleRoute)
+	mux.HandleFunc("POST /send", s.handleSend)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /fabric/stats", s.handleFabricStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	return mux
+}
+
+// serve runs the HTTP server on ln until ctx is cancelled, then shuts
+// down gracefully: stop accepting, drain in-flight requests within
+// shutdownTimeout, close the fabric (which delivers everything already
+// accepted) and finally the engine. Split from main so tests can drive
+// the full lifecycle without signals.
+func serve(ctx context.Context, ln net.Listener, eng *engine.Engine[int], fab *fabric.Fabric[int], shutdownTimeout time.Duration) error {
+	srv := &http.Server{Handler: newMux(eng, fab)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err // listener failed before any shutdown request
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	fab.Close()
+	eng.Close()
+	if err != nil {
+		return fmt.Errorf("benesd: shutdown: %w", err)
+	}
+	return nil
 }
 
 func main() {
@@ -108,6 +218,10 @@ func main() {
 		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		cache   = flag.Int("cache", engine.DefaultCacheCapacity, "plan cache capacity (plans)")
 		replay  = flag.Bool("replay", false, "replay cached states gate-by-gate instead of applying the mapping")
+		planes  = flag.Int("planes", 2, "parallel switching planes in the packet fabric")
+		voq     = flag.Int("voq-depth", fabric.DefaultVOQDepth, "per-(input,output) virtual output queue bound")
+		block   = flag.Bool("block", false, "block /send on full queues instead of tail-dropping")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 	)
 	flag.Parse()
 
@@ -120,8 +234,32 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	policy := fabric.DropNew
+	if *block {
+		policy = fabric.Block
+	}
+	fab, err := fabric.New[int](fabric.Config{
+		LogN:     *n,
+		Planes:   *planes,
+		VOQDepth: *voq,
+		Policy:   policy,
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
 	expvar.Publish("engine", expvar.Func(func() any { return eng.Stats() }))
+	expvar.Publish("fabric", fab.Var())
 
-	log.Printf("benesd: serving B(%d) (N=%d) on %s", *n, eng.Network().N(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, newMux(eng)))
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("benesd: serving B(%d) (N=%d, %d planes) on %s", *n, eng.Network().N(), fab.Planes(), *addr)
+	if err := serve(ctx, ln, eng, fab, *drain); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("benesd: drained and stopped")
 }

@@ -2,12 +2,17 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fabric"
 	"repro/internal/perm"
 )
 
@@ -17,9 +22,14 @@ func newTestServer(t *testing.T) (*httptest.Server, *engine.Engine[int]) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newMux(eng))
+	fab, err := fabric.New[int](fabric.Config{LogN: 4, Planes: 2, VOQDepth: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newMux(eng, fab))
 	t.Cleanup(func() {
 		srv.Close()
+		fab.Close()
 		eng.Close()
 	})
 	return srv, eng
@@ -149,5 +159,136 @@ func TestStatsAndHealth(t *testing.T) {
 	hresp.Body.Close()
 	if hresp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz status %d", hresp.StatusCode)
+	}
+}
+
+func postSend(t *testing.T, url string, body any) (*http.Response, sendResponse) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/send", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr sendResponse
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusTooManyRequests {
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, sr
+}
+
+// TestSendEndpoint pushes packets through the fabric path — single and
+// batch forms — and checks the fabric stats reflect them.
+func TestSendEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	resp, sr := postSend(t, srv.URL, map[string]any{"src": 3, "dst": 9})
+	if resp.StatusCode != http.StatusOK || sr.Accepted != 1 || sr.Rejected != 0 {
+		t.Fatalf("single send: status %d, %+v", resp.StatusCode, sr)
+	}
+
+	batch := sendRequest{Packets: []sendPacket{{Src: 0, Dst: 5}, {Src: 1, Dst: 5}, {Src: 2, Dst: 7}}}
+	resp, sr = postSend(t, srv.URL, batch)
+	if resp.StatusCode != http.StatusOK || sr.Accepted != 3 {
+		t.Fatalf("batch send: status %d, %+v", resp.StatusCode, sr)
+	}
+
+	// Malformed packets are 400s.
+	for name, body := range map[string]any{
+		"out of range": map[string]any{"src": 0, "dst": 99},
+		"half packet":  map[string]any{"src": 0},
+		"empty":        map[string]any{},
+	} {
+		resp, _ := postSend(t, srv.URL, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+
+	// The fabric delivers asynchronously; poll the stats endpoint.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		hresp, err := http.Get(srv.URL + "/fabric/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fs fabric.Snapshot
+		if err := json.NewDecoder(hresp.Body).Decode(&fs); err != nil {
+			t.Fatal(err)
+		}
+		hresp.Body.Close()
+		if fs.Delivered == 4 {
+			if fs.Accepted != 4 || len(fs.Planes) != 2 || len(fs.VOQ.PerInput) != 16 {
+				t.Fatalf("fabric stats malformed: %+v", fs)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("packets not delivered in time: %+v", fs)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestGracefulShutdown drives the real serve loop: cancelling the
+// context must drain HTTP, the fabric, and the engine, and leave the
+// listener closed.
+func TestGracefulShutdown(t *testing.T) {
+	eng, err := engine.New[int](engine.Config{LogN: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, err := fabric.New[int](fabric.Config{LogN: 4, Planes: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, ln, eng, fab, 5*time.Second) }()
+
+	url := "http://" + ln.Addr().String()
+	// Traffic through both layers while the server is up.
+	resp, rr := postRoute(t, url, routeRequest{Dest: perm.BitReversal(4)})
+	if resp.StatusCode != http.StatusOK || rr.Kind != "self-routed" {
+		t.Fatalf("route before shutdown: status %d, %+v", resp.StatusCode, rr)
+	}
+	if resp, sr := postSend(t, url, map[string]any{"src": 1, "dst": 14}); resp.StatusCode != http.StatusOK || sr.Accepted != 1 {
+		t.Fatalf("send before shutdown: status %d, %+v", resp.StatusCode, sr)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after cancel")
+	}
+
+	// Everything behind the server must be stopped: the engine rejects,
+	// the fabric rejects, the port no longer accepts.
+	if resp := eng.Route(perm.BitReversal(4), make([]int, 16)); !errors.Is(resp.Err, engine.ErrClosed) {
+		t.Fatalf("engine should be closed, got %v", resp.Err)
+	}
+	if err := fab.Send(fabric.Packet[int]{Src: 0, Dst: 1}); !errors.Is(err, fabric.ErrClosed) {
+		t.Fatalf("fabric should be closed, got %v", err)
+	}
+	if _, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second); err == nil {
+		t.Fatal("listener should be closed after shutdown")
+	}
+	// The packet accepted before shutdown must have been drained, not
+	// dropped.
+	if s := fab.Stats(); s.Delivered != 1 || s.Lost != 0 {
+		t.Fatalf("accepted packet must survive the drain: %+v", s)
 	}
 }

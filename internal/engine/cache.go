@@ -63,9 +63,10 @@ func hashPerm(p perm.Perm) uint64 {
 // independent lock, recency list, and capacity slice, so concurrent
 // workers rarely contend on the same mutex.
 type planCache struct {
-	shards    []cacheShard
-	mask      uint64
-	evictions *atomic.Int64
+	shards     []cacheShard
+	mask       uint64
+	evictions  *atomic.Int64
+	collisions *atomic.Int64
 }
 
 type cacheShard struct {
@@ -77,8 +78,10 @@ type cacheShard struct {
 
 // newPlanCache builds a cache holding about `capacity` plans across
 // `shards` shards (rounded up to a power of two, each shard holding at
-// least one plan). evictions is incremented once per displaced plan.
-func newPlanCache(capacity, shards int, evictions *atomic.Int64) *planCache {
+// least one plan). evictions is incremented once per displaced plan;
+// collisions once per lookup whose 64-bit key matched a cached plan for
+// a different permutation.
+func newPlanCache(capacity, shards int, evictions, collisions *atomic.Int64) *planCache {
 	if capacity < 1 {
 		capacity = 1
 	}
@@ -90,7 +93,7 @@ func newPlanCache(capacity, shards int, evictions *atomic.Int64) *planCache {
 		n <<= 1
 	}
 	perShard := (capacity + n - 1) / n
-	c := &planCache{shards: make([]cacheShard, n), mask: uint64(n - 1), evictions: evictions}
+	c := &planCache{shards: make([]cacheShard, n), mask: uint64(n - 1), evictions: evictions, collisions: collisions}
 	for i := range c.shards {
 		c.shards[i].cap = perShard
 		c.shards[i].ll = list.New()
@@ -112,6 +115,9 @@ func (c *planCache) get(key uint64, d perm.Perm) *Plan {
 	}
 	pl := e.Value.(*Plan)
 	if !pl.Dest.Equal(d) {
+		if c.collisions != nil {
+			c.collisions.Add(1)
+		}
 		return nil
 	}
 	sh.ll.MoveToFront(e)

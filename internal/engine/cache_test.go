@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"encoding/json"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -16,8 +17,8 @@ func mkPlan(d perm.Perm) *Plan {
 // TestCacheEvictionLRU fills a single-shard cache past capacity and
 // checks that exactly the least recently used plans are displaced.
 func TestCacheEvictionLRU(t *testing.T) {
-	var ev atomic.Int64
-	c := newPlanCache(4, 1, &ev)
+	var ev, col atomic.Int64
+	c := newPlanCache(4, 1, &ev, &col)
 	perms := make([]perm.Perm, 6)
 	for i := range perms {
 		p := perm.Identity(8)
@@ -55,14 +56,17 @@ func TestCacheEvictionLRU(t *testing.T) {
 // key matches but whose permutation differs must read as a miss, and a
 // put under the same key must replace, not corrupt.
 func TestCacheCollision(t *testing.T) {
-	var ev atomic.Int64
-	c := newPlanCache(8, 1, &ev)
+	var ev, col atomic.Int64
+	c := newPlanCache(8, 1, &ev, &col)
 	d1 := perm.Identity(8)
 	d2 := perm.BitReversal(3)
 	key := hashPerm(d1)
 	c.put(&Plan{Kind: PlanSelfRouted, Dest: d1, key: key})
 	if c.get(key, d2) != nil {
 		t.Fatal("colliding key with different permutation must miss")
+	}
+	if col.Load() != 1 {
+		t.Fatalf("collision miss must be counted, got %d", col.Load())
 	}
 	// Overwriting under the same key keeps exactly one entry.
 	c.put(&Plan{Kind: PlanLooped, Dest: d2, key: key})
@@ -75,13 +79,56 @@ func TestCacheCollision(t *testing.T) {
 	if c.get(key, d1) != nil {
 		t.Fatal("displaced colliding plan must miss")
 	}
+	if col.Load() != 2 {
+		t.Fatalf("both collision misses must be counted, got %d", col.Load())
+	}
+}
+
+// TestEvictionsSurfacedUnderChurn routes more distinct permutations
+// than the cache holds and checks that the displaced plans show up as
+// evictions in the public metrics snapshot.
+func TestEvictionsSurfacedUnderChurn(t *testing.T) {
+	eng, err := New[int](Config{LogN: 3, CacheCapacity: 4, CacheShards: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 32; i++ {
+		if resp := eng.Route(perm.Random(8, rng), payload(8)); resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+	}
+	s := eng.Stats()
+	if s.Evictions == 0 {
+		t.Fatalf("churn past capacity must surface evictions: %+v", s)
+	}
+	if s.PlansCached > 4 {
+		t.Fatalf("cache exceeded capacity: %d plans", s.PlansCached)
+	}
+	if s.Evictions != eng.Metrics().Evictions() {
+		t.Fatal("snapshot and accessor disagree on evictions")
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"evictions", "collision_misses"} {
+		if _, ok := decoded[field]; !ok {
+			t.Fatalf("snapshot JSON missing %q: %s", field, raw)
+		}
+	}
 }
 
 // TestCacheSharding checks shard rounding and that capacity is spread
 // across shards.
 func TestCacheSharding(t *testing.T) {
-	var ev atomic.Int64
-	c := newPlanCache(16, 3, &ev) // shards round up to 4
+	var ev, col atomic.Int64
+	c := newPlanCache(16, 3, &ev, &col) // shards round up to 4
 	if len(c.shards) != 4 {
 		t.Fatalf("3 shards should round to 4, got %d", len(c.shards))
 	}
@@ -90,7 +137,7 @@ func TestCacheSharding(t *testing.T) {
 			t.Fatalf("per-shard capacity should be 4, got %d", c.shards[i].cap)
 		}
 	}
-	if c := newPlanCache(0, 0, &ev); len(c.shards) != 1 || c.shards[0].cap != 1 {
+	if c := newPlanCache(0, 0, &ev, &col); len(c.shards) != 1 || c.shards[0].cap != 1 {
 		t.Fatal("degenerate config should clamp to one single-entry shard")
 	}
 }
@@ -98,8 +145,8 @@ func TestCacheSharding(t *testing.T) {
 // TestCacheConcurrent hammers get/put from many goroutines; run under
 // -race it checks the locking discipline.
 func TestCacheConcurrent(t *testing.T) {
-	var ev atomic.Int64
-	c := newPlanCache(32, 8, &ev)
+	var ev, col atomic.Int64
+	c := newPlanCache(32, 8, &ev, &col)
 	rng := rand.New(rand.NewSource(3))
 	pool := make([]perm.Perm, 64)
 	for i := range pool {

@@ -144,7 +144,7 @@ func New[T any](cfg Config) (*Engine[T], error) {
 	e := &Engine[T]{
 		net:   core.New(cfg.LogN),
 		cfg:   cfg,
-		cache: newPlanCache(cfg.CacheCapacity, cfg.CacheShards, &met.evictions),
+		cache: newPlanCache(cfg.CacheCapacity, cfg.CacheShards, &met.evictions, &met.collisions),
 		met:   met,
 		reqs:  make(chan *pending[T], cfg.QueueDepth),
 	}

@@ -118,6 +118,7 @@ type Metrics struct {
 	fallbacks  atomic.Int64 // misses outside F(n) that ran the looping algorithm
 	errors     atomic.Int64 // requests rejected (bad length, invalid permutation, closed)
 	evictions  atomic.Int64 // plans displaced from the LRU cache
+	collisions atomic.Int64 // lookups whose hash matched a plan for a different permutation
 	queueDepth atomic.Int64 // requests submitted but not yet picked up by a worker
 
 	// Per-stage latency histograms.
@@ -139,6 +140,11 @@ func (m *Metrics) Fallbacks() int64 { return m.fallbacks.Load() }
 // Evictions returns the number of plans displaced from the cache.
 func (m *Metrics) Evictions() int64 { return m.evictions.Load() }
 
+// CollisionMisses returns the number of cache lookups that found a plan
+// under the same 64-bit key but for a different permutation — misses
+// forced by hash collisions rather than genuine absence.
+func (m *Metrics) CollisionMisses() int64 { return m.collisions.Load() }
+
 // QueueDepth returns the number of requests currently waiting for a
 // worker.
 func (m *Metrics) QueueDepth() int64 { return m.queueDepth.Load() }
@@ -153,6 +159,7 @@ type Snapshot struct {
 	Fallbacks   int64   `json:"fallbacks"`
 	Errors      int64   `json:"errors"`
 	Evictions   int64   `json:"evictions"`
+	Collisions  int64   `json:"collision_misses"`
 	HitRate     float64 `json:"hit_rate"`
 	QueueDepth  int64   `json:"queue_depth"`
 	PlansCached int     `json:"plans_cached"`
@@ -173,6 +180,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		Fallbacks:  m.fallbacks.Load(),
 		Errors:     m.errors.Load(),
 		Evictions:  m.evictions.Load(),
+		Collisions: m.collisions.Load(),
 		QueueDepth: m.queueDepth.Load(),
 		Wait:       m.Wait.Snapshot(),
 		Plan:       m.Plan.Snapshot(),

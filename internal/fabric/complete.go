@@ -1,0 +1,52 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/perm"
+)
+
+// Idle marks an unmatched input in a partial matching passed to
+// Complete.
+const Idle = -1
+
+// Complete extends a partial input→output matching to a full
+// permutation: every input i with partial[i] == Idle is assigned one of
+// the outputs no matched input claimed, in ascending order. The Benes
+// engine routes whole permutations only — the paper's model moves one
+// full vector per pass — so a frame carrying fewer than N packets must
+// still present N destination tags; the filler assignments carry no
+// payload and exist purely to make the frame self-routable.
+//
+// Complete returns an error when partial is not a matching: an entry
+// out of range, or two inputs claiming the same output.
+func Complete(partial []int) (perm.Perm, error) {
+	n := len(partial)
+	full := make(perm.Perm, n)
+	taken := make([]bool, n)
+	for i, out := range partial {
+		if out == Idle {
+			continue
+		}
+		if out < 0 || out >= n {
+			return nil, fmt.Errorf("fabric: partial[%d] = %d out of range [0,%d)", i, out, n)
+		}
+		if taken[out] {
+			return nil, fmt.Errorf("fabric: output %d claimed twice", out)
+		}
+		taken[out] = true
+		full[i] = out
+	}
+	free := 0
+	for i, out := range partial {
+		if out != Idle {
+			continue
+		}
+		for taken[free] {
+			free++
+		}
+		taken[free] = true
+		full[i] = free
+	}
+	return full, nil
+}

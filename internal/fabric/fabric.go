@@ -1,0 +1,308 @@
+// Package fabric is a packet-switched serving layer over the batched
+// routing engine of internal/engine. The paper's network moves one full
+// permutation per pass, but production traffic arrives as independent
+// packets; following Huang & Walrand's observation that Benes networks
+// run well in packet mode, the fabric bridges the two models:
+//
+//   - arriving packets land in bounded per-input virtual output queues
+//     (VOQs), one FIFO per (input, output) pair, so a hot output cannot
+//     head-of-line block unrelated traffic;
+//   - a frame scheduler repeatedly extracts a conflict-free partial
+//     matching (at most one packet per input and per output, rotating
+//     iSLIP-style pointers for fairness) and completes it to a full
+//     permutation over the idle ports, which is exactly what the
+//     self-routing/plan-cache path of internal/engine serves;
+//   - each frame is dispatched to one of K switching planes — sharded
+//     engine instances with independent worker pools and plan caches —
+//     so K frames traverse the fabric concurrently;
+//   - full queues exert backpressure with a configurable policy (tail
+//     drop or blocking), and a plane that fails — marked down by an
+//     operator or misrouting because of injected stuck-switch faults —
+//     is taken out of rotation while its frames fail over to the
+//     surviving planes.
+//
+// Accepted packets are delivered exactly once: a frame is only
+// delivered after the serving plane verifies every packet at its output
+// port, and a failed frame is re-dispatched in full to another plane.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/perm"
+)
+
+// Errors returned by Send.
+var (
+	// ErrBackpressure reports a tail drop: the packet's VOQ is full and
+	// the fabric runs the DropNew policy.
+	ErrBackpressure = errors.New("fabric: VOQ full")
+	// ErrClosed reports a send to a closed fabric.
+	ErrClosed = errors.New("fabric: closed")
+)
+
+// Packet is one unit of traffic: deliver Payload from input port Src to
+// output port Dst.
+type Packet[T any] struct {
+	Src     int
+	Dst     int
+	Payload T
+}
+
+// frame is one scheduled unit of switching work: a full permutation
+// dest carrying len(pkts) real packets (pkts[k] travels srcs[k] →
+// dsts[k]); the remaining ports carry filler assignments from Complete.
+type frame[T any] struct {
+	dest       perm.Perm
+	pkts       []Packet[T]
+	srcs, dsts []int
+}
+
+// Config parameterizes New. The zero value of every field except LogN
+// selects a sensible default.
+type Config struct {
+	// LogN is n = log2(N), the size of each plane's Benes network B(n).
+	LogN int
+	// Planes is K, the number of parallel switching planes. Defaults
+	// to 1.
+	Planes int
+	// VOQDepth bounds each (input, output) queue. Defaults to
+	// DefaultVOQDepth.
+	VOQDepth int
+	// FrameQueue is the buffered depth of the scheduler → dispatcher
+	// channel. Defaults to 2*Planes.
+	FrameQueue int
+	// Policy selects what Send does when a VOQ is full.
+	Policy DropPolicy
+	// PlaneWorkers is the engine worker count per plane. Defaults to 1,
+	// so K planes give K-way frame parallelism.
+	PlaneWorkers int
+	// PlaneCache is the plan-cache capacity per plane. Defaults to the
+	// engine's DefaultCacheCapacity.
+	PlaneCache int
+}
+
+// DefaultVOQDepth bounds each virtual output queue unless Config says
+// otherwise.
+const DefaultVOQDepth = 64
+
+func (c Config) withDefaults() Config {
+	if c.Planes <= 0 {
+		c.Planes = 1
+	}
+	if c.VOQDepth <= 0 {
+		c.VOQDepth = DefaultVOQDepth
+	}
+	if c.FrameQueue <= 0 {
+		c.FrameQueue = 2 * c.Planes
+	}
+	if c.PlaneWorkers <= 0 {
+		c.PlaneWorkers = 1
+	}
+	return c
+}
+
+// Fabric is a multi-plane packet switch. All methods are safe for
+// concurrent use.
+type Fabric[T any] struct {
+	cfg     Config
+	n       int
+	voq     *voqSet[T]
+	planes  []*plane
+	frames  chan *frame[T]
+	met     metrics
+	deliver func(Packet[T])
+
+	closing   chan struct{}
+	closed    atomic.Bool
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// New builds and starts a fabric of cfg.Planes planes over B(cfg.LogN).
+// deliver, if non-nil, is invoked once per packet after the packet is
+// verified at its output port; it may be called concurrently from
+// several dispatcher goroutines and must be safe for that.
+func New[T any](cfg Config, deliver func(Packet[T])) (*Fabric[T], error) {
+	if cfg.LogN < 1 {
+		return nil, fmt.Errorf("fabric: Config.LogN must be >= 1, got %d", cfg.LogN)
+	}
+	cfg = cfg.withDefaults()
+	f := &Fabric[T]{
+		cfg:     cfg,
+		n:       1 << cfg.LogN,
+		voq:     newVOQSet[T](1<<cfg.LogN, cfg.VOQDepth),
+		planes:  make([]*plane, cfg.Planes),
+		frames:  make(chan *frame[T], cfg.FrameQueue),
+		deliver: deliver,
+		closing: make(chan struct{}),
+	}
+	for i := range f.planes {
+		p, err := newPlane(i, engine.Config{
+			LogN:          cfg.LogN,
+			Workers:       cfg.PlaneWorkers,
+			CacheCapacity: cfg.PlaneCache,
+		})
+		if err != nil {
+			for _, q := range f.planes[:i] {
+				q.close()
+			}
+			return nil, err
+		}
+		f.planes[i] = p
+	}
+	f.wg.Add(1)
+	go f.scheduler()
+	for i := range f.planes {
+		f.wg.Add(1)
+		go f.dispatcher(i)
+	}
+	return f, nil
+}
+
+// N returns the number of ports per plane.
+func (f *Fabric[T]) N() int { return f.n }
+
+// Planes returns K.
+func (f *Fabric[T]) Planes() int { return len(f.planes) }
+
+// Send offers one packet to the fabric. It returns nil when the packet
+// is accepted — from then on the fabric delivers it exactly once — or
+// ErrBackpressure / ErrClosed when it is not. With Policy == Block a
+// full queue makes Send wait instead of dropping.
+func (f *Fabric[T]) Send(p Packet[T]) error {
+	if p.Src < 0 || p.Src >= f.n || p.Dst < 0 || p.Dst >= f.n {
+		return fmt.Errorf("fabric: packet (%d -> %d) out of range [0,%d)", p.Src, p.Dst, f.n)
+	}
+	if f.closed.Load() {
+		f.met.rejected.Add(1)
+		return ErrClosed
+	}
+	if err := f.voq.enqueue(p, f.cfg.Policy); err != nil {
+		f.met.rejected.Add(1)
+		return err
+	}
+	f.met.accepted.Add(1)
+	return nil
+}
+
+// InjectFaults freezes switches of plane id in their stuck states,
+// simulated through the gate-level concurrent fabric of
+// internal/netsim. The plane stays in rotation until a frame actually
+// misroutes — a stuck switch only damages permutations that need it in
+// the other state — at which point it is marked unhealthy and drained:
+// it holds no queued frames (dispatch is pull-based), and every
+// subsequent frame fails over to the surviving planes. Injecting an
+// empty fault set repairs and restores the plane.
+func (f *Fabric[T]) InjectFaults(id int, faults []core.Fault) error {
+	if id < 0 || id >= len(f.planes) {
+		return fmt.Errorf("fabric: no plane %d", id)
+	}
+	f.planes[id].inject(faults)
+	return nil
+}
+
+// FailPlane administratively marks plane id unhealthy; frames fail over
+// to the surviving planes until RestorePlane.
+func (f *Fabric[T]) FailPlane(id int) error {
+	if id < 0 || id >= len(f.planes) {
+		return fmt.Errorf("fabric: no plane %d", id)
+	}
+	f.planes[id].healthy.Store(false)
+	return nil
+}
+
+// RestorePlane clears plane id's faults and returns it to rotation.
+func (f *Fabric[T]) RestorePlane(id int) error {
+	if id < 0 || id >= len(f.planes) {
+		return fmt.Errorf("fabric: no plane %d", id)
+	}
+	f.planes[id].inject(nil)
+	return nil
+}
+
+// Close stops accepting packets, schedules everything still queued,
+// waits for the dispatchers to drain, and shuts the planes down. Close
+// is idempotent. Packets accepted before Close are still delivered,
+// unless no healthy plane remains, in which case they are counted as
+// lost in the snapshot.
+func (f *Fabric[T]) Close() {
+	f.closeOnce.Do(func() {
+		f.closed.Store(true)
+		f.voq.close()
+		close(f.closing)
+		f.wg.Wait()
+		for _, p := range f.planes {
+			p.close()
+		}
+	})
+}
+
+// scheduler is the fabric's single matchmaking loop: each iteration
+// ("tick") extracts one frame from the VOQs and hands it to the
+// dispatchers, blocking — and thereby letting the VOQs fill and exert
+// backpressure — when all planes are busy. On close it drains the VOQs
+// before exiting.
+func (f *Fabric[T]) scheduler() {
+	defer f.wg.Done()
+	defer close(f.frames)
+	for {
+		fr := f.voq.buildFrame()
+		if fr == nil {
+			select {
+			case <-f.voq.notify:
+				continue
+			case <-f.closing:
+				for {
+					fr := f.voq.buildFrame()
+					if fr == nil {
+						return
+					}
+					f.met.frames.Add(1)
+					f.frames <- fr
+				}
+			}
+		}
+		f.met.frames.Add(1)
+		f.frames <- fr
+	}
+}
+
+// dispatcher pulls frames and serves them, preferring its home plane so
+// K dispatchers keep K planes busy; when the home plane is down or
+// misroutes, the frame fails over to the next healthy plane.
+func (f *Fabric[T]) dispatcher(home int) {
+	defer f.wg.Done()
+	for fr := range f.frames {
+		f.dispatch(home, fr)
+	}
+}
+
+func (f *Fabric[T]) dispatch(home int, fr *frame[T]) {
+	failed := false
+	for attempt := 0; attempt < len(f.planes); attempt++ {
+		p := f.planes[(home+attempt)%len(f.planes)]
+		if err := p.route(fr.dest, fr.srcs, fr.dsts); err != nil {
+			failed = true
+			continue
+		}
+		if failed {
+			f.met.failovers.Add(1)
+		}
+		f.met.delivered.Add(int64(len(fr.pkts)))
+		if f.deliver != nil {
+			for _, pkt := range fr.pkts {
+				f.deliver(pkt)
+			}
+		}
+		return
+	}
+	// Every plane refused the frame: the packets are accepted but
+	// undeliverable. Account for them so the books still balance.
+	f.met.lost.Add(int64(len(fr.pkts)))
+}

@@ -1,0 +1,82 @@
+package fabric
+
+import (
+	"expvar"
+	"sync/atomic"
+)
+
+// metrics aggregates the fabric-level counters. Per-plane counters live
+// on the planes themselves; per-VOQ counters live under the voqSet
+// mutex. Snapshot stitches all three views together.
+type metrics struct {
+	accepted  atomic.Int64 // packets admitted into a VOQ
+	rejected  atomic.Int64 // packets refused by tail drop or close
+	delivered atomic.Int64 // packets verified at their output port
+	lost      atomic.Int64 // accepted packets abandoned (no healthy plane at close)
+	frames    atomic.Int64 // frames scheduled
+	failovers atomic.Int64 // frames re-dispatched after a plane failure
+}
+
+// VOQInputCounters is one input port's ingress accounting.
+type VOQInputCounters struct {
+	Enqueued int64 `json:"enqueued"`
+	Dropped  int64 `json:"dropped"`
+	Occupied int64 `json:"occupied"`
+	MaxDepth int64 `json:"max_depth"`
+}
+
+// VOQSnapshot summarizes the virtual output queues: the aggregate
+// occupancy plus one counter block per input port.
+type VOQSnapshot struct {
+	Occupied int64              `json:"occupied"`
+	PerInput []VOQInputCounters `json:"per_input"`
+}
+
+// Snapshot is a point-in-time, JSON-friendly view of a running fabric,
+// in the same expvar style as engine.Snapshot.
+type Snapshot struct {
+	Accepted  int64 `json:"accepted"`
+	Rejected  int64 `json:"rejected"`
+	Delivered int64 `json:"delivered"`
+	Lost      int64 `json:"lost"`
+	Frames    int64 `json:"frames"`
+	Failovers int64 `json:"failovers"`
+
+	// FrameFill is delivered packets per scheduled frame divided by N:
+	// 1.0 means every frame was a full permutation of real packets,
+	// small values mean the scheduler is padding mostly-idle frames.
+	FrameFill float64 `json:"frame_fill"`
+
+	Planes []PlaneSnapshot `json:"planes"`
+	VOQ    VOQSnapshot     `json:"voq"`
+}
+
+// Stats captures the full fabric snapshot: fabric counters, per-plane
+// engine snapshots, and per-VOQ counters.
+func (f *Fabric[T]) Stats() Snapshot {
+	s := Snapshot{
+		Accepted:  f.met.accepted.Load(),
+		Rejected:  f.met.rejected.Load(),
+		Delivered: f.met.delivered.Load(),
+		Lost:      f.met.lost.Load(),
+		Frames:    f.met.frames.Load(),
+		Failovers: f.met.failovers.Load(),
+	}
+	if s.Frames > 0 {
+		s.FrameFill = float64(s.Delivered) / float64(s.Frames) / float64(f.n)
+	}
+	s.Planes = make([]PlaneSnapshot, len(f.planes))
+	for i, p := range f.planes {
+		s.Planes[i] = p.snapshot()
+	}
+	s.VOQ.PerInput = f.voq.snapshot()
+	for _, c := range s.VOQ.PerInput {
+		s.VOQ.Occupied += c.Occupied
+	}
+	return s
+}
+
+// Var adapts the fabric to an expvar.Var for /debug/vars publishing.
+func (f *Fabric[T]) Var() expvar.Var {
+	return expvar.Func(func() any { return f.Stats() })
+}

@@ -1,0 +1,148 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/netsim"
+	"repro/internal/perm"
+)
+
+// errPlaneDown reports a route attempt on an unhealthy plane; the
+// dispatcher fails the frame over to a surviving plane.
+var errPlaneDown = errors.New("fabric: plane unhealthy")
+
+// plane is one switching plane: an independent engine instance (its own
+// worker pool and plan cache) over its own copy of B(n). Planes share
+// nothing, so K planes route K frames concurrently — the packet-switch
+// analogue of a multi-plane fabric card.
+type plane struct {
+	id      int
+	eng     *engine.Engine[int]
+	ident   []int // read-only identity payload, reused by every frame
+	healthy atomic.Bool
+
+	frames    atomic.Int64 // frames this plane routed successfully
+	packets   atomic.Int64 // payload packets inside those frames
+	failovers atomic.Int64 // frames this plane rejected or misrouted
+
+	// Injected damage: stuck switches simulated through the concurrent
+	// gate-level fabric of internal/netsim. Guarded by mu; sim is
+	// rebuilt whenever the fault set changes.
+	mu     sync.Mutex
+	faults []core.Fault
+	sim    *netsim.Engine
+}
+
+func newPlane(id int, cfg engine.Config) (*plane, error) {
+	eng, err := engine.New[int](cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: plane %d: %w", id, err)
+	}
+	p := &plane{id: id, eng: eng, ident: make([]int, eng.Network().N())}
+	for i := range p.ident {
+		p.ident[i] = i
+	}
+	p.healthy.Store(true)
+	return p, nil
+}
+
+// inject sets the plane's stuck-switch faults. An empty set heals the
+// plane and brings it back into rotation.
+func (p *plane) inject(faults []core.Fault) {
+	p.mu.Lock()
+	p.faults = append([]core.Fault(nil), faults...)
+	if len(faults) == 0 {
+		p.sim = nil
+	} else {
+		p.sim = netsim.NewWithFaults(p.eng.Network(), faults)
+	}
+	p.mu.Unlock()
+	p.healthy.Store(len(faults) == 0)
+}
+
+// checkFaults runs a frame's destination vector through the damaged
+// gate-level simulator and reports whether it still self-routes
+// cleanly. A misroute means the plane's hardware would deliver at least
+// one tag to the wrong port — the output-port tag check every frame
+// carries — so the frame must be re-routed elsewhere.
+func (p *plane) checkFaults(dest perm.Perm) bool {
+	p.mu.Lock()
+	sim := p.sim
+	p.mu.Unlock()
+	if sim == nil {
+		return true
+	}
+	res, _ := sim.RouteOne(dest)
+	return res.OK()
+}
+
+// route serves one frame: the full permutation dest, carrying real
+// packets from srcs[k] to dsts[k]. On success every packet has been
+// verified at its output port; any error means nothing was delivered
+// and the caller must fail the frame over to another plane.
+func (p *plane) route(dest perm.Perm, srcs, dsts []int) error {
+	if !p.healthy.Load() {
+		p.failovers.Add(1)
+		return errPlaneDown
+	}
+	if !p.checkFaults(dest) {
+		// First misroute detected: take the plane out of rotation. Its
+		// engine keeps running so a later inject(nil) can restore it.
+		p.healthy.Store(false)
+		p.failovers.Add(1)
+		return fmt.Errorf("fabric: plane %d misroutes frame: %w", p.id, errPlaneDown)
+	}
+	resp := p.eng.Route(dest, p.ident)
+	if resp.Err != nil {
+		p.healthy.Store(false)
+		p.failovers.Add(1)
+		return fmt.Errorf("fabric: plane %d: %w", p.id, resp.Err)
+	}
+	// Output-port tag check: input i's payload must sit at port
+	// dest[i]. With data[i] = i, the routed vector holds each packet's
+	// source at its destination port.
+	for k, dst := range dsts {
+		if resp.Data[dst] != srcs[k] {
+			p.healthy.Store(false)
+			p.failovers.Add(1)
+			return fmt.Errorf("fabric: plane %d delivered port %d to the wrong source: %w",
+				p.id, dst, errPlaneDown)
+		}
+	}
+	p.frames.Add(1)
+	p.packets.Add(int64(len(dsts)))
+	return nil
+}
+
+func (p *plane) close() { p.eng.Close() }
+
+// PlaneSnapshot is the per-plane slice of a fabric Snapshot.
+type PlaneSnapshot struct {
+	ID        int             `json:"id"`
+	Healthy   bool            `json:"healthy"`
+	Faults    int             `json:"faults"`
+	Frames    int64           `json:"frames"`
+	Packets   int64           `json:"packets"`
+	Failovers int64           `json:"failovers"`
+	Engine    engine.Snapshot `json:"engine"`
+}
+
+func (p *plane) snapshot() PlaneSnapshot {
+	p.mu.Lock()
+	nf := len(p.faults)
+	p.mu.Unlock()
+	return PlaneSnapshot{
+		ID:        p.id,
+		Healthy:   p.healthy.Load(),
+		Faults:    nf,
+		Frames:    p.frames.Load(),
+		Packets:   p.packets.Load(),
+		Failovers: p.failovers.Load(),
+		Engine:    p.eng.Stats(),
+	}
+}

@@ -1,0 +1,254 @@
+package fabric
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// DropPolicy selects what Send does when a packet's virtual output
+// queue is full.
+type DropPolicy int
+
+const (
+	// DropNew rejects the incoming packet immediately (tail drop). The
+	// caller sees ErrBackpressure and the packet is never accepted, so
+	// the fabric's exactly-once delivery guarantee is unaffected.
+	DropNew DropPolicy = iota
+	// Block makes Send wait until the queue has room (or the fabric
+	// closes), pushing backpressure into the caller.
+	Block
+)
+
+func (p DropPolicy) String() string {
+	switch p {
+	case DropNew:
+		return "drop-new"
+	case Block:
+		return "block"
+	}
+	return "unknown"
+}
+
+// voqInputCounters is the per-input slice of VOQ accounting, exported
+// through VOQSnapshot.
+type voqInputCounters struct {
+	enqueued int64 // packets accepted into this input's queues
+	dropped  int64 // packets rejected by tail drop
+	occupied int64 // packets currently queued
+	maxDepth int64 // high-water mark of occupied
+}
+
+// voqSet is the fabric's ingress stage: one bounded FIFO per
+// (input, output) pair — N² virtual output queues — so a burst to one
+// hot output cannot head-of-line block traffic from the same input to
+// other outputs. All state is guarded by one mutex; the scheduler and
+// senders interleave short critical sections (enqueue one packet,
+// extract one matching).
+type voqSet[T any] struct {
+	n     int
+	depth int // per-queue bound
+
+	mu     sync.Mutex
+	space  *sync.Cond    // signalled when a queue drains (Block policy)
+	queues [][]Packet[T] // queues[in*n+out]
+	counts []voqInputCounters
+	closed bool
+
+	// nonempty[in] is a bitmap of outputs with a queued packet from
+	// `in`, so the scheduler finds candidates with find-next-set-bit
+	// scans instead of walking all N queues per input.
+	nonempty [][]uint64
+
+	// Round-robin pointers in the style of iSLIP: rrIn rotates which
+	// input gets first pick each frame, rrOut[i] rotates which output
+	// input i scans first, so no (input, output) pair is starved.
+	rrIn  int
+	rrOut []int
+
+	// notify wakes the scheduler when work arrives; capacity 1 so
+	// enqueues never block on it.
+	notify chan struct{}
+}
+
+func newVOQSet[T any](n, depth int) *voqSet[T] {
+	v := &voqSet[T]{
+		n:        n,
+		depth:    depth,
+		queues:   make([][]Packet[T], n*n),
+		counts:   make([]voqInputCounters, n),
+		nonempty: make([][]uint64, n),
+		rrOut:    make([]int, n),
+		notify:   make(chan struct{}, 1),
+	}
+	words := (n + 63) / 64
+	for i := range v.nonempty {
+		v.nonempty[i] = make([]uint64, words)
+	}
+	v.space = sync.NewCond(&v.mu)
+	return v
+}
+
+// nextSet returns the smallest bit index in [from, hi) set in bm, or -1.
+func nextSet(bm []uint64, from, hi int) int {
+	if from >= hi {
+		return -1
+	}
+	w := from >> 6
+	word := bm[w] & (^uint64(0) << uint(from&63))
+	for {
+		if word != 0 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			if i >= hi {
+				return -1
+			}
+			return i
+		}
+		w++
+		if w >= len(bm) || w<<6 >= hi {
+			return -1
+		}
+		word = bm[w]
+	}
+}
+
+// enqueue appends p to its VOQ, honouring the drop policy. It reports
+// whether the packet was accepted; a false return with a nil error
+// never happens.
+func (v *voqSet[T]) enqueue(p Packet[T], policy DropPolicy) error {
+	idx := p.Src*v.n + p.Dst
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for len(v.queues[idx]) >= v.depth {
+		if policy == DropNew {
+			v.counts[p.Src].dropped++
+			return ErrBackpressure
+		}
+		v.space.Wait()
+		if v.closed {
+			return ErrClosed
+		}
+	}
+	if v.closed {
+		return ErrClosed
+	}
+	v.queues[idx] = append(v.queues[idx], p)
+	v.nonempty[p.Src][p.Dst>>6] |= 1 << uint(p.Dst&63)
+	c := &v.counts[p.Src]
+	c.enqueued++
+	c.occupied++
+	if c.occupied > c.maxDepth {
+		c.maxDepth = c.occupied
+	}
+	select {
+	case v.notify <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// buildFrame extracts a conflict-free partial matching — at most one
+// packet per input and per output — and completes it to a full
+// permutation. It returns nil when every queue is empty. Inputs are
+// scanned from a rotating start, and each input scans its outputs from
+// its own rotating pointer, so repeated frames cycle through contending
+// pairs instead of always favouring low indices.
+func (v *voqSet[T]) buildFrame() *frame[T] {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+
+	partial := make([]int, v.n)
+	for i := range partial {
+		partial[i] = Idle
+	}
+	var pkts []Packet[T]
+	var srcs, dsts []int
+	taken := make([]bool, v.n)
+	for k := 0; k < v.n; k++ {
+		in := (v.rrIn + k) % v.n
+		if v.counts[in].occupied == 0 {
+			continue
+		}
+		// Scan candidate outputs from the rotating pointer, wrapping
+		// once: non-empty per the bitmap and not yet claimed.
+		out := -1
+		start := v.rrOut[in]
+		for pass := 0; pass < 2 && out == -1; pass++ {
+			lo, hi := start, v.n
+			if pass == 1 {
+				lo, hi = 0, start
+			}
+			for j := nextSet(v.nonempty[in], lo, hi); j != -1; j = nextSet(v.nonempty[in], j+1, hi) {
+				if !taken[j] {
+					out = j
+					break
+				}
+			}
+		}
+		if out == -1 {
+			continue
+		}
+		q := v.queues[in*v.n+out]
+		pkt := q[0]
+		// Shift rather than reslice so the backing array does not pin
+		// every packet ever queued.
+		copy(q, q[1:])
+		v.queues[in*v.n+out] = q[:len(q)-1]
+		if len(q) == 1 {
+			v.nonempty[in][out>>6] &^= 1 << uint(out&63)
+		}
+		v.counts[in].occupied--
+		partial[in] = out
+		taken[out] = true
+		pkts = append(pkts, pkt)
+		srcs = append(srcs, in)
+		dsts = append(dsts, out)
+		v.rrOut[in] = (out + 1) % v.n
+	}
+	if len(pkts) == 0 {
+		return nil
+	}
+	v.rrIn = (v.rrIn + 1) % v.n
+	v.space.Broadcast()
+
+	dest, err := Complete(partial)
+	if err != nil {
+		// Unreachable by construction: taken[] guarantees a matching.
+		panic("fabric: buildFrame produced a non-matching: " + err.Error())
+	}
+	return &frame[T]{dest: dest, pkts: pkts, srcs: srcs, dsts: dsts}
+}
+
+// occupancy returns the total number of queued packets.
+func (v *voqSet[T]) occupancy() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	total := int64(0)
+	for i := range v.counts {
+		total += v.counts[i].occupied
+	}
+	return total
+}
+
+// close wakes blocked senders so they observe the closed state.
+func (v *voqSet[T]) close() {
+	v.mu.Lock()
+	v.closed = true
+	v.space.Broadcast()
+	v.mu.Unlock()
+}
+
+// snapshot copies the per-input counters.
+func (v *voqSet[T]) snapshot() []VOQInputCounters {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]VOQInputCounters, v.n)
+	for i, c := range v.counts {
+		out[i] = VOQInputCounters{
+			Enqueued: c.enqueued,
+			Dropped:  c.dropped,
+			Occupied: c.occupied,
+			MaxDepth: c.maxDepth,
+		}
+	}
+	return out
+}

@@ -13,6 +13,7 @@
 package netsim
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/bits"
@@ -37,12 +38,31 @@ func (v *VectorResult) OK() bool { return len(v.Misrouted) == 0 }
 
 // Engine is a concurrent instantiation of a Benes network.
 type Engine struct {
-	net *core.Network
+	net   *core.Network
+	stuck map[switchID]bool // injected faults: switch -> frozen state
 }
+
+type switchID struct{ stage, sw int }
 
 // New wraps a core network for concurrent execution.
 func New(net *core.Network) *Engine {
 	return &Engine{net: net}
+}
+
+// NewWithFaults wraps a core network whose listed switches are frozen
+// in their stuck states: the per-switch goroutines ignore the control
+// bit and forward according to the fault, so vectors that need the
+// other state misroute — the concurrent analogue of
+// core.RouteWithFaults. Fault coordinates are validated the same way.
+func NewWithFaults(net *core.Network, faults []core.Fault) *Engine {
+	e := &Engine{net: net, stuck: make(map[switchID]bool, len(faults))}
+	for _, f := range faults {
+		if f.Stage < 0 || f.Stage >= net.Stages() || f.Switch < 0 || f.Switch >= net.N()/2 {
+			panic(fmt.Sprintf("netsim: fault (%d,%d) out of range", f.Stage, f.Switch))
+		}
+		e.stuck[switchID{f.Stage, f.Switch}] = f.StuckCrossed
+	}
+	return e
 }
 
 // Run streams the given destination-tag vectors through the network,
@@ -77,6 +97,7 @@ func (e *Engine) Run(vectors []perm.Perm) ([]VectorResult, core.States) {
 	for s := 0; s < stages; s++ {
 		cb := e.net.ControlBit(s)
 		for i := 0; i < N/2; i++ {
+			frozen, isStuck := e.stuck[switchID{s, i}]
 			wg.Add(1)
 			go func(s, i, cb int) {
 				defer wg.Done()
@@ -89,9 +110,13 @@ func (e *Engine) Run(vectors []perm.Perm) ([]VectorResult, core.States) {
 				}
 				for k := 0; k < depth; k++ {
 					// The switch decides from the upper input's control
-					// bit and forwards it immediately — self-timing.
+					// bit and forwards it immediately — self-timing. A
+					// stuck switch cannot decide: it stays frozen.
 					u := <-upIn
 					crossed := bits.Bit(u.Tag, cb) == 1
+					if isStuck {
+						crossed = frozen
+					}
 					if k == 0 {
 						firstStates[s][i] = crossed
 					}
