@@ -12,6 +12,16 @@
 //	POST /send     {"src":3, "dst":9} or {"packets":[{"src":..,"dst":..},...]}
 //	               -> per-packet accepted/rejected counts; packets ride
 //	               the VOQ → frame scheduler → plane path
+//	POST /collective  {"op":"alltoall","data":[[...],...]} -> bulk
+//	               data movement compiled into pipelined fabric rounds.
+//	               Ops: alltoall, exchange (with "dests"), transpose
+//	               (with "rows"/"cols"), shuffle, bitreversal,
+//	               broadcast / gather / scatter (with "root").
+//	               "deadline_ms" arms deadline-aware admission (503 on
+//	               reject); "stream": true switches the response to
+//	               NDJSON progress lines ending in a "done" record
+//	GET  /collective/stats  collective-layer snapshot (rounds,
+//	               self-route ratio, per-plane occupancy, per-op counts)
 //	GET  /stats    full engine metrics snapshot (hits, misses,
 //	               fallbacks, per-stage latency histograms, queue depth)
 //	GET  /fabric/stats  fabric snapshot (accepted/rejected/delivered,
@@ -36,6 +46,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -46,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/collective"
 	"repro/internal/engine"
 	"repro/internal/fabric"
 	"repro/internal/perm"
@@ -54,6 +66,7 @@ import (
 type server struct {
 	eng *engine.Engine[int]
 	fab *fabric.Fabric[int]
+	col *collective.Service[int]
 }
 
 type routeRequest struct {
@@ -146,6 +159,133 @@ func (s *server) handleSend(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, resp)
 }
 
+type collectiveRequest struct {
+	Op   string  `json:"op"`
+	Data [][]int `json:"data"`
+	// Root selects the root port for broadcast, gather, and scatter.
+	Root int `json:"root,omitempty"`
+	// Rows and Cols tile the ports for op "transpose".
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// Dests is the per-port, per-chunk destination matrix for op
+	// "exchange" (-1 = keep in place).
+	Dests [][]int `json:"dests,omitempty"`
+	// DeadlineMs arms deadline-aware admission: if the compiled
+	// schedule's estimated time exceeds it, the request is rejected
+	// with 503 before any round is routed.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+	// Stream switches the response to NDJSON progress records.
+	Stream bool `json:"stream,omitempty"`
+}
+
+type collectiveResponse struct {
+	Done   bool                   `json:"done"`
+	Result [][]int                `json:"result"`
+	Stats  collective.HandleStats `json:"stats"`
+}
+
+// handleCollective submits one bulk operation to the collective layer.
+// Spec errors (unknown op, shape mismatches, bad destinations) are
+// 400s, admission rejects are 503s; the response is either the final
+// result or — with "stream": true — NDJSON progress lines ending in a
+// "done" record.
+func (s *server) handleCollective(w http.ResponseWriter, r *http.Request) {
+	var req collectiveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON: %v", err))
+		return
+	}
+	ctx := r.Context()
+	if req.DeadlineMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMs)*time.Millisecond)
+		defer cancel()
+	}
+	var h *collective.Handle[int]
+	var err error
+	switch req.Op {
+	case "alltoall":
+		h, err = s.col.AllToAll(ctx, req.Data)
+	case "exchange":
+		h, err = s.col.Exchange(ctx, req.Dests, req.Data)
+	case "transpose":
+		h, err = s.col.Transpose(ctx, req.Rows, req.Cols, req.Data)
+	case "shuffle":
+		h, err = s.col.Shuffle(ctx, req.Data)
+	case "bitreversal":
+		h, err = s.col.BitReversal(ctx, req.Data)
+	case "broadcast":
+		h, err = s.col.Broadcast(ctx, req.Root, req.Data)
+	case "gather":
+		h, err = s.col.Gather(ctx, req.Root, req.Data)
+	case "scatter":
+		h, err = s.col.Scatter(ctx, req.Root, req.Data)
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown collective op %q", req.Op))
+		return
+	}
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, collective.ErrDeadline) {
+			code = http.StatusServiceUnavailable
+		}
+		httpError(w, code, err.Error())
+		return
+	}
+	if req.Stream {
+		s.streamCollective(w, h)
+		return
+	}
+	result, err := h.Wait()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, collectiveResponse{Done: true, Result: result, Stats: h.Stats()})
+}
+
+// streamCollective writes NDJSON progress records while the collective
+// runs, then a final record carrying the result (or the error).
+func (s *server) streamCollective(w http.ResponseWriter, h *collective.Handle[int]) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(v any) {
+		if err := enc.Encode(v); err != nil {
+			log.Printf("benesd: streaming collective progress: %v", err)
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	progress := func() map[string]int {
+		completed, total := h.Progress()
+		return map[string]int{"completed": completed, "total": total}
+	}
+	emit(progress())
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-h.Done():
+			result, err := h.Wait()
+			if err != nil {
+				emit(map[string]any{"done": true, "error": err.Error()})
+				return
+			}
+			emit(collectiveResponse{Done: true, Result: result, Stats: h.Stats()})
+			return
+		case <-tick.C:
+			emit(progress())
+		}
+	}
+}
+
+func (s *server) handleCollectiveStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.col.Stats())
+}
+
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.eng.Stats())
 }
@@ -172,11 +312,13 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 // newMux wires the handlers; split from main so tests can mount the
 // mux on an httptest server.
-func newMux(eng *engine.Engine[int], fab *fabric.Fabric[int]) *http.ServeMux {
-	s := &server{eng: eng, fab: fab}
+func newMux(eng *engine.Engine[int], fab *fabric.Fabric[int], col *collective.Service[int]) *http.ServeMux {
+	s := &server{eng: eng, fab: fab, col: col}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /route", s.handleRoute)
 	mux.HandleFunc("POST /send", s.handleSend)
+	mux.HandleFunc("POST /collective", s.handleCollective)
+	mux.HandleFunc("GET /collective/stats", s.handleCollectiveStats)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /fabric/stats", s.handleFabricStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -191,8 +333,8 @@ func newMux(eng *engine.Engine[int], fab *fabric.Fabric[int]) *http.ServeMux {
 // shutdownTimeout, close the fabric (which delivers everything already
 // accepted) and finally the engine. Split from main so tests can drive
 // the full lifecycle without signals.
-func serve(ctx context.Context, ln net.Listener, eng *engine.Engine[int], fab *fabric.Fabric[int], shutdownTimeout time.Duration) error {
-	srv := &http.Server{Handler: newMux(eng, fab)}
+func serve(ctx context.Context, ln net.Listener, eng *engine.Engine[int], fab *fabric.Fabric[int], col *collective.Service[int], shutdownTimeout time.Duration) error {
+	srv := &http.Server{Handler: newMux(eng, fab, col)}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -247,8 +389,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	col := collective.New[int](fab, collective.Options{})
 	expvar.Publish("engine", expvar.Func(func() any { return eng.Stats() }))
 	expvar.Publish("fabric", fab.Var())
+	expvar.Publish("collective", col.Var())
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -258,7 +402,7 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("benesd: serving B(%d) (N=%d, %d planes) on %s", *n, eng.Network().N(), fab.Planes(), *addr)
-	if err := serve(ctx, ln, eng, fab, *drain); err != nil {
+	if err := serve(ctx, ln, eng, fab, col, *drain); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("benesd: drained and stopped")

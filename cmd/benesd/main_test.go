@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -11,12 +12,17 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/collective"
 	"repro/internal/engine"
 	"repro/internal/fabric"
 	"repro/internal/perm"
 )
 
 func newTestServer(t *testing.T) (*httptest.Server, *engine.Engine[int]) {
+	return newTestServerOpts(t, collective.Options{})
+}
+
+func newTestServerOpts(t *testing.T, colOpts collective.Options) (*httptest.Server, *engine.Engine[int]) {
 	t.Helper()
 	eng, err := engine.New[int](engine.Config{LogN: 4}) // N = 16
 	if err != nil {
@@ -26,7 +32,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *engine.Engine[int]) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newMux(eng, fab))
+	srv := httptest.NewServer(newMux(eng, fab, collective.New[int](fab, colOpts)))
 	t.Cleanup(func() {
 		srv.Close()
 		fab.Close()
@@ -235,6 +241,226 @@ func TestSendEndpoint(t *testing.T) {
 	}
 }
 
+func postCollective(t *testing.T, url string, body any) (*http.Response, collectiveResponse) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/collective", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cr collectiveResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, cr
+}
+
+// TestCollectiveEndpoint submits an all-to-all over HTTP and checks
+// the result is the transpose of the payload matrix, every round took
+// the self-routed path, and /collective/stats reflects the traffic.
+func TestCollectiveEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	const n = 16
+	data := make([][]int, n)
+	for p := range data {
+		data[p] = make([]int, n)
+		for c := range data[p] {
+			data[p][c] = p*100 + c
+		}
+	}
+	resp, cr := postCollective(t, srv.URL, collectiveRequest{Op: "alltoall", Data: data})
+	if resp.StatusCode != http.StatusOK || !cr.Done {
+		t.Fatalf("status %d done=%v", resp.StatusCode, cr.Done)
+	}
+	for p := 0; p < n; p++ {
+		for c := 0; c < n; c++ {
+			if cr.Result[p][c] != c*100+p {
+				t.Fatalf("result[%d][%d] = %d, want %d", p, c, cr.Result[p][c], c*100+p)
+			}
+		}
+	}
+	if cr.Stats.SelfRouted != int64(n) || cr.Stats.Fallbacks != 0 {
+		t.Fatalf("round tally %+v, want all %d rounds self-routed", cr.Stats, n)
+	}
+
+	sresp, err := http.Get(srv.URL + "/collective/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var st collective.Stats
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 1 || st.Rounds != n || st.SelfRouteRatio != 1.0 {
+		t.Fatalf("collective stats: %+v", st)
+	}
+	if st.PerOp["alltoall"] != 1 {
+		t.Fatalf("per-op counts: %v", st.PerOp)
+	}
+}
+
+// TestCollectiveBroadcastAndTranspose exercises the parameterized ops
+// through the HTTP layer.
+func TestCollectiveBroadcastAndTranspose(t *testing.T) {
+	srv, _ := newTestServer(t)
+	data := make([][]int, 16)
+	data[6] = []int{41, 43}
+	resp, cr := postCollective(t, srv.URL, collectiveRequest{Op: "broadcast", Root: 6, Data: data})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("broadcast status %d", resp.StatusCode)
+	}
+	for p, row := range cr.Result {
+		if row[0] != 41 || row[1] != 43 {
+			t.Fatalf("port %d received %v", p, row)
+		}
+	}
+
+	tdata := make([][]int, 16)
+	for p := range tdata {
+		tdata[p] = []int{p}
+	}
+	resp, cr = postCollective(t, srv.URL, collectiveRequest{Op: "transpose", Rows: 4, Cols: 4, Data: tdata})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("transpose status %d", resp.StatusCode)
+	}
+	for r := 0; r < 4; r++ {
+		for q := 0; q < 4; q++ {
+			if cr.Result[q*4+r][0] != r*4+q {
+				t.Fatalf("transpose result wrong at (%d,%d): %v", r, q, cr.Result)
+			}
+		}
+	}
+}
+
+// TestCollectiveValidation is the table-driven 400 sweep: malformed
+// specs must be rejected with a JSON error before any round is routed.
+func TestCollectiveValidation(t *testing.T) {
+	srv, _ := newTestServer(t)
+	mk := func(ports, chunks int) [][]int {
+		d := make([][]int, ports)
+		for p := range d {
+			d[p] = make([]int, chunks)
+		}
+		return d
+	}
+	cases := []struct {
+		name string
+		req  collectiveRequest
+	}{
+		{"unknown op", collectiveRequest{Op: "allgather", Data: mk(16, 16)}},
+		{"empty op", collectiveRequest{Op: "", Data: mk(16, 16)}},
+		{"non-power-of-two ports", collectiveRequest{Op: "alltoall", Data: mk(10, 10)}},
+		{"wrong port count", collectiveRequest{Op: "alltoall", Data: mk(8, 8)}},
+		{"wrong chunk width", collectiveRequest{Op: "alltoall", Data: mk(16, 4)}},
+		{"ragged rows", collectiveRequest{Op: "shuffle", Data: append(mk(15, 2), make([]int, 3))}},
+		{"transpose bad tiling", collectiveRequest{Op: "transpose", Rows: 3, Cols: 5, Data: mk(16, 1)}},
+		{"transpose zero sides", collectiveRequest{Op: "transpose", Data: mk(16, 1)}},
+		{"broadcast root out of range", collectiveRequest{Op: "broadcast", Root: 16, Data: mk(16, 1)}},
+		{"broadcast empty root row", collectiveRequest{Op: "broadcast", Root: 0, Data: mk(16, 0)}},
+		{"gather negative root", collectiveRequest{Op: "gather", Root: -1, Data: mk(16, 1)}},
+		{"scatter root out of range", collectiveRequest{Op: "scatter", Root: 99, Data: mk(16, 0)}},
+		{"exchange dest out of range", collectiveRequest{Op: "exchange",
+			Dests: append([][]int{{16}}, mk(15, 0)...), Data: append([][]int{{7}}, mk(15, 0)...)}},
+		{"exchange duplicate dest", collectiveRequest{Op: "exchange",
+			Dests: append([][]int{{3, 3}}, mk(15, 0)...), Data: append([][]int{{7, 8}}, mk(15, 0)...)}},
+		{"exchange wrong spec size", collectiveRequest{Op: "exchange", Dests: mk(4, 1), Data: mk(16, 1)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, _ := postCollective(t, srv.URL, tc.req)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+
+	// Malformed JSON is a 400 too.
+	resp, err := http.Post(srv.URL+"/collective", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestCollectiveDeadline arms admission with a huge seeded round
+// estimate: a tight deadline_ms must be rejected with 503.
+func TestCollectiveDeadline(t *testing.T) {
+	srv, _ := newTestServerOpts(t, collective.Options{RoundEstimate: time.Hour})
+	data := make([][]int, 16)
+	for p := range data {
+		data[p] = make([]int, 16)
+	}
+	resp, _ := postCollective(t, srv.URL, collectiveRequest{Op: "alltoall", Data: data, DeadlineMs: 50})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 admission reject", resp.StatusCode)
+	}
+}
+
+// TestCollectiveStream requests NDJSON progress: at least one progress
+// record, then a done record carrying the result.
+func TestCollectiveStream(t *testing.T) {
+	srv, _ := newTestServer(t)
+	data := make([][]int, 16)
+	for p := range data {
+		data[p] = make([]int, 16)
+		for c := range data[p] {
+			data[p][c] = p ^ c
+		}
+	}
+	raw, _ := json.Marshal(collectiveRequest{Op: "alltoall", Data: data, Stream: true})
+	resp, err := http.Post(srv.URL+"/collective", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	var lines []map[string]any
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, rec)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) < 2 {
+		t.Fatalf("want at least one progress record plus the done record, got %d lines", len(lines))
+	}
+	for _, rec := range lines[:len(lines)-1] {
+		if _, ok := rec["completed"]; !ok {
+			t.Fatalf("progress record missing 'completed': %v", rec)
+		}
+	}
+	last := lines[len(lines)-1]
+	if last["done"] != true || last["error"] != nil {
+		t.Fatalf("final record: %v", last)
+	}
+	result, ok := last["result"].([]any)
+	if !ok || len(result) != 16 {
+		t.Fatalf("final record result malformed: %v", last["result"])
+	}
+	row3 := result[3].([]any)
+	if int(row3[5].(float64)) != 5^3 {
+		t.Fatalf("streamed result wrong: result[3][5] = %v, want %d", row3[5], 5^3)
+	}
+}
+
 // TestGracefulShutdown drives the real serve loop: cancelling the
 // context must drain HTTP, the fabric, and the engine, and leave the
 // listener closed.
@@ -253,7 +479,9 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, ln, eng, fab, 5*time.Second) }()
+	go func() {
+		done <- serve(ctx, ln, eng, fab, collective.New[int](fab, collective.Options{}), 5*time.Second)
+	}()
 
 	url := "http://" + ln.Addr().String()
 	// Traffic through both layers while the server is up.

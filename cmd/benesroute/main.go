@@ -9,6 +9,7 @@
 //	benesroute -d "1,3,2,0" -mode external   # looping-algorithm setup
 //	benesroute -n 4 -perm "shift:3" -mode omega
 //	benesroute -n 3 -perm bitreversal -engine concurrent
+//	benesroute -n 4 -perm transpose -classify
 //
 // Named permutations: identity, bitreversal, vectorreversal, shuffle,
 // unshuffle, transpose, shuffledrowmajor, bitshuffle, shift:K, pord:P,
@@ -35,12 +36,20 @@ func main() {
 	engine := flag.String("engine", "sync", "evaluation engine: sync | concurrent")
 	dump := flag.Bool("dump", false, "with -mode external: print the computed switch states")
 	dot := flag.Bool("dot", false, "print the network as a Graphviz digraph instead of the diagram")
+	classify := flag.Bool("classify", false, "classify the permutation (BPC / inverse-omega / F(n) / looping-only) and exit")
 	flag.Parse()
 
 	d, err := buildPerm(*n, *name, *dflag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benesroute:", err)
 		os.Exit(1)
+	}
+	if *classify {
+		fmt.Print(classifyReport(d))
+		if !perm.Classify(d).Class.SelfRoutable() {
+			os.Exit(2)
+		}
+		return
 	}
 	net := core.New(perm.Perm(d).LogN())
 
@@ -109,6 +118,33 @@ func main() {
 		fmt.Println()
 		os.Exit(2)
 	}
+}
+
+// classifyReport renders the -classify output: the cheapest routing
+// class the permutation admits, the predicate breakdown, and — for
+// BPC members — the compact A-vector spec.
+func classifyReport(d perm.Perm) string {
+	cls := perm.Classify(d)
+	var b strings.Builder
+	fmt.Fprintf(&b, "permutation: %v\n", d)
+	fmt.Fprintf(&b, "class: %s\n", cls.Class)
+	if cls.Class == perm.ClassBPC {
+		fmt.Fprintf(&b, "bpc spec: %s\n", cls.Spec)
+	}
+	yn := func(v bool) string {
+		if v {
+			return "yes"
+		}
+		return "no"
+	}
+	fmt.Fprintf(&b, "bpc: %s  omega: %s  inverse-omega: %s  F(n): %s\n",
+		yn(cls.Class == perm.ClassBPC), yn(cls.Omega), yn(cls.InverseOmega), yn(cls.InF))
+	if cls.Class.SelfRoutable() {
+		b.WriteString("self-routable: yes — destination tags alone set every switch\n")
+	} else {
+		b.WriteString("self-routable: no — needs the looping algorithm (-mode external)\n")
+	}
+	return b.String()
 }
 
 func buildPerm(n int, name, dflag string) (perm.Perm, error) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/perm"
@@ -43,6 +44,26 @@ func TestBuildPermExplicit(t *testing.T) {
 	}
 	if !got.Equal(perm.Perm{1, 3, 2, 0}) {
 		t.Fatalf("got %v", got)
+	}
+}
+
+func TestClassifyReport(t *testing.T) {
+	cases := []struct {
+		perm perm.Perm
+		want []string
+	}{
+		{perm.BitReversal(3), []string{"class: BPC", "bpc spec:", "self-routable: yes"}},
+		{perm.CyclicShift(3, 3), []string{"class: inverse-omega", "self-routable: yes"}},
+		{perm.Perm{1, 0, 3, 2, 5, 4, 7, 6}, []string{"class: BPC"}},
+		{perm.Perm{5, 0, 1, 2, 3, 4, 7, 6}, []string{"class: looping-only", "self-routable: no"}},
+	}
+	for _, c := range cases {
+		got := classifyReport(c.perm)
+		for _, want := range c.want {
+			if !strings.Contains(got, want) {
+				t.Errorf("classifyReport(%v) missing %q:\n%s", c.perm, want, got)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,115 @@
+package collective
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/perm"
+)
+
+// TestBenchCollectiveArtifact is the CI bench-smoke hook: when
+// BENCH_COLLECTIVE_JSON names a file, it times the compiled collective
+// path against the naive serial path and writes a small JSON artifact
+// (pkts/s, rounds/s, self-route ratio, speedup) there. Without the
+// env var the test is skipped, so normal test runs stay fast and
+// deterministic.
+func TestBenchCollectiveArtifact(t *testing.T) {
+	path := os.Getenv("BENCH_COLLECTIVE_JSON")
+	if path == "" {
+		t.Skip("BENCH_COLLECTIVE_JSON not set")
+	}
+	const logN, n, reps = 6, 64, 10
+	planes := runtime.GOMAXPROCS(0)
+	data := benchPayload(n)
+
+	// Each path gets its own fabric (its own plan caches) and one
+	// untimed warmup pass, so both are measured at steady state — the
+	// same regime the Benchmark pair reports.
+	f, err := fabric.New[int](fabric.Config{LogN: logN, Planes: planes}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s := New[int](f, Options{})
+
+	runCompiled := func() {
+		h, err := s.AllToAll(context.Background(), data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runCompiled()
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		runCompiled()
+	}
+	compiled := time.Since(start)
+
+	// Naive baseline: k independent per-permutation submissions, each
+	// building its own shift and move list (the same shape as
+	// BenchmarkNaiveAllToAll).
+	nf, err := fabric.New[int](fabric.Config{LogN: logN, Planes: planes}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nf.Close()
+	runNaive := func() {
+		state := make([][]int, n)
+		for p := range state {
+			state[p] = make([]int, n)
+		}
+		for r := 0; r < n; r++ {
+			dest := perm.CyclicShift(logN, r)
+			moves := make([]Move, 0, n)
+			for p := 0; p < n; p++ {
+				moves = append(moves, Move{SrcPort: p, SrcChunk: dest[p], DstPort: dest[p], DstChunk: p})
+			}
+			if _, err := nf.RouteRound(dest, 0); err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range moves {
+				state[m.DstPort][m.DstChunk] = data[m.SrcPort][m.SrcChunk]
+			}
+		}
+	}
+	runNaive()
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		runNaive()
+	}
+	naive := time.Since(start)
+
+	st := s.Stats()
+	rounds := reps * n // timed rounds (the warmup pass is excluded)
+	artifact := map[string]any{
+		"n":                n,
+		"planes":           planes,
+		"reps":             reps,
+		"rounds":           rounds,
+		"pkts_per_sec":     float64(rounds*n) / compiled.Seconds(),
+		"rounds_per_sec":   float64(rounds) / compiled.Seconds(),
+		"self_route_ratio": st.SelfRouteRatio,
+		"compiled_ns":      compiled.Nanoseconds(),
+		"naive_ns":         naive.Nanoseconds(),
+		"speedup":          float64(naive.Nanoseconds()) / float64(compiled.Nanoseconds()),
+	}
+	out, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %s", path, out)
+	if st.SelfRouteRatio != 1.0 {
+		t.Fatalf("all-to-all self-route ratio = %v, want 1.0", st.SelfRouteRatio)
+	}
+}

@@ -1,0 +1,402 @@
+// Package collective is the bulk data-movement layer over the packet
+// fabric: the named operations a SIMD-style workload actually issues —
+// all-to-all, transpose, shuffle, bit reversal, broadcast, gather,
+// scatter — compiled into schedules of whole-permutation rounds and
+// pipelined across the fabric's switching planes.
+//
+// The second half of Nassimi & Sahni is exactly this layer: Tables I
+// and II list the data-movement permutations (the BPC and inverse-
+// omega families) that SIMD algorithms use, and the paper's point is
+// that every one of them self-routes — O(log N) gate delays, no
+// looping setup. Per-packet scheduling (internal/fabric's VOQ/frame
+// path) throws that structure away: it rediscovers a permutation every
+// frame and fills it with whatever traffic is queued. The collective
+// layer keeps the structure:
+//
+//   - a pattern compiler (compile.go, exchange.go) turns each named
+//     operation into rounds and classifies every round's permutation
+//     with perm.Classify — Table I members compile to BPC rounds,
+//     all-to-all compiles to the cyclic-shift ring (Table II), and
+//     arbitrary exchanges are decomposed by König edge coloring into
+//     at most max-degree rounds;
+//   - the executor (handle.go) pipelines the rounds across the
+//     fabric's K planes and through each plane's request queue:
+//     data-parallel programs keep K rounds in flight across planes
+//     and a window of rounds queued behind each one, so successor
+//     plans are being set up while the current round is still
+//     transmitting (Section IV's pipelining); serial programs fall
+//     back to a one-round double buffer, prewarming round r+1's plan
+//     while round r is in flight;
+//   - admission is deadline-aware: a collective whose estimated
+//     rounds x round-time exceeds the caller's context deadline is
+//     rejected up front instead of timing out halfway;
+//   - every collective carries a context-cancellable Handle with
+//     per-round progress, and the service aggregates rounds,
+//     self-routed vs fallback counts, bytes moved, and per-plane
+//     occupancy into an expvar-style snapshot.
+package collective
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/perm"
+)
+
+// Errors returned by the submission paths.
+var (
+	// ErrDeadline reports a deadline-aware admission reject: the
+	// compiled schedule cannot finish before the context deadline.
+	ErrDeadline = errors.New("collective: deadline cannot be met")
+)
+
+// Rounder is the slice of the packet fabric the collective layer
+// drives: whole-permutation rounds dispatched to a preferred plane —
+// one at a time with plan prewarm for the serial double buffer, or as
+// a pipelined run through the plane's request queue. *fabric.Fabric
+// implements it.
+type Rounder interface {
+	N() int
+	Planes() int
+	RouteRound(dest perm.Perm, prefer int) (fabric.RoundResult, error)
+	RouteRounds(dests []perm.Perm, prefer int) ([]fabric.RoundResult, error)
+	PrewarmRound(dest perm.Perm, prefer int)
+}
+
+// Options parameterizes New. The zero value is usable.
+type Options struct {
+	// BytesPerChunk scales the bytes-moved counter: every chunk a
+	// round moves accounts for this many bytes. Zero disables byte
+	// accounting.
+	BytesPerChunk int64
+	// RoundEstimate seeds the admission controller's per-round service
+	// time before any round has been measured. Zero means "no
+	// estimate": until the first rounds complete, every deadline is
+	// admitted.
+	RoundEstimate time.Duration
+}
+
+// Service compiles and executes collectives over one fabric. All
+// methods are safe for concurrent use; any number of collectives may
+// be in flight at once (they share the fabric's planes).
+type Service[T any] struct {
+	fab  Rounder
+	opts Options
+	n    int
+	logN int
+
+	submitted        atomic.Int64
+	completed        atomic.Int64
+	failed           atomic.Int64
+	cancelled        atomic.Int64
+	deadlineRejected atomic.Int64
+	active           atomic.Int64
+
+	rounds      atomic.Int64
+	selfRouted  atomic.Int64
+	fallbacks   atomic.Int64
+	cacheHits   atomic.Int64
+	chunksMoved atomic.Int64
+
+	perOp       [numOps]atomic.Int64
+	planeRounds []atomic.Int64
+
+	// ewmaRoundNs is the exponentially weighted moving average of
+	// per-round service time, feeding deadline admission.
+	ewmaRoundNs atomic.Int64
+
+	// progCache memoizes compiled programs by shape. Programs are
+	// immutable once compiled, so concurrent handles share them
+	// freely. Exchange is the one uncached operation: its schedule
+	// depends on the full destination matrix, not a few integers.
+	progCache sync.Map // progKey -> *Program
+}
+
+// progKey identifies a compiled program's shape. Fields unused by an
+// operation stay zero.
+type progKey struct {
+	op           Op
+	rows, cols   int
+	chunks, root int
+}
+
+// cachedProgram returns the memoized program for key, compiling on
+// miss. Compile errors are not cached (they are cheap to re-derive and
+// callers should see them every time).
+func (s *Service[T]) cachedProgram(key progKey, compile func() (*Program, error)) (*Program, error) {
+	if v, ok := s.progCache.Load(key); ok {
+		return v.(*Program), nil
+	}
+	prog, err := compile()
+	if err != nil {
+		return nil, err
+	}
+	s.progCache.Store(key, prog)
+	return prog, nil
+}
+
+// New builds a collective service over fab. The fabric's port count
+// must be a power of two (it always is — planes are B(n) networks).
+func New[T any](fab Rounder, opts Options) *Service[T] {
+	n := fab.N()
+	logN := 0
+	for 1<<uint(logN) < n {
+		logN++
+	}
+	s := &Service[T]{
+		fab:         fab,
+		opts:        opts,
+		n:           n,
+		logN:        logN,
+		planeRounds: make([]atomic.Int64, fab.Planes()),
+	}
+	if opts.RoundEstimate > 0 {
+		s.ewmaRoundNs.Store(opts.RoundEstimate.Nanoseconds())
+	}
+	return s
+}
+
+// N returns the number of fabric ports a collective spans.
+func (s *Service[T]) N() int { return s.n }
+
+// AllToAll starts the personalized all-to-all: chunk j of data[i]
+// lands at port j as its chunk i (the result is the transpose of the
+// port x chunk matrix). data must be N rows of N chunks.
+func (s *Service[T]) AllToAll(ctx context.Context, data [][]T) (*Handle[T], error) {
+	prog, err := s.cachedProgram(progKey{op: OpAllToAll}, func() (*Program, error) {
+		return CompileAllToAll(s.logN)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.submit(ctx, prog, data)
+}
+
+// Exchange starts an arbitrary all-to-all: dests[p][c] names the
+// destination of chunk c of port p (Keep leaves it in place). The
+// chunk from port p lands at its destination's slot p.
+func (s *Service[T]) Exchange(ctx context.Context, dests [][]int, data [][]T) (*Handle[T], error) {
+	prog, err := CompileExchange(s.logN, dests)
+	if err != nil {
+		return nil, err
+	}
+	return s.submit(ctx, prog, data)
+}
+
+// Transpose starts the rows x cols matrix transpose of Table I over
+// every chunk column of data (N rows of equal width >= 1).
+func (s *Service[T]) Transpose(ctx context.Context, rows, cols int, data [][]T) (*Handle[T], error) {
+	w := width(data)
+	prog, err := s.cachedProgram(progKey{op: OpTranspose, rows: rows, cols: cols, chunks: w}, func() (*Program, error) {
+		return CompileTranspose(s.logN, rows, cols, w)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.submit(ctx, prog, data)
+}
+
+// Shuffle starts the perfect shuffle of Table I over every chunk
+// column of data.
+func (s *Service[T]) Shuffle(ctx context.Context, data [][]T) (*Handle[T], error) {
+	w := width(data)
+	prog, err := s.cachedProgram(progKey{op: OpShuffle, chunks: w}, func() (*Program, error) {
+		return CompileShuffle(s.logN, w)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.submit(ctx, prog, data)
+}
+
+// BitReversal starts the bit-reversal permutation of Table I (Fig. 4)
+// over every chunk column of data.
+func (s *Service[T]) BitReversal(ctx context.Context, data [][]T) (*Handle[T], error) {
+	w := width(data)
+	prog, err := s.cachedProgram(progKey{op: OpBitReversal, chunks: w}, func() (*Program, error) {
+		return CompileBitReversal(s.logN, w)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.submit(ctx, prog, data)
+}
+
+// Broadcast starts a copy-broadcast of the root's chunks to every
+// port. data[root] supplies the chunks; every other row must be empty.
+func (s *Service[T]) Broadcast(ctx context.Context, root int, data [][]T) (*Handle[T], error) {
+	chunks := 0
+	if root >= 0 && root < len(data) {
+		chunks = len(data[root])
+	}
+	prog, err := s.cachedProgram(progKey{op: OpBroadcast, root: root, chunks: chunks}, func() (*Program, error) {
+		return CompileBroadcast(s.logN, root, chunks)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.submit(ctx, prog, data)
+}
+
+// Gather starts the collection of one chunk per port at the root:
+// data[p] must hold exactly one chunk, and the result's root row holds
+// chunk p at slot p.
+func (s *Service[T]) Gather(ctx context.Context, root int, data [][]T) (*Handle[T], error) {
+	prog, err := s.cachedProgram(progKey{op: OpGather, root: root}, func() (*Program, error) {
+		return CompileGather(s.logN, root)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.submit(ctx, prog, data)
+}
+
+// Scatter starts the distribution of the root's N chunks: chunk j of
+// data[root] lands at port j as its only chunk. Every non-root row
+// must be empty.
+func (s *Service[T]) Scatter(ctx context.Context, root int, data [][]T) (*Handle[T], error) {
+	prog, err := s.cachedProgram(progKey{op: OpScatter, root: root}, func() (*Program, error) {
+		return CompileScatter(s.logN, root)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.submit(ctx, prog, data)
+}
+
+// width returns the chunk width the compiler should target for a
+// column-uniform payload: the first row's length (ragged rows are then
+// rejected by submit's shape check).
+func width[T any](data [][]T) int {
+	if len(data) == 0 {
+		return 0
+	}
+	return len(data[0])
+}
+
+// submit validates the payload shape against the compiled program,
+// runs deadline admission, and starts the executor.
+func (s *Service[T]) submit(ctx context.Context, prog *Program, data [][]T) (*Handle[T], error) {
+	if len(data) != prog.N {
+		return nil, fmt.Errorf("collective: %s payload has %d ports, want N=%d", prog.Op, len(data), prog.N)
+	}
+	for p := range data {
+		if len(data[p]) != prog.InChunks[p] {
+			return nil, fmt.Errorf("collective: %s payload port %d has %d chunks, want %d",
+				prog.Op, p, len(data[p]), prog.InChunks[p])
+		}
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		if est := s.ewmaRoundNs.Load(); est > 0 {
+			need := time.Duration(est) * time.Duration(len(prog.Rounds))
+			if remaining := time.Until(deadline); need > remaining {
+				s.deadlineRejected.Add(1)
+				return nil, fmt.Errorf("%w: %d rounds x %v estimated round time = %v exceeds the %v remaining",
+					ErrDeadline, len(prog.Rounds), time.Duration(est), need, remaining.Round(time.Microsecond))
+			}
+		}
+	}
+	h := newHandle(s, prog, ctx, data)
+	s.submitted.Add(1)
+	s.perOp[prog.Op].Add(1)
+	s.active.Add(1)
+	go h.run()
+	return h, nil
+}
+
+// observeRounds folds one worker's batched round tally into the
+// service counters and feeds the admission estimate the worker's mean
+// per-round wall time.
+func (s *Service[T]) observeRounds(t *roundTally, meanRound time.Duration) {
+	s.rounds.Add(int64(t.rounds))
+	s.selfRouted.Add(int64(t.selfRouted))
+	s.fallbacks.Add(int64(t.fallbacks))
+	s.cacheHits.Add(int64(t.cacheHits))
+	s.chunksMoved.Add(int64(t.moves))
+	for p, c := range t.planeRounds {
+		if c > 0 {
+			s.planeRounds[p].Add(int64(c))
+		}
+	}
+	// EWMA with weight 1/8; a racy update loses at most one sample.
+	sample := meanRound.Nanoseconds()
+	old := s.ewmaRoundNs.Load()
+	if old == 0 {
+		s.ewmaRoundNs.Store(sample)
+	} else {
+		s.ewmaRoundNs.Store(old + (sample-old)/8)
+	}
+}
+
+// Stats is the expvar-style snapshot of a collective service.
+type Stats struct {
+	Submitted        int64 `json:"submitted"`
+	Completed        int64 `json:"completed"`
+	Failed           int64 `json:"failed"`
+	Cancelled        int64 `json:"cancelled"`
+	DeadlineRejected int64 `json:"deadline_rejected"`
+	Active           int64 `json:"active"`
+
+	Rounds         int64 `json:"rounds"`
+	SelfRouted     int64 `json:"self_routed_rounds"`
+	Fallbacks      int64 `json:"fallback_rounds"`
+	RoundCacheHits int64 `json:"round_cache_hits"`
+	ChunksMoved    int64 `json:"chunks_moved"`
+	BytesMoved     int64 `json:"bytes_moved"`
+
+	// SelfRouteRatio is SelfRouted / Rounds: 1.0 means no round paid
+	// looping setup.
+	SelfRouteRatio float64 `json:"self_route_ratio"`
+	// EstRoundNs is the admission controller's current per-round
+	// service-time estimate.
+	EstRoundNs int64 `json:"est_round_ns"`
+	// PlaneRounds[i] counts the rounds plane i served — the plane
+	// occupancy of collective traffic.
+	PlaneRounds []int64 `json:"plane_rounds"`
+	// PerOp counts submissions by operation name.
+	PerOp map[string]int64 `json:"per_op"`
+}
+
+// Stats captures the current counters.
+func (s *Service[T]) Stats() Stats {
+	st := Stats{
+		Submitted:        s.submitted.Load(),
+		Completed:        s.completed.Load(),
+		Failed:           s.failed.Load(),
+		Cancelled:        s.cancelled.Load(),
+		DeadlineRejected: s.deadlineRejected.Load(),
+		Active:           s.active.Load(),
+		Rounds:           s.rounds.Load(),
+		SelfRouted:       s.selfRouted.Load(),
+		Fallbacks:        s.fallbacks.Load(),
+		RoundCacheHits:   s.cacheHits.Load(),
+		ChunksMoved:      s.chunksMoved.Load(),
+		EstRoundNs:       s.ewmaRoundNs.Load(),
+		PlaneRounds:      make([]int64, len(s.planeRounds)),
+		PerOp:            make(map[string]int64, numOps),
+	}
+	st.BytesMoved = st.ChunksMoved * s.opts.BytesPerChunk
+	if st.Rounds > 0 {
+		st.SelfRouteRatio = float64(st.SelfRouted) / float64(st.Rounds)
+	}
+	for i := range s.planeRounds {
+		st.PlaneRounds[i] = s.planeRounds[i].Load()
+	}
+	for op := 0; op < numOps; op++ {
+		if c := s.perOp[op].Load(); c > 0 {
+			st.PerOp[Op(op).String()] = c
+		}
+	}
+	return st
+}
+
+// Var adapts the service to an expvar.Var for /debug/vars publishing.
+func (s *Service[T]) Var() expvar.Var {
+	return expvar.Func(func() any { return s.Stats() })
+}

@@ -1,0 +1,450 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/perm"
+)
+
+// Op names a collective operation.
+type Op int
+
+const (
+	// OpAllToAll is the personalized all-to-all: chunk j of port i
+	// lands at port j (as that port's chunk i). N rounds, every one a
+	// cyclic shift — Table II's inverse-omega family — so no round
+	// pays looping setup.
+	OpAllToAll Op = iota
+	// OpExchange is the arbitrary all-to-all: each port names a
+	// destination per chunk and the compiler decomposes the transfer
+	// into at most max-degree matchings (König edge coloring).
+	OpExchange
+	// OpTranspose moves chunk columns through the matrix-transpose
+	// permutation of Table I (rows x cols, row-major ports).
+	OpTranspose
+	// OpShuffle moves chunk columns through the perfect shuffle of
+	// Table I.
+	OpShuffle
+	// OpBitReversal moves chunk columns through the bit-reversal
+	// permutation of Table I (Fig. 4).
+	OpBitReversal
+	// OpBroadcast copies the root's chunks to every port by
+	// recursive doubling: log2(N) rounds, each a single-bit
+	// complement — a BPC permutation — with copy-on-deliver.
+	OpBroadcast
+	// OpGather collects one chunk from every port at the root.
+	OpGather
+	// OpScatter distributes the root's N chunks, one per port.
+	OpScatter
+
+	numOps = int(OpScatter) + 1
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpAllToAll:
+		return "alltoall"
+	case OpExchange:
+		return "exchange"
+	case OpTranspose:
+		return "transpose"
+	case OpShuffle:
+		return "shuffle"
+	case OpBitReversal:
+		return "bitreversal"
+	case OpBroadcast:
+		return "broadcast"
+	case OpGather:
+		return "gather"
+	case OpScatter:
+		return "scatter"
+	}
+	return "unknown"
+}
+
+// Move is one chunk relocation within a round: the chunk at
+// (SrcPort, SrcChunk) lands at (DstPort, DstChunk). The network
+// realizes the port-level motion; the move records which payload cell
+// rides it.
+type Move struct {
+	SrcPort, SrcChunk int
+	DstPort, DstChunk int
+}
+
+// Round is one network pass of a compiled collective: a full N-port
+// permutation plus the payload moves that ride it.
+type Round struct {
+	// Dest is the full permutation this round presents to the fabric.
+	Dest perm.Perm
+	// Class is the compiler's classification of Dest — the predicted
+	// routing cost. Self-routable classes pay no looping setup.
+	Class perm.Class
+	// Moves are the payload relocations this round performs.
+	Moves []Move
+}
+
+// Program is a compiled collective: the round schedule plus the
+// payload shape it operates on.
+type Program struct {
+	Op   Op
+	LogN int
+	N    int
+	// InChunks[p] is how many chunks port p must supply.
+	InChunks []int
+	// StateChunks[p] is the width of port p's result buffer. The
+	// executor initializes state[p][c] = in[p][c] for the cells both
+	// shapes cover, then applies the rounds' moves.
+	StateChunks []int
+	// Rounds is the schedule. When Serial is false the rounds touch
+	// pairwise-disjoint cells — every move reads the immutable input
+	// and every state cell is written at most once — so the executor
+	// runs them concurrently across the fabric's planes. When Serial
+	// is true (broadcast) later rounds read earlier rounds' writes and
+	// the executor runs them in order, overlapping only round r+1's
+	// plan setup with round r's transmission.
+	Rounds []Round
+	Serial bool
+	// SelfRoutable counts the rounds whose classification needs no
+	// looping setup.
+	SelfRoutable int
+	// covered is true when the rounds write every state cell exactly
+	// once, so the executor can skip initializing state from the
+	// input (all-to-all, transpose, scatter, ...).
+	covered bool
+}
+
+// TotalMoves returns the number of payload chunks the program moves.
+func (p *Program) TotalMoves() int {
+	total := 0
+	for i := range p.Rounds {
+		total += len(p.Rounds[i].Moves)
+	}
+	return total
+}
+
+// finish computes the derived classification tally and the coverage
+// flag.
+func (p *Program) finish() *Program {
+	p.SelfRoutable = 0
+	for i := range p.Rounds {
+		if p.Rounds[i].Class.SelfRoutable() {
+			p.SelfRoutable++
+		}
+	}
+	// Non-serial programs write each state cell at most once
+	// (Validate's invariant), so move count == state size means full
+	// coverage.
+	if !p.Serial {
+		cells := 0
+		for _, w := range p.StateChunks {
+			cells += w
+		}
+		p.covered = p.TotalMoves() == cells
+	}
+	return p
+}
+
+// uniform returns a length-n slice filled with v.
+func uniform(n, v int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// newRound classifies dest and wraps it with its moves.
+func newRound(dest perm.Perm, moves []Move) Round {
+	return Round{Dest: dest, Class: perm.Classify(dest).Class, Moves: moves}
+}
+
+// newRoundClass wraps a round whose class is known a priori from the
+// pattern itself — every cyclic shift is a Table II inverse-omega
+// member, every single-bit complement a Table I BPC member — skipping
+// the O(N log N) classifier per round. The claims are cross-checked
+// against perm.Classify in the compiler tests.
+func newRoundClass(dest perm.Perm, class perm.Class, moves []Move) Round {
+	return Round{Dest: dest, Class: class, Moves: moves}
+}
+
+// columnRounds builds the k-round schedule shared by the Table I
+// collectives: chunk column c rides permutation dest (the same every
+// round), port i's chunk landing at port dest[i] in the same column.
+func columnRounds(dest perm.Perm, chunks int) []Round {
+	class := perm.Classify(dest).Class
+	rounds := make([]Round, chunks)
+	for c := 0; c < chunks; c++ {
+		moves := make([]Move, len(dest))
+		for i, d := range dest {
+			moves[i] = Move{SrcPort: i, SrcChunk: c, DstPort: d, DstChunk: c}
+		}
+		rounds[c] = Round{Dest: dest, Class: class, Moves: moves}
+	}
+	return rounds
+}
+
+// CompileAllToAll compiles the personalized all-to-all on N = 2^logN
+// ports, each holding N chunks: in[i][j] lands at state[j][i]. The
+// schedule is the ring decomposition — round r is the cyclic shift by
+// r, moving in[i][(i+r) mod N] to port (i+r) mod N — so all N rounds
+// are Table II inverse-omega members and self-route.
+func CompileAllToAll(logN int) (*Program, error) {
+	if logN < 1 {
+		return nil, fmt.Errorf("collective: logN must be >= 1, got %d", logN)
+	}
+	N := 1 << uint(logN)
+	p := &Program{
+		Op:          OpAllToAll,
+		LogN:        logN,
+		N:           N,
+		InChunks:    uniform(N, N),
+		StateChunks: uniform(N, N),
+		Rounds:      make([]Round, N),
+	}
+	for r := 0; r < N; r++ {
+		moves := make([]Move, N)
+		for i := 0; i < N; i++ {
+			d := (i + r) % N
+			moves[i] = Move{SrcPort: i, SrcChunk: d, DstPort: d, DstChunk: i}
+		}
+		p.Rounds[r] = newRoundClass(perm.CyclicShift(logN, r), perm.ClassInverseOmega, moves)
+	}
+	return p.finish(), nil
+}
+
+// CompileTranspose compiles the rows x cols matrix transpose over
+// k-chunk payloads: ports are row-major matrix cells, and chunk column
+// c of port r*cols+q lands at port q*rows+r. rows*cols must equal N
+// and both must be powers of two; the port permutation is then the
+// field-exchange BPC member of Table I (Lenfant's alpha), identical in
+// every round — one plan serves all k columns.
+func CompileTranspose(logN, rows, cols, chunks int) (*Program, error) {
+	if logN < 1 {
+		return nil, fmt.Errorf("collective: logN must be >= 1, got %d", logN)
+	}
+	N := 1 << uint(logN)
+	if rows < 1 || cols < 1 || rows*cols != N {
+		return nil, fmt.Errorf("collective: transpose %dx%d does not tile N=%d ports", rows, cols, N)
+	}
+	if !bits.IsPow2(rows) || !bits.IsPow2(cols) {
+		return nil, fmt.Errorf("collective: transpose %dx%d needs power-of-two sides", rows, cols)
+	}
+	if chunks < 1 {
+		return nil, fmt.Errorf("collective: chunks must be >= 1, got %d", chunks)
+	}
+	dest := make(perm.Perm, N)
+	for r := 0; r < rows; r++ {
+		for q := 0; q < cols; q++ {
+			dest[r*cols+q] = q*rows + r
+		}
+	}
+	p := &Program{
+		Op:          OpTranspose,
+		LogN:        logN,
+		N:           N,
+		InChunks:    uniform(N, chunks),
+		StateChunks: uniform(N, chunks),
+		Rounds:      columnRounds(dest, chunks),
+	}
+	return p.finish(), nil
+}
+
+// CompileShuffle compiles the perfect shuffle (Table I) over k-chunk
+// payloads: every chunk column rides the same BPC permutation.
+func CompileShuffle(logN, chunks int) (*Program, error) {
+	return compileColumns(OpShuffle, logN, chunks, perm.PerfectShuffle)
+}
+
+// CompileBitReversal compiles the bit-reversal permutation (Table I,
+// Fig. 4) over k-chunk payloads.
+func CompileBitReversal(logN, chunks int) (*Program, error) {
+	return compileColumns(OpBitReversal, logN, chunks, perm.BitReversal)
+}
+
+func compileColumns(op Op, logN, chunks int, gen func(int) perm.Perm) (*Program, error) {
+	if logN < 1 {
+		return nil, fmt.Errorf("collective: logN must be >= 1, got %d", logN)
+	}
+	if chunks < 1 {
+		return nil, fmt.Errorf("collective: chunks must be >= 1, got %d", chunks)
+	}
+	N := 1 << uint(logN)
+	p := &Program{
+		Op:          op,
+		LogN:        logN,
+		N:           N,
+		InChunks:    uniform(N, chunks),
+		StateChunks: uniform(N, chunks),
+		Rounds:      columnRounds(gen(logN), chunks),
+	}
+	return p.finish(), nil
+}
+
+// CompileBroadcast compiles a copy-broadcast of the root's k chunks to
+// every port by recursive doubling: after round r the holder set is
+// root XOR {0, ..., 2^(r+1)-1}. Each round's port permutation
+// complements one index bit in place — a BPC member — and the holders'
+// chunks ride it while every other port carries filler. The rounds are
+// serial: round r reads what round r-1 delivered.
+func CompileBroadcast(logN, root, chunks int) (*Program, error) {
+	if logN < 1 {
+		return nil, fmt.Errorf("collective: logN must be >= 1, got %d", logN)
+	}
+	N := 1 << uint(logN)
+	if root < 0 || root >= N {
+		return nil, fmt.Errorf("collective: root %d out of range [0,%d)", root, N)
+	}
+	if chunks < 1 {
+		return nil, fmt.Errorf("collective: chunks must be >= 1, got %d", chunks)
+	}
+	in := uniform(N, 0)
+	in[root] = chunks
+	p := &Program{
+		Op:          OpBroadcast,
+		LogN:        logN,
+		N:           N,
+		InChunks:    in,
+		StateChunks: uniform(N, chunks),
+		Rounds:      make([]Round, logN),
+		Serial:      true,
+	}
+	for r := 0; r < logN; r++ {
+		bit := 1 << uint(r)
+		dest := make(perm.Perm, N)
+		for i := range dest {
+			dest[i] = i ^ bit
+		}
+		var moves []Move
+		for m := 0; m < bit; m++ {
+			h := root ^ m
+			for c := 0; c < chunks; c++ {
+				moves = append(moves, Move{SrcPort: h, SrcChunk: c, DstPort: h ^ bit, DstChunk: c})
+			}
+		}
+		p.Rounds[r] = newRoundClass(dest, perm.ClassBPC, moves)
+	}
+	return p.finish(), nil
+}
+
+// CompileGather compiles the collection of one chunk per port at the
+// root: in[s][0] lands at state[root][s]. The root can absorb only one
+// chunk per pass, so the schedule is N rounds — the root's own chunk
+// rides the identity and every other source s rides the cyclic shift
+// that carries s to root — all self-routable.
+func CompileGather(logN, root int) (*Program, error) {
+	if logN < 1 {
+		return nil, fmt.Errorf("collective: logN must be >= 1, got %d", logN)
+	}
+	N := 1 << uint(logN)
+	if root < 0 || root >= N {
+		return nil, fmt.Errorf("collective: root %d out of range [0,%d)", root, N)
+	}
+	state := uniform(N, 1)
+	state[root] = N
+	p := &Program{
+		Op:          OpGather,
+		LogN:        logN,
+		N:           N,
+		InChunks:    uniform(N, 1),
+		StateChunks: state,
+		Rounds:      make([]Round, 0, N),
+	}
+	p.Rounds = append(p.Rounds, newRoundClass(perm.Identity(N), perm.ClassInverseOmega,
+		[]Move{{SrcPort: root, SrcChunk: 0, DstPort: root, DstChunk: root}}))
+	for s := 0; s < N; s++ {
+		if s == root {
+			continue
+		}
+		shift := ((root-s)%N + N) % N
+		p.Rounds = append(p.Rounds, newRoundClass(perm.CyclicShift(logN, shift), perm.ClassInverseOmega,
+			[]Move{{SrcPort: s, SrcChunk: 0, DstPort: root, DstChunk: s}}))
+	}
+	return p.finish(), nil
+}
+
+// CompileScatter compiles the distribution of the root's N chunks, one
+// per port: in[root][j] lands at state[j][0]. Mirror of gather: N
+// rounds, chunk j riding the cyclic shift that carries root to j.
+func CompileScatter(logN, root int) (*Program, error) {
+	if logN < 1 {
+		return nil, fmt.Errorf("collective: logN must be >= 1, got %d", logN)
+	}
+	N := 1 << uint(logN)
+	if root < 0 || root >= N {
+		return nil, fmt.Errorf("collective: root %d out of range [0,%d)", root, N)
+	}
+	in := uniform(N, 0)
+	in[root] = N
+	p := &Program{
+		Op:          OpScatter,
+		LogN:        logN,
+		N:           N,
+		InChunks:    in,
+		StateChunks: uniform(N, 1),
+		Rounds:      make([]Round, 0, N),
+	}
+	p.Rounds = append(p.Rounds, newRoundClass(perm.Identity(N), perm.ClassInverseOmega,
+		[]Move{{SrcPort: root, SrcChunk: root, DstPort: root, DstChunk: 0}}))
+	for j := 0; j < N; j++ {
+		if j == root {
+			continue
+		}
+		shift := ((j-root)%N + N) % N
+		p.Rounds = append(p.Rounds, newRoundClass(perm.CyclicShift(logN, shift), perm.ClassInverseOmega,
+			[]Move{{SrcPort: root, SrcChunk: j, DstPort: j, DstChunk: 0}}))
+	}
+	return p.finish(), nil
+}
+
+// Validate checks the compiled program's structural invariants: every
+// move's ports agree with its round's permutation, every read is in
+// shape, and — for concurrent (non-serial) programs — no state cell is
+// written twice. The compilers are tested to emit only valid programs;
+// Validate exists so tests (and the fuzzer) can prove it.
+func (p *Program) Validate() error {
+	if len(p.InChunks) != p.N || len(p.StateChunks) != p.N {
+		return fmt.Errorf("collective: shape arrays sized %d/%d, want N=%d",
+			len(p.InChunks), len(p.StateChunks), p.N)
+	}
+	written := make(map[[2]int]bool)
+	for ri := range p.Rounds {
+		r := &p.Rounds[ri]
+		if len(r.Dest) != p.N {
+			return fmt.Errorf("collective: round %d permutation sized %d, want %d", ri, len(r.Dest), p.N)
+		}
+		if err := r.Dest.Validate(); err != nil {
+			return fmt.Errorf("collective: round %d: %w", ri, err)
+		}
+		for _, m := range r.Moves {
+			if m.SrcPort < 0 || m.SrcPort >= p.N || m.DstPort < 0 || m.DstPort >= p.N {
+				return fmt.Errorf("collective: round %d move ports (%d->%d) out of range", ri, m.SrcPort, m.DstPort)
+			}
+			if r.Dest[m.SrcPort] != m.DstPort {
+				return fmt.Errorf("collective: round %d moves %d->%d but routes %d->%d",
+					ri, m.SrcPort, m.DstPort, m.SrcPort, r.Dest[m.SrcPort])
+			}
+			readBound := p.InChunks[m.SrcPort]
+			if p.Serial {
+				readBound = p.StateChunks[m.SrcPort]
+			}
+			if m.SrcChunk < 0 || m.SrcChunk >= readBound {
+				return fmt.Errorf("collective: round %d reads chunk %d of port %d (width %d)",
+					ri, m.SrcChunk, m.SrcPort, readBound)
+			}
+			if m.DstChunk < 0 || m.DstChunk >= p.StateChunks[m.DstPort] {
+				return fmt.Errorf("collective: round %d writes chunk %d of port %d (width %d)",
+					ri, m.DstChunk, m.DstPort, p.StateChunks[m.DstPort])
+			}
+			if !p.Serial {
+				cell := [2]int{m.DstPort, m.DstChunk}
+				if written[cell] {
+					return fmt.Errorf("collective: concurrent program writes cell (%d,%d) twice",
+						m.DstPort, m.DstChunk)
+				}
+				written[cell] = true
+			}
+		}
+	}
+	return nil
+}

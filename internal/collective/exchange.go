@@ -1,0 +1,203 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+)
+
+// This file decomposes an arbitrary all-to-all — each port naming a
+// destination per chunk — into whole-permutation rounds. The transfer
+// set is a bipartite multigraph (senders x receivers); König's
+// edge-coloring theorem says a bipartite graph of maximum degree Δ
+// splits into Δ matchings, and the constructive proof (alternating
+// αβ-path recoloring) is implemented here directly. Each color class
+// is one round: a partial matching completed to a full permutation
+// with fabric.Complete, then classified like any other round. A port
+// sending or receiving at most k chunks therefore costs at most k
+// rounds — the "≤ k self-routable rounds" decomposition the collective
+// layer promises, with any round that falls outside F(n) paying the
+// looping fallback and being counted as such.
+
+// edge is one transfer: chunk Chunk of port Src goes to port Dst.
+type edge struct {
+	src, dst, chunk int
+	color           int
+}
+
+// CompileExchange compiles an arbitrary all-to-all on N = 2^logN
+// ports. dests[p][c] names the destination port of chunk c held by
+// port p, or Keep (-1) to leave it in place. A port may send at most
+// one chunk to any given destination (the received chunk lands in the
+// slot named by its source: state[d][src]), so per-port fan-out is at
+// most N. The number of rounds equals the maximum transfer degree:
+// max over ports of chunks sent or received.
+func CompileExchange(logN int, dests [][]int) (*Program, error) {
+	if logN < 1 {
+		return nil, fmt.Errorf("collective: logN must be >= 1, got %d", logN)
+	}
+	N := 1 << uint(logN)
+	if len(dests) != N {
+		return nil, fmt.Errorf("collective: exchange spec for %d ports, want N=%d", len(dests), N)
+	}
+	in := make([]int, N)
+	state := make([]int, N)
+	var edges []edge
+	outdeg := make([]int, N)
+	indeg := make([]int, N)
+	sends := make(map[[2]int]bool) // (src, dst) pairs already used
+	for p, row := range dests {
+		in[p] = len(row)
+		if state[p] = len(row); state[p] < N {
+			state[p] = N
+		}
+		for c, d := range row {
+			if d == Keep {
+				continue
+			}
+			if d < 0 || d >= N {
+				return nil, fmt.Errorf("collective: port %d chunk %d destination %d out of range [0,%d)", p, c, d, N)
+			}
+			if sends[[2]int{p, d}] {
+				return nil, fmt.Errorf("collective: port %d sends two chunks to port %d (received slots are keyed by source)", p, d)
+			}
+			sends[[2]int{p, d}] = true
+			edges = append(edges, edge{src: p, dst: d, chunk: c, color: -1})
+			outdeg[p]++
+			indeg[d]++
+		}
+	}
+	maxDeg := 0
+	for p := 0; p < N; p++ {
+		if outdeg[p] > maxDeg {
+			maxDeg = outdeg[p]
+		}
+		if indeg[p] > maxDeg {
+			maxDeg = indeg[p]
+		}
+	}
+
+	prog := &Program{
+		Op:          OpExchange,
+		LogN:        logN,
+		N:           N,
+		InChunks:    in,
+		StateChunks: state,
+	}
+	if maxDeg == 0 {
+		return prog.finish(), nil
+	}
+	colorEdges(edges, N, maxDeg)
+
+	for color := 0; color < maxDeg; color++ {
+		partial := make([]int, N)
+		for i := range partial {
+			partial[i] = fabric.Idle
+		}
+		var moves []Move
+		for i := range edges {
+			if edges[i].color != color {
+				continue
+			}
+			e := &edges[i]
+			partial[e.src] = e.dst
+			moves = append(moves, Move{SrcPort: e.src, SrcChunk: e.chunk, DstPort: e.dst, DstChunk: e.src})
+		}
+		dest, err := fabric.Complete(partial)
+		if err != nil {
+			// Unreachable: a color class is a matching by construction.
+			return nil, fmt.Errorf("collective: color %d is not a matching: %w", color, err)
+		}
+		prog.Rounds = append(prog.Rounds, newRound(dest, moves))
+	}
+	return prog.finish(), nil
+}
+
+// Keep marks a chunk that stays at its port in an exchange spec.
+const Keep = -1
+
+// colorEdges assigns each edge a color in [0, maxDeg) such that no two
+// edges sharing a sender or receiver share a color — König's theorem,
+// by alternating-path recoloring. usedS[p][c] / usedR[p][c] hold the
+// index of the edge colored c at sender/receiver p, or -1.
+func colorEdges(edges []edge, n, maxDeg int) {
+	usedS := make([][]int, n)
+	usedR := make([][]int, n)
+	for p := 0; p < n; p++ {
+		usedS[p] = uniform(maxDeg, -1)
+		usedR[p] = uniform(maxDeg, -1)
+	}
+	free := func(used []int) int {
+		for c, e := range used {
+			if e == -1 {
+				return c
+			}
+		}
+		return -1
+	}
+	for i := range edges {
+		e := &edges[i]
+		alpha := free(usedS[e.src]) // missing at the sender
+		beta := free(usedR[e.dst])  // missing at the receiver
+		if alpha != beta && usedR[e.dst][alpha] != -1 {
+			// alpha is busy at the receiver: flip the maximal
+			// alpha/beta alternating path starting at the receiver.
+			// The path cannot reach e.src (parity: it would have to
+			// arrive on an alpha edge, and e.src has none), so after
+			// the flip alpha is free at both endpoints.
+			flipPath(edges, usedS, usedR, e.dst, alpha, beta)
+		}
+		e.color = alpha
+		usedS[e.src][alpha] = i
+		usedR[e.dst][alpha] = i
+	}
+}
+
+// flipPath swaps colors alpha and beta along the maximal alternating
+// path that starts at receiver r with an alpha-colored edge.
+func flipPath(edges []edge, usedS, usedR [][]int, r, alpha, beta int) {
+	// Collect the path first, then recolor, so the traversal is not
+	// confused by its own updates. The path alternates
+	// receiver -(alpha)-> sender -(beta)-> receiver -> ...
+	var path []int
+	atReceiver, node, color := true, r, alpha
+	for {
+		var ei int
+		if atReceiver {
+			ei = usedR[node][color]
+		} else {
+			ei = usedS[node][color]
+		}
+		if ei == -1 {
+			break
+		}
+		path = append(path, ei)
+		if atReceiver {
+			node = edges[ei].src
+		} else {
+			node = edges[ei].dst
+		}
+		atReceiver = !atReceiver
+		if color == alpha {
+			color = beta
+		} else {
+			color = alpha
+		}
+	}
+	for _, ei := range path {
+		e := &edges[ei]
+		old := e.color
+		nw := alpha
+		if old == alpha {
+			nw = beta
+		}
+		usedS[e.src][old] = -1
+		usedR[e.dst][old] = -1
+		e.color = nw
+	}
+	for _, ei := range path {
+		e := &edges[ei]
+		usedS[e.src][e.color] = ei
+		usedR[e.dst][e.color] = ei
+	}
+}

@@ -1,0 +1,315 @@
+package collective
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/fabric"
+	"repro/internal/perm"
+)
+
+// overlapPrewarm reports whether the double-buffered prewarm can
+// actually overlap a round in flight: it needs a second execution
+// resource. On a single-CPU process the prewarm goroutine would just
+// time-slice against the round it is meant to hide behind, turning the
+// double buffer into pure per-round overhead.
+func overlapPrewarm() bool { return runtime.GOMAXPROCS(0) > 1 }
+
+// Handle tracks one in-flight collective. It is returned immediately
+// by the Service entry points; the schedule executes in the background
+// and Wait delivers the result. Cancelling the submission context
+// aborts the remaining rounds.
+type Handle[T any] struct {
+	svc  *Service[T]
+	prog *Program
+	ctx  context.Context
+
+	// in aliases the caller's payload (MPI-style ownership: the
+	// caller must not modify the buffers until the handle is done).
+	// Non-serial rounds read only from it; serial programs read state
+	// instead (later rounds consume earlier rounds' deliveries).
+	in [][]T
+	// state is the result: row p sized prog.StateChunks[p],
+	// initialized from the input where the shapes overlap, then
+	// overwritten by the rounds' moves.
+	state [][]T
+
+	completed  atomic.Int64
+	selfRouted atomic.Int64
+	fallbacks  atomic.Int64
+	cacheHits  atomic.Int64
+
+	done    chan struct{}
+	errOnce sync.Once
+	err     error
+}
+
+// HandleStats is a per-collective round tally.
+type HandleStats struct {
+	Op        string `json:"op"`
+	Rounds    int    `json:"rounds"`
+	Completed int64  `json:"completed"`
+	// SelfRouted counts completed rounds the fabric served without
+	// looping setup; Fallbacks counts the rest.
+	SelfRouted int64 `json:"self_routed"`
+	Fallbacks  int64 `json:"fallbacks"`
+	// CacheHits counts rounds whose plan was already resolved when
+	// they arrived — the prewarm double buffer working.
+	CacheHits int64 `json:"cache_hits"`
+}
+
+func newHandle[T any](svc *Service[T], prog *Program, ctx context.Context, data [][]T) *Handle[T] {
+	h := &Handle[T]{
+		svc:   svc,
+		prog:  prog,
+		ctx:   ctx,
+		in:    data,
+		state: make([][]T, prog.N),
+		done:  make(chan struct{}),
+	}
+	for p := 0; p < prog.N; p++ {
+		h.state[p] = make([]T, prog.StateChunks[p])
+		// Covered programs overwrite every state cell, so seeding
+		// state from the input would be N*k wasted copies. The rest
+		// (gather, exchange with Keep, serial broadcast) need the
+		// untouched cells to carry the input through.
+		if !prog.covered {
+			copy(h.state[p], data[p])
+		}
+	}
+	return h
+}
+
+// Done returns a channel closed when the collective finishes (result
+// ready, failed, or cancelled).
+func (h *Handle[T]) Done() <-chan struct{} { return h.done }
+
+// Wait blocks until the collective finishes and returns the result
+// buffers (row p sized by the program's output shape) or the first
+// error. The buffers are owned by the caller once Wait returns.
+func (h *Handle[T]) Wait() ([][]T, error) {
+	<-h.done
+	if h.err != nil {
+		return nil, h.err
+	}
+	return h.state, nil
+}
+
+// Progress reports completed and total rounds.
+func (h *Handle[T]) Progress() (completed, total int) {
+	return int(h.completed.Load()), len(h.prog.Rounds)
+}
+
+// Stats returns the per-collective round tally so far.
+func (h *Handle[T]) Stats() HandleStats {
+	return HandleStats{
+		Op:         h.prog.Op.String(),
+		Rounds:     len(h.prog.Rounds),
+		Completed:  h.completed.Load(),
+		SelfRouted: h.selfRouted.Load(),
+		Fallbacks:  h.fallbacks.Load(),
+		CacheHits:  h.cacheHits.Load(),
+	}
+}
+
+// fail records the first error; later calls are no-ops.
+func (h *Handle[T]) fail(err error) {
+	h.errOnce.Do(func() { h.err = err })
+}
+
+// run executes the schedule and settles the handle.
+func (h *Handle[T]) run() {
+	if h.prog.Serial {
+		h.runSerial()
+	} else {
+		h.runParallel()
+	}
+	s := h.svc
+	s.active.Add(-1)
+	switch {
+	case h.err == nil:
+		s.completed.Add(1)
+	case h.ctx.Err() != nil:
+		s.cancelled.Add(1)
+	default:
+		s.failed.Add(1)
+	}
+	close(h.done)
+}
+
+// roundTally batches one worker's round observations so the hot loop
+// pays a single atomic add per round (the live progress counter)
+// instead of a dozen; everything else is flushed when the worker
+// finishes its slice of the schedule.
+type roundTally struct {
+	rounds      int
+	selfRouted  int
+	fallbacks   int
+	cacheHits   int
+	moves       int
+	planeRounds []int
+	start       time.Time
+}
+
+func newRoundTally(planes int) *roundTally {
+	return &roundTally{planeRounds: make([]int, planes), start: time.Now()}
+}
+
+func (t *roundTally) add(res fabric.RoundResult, moves int) {
+	t.rounds++
+	if res.Kind == engine.PlanSelfRouted {
+		t.selfRouted++
+	} else {
+		t.fallbacks++
+	}
+	if res.CacheHit {
+		t.cacheHits++
+	}
+	if res.Plane >= 0 && res.Plane < len(t.planeRounds) {
+		t.planeRounds[res.Plane]++
+	}
+	t.moves += moves
+}
+
+// flush folds the tally into the handle and service counters and feeds
+// the admission EWMA one sample: the worker's mean per-round wall
+// time (route + move application — the real service time the next
+// deadline check should assume).
+func (h *Handle[T]) flush(t *roundTally) {
+	if t.rounds == 0 {
+		return
+	}
+	h.selfRouted.Add(int64(t.selfRouted))
+	h.fallbacks.Add(int64(t.fallbacks))
+	h.cacheHits.Add(int64(t.cacheHits))
+	h.svc.observeRounds(t, time.Since(t.start)/time.Duration(t.rounds))
+}
+
+// serveRound routes one round on the preferred plane and applies its
+// moves into state from the pre-read snapshot vals (serial programs
+// permute state in place, so reads must precede writes).
+func (h *Handle[T]) serveRound(r *Round, prefer int, vals []T, t *roundTally) error {
+	res, err := h.svc.fab.RouteRound(r.Dest, prefer)
+	if err != nil {
+		return err
+	}
+	for j, m := range r.Moves {
+		h.state[m.DstPort][m.DstChunk] = vals[j]
+	}
+	h.completed.Add(1)
+	t.add(res, len(r.Moves))
+	return nil
+}
+
+// batchRounds is how many of a worker's rounds one RouteRounds call
+// pipelines through its plane's queue. It bounds how stale the
+// progress counter and the cancellation check can get, not throughput.
+const batchRounds = 64
+
+// runParallel pipelines a data-parallel schedule across the fabric's K
+// planes and through each plane's request queue: worker w serves
+// rounds w, w+K, w+2K, ... on plane w, submitting them in pipelined
+// batches (Rounder.RouteRounds) so the next rounds' plan setup is
+// already queued while the current round is traversing the plane —
+// Section IV's pipelining, one level deeper than the serial path's
+// one-round double buffer. Safe because non-serial programs read only
+// the immutable input and write pairwise-disjoint state cells
+// (Program.Validate's invariant).
+func (h *Handle[T]) runParallel() {
+	rounds := h.prog.Rounds
+	workers := h.svc.fab.Planes()
+	if workers > len(rounds) {
+		workers = len(rounds)
+	}
+	var abort atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			t := newRoundTally(len(h.svc.planeRounds))
+			defer h.flush(t)
+			mine := make([]*Round, 0, (len(rounds)+workers-1)/workers)
+			for idx := w; idx < len(rounds); idx += workers {
+				mine = append(mine, &rounds[idx])
+			}
+			dests := make([]perm.Perm, 0, batchRounds)
+			for base := 0; base < len(mine); base += batchRounds {
+				if abort.Load() {
+					return
+				}
+				if err := h.ctx.Err(); err != nil {
+					h.fail(err)
+					abort.Store(true)
+					return
+				}
+				end := base + batchRounds
+				if end > len(mine) {
+					end = len(mine)
+				}
+				dests = dests[:0]
+				for _, r := range mine[base:end] {
+					dests = append(dests, r.Dest)
+				}
+				results, err := h.svc.fab.RouteRounds(dests, w)
+				if err != nil {
+					h.fail(err)
+					abort.Store(true)
+					return
+				}
+				for i, r := range mine[base:end] {
+					for _, m := range r.Moves {
+						h.state[m.DstPort][m.DstChunk] = h.in[m.SrcPort][m.SrcChunk]
+					}
+					h.completed.Add(1)
+					t.add(results[i], len(r.Moves))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runSerial executes a dependent schedule (broadcast) in order: round
+// r reads the state round r-1 left behind, so only the plan setup of
+// round r+1 — prewarmed on the plane it will use — overlaps round r's
+// transmission. Reads are snapshotted before writes so a round may
+// safely permute in place.
+func (h *Handle[T]) runSerial() {
+	rounds := h.prog.Rounds
+	k := h.svc.fab.Planes()
+	overlap := overlapPrewarm()
+	t := newRoundTally(len(h.svc.planeRounds))
+	defer h.flush(t)
+	for idx := range rounds {
+		if err := h.ctx.Err(); err != nil {
+			h.fail(err)
+			return
+		}
+		r := &rounds[idx]
+		var warmed chan struct{}
+		if next := idx + 1; overlap && next < len(rounds) {
+			warmed = make(chan struct{})
+			go func(d perm.Perm, prefer int) {
+				h.svc.fab.PrewarmRound(d, prefer)
+				close(warmed)
+			}(rounds[next].Dest, next%k)
+		}
+		vals := make([]T, len(r.Moves))
+		for j, m := range r.Moves {
+			vals[j] = h.state[m.SrcPort][m.SrcChunk]
+		}
+		err := h.serveRound(r, idx%k, vals, t)
+		if warmed != nil {
+			<-warmed
+		}
+		if err != nil {
+			h.fail(err)
+			return
+		}
+	}
+}

@@ -198,6 +198,34 @@ func (e *Engine[T]) Route(dest perm.Perm, data []T) Response[T] {
 	return <-e.Submit(Request[T]{Dest: dest, Data: data})
 }
 
+// Prewarm resolves and caches the routing plan for dest without moving
+// any payload, so a later Route of the same permutation is a cache
+// hit. This is the setup half of Section IV's pipelining: the next
+// vector's switch setting is computed while the current vector is
+// still in flight. It runs in the caller's goroutine — it does not
+// enter the request queue — and reports the plan kind and whether the
+// plan was already cached.
+func (e *Engine[T]) Prewarm(dest perm.Perm) (PlanKind, bool, error) {
+	if len(dest) != e.net.N() {
+		e.met.errors.Add(1)
+		return 0, false, fmt.Errorf("engine: prewarm size %d does not match N=%d", len(dest), e.net.N())
+	}
+	e.mu.RLock()
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
+		e.met.errors.Add(1)
+		return 0, false, ErrClosed
+	}
+	e.met.prewarms.Add(1)
+	pl, hit, err := e.acquire(hashPerm(dest), dest)
+	if err != nil {
+		e.met.errors.Add(1)
+		return 0, false, err
+	}
+	return pl.Kind, hit, nil
+}
+
 // RouteBatch submits all requests before collecting any response, so
 // the worker pool serves them concurrently. Responses are returned in
 // request order.

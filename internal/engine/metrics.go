@@ -119,6 +119,7 @@ type Metrics struct {
 	errors     atomic.Int64 // requests rejected (bad length, invalid permutation, closed)
 	evictions  atomic.Int64 // plans displaced from the LRU cache
 	collisions atomic.Int64 // lookups whose hash matched a plan for a different permutation
+	prewarms   atomic.Int64 // plans resolved ahead of traffic via Prewarm
 	queueDepth atomic.Int64 // requests submitted but not yet picked up by a worker
 
 	// Per-stage latency histograms.
@@ -145,6 +146,10 @@ func (m *Metrics) Evictions() int64 { return m.evictions.Load() }
 // forced by hash collisions rather than genuine absence.
 func (m *Metrics) CollisionMisses() int64 { return m.collisions.Load() }
 
+// Prewarms returns the number of plans resolved ahead of traffic via
+// Engine.Prewarm.
+func (m *Metrics) Prewarms() int64 { return m.prewarms.Load() }
+
 // QueueDepth returns the number of requests currently waiting for a
 // worker.
 func (m *Metrics) QueueDepth() int64 { return m.queueDepth.Load() }
@@ -160,6 +165,7 @@ type Snapshot struct {
 	Errors      int64   `json:"errors"`
 	Evictions   int64   `json:"evictions"`
 	Collisions  int64   `json:"collision_misses"`
+	Prewarms    int64   `json:"prewarms"`
 	HitRate     float64 `json:"hit_rate"`
 	QueueDepth  int64   `json:"queue_depth"`
 	PlansCached int     `json:"plans_cached"`
@@ -181,6 +187,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		Errors:     m.errors.Load(),
 		Evictions:  m.evictions.Load(),
 		Collisions: m.collisions.Load(),
+		Prewarms:   m.prewarms.Load(),
 		QueueDepth: m.queueDepth.Load(),
 		Wait:       m.Wait.Snapshot(),
 		Plan:       m.Plan.Snapshot(),

@@ -15,6 +15,9 @@ type metrics struct {
 	lost      atomic.Int64 // accepted packets abandoned (no healthy plane at close)
 	frames    atomic.Int64 // frames scheduled
 	failovers atomic.Int64 // frames re-dispatched after a plane failure
+
+	rounds         atomic.Int64 // collective rounds served via RouteRound
+	roundFailovers atomic.Int64 // rounds served only after a plane failover
 }
 
 // VOQInputCounters is one input port's ingress accounting.
@@ -42,6 +45,11 @@ type Snapshot struct {
 	Frames    int64 `json:"frames"`
 	Failovers int64 `json:"failovers"`
 
+	// Collective round traffic (RouteRound), which bypasses the
+	// VOQ/frame path.
+	Rounds         int64 `json:"rounds"`
+	RoundFailovers int64 `json:"round_failovers"`
+
 	// FrameFill is delivered packets per scheduled frame divided by N:
 	// 1.0 means every frame was a full permutation of real packets,
 	// small values mean the scheduler is padding mostly-idle frames.
@@ -61,6 +69,9 @@ func (f *Fabric[T]) Stats() Snapshot {
 		Lost:      f.met.lost.Load(),
 		Frames:    f.met.frames.Load(),
 		Failovers: f.met.failovers.Load(),
+
+		Rounds:         f.met.rounds.Load(),
+		RoundFailovers: f.met.roundFailovers.Load(),
 	}
 	if s.Frames > 0 {
 		s.FrameFill = float64(s.Delivered) / float64(s.Frames) / float64(f.n)

@@ -28,7 +28,8 @@ type plane struct {
 
 	frames    atomic.Int64 // frames this plane routed successfully
 	packets   atomic.Int64 // payload packets inside those frames
-	failovers atomic.Int64 // frames this plane rejected or misrouted
+	rounds    atomic.Int64 // collective rounds this plane routed successfully
+	failovers atomic.Int64 // frames or rounds this plane rejected or misrouted
 
 	// Injected damage: stuck switches simulated through the concurrent
 	// gate-level fabric of internal/netsim. Guarded by mu; sim is
@@ -119,6 +120,100 @@ func (p *plane) route(dest perm.Perm, srcs, dsts []int) error {
 	return nil
 }
 
+// routeRound serves one whole-permutation collective round: every port
+// carries a real chunk, so every output is verified. The returned plan
+// kind and cache-hit flag feed the collective layer's self-routed /
+// fallback accounting. As with route, any error means nothing moved
+// and the caller fails the round over to another plane.
+func (p *plane) routeRound(dest perm.Perm) (engine.PlanKind, bool, error) {
+	if !p.healthy.Load() {
+		p.failovers.Add(1)
+		return 0, false, errPlaneDown
+	}
+	if !p.checkFaults(dest) {
+		p.healthy.Store(false)
+		p.failovers.Add(1)
+		return 0, false, fmt.Errorf("fabric: plane %d misroutes round: %w", p.id, errPlaneDown)
+	}
+	resp := p.eng.Route(dest, p.ident)
+	if resp.Err != nil {
+		p.healthy.Store(false)
+		p.failovers.Add(1)
+		return 0, false, fmt.Errorf("fabric: plane %d: %w", p.id, resp.Err)
+	}
+	for i, d := range dest {
+		if resp.Data[d] != i {
+			p.healthy.Store(false)
+			p.failovers.Add(1)
+			return 0, false, fmt.Errorf("fabric: plane %d delivered port %d to the wrong source: %w",
+				p.id, d, errPlaneDown)
+		}
+	}
+	p.rounds.Add(1)
+	return resp.Kind, resp.CacheHit, nil
+}
+
+// roundWindow is how many pipelined round submissions a plane keeps in
+// flight in its engine queue during routeRoundBatch.
+const roundWindow = 32
+
+// routeRoundBatch serves a run of collective rounds with submissions
+// pipelined through the engine's request queue: up to roundWindow
+// rounds are in flight at once, so the engine worker drains them in
+// batches and consecutive rounds amortize the sleep/wake handoff a
+// synchronous routeRound pays per round. out[i] receives dests[i]'s
+// verified result. On the first failure the plane is taken out of
+// rotation and the number of rounds verified so far is returned; the
+// caller re-routes the rest on another plane (rounds carry only the
+// identity payload, so a round abandoned in flight moves nothing a
+// retry could duplicate).
+func (p *plane) routeRoundBatch(dests []perm.Perm, out []RoundResult) (int, error) {
+	if !p.healthy.Load() {
+		p.failovers.Add(1)
+		return 0, errPlaneDown
+	}
+	fail := func(done int, err error) (int, error) {
+		p.healthy.Store(false)
+		p.failovers.Add(1)
+		p.rounds.Add(int64(done))
+		return done, err
+	}
+	var ring [roundWindow]<-chan engine.Response[int]
+	next := 0
+	for done := 0; done < len(dests); done++ {
+		for next < len(dests) && next-done < roundWindow {
+			if !p.checkFaults(dests[next]) {
+				// Stop feeding the pipeline; submitted-but-uncollected
+				// rounds are abandoned (their buffered responses are
+				// simply dropped) and retried elsewhere.
+				return fail(done, fmt.Errorf("fabric: plane %d misroutes round: %w", p.id, errPlaneDown))
+			}
+			ring[next%roundWindow] = p.eng.Submit(engine.Request[int]{Dest: dests[next], Data: p.ident})
+			next++
+		}
+		resp := <-ring[done%roundWindow]
+		if resp.Err != nil {
+			return fail(done, fmt.Errorf("fabric: plane %d: %w", p.id, resp.Err))
+		}
+		for i, d := range dests[done] {
+			if resp.Data[d] != i {
+				return fail(done, fmt.Errorf("fabric: plane %d delivered port %d to the wrong source: %w",
+					p.id, d, errPlaneDown))
+			}
+		}
+		out[done] = RoundResult{Plane: p.id, Kind: resp.Kind, CacheHit: resp.CacheHit}
+	}
+	p.rounds.Add(int64(len(dests)))
+	return len(dests), nil
+}
+
+// prewarm resolves and caches dest's plan on this plane's engine so
+// the round that follows is a cache hit; errors are ignored — a failed
+// prewarm only costs the round its overlap, not its correctness.
+func (p *plane) prewarm(dest perm.Perm) {
+	_, _, _ = p.eng.Prewarm(dest)
+}
+
 func (p *plane) close() { p.eng.Close() }
 
 // PlaneSnapshot is the per-plane slice of a fabric Snapshot.
@@ -128,6 +223,7 @@ type PlaneSnapshot struct {
 	Faults    int             `json:"faults"`
 	Frames    int64           `json:"frames"`
 	Packets   int64           `json:"packets"`
+	Rounds    int64           `json:"rounds"`
 	Failovers int64           `json:"failovers"`
 	Engine    engine.Snapshot `json:"engine"`
 }
@@ -142,6 +238,7 @@ func (p *plane) snapshot() PlaneSnapshot {
 		Faults:    nf,
 		Frames:    p.frames.Load(),
 		Packets:   p.packets.Load(),
+		Rounds:    p.rounds.Load(),
 		Failovers: p.failovers.Load(),
 		Engine:    p.eng.Stats(),
 	}

@@ -1,0 +1,122 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/perm"
+)
+
+// This file is the fabric's round-scheduling hook for the collective
+// operations layer (internal/collective). A collective is compiled
+// into a sequence of whole-permutation rounds; unlike packets, rounds
+// bypass the VOQ/frame scheduler entirely — the permutation is already
+// decided — and go straight to a switching plane. The collective
+// executor round-robins its rounds across planes (the `prefer` hint)
+// so K rounds traverse the fabric concurrently, and prewarms round
+// r+1's plan on its plane while round r is still in flight.
+
+// RoundResult reports one collective round served by RouteRound.
+type RoundResult struct {
+	// Plane is the plane that served the round (after any failover).
+	Plane int
+	// Kind records the setup path: PlanSelfRouted rounds paid no
+	// looping setup, PlanLooped rounds fell back to it.
+	Kind engine.PlanKind
+	// CacheHit is true when the plan was already resolved — by an
+	// earlier round or a PrewarmRound overlap.
+	CacheHit bool
+}
+
+// RouteRound serves one whole-permutation round synchronously on a
+// healthy plane. prefer selects the plane to try first; an unhealthy
+// or misrouting plane fails the round over to the next healthy one,
+// exactly like frame dispatch. Every output port of the round is
+// verified before RouteRound returns nil.
+func (f *Fabric[T]) RouteRound(dest perm.Perm, prefer int) (RoundResult, error) {
+	if f.closed.Load() {
+		return RoundResult{}, ErrClosed
+	}
+	if len(dest) != f.n {
+		return RoundResult{}, fmt.Errorf("fabric: round size %d does not match N=%d", len(dest), f.n)
+	}
+	k := len(f.planes)
+	prefer = ((prefer % k) + k) % k
+	failed := false
+	for attempt := 0; attempt < k; attempt++ {
+		p := f.planes[(prefer+attempt)%k]
+		kind, hit, err := p.routeRound(dest)
+		if err != nil {
+			failed = true
+			continue
+		}
+		if failed {
+			f.met.roundFailovers.Add(1)
+		}
+		f.met.rounds.Add(1)
+		return RoundResult{Plane: p.id, Kind: kind, CacheHit: hit}, nil
+	}
+	return RoundResult{}, fmt.Errorf("fabric: no healthy plane for round: %w", errPlaneDown)
+}
+
+// RouteRounds serves a sequence of whole-permutation rounds with
+// submissions pipelined through one plane's engine queue — the deep
+// version of RouteRound's one-at-a-time handoff, and the execution
+// half of Section IV's pipelining: while round r is traversing the
+// plane, rounds r+1..r+w are already queued behind it with their plan
+// setup underway. prefer selects the plane; if it fails mid-sequence,
+// the unserved tail fails over to the next healthy plane, exactly like
+// RouteRound. Results are in round order and every output port of
+// every round is verified before RouteRounds returns nil.
+func (f *Fabric[T]) RouteRounds(dests []perm.Perm, prefer int) ([]RoundResult, error) {
+	if f.closed.Load() {
+		return nil, ErrClosed
+	}
+	for _, d := range dests {
+		if len(d) != f.n {
+			return nil, fmt.Errorf("fabric: round size %d does not match N=%d", len(d), f.n)
+		}
+	}
+	out := make([]RoundResult, len(dests))
+	k := len(f.planes)
+	prefer = ((prefer % k) + k) % k
+	start, failed := 0, false
+	for attempt := 0; attempt < k && start < len(dests); attempt++ {
+		p := f.planes[(prefer+attempt)%k]
+		n, err := p.routeRoundBatch(dests[start:], out[start:])
+		start += n
+		if err != nil {
+			failed = true
+		}
+	}
+	if start < len(dests) {
+		return nil, fmt.Errorf("fabric: no healthy plane for round: %w", errPlaneDown)
+	}
+	if failed {
+		f.met.roundFailovers.Add(1)
+	}
+	f.met.rounds.Add(int64(len(dests)))
+	return out, nil
+}
+
+// PrewarmRound resolves and caches dest's routing plan on the plane a
+// subsequent RouteRound with the same prefer would pick, so that round
+// starts as a cache hit. This is the collective layer's double buffer:
+// round r+1's setup runs here while round r's payload is still
+// traversing the fabric. Best effort — if the preferred plane goes
+// down in between, the round simply pays its own setup after failover.
+func (f *Fabric[T]) PrewarmRound(dest perm.Perm, prefer int) {
+	if f.closed.Load() || len(dest) != f.n {
+		return
+	}
+	k := len(f.planes)
+	prefer = ((prefer % k) + k) % k
+	for attempt := 0; attempt < k; attempt++ {
+		p := f.planes[(prefer+attempt)%k]
+		if !p.healthy.Load() {
+			continue
+		}
+		p.prewarm(dest)
+		return
+	}
+}

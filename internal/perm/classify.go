@@ -1,0 +1,102 @@
+package perm
+
+// This file exports the classification logic the collective-operations
+// compiler and the benesroute -classify flag share: given an arbitrary
+// destination vector, decide which of the paper's permutation families
+// it belongs to and therefore what routing it needs. The precedence
+// follows the paper's cost ordering — the named compact classes first
+// (BPC of Section II/Table I, the inverse-omega families of Table II),
+// then the full self-routable class F(n) of Theorem 1, and finally the
+// permutations that need the looping algorithm's external setup.
+
+// Class says how a permutation can be routed on the self-routing Benes
+// network, from cheapest to most expensive setup.
+type Class int
+
+const (
+	// ClassInvalid marks a vector that is not a permutation or whose
+	// length is not a power of two.
+	ClassInvalid Class = iota
+	// ClassBPC: a bit-permute-complement permutation (Section II,
+	// Table I). Each PE computes its own destination tag in O(n) from
+	// the compact A-vector, and the network self-routes it.
+	ClassBPC
+	// ClassInverseOmega: realizable by an omega network run backwards
+	// (the Table II families — cyclic shifts, p-orderings, ...). In
+	// F(n) by the paper's Theorem 2 argument, so it self-routes.
+	ClassInverseOmega
+	// ClassSelfRoutable: in F(n) (Theorem 1) but in neither compact
+	// named class; self-routes with full destination tags.
+	ClassSelfRoutable
+	// ClassLooping: outside F(n); only the O(N log N) looping
+	// algorithm (external setup) realizes it in one pass.
+	ClassLooping
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassBPC:
+		return "BPC"
+	case ClassInverseOmega:
+		return "inverse-omega"
+	case ClassSelfRoutable:
+		return "F(n)-self-routable"
+	case ClassLooping:
+		return "looping-only"
+	}
+	return "invalid"
+}
+
+// SelfRoutable reports whether the class needs no external setup: the
+// destination tags alone set the switches.
+func (c Class) SelfRoutable() bool {
+	return c == ClassBPC || c == ClassInverseOmega || c == ClassSelfRoutable
+}
+
+// Classification is the full report Classify produces: the routing
+// class plus every individual membership predicate, so callers can
+// print or act on the overlaps (a permutation can be BPC and
+// omega-realizable at once; Class keeps only the cheapest label).
+type Classification struct {
+	Class Class
+	// Spec is the compact A-vector when Class == ClassBPC, nil
+	// otherwise.
+	Spec BPC
+	// Omega reports membership in Lawrie's forward omega class. Not
+	// reflected in Class: forward-omega members are not necessarily
+	// self-routable on the Benes network.
+	Omega bool
+	// InverseOmega reports membership in the inverse-omega class.
+	InverseOmega bool
+	// InF reports membership in F(n), Theorem 1's self-routable class.
+	InF bool
+}
+
+// Classify determines the routing class of p. It is the single entry
+// point the collective compiler uses to decide, per round, whether a
+// data-movement step gets the paper's setup-free path or must pay for
+// the looping algorithm. O(N log N).
+func Classify(p Perm) Classification {
+	var c Classification
+	if len(p) == 0 || len(p)&(len(p)-1) != 0 || !p.Valid() {
+		return c // ClassInvalid
+	}
+	c.Omega = IsOmega(p)
+	c.InverseOmega = IsInverseOmega(p)
+	c.InF = InF(p)
+	if spec, ok := RecognizeBPC(p); ok {
+		c.Class = ClassBPC
+		c.Spec = spec
+		return c
+	}
+	if c.InverseOmega {
+		c.Class = ClassInverseOmega
+		return c
+	}
+	if c.InF {
+		c.Class = ClassSelfRoutable
+		return c
+	}
+	c.Class = ClassLooping
+	return c
+}

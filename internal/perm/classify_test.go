@@ -1,0 +1,168 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestClassifyNamedFamilies pins the class of every named generator:
+// Table I members come back BPC, the Table II / Section II families
+// come back inverse-omega (unless they are also BPC, which wins), and
+// everything named by the paper is self-routable.
+func TestClassifyNamedFamilies(t *testing.T) {
+	const n = 4
+	cases := []struct {
+		name string
+		p    Perm
+		want Class
+	}{
+		{"identity", Identity(1 << n), ClassBPC},
+		{"bit reversal", BitReversal(n), ClassBPC},
+		{"vector reversal", VectorReversal(n), ClassBPC},
+		{"perfect shuffle", PerfectShuffle(n), ClassBPC},
+		{"unshuffle", Unshuffle(n), ClassBPC},
+		{"matrix transpose", MatrixTranspose(n), ClassBPC},
+		{"shuffled row major", ShuffledRowMajor(n), ClassBPC},
+		{"bit shuffle", BitShuffle(n), ClassBPC},
+		{"cyclic shift 1", CyclicShift(n, 1), ClassInverseOmega},
+		{"cyclic shift 3", CyclicShift(n, 3), ClassInverseOmega},
+		{"p-ordering 5", POrdering(n, 5), ClassInverseOmega},
+		{"p-ordering shift", POrderingShift(n, 3, 7), ClassInverseOmega},
+		{"segment shift", SegmentCyclicShift(n, 2, 1), ClassInverseOmega},
+	}
+	for _, tc := range cases {
+		c := Classify(tc.p)
+		if c.Class != tc.want {
+			t.Errorf("%s: class %v, want %v", tc.name, c.Class, tc.want)
+		}
+		if !c.Class.SelfRoutable() || !c.InF {
+			t.Errorf("%s: named family must be self-routable (class %v, InF %v)", tc.name, c.Class, c.InF)
+		}
+		if (c.Class == ClassBPC) != (c.Spec != nil) {
+			t.Errorf("%s: Spec presence inconsistent with class %v", tc.name, c.Class)
+		}
+		if c.Spec != nil && !c.Spec.Perm().Equal(tc.p) {
+			t.Errorf("%s: recovered A-vector %v does not expand back to the permutation", tc.name, c.Spec)
+		}
+	}
+}
+
+// TestClassifyInvalid covers the rejects: wrong length, repeated
+// destinations, out-of-range tags.
+func TestClassifyInvalid(t *testing.T) {
+	for _, p := range []Perm{
+		{},
+		{0, 1, 2},       // not a power of two
+		{0, 0, 1, 1},    // repeats
+		{0, 1, 2, 7},    // out of range
+		{-1, 1, 2, 3},   // negative
+		{1, 0, 3, 2, 5}, // length 5
+	} {
+		if c := Classify(p); c.Class != ClassInvalid {
+			t.Errorf("Classify(%v) = %v, want invalid", p, c.Class)
+		}
+	}
+}
+
+// TestClassifyLooping pins a known non-member: Section II's closure
+// counterexample composition falls outside F(3), and random large
+// permutations are almost surely outside F(n).
+func TestClassifyLooping(t *testing.T) {
+	// The paper's example of a permutation outside F(3) (also used by
+	// engine tests): found by scanning for !InF.
+	rng := rand.New(rand.NewSource(7))
+	found := false
+	for range 100 {
+		p := Random(1<<3, rng)
+		c := Classify(p)
+		if c.Class == ClassLooping {
+			found = true
+			if c.InF {
+				t.Fatalf("looping class with InF=true for %v", p)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no looping-only permutation among 100 random N=8 draws (astronomically unlikely)")
+	}
+}
+
+// TestClassifyConsistency checks the internal invariants of the report
+// on random permutations of several sizes: the class label must agree
+// with the predicates it is derived from.
+func TestClassifyConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 3, 4, 5, 6} {
+		for range 200 {
+			p := Random(1<<n, rng)
+			checkClassification(t, p)
+		}
+	}
+}
+
+// checkClassification asserts every cross-predicate invariant of one
+// Classify report. Shared with FuzzClassify.
+func checkClassification(t *testing.T, p Perm) {
+	t.Helper()
+	c := Classify(p)
+	switch c.Class {
+	case ClassInvalid:
+		if len(p) != 0 && len(p)&(len(p)-1) == 0 && p.Valid() {
+			t.Fatalf("valid permutation %v classified invalid", p)
+		}
+		return
+	case ClassBPC:
+		if c.Spec == nil || !c.Spec.Perm().Equal(p) {
+			t.Fatalf("BPC class without a faithful A-vector for %v", p)
+		}
+		if !c.InF {
+			t.Fatalf("BPC permutation %v outside F(n): contradicts the paper", p)
+		}
+	case ClassInverseOmega:
+		if !c.InverseOmega {
+			t.Fatalf("inverse-omega class with InverseOmega=false for %v", p)
+		}
+		if !c.InF {
+			t.Fatalf("inverse-omega permutation %v outside F(n): contradicts the paper", p)
+		}
+	case ClassSelfRoutable:
+		if !c.InF {
+			t.Fatalf("self-routable class with InF=false for %v", p)
+		}
+	case ClassLooping:
+		if c.InF {
+			t.Fatalf("looping class with InF=true for %v", p)
+		}
+	}
+	if c.Spec != nil && c.Class != ClassBPC {
+		t.Fatalf("Spec set for non-BPC class %v", c.Class)
+	}
+	if c.InverseOmega != IsInverseOmega(p) || c.Omega != IsOmega(p) || c.InF != InF(p) {
+		t.Fatalf("classification flags disagree with the predicates for %v", p)
+	}
+	if c.Class.SelfRoutable() != c.InF {
+		t.Fatalf("SelfRoutable() = %v but InF = %v for %v", c.Class.SelfRoutable(), c.InF, p)
+	}
+}
+
+// FuzzClassify feeds arbitrary byte strings, decoded as destination
+// vectors, through Classify and checks every invariant — including
+// that garbage input comes back ClassInvalid instead of panicking.
+func FuzzClassify(f *testing.F) {
+	f.Add([]byte{1, 0, 3, 2})
+	f.Add([]byte{3, 2, 1, 0})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{1, 3, 0, 2, 7, 5, 4, 6})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{255, 1, 2})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		p := make(Perm, len(raw))
+		for i, b := range raw {
+			p[i] = int(b)
+		}
+		checkClassification(t, p)
+	})
+}

@@ -1,0 +1,100 @@
+package perm_test
+
+// Cross-checks: the classifier's verdicts (internal/perm.Classify)
+// must agree with what the simulated hardware actually does
+// (internal/core's self-routing pass). This is the ground-truth test
+// for the collective layer's cost model — a round predicted
+// self-routable must in fact route without looping setup, and a round
+// predicted looping-only must in fact misroute under pure
+// self-routing. The test lives in package perm_test because core
+// imports perm.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+)
+
+// TestClassifyMatchesCoreExhaustive checks every one of the 8! = 40320
+// permutations at N=8: Classify says self-routable exactly when the
+// network realizes the permutation from destination tags.
+func TestClassifyMatchesCoreExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive N=8 sweep")
+	}
+	net := core.New(3)
+	checked := 0
+	perm.ForEach(8, func(p perm.Perm) bool {
+		cls := perm.Classify(p)
+		realized := net.SelfRoute(p).OK()
+		if cls.Class.SelfRoutable() != realized {
+			t.Errorf("perm %v: classified %v (self-routable=%v) but hardware realized=%v",
+				p, cls.Class, cls.Class.SelfRoutable(), realized)
+			return false
+		}
+		if cls.InF != realized {
+			t.Errorf("perm %v: InF=%v but hardware realized=%v (Theorem 1 violated)", p, cls.InF, realized)
+			return false
+		}
+		checked++
+		return true
+	})
+	if checked != 40320 {
+		t.Fatalf("checked %d permutations, want 8! = 40320", checked)
+	}
+}
+
+// TestClassifyMatchesCoreN16 extends the cross-check to N=16, where
+// exhaustion is infeasible: every BPC spec (all 2^4 * 4! = 384 of
+// them), every cyclic shift, the named Table I/II families, and a
+// seeded random sample all must agree with the hardware.
+func TestClassifyMatchesCoreN16(t *testing.T) {
+	net := core.New(4)
+	check := func(p perm.Perm, label string) {
+		t.Helper()
+		cls := perm.Classify(p)
+		realized := net.SelfRoute(p).OK()
+		if cls.Class.SelfRoutable() != realized {
+			t.Fatalf("%s %v: classified %v but hardware realized=%v", label, p, cls.Class, realized)
+		}
+	}
+
+	// All 384 BPC specs on 4 bits: classified BPC, realized.
+	specs := 0
+	perm.ForEachBPC(4, func(a perm.BPC) bool {
+		p := a.Perm()
+		if cls := perm.Classify(p); cls.Class != perm.ClassBPC {
+			t.Fatalf("BPC spec %v produced class %v", a, cls.Class)
+		}
+		if !net.SelfRoute(p).OK() {
+			t.Fatalf("BPC spec %v not realized by self-routing", a)
+		}
+		specs++
+		return true
+	})
+	if specs != 384 {
+		t.Fatalf("enumerated %d BPC specs, want 2^4 * 4! = 384", specs)
+	}
+
+	// Cyclic shifts (Table II) and the p-ordering families.
+	for k := 0; k < 16; k++ {
+		check(perm.CyclicShift(4, k), "cyclic shift")
+	}
+	for _, pmul := range []int{1, 3, 5, 7} {
+		check(perm.POrdering(4, pmul), "p-ordering")
+	}
+
+	// Named Table I members.
+	check(perm.BitReversal(4), "bit reversal")
+	check(perm.PerfectShuffle(4), "perfect shuffle")
+	check(perm.MatrixTranspose(4), "matrix transpose")
+	check(perm.VectorReversalBPC(4).Perm(), "vector reversal")
+
+	// Seeded random sample: mostly outside F(4), some inside.
+	rng := rand.New(rand.NewSource(1980))
+	for i := 0; i < 2000; i++ {
+		check(perm.Random(16, rng), "random")
+	}
+}
