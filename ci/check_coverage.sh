@@ -1,0 +1,22 @@
+#!/bin/sh
+# Coverage ratchet: total statement coverage must not fall below the
+# checked-in floor in ci/coverage_floor.txt. When coverage rises, raise
+# the floor (leave ~1-2 points of slack for timing-dependent paths) in
+# the same PR so it can never quietly slide back down.
+set -eu
+
+cd "$(dirname "$0")/.."
+floor=$(cat ci/coverage_floor.txt)
+profile=$(mktemp)
+trap 'rm -f "$profile"' EXIT
+
+go test -count=1 -coverprofile="$profile" ./...
+total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+
+echo "total coverage: ${total}% (floor: ${floor}%)"
+awk -v t="$total" -v f="$floor" 'BEGIN {
+    if (t + 0 < f + 0) {
+        printf "FAIL: coverage %.1f%% fell below the floor %.1f%%\n", t, f
+        exit 1
+    }
+}'

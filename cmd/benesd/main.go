@@ -27,6 +27,13 @@
 //	GET  /fabric/stats  fabric snapshot (accepted/rejected/delivered,
 //	               frame fill, per-plane engines, per-VOQ counters)
 //	GET  /healthz  liveness probe
+//	GET  /metrics  Prometheus text-format exposition: counters, gauges,
+//	               and per-stage latency histograms (engine wait/plan/
+//	               apply, fabric VOQ wait/match/plane/verify/fault-check,
+//	               collective round/end-to-end) for every layer
+//	GET  /debug/traces  recent slow request traces (per-stage spans for
+//	               /send packets and /collective rounds), JSON
+//	GET  /debug/pprof/  standard net/http/pprof profiles
 //	GET  /debug/vars  standard expvar, with the engine and fabric
 //	               published under "engine" and "fabric"
 //
@@ -53,6 +60,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"syscall"
 	"time"
@@ -60,6 +68,7 @@ import (
 	"repro/internal/collective"
 	"repro/internal/engine"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/perm"
 )
 
@@ -67,6 +76,54 @@ type server struct {
 	eng *engine.Engine[int]
 	fab *fabric.Fabric[int]
 	col *collective.Service[int]
+	obs *obsState
+}
+
+// obsState bundles the process-wide observability surface: the metric
+// registry behind /metrics and the slow-trace ring behind
+// /debug/traces.
+type obsState struct {
+	reg  *obs.Registry
+	ring *obs.TraceRing
+}
+
+// newObsState builds one registry over all three layers. The fabric's
+// deliver callback must release packet traces into the same ring (see
+// newTracedDeliver) so /send traces surface once their last packet is
+// verified at its output port.
+func newObsState(eng *engine.Engine[int], fab *fabric.Fabric[int], col *collective.Service[int], ring *obs.TraceRing) *obsState {
+	reg := obs.NewRegistry()
+	eng.Register(reg, nil)
+	fab.Register(reg)
+	col.Register(reg)
+	return &obsState{reg: reg, ring: ring}
+}
+
+// newTracedDeliver returns the fabric deliver callback: each verified
+// packet drops its trace reference, and whoever drops the last one
+// hands the finished trace to the ring.
+func newTracedDeliver(ring *obs.TraceRing) func(fabric.Packet[int]) {
+	return func(p fabric.Packet[int]) {
+		if p.Trace.Release() {
+			ring.Observe(p.Trace)
+		}
+	}
+}
+
+// traced wraps a handler with request tracing: a fresh trace rides the
+// request context, stages append spans as the request moves through
+// the pipeline, and the handler's reference is dropped on return — if
+// no packet is still in flight holding one, the trace lands in the
+// ring right away; otherwise the fabric's deliver callback delivers it
+// when the last packet does.
+func (s *server) traced(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.NewTrace(name)
+		h(w, r.WithContext(obs.With(r.Context(), tr)))
+		if tr.Release() {
+			s.obs.ring.Observe(tr)
+		}
+	}
 }
 
 type routeRequest struct {
@@ -140,18 +197,27 @@ func (s *server) handleSend(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "no packets")
 		return
 	}
+	// Each accepted packet carries the request trace and one reference
+	// to it; a rejected packet returns its reference immediately (never
+	// the last — the middleware still holds the handler's).
+	tr := obs.FromContext(r.Context())
+	admit := time.Now()
 	var resp sendResponse
 	for _, p := range pkts {
-		switch err := s.fab.Send(fabric.Packet[int]{Src: p.Src, Dst: p.Dst}); err {
+		tr.Ref()
+		switch err := s.fab.Send(fabric.Packet[int]{Src: p.Src, Dst: p.Dst, Trace: tr}); err {
 		case nil:
 			resp.Accepted++
 		case fabric.ErrBackpressure, fabric.ErrClosed:
+			tr.Release()
 			resp.Rejected++
 		default:
+			tr.Release()
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 	}
+	tr.Span("admit", admit, fmt.Sprintf("%d accepted, %d rejected", resp.Accepted, resp.Rejected))
 	code := http.StatusOK
 	if resp.Accepted == 0 {
 		code = http.StatusTooManyRequests
@@ -311,20 +377,29 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 // newMux wires the handlers; split from main so tests can mount the
-// mux on an httptest server.
-func newMux(eng *engine.Engine[int], fab *fabric.Fabric[int], col *collective.Service[int]) *http.ServeMux {
-	s := &server{eng: eng, fab: fab, col: col}
+// mux on an httptest server. o supplies the /metrics registry and the
+// /debug/traces ring; /send and /collective run under the tracing
+// middleware.
+func newMux(eng *engine.Engine[int], fab *fabric.Fabric[int], col *collective.Service[int], o *obsState) *http.ServeMux {
+	s := &server{eng: eng, fab: fab, col: col, obs: o}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /route", s.handleRoute)
-	mux.HandleFunc("POST /send", s.handleSend)
-	mux.HandleFunc("POST /collective", s.handleCollective)
+	mux.HandleFunc("POST /send", s.traced("/send", s.handleSend))
+	mux.HandleFunc("POST /collective", s.traced("/collective", s.handleCollective))
 	mux.HandleFunc("GET /collective/stats", s.handleCollectiveStats)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /fabric/stats", s.handleFabricStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.Handle("GET /metrics", o.reg.Handler())
+	mux.Handle("GET /debug/traces", o.ring.Handler())
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -333,8 +408,8 @@ func newMux(eng *engine.Engine[int], fab *fabric.Fabric[int], col *collective.Se
 // shutdownTimeout, close the fabric (which delivers everything already
 // accepted) and finally the engine. Split from main so tests can drive
 // the full lifecycle without signals.
-func serve(ctx context.Context, ln net.Listener, eng *engine.Engine[int], fab *fabric.Fabric[int], col *collective.Service[int], shutdownTimeout time.Duration) error {
-	srv := &http.Server{Handler: newMux(eng, fab, col)}
+func serve(ctx context.Context, ln net.Listener, eng *engine.Engine[int], fab *fabric.Fabric[int], col *collective.Service[int], o *obsState, shutdownTimeout time.Duration) error {
+	srv := &http.Server{Handler: newMux(eng, fab, col, o)}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -364,6 +439,8 @@ func main() {
 		voq     = flag.Int("voq-depth", fabric.DefaultVOQDepth, "per-(input,output) virtual output queue bound")
 		block   = flag.Bool("block", false, "block /send on full queues instead of tail-dropping")
 		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+		tring   = flag.Int("trace-ring", 64, "recent request traces kept for /debug/traces")
+		tslow   = flag.Duration("trace-slow", 0, "keep only traces at least this slow (0 keeps all)")
 	)
 	flag.Parse()
 
@@ -380,16 +457,18 @@ func main() {
 	if *block {
 		policy = fabric.Block
 	}
+	ring := obs.NewTraceRing(*tring, *tslow)
 	fab, err := fabric.New[int](fabric.Config{
 		LogN:     *n,
 		Planes:   *planes,
 		VOQDepth: *voq,
 		Policy:   policy,
-	}, nil)
+	}, newTracedDeliver(ring))
 	if err != nil {
 		log.Fatal(err)
 	}
 	col := collective.New[int](fab, collective.Options{})
+	o := newObsState(eng, fab, col, ring)
 	expvar.Publish("engine", expvar.Func(func() any { return eng.Stats() }))
 	expvar.Publish("fabric", fab.Var())
 	expvar.Publish("collective", col.Var())
@@ -402,7 +481,7 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("benesd: serving B(%d) (N=%d, %d planes) on %s", *n, eng.Network().N(), fab.Planes(), *addr)
-	if err := serve(ctx, ln, eng, fab, col, *drain); err != nil {
+	if err := serve(ctx, ln, eng, fab, col, o, *drain); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("benesd: drained and stopped")

@@ -9,36 +9,48 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/collective"
 	"repro/internal/engine"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/perm"
 )
 
 func newTestServer(t *testing.T) (*httptest.Server, *engine.Engine[int]) {
-	return newTestServerOpts(t, collective.Options{})
+	srv, eng, _ := newTestServerFull(t, collective.Options{})
+	return srv, eng
 }
 
 func newTestServerOpts(t *testing.T, colOpts collective.Options) (*httptest.Server, *engine.Engine[int]) {
+	srv, eng, _ := newTestServerFull(t, colOpts)
+	return srv, eng
+}
+
+func newTestServerFull(t *testing.T, colOpts collective.Options) (*httptest.Server, *engine.Engine[int], *obsState) {
 	t.Helper()
 	eng, err := engine.New[int](engine.Config{LogN: 4}) // N = 16
 	if err != nil {
 		t.Fatal(err)
 	}
-	fab, err := fabric.New[int](fabric.Config{LogN: 4, Planes: 2, VOQDepth: 2}, nil)
+	ring := obs.NewTraceRing(16, 0) // keep every trace: tests inspect them
+	fab, err := fabric.New[int](fabric.Config{LogN: 4, Planes: 2, VOQDepth: 2}, newTracedDeliver(ring))
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newMux(eng, fab, collective.New[int](fab, colOpts)))
+	col := collective.New[int](fab, colOpts)
+	o := newObsState(eng, fab, col, ring)
+	srv := httptest.NewServer(newMux(eng, fab, col, o))
 	t.Cleanup(func() {
 		srv.Close()
 		fab.Close()
 		eng.Close()
 	})
-	return srv, eng
+	return srv, eng, o
 }
 
 func postRoute(t *testing.T, url string, body any) (*http.Response, routeResponse) {
@@ -477,10 +489,12 @@ func TestGracefulShutdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	col := collective.New[int](fab, collective.Options{})
+	o := newObsState(eng, fab, col, obs.NewTraceRing(4, 0))
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		done <- serve(ctx, ln, eng, fab, collective.New[int](fab, collective.Options{}), 5*time.Second)
+		done <- serve(ctx, ln, eng, fab, col, o, 5*time.Second)
 	}()
 
 	url := "http://" + ln.Addr().String()
@@ -518,5 +532,213 @@ func TestGracefulShutdown(t *testing.T) {
 	// dropped.
 	if s := fab.Stats(); s.Delivered != 1 || s.Lost != 0 {
 		t.Fatalf("accepted packet must survive the drain: %+v", s)
+	}
+}
+
+// scrapeMetrics fetches /metrics and returns the response plus its
+// lines, failing the test on transport errors.
+func scrapeMetrics(t *testing.T, url string) (*http.Response, []string) {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return resp, lines
+}
+
+// TestMetricsEndpoint drives traffic through all three layers and
+// smoke-scrapes /metrics: the exposition must carry the Prometheus
+// content type, parse line by line, and include a populated histogram
+// for every pipeline stage the traffic exercised.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	// Engine traffic.
+	postRoute(t, srv.URL, routeRequest{Dest: perm.BitReversal(4)})
+	// Fabric traffic, delivered before we scrape.
+	if _, sr := postSend(t, srv.URL, map[string]any{"src": 2, "dst": 11}); sr.Accepted != 1 {
+		t.Fatal("send not accepted")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/fabric/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fs fabric.Snapshot
+		if err := json.NewDecoder(resp.Body).Decode(&fs); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if fs.Delivered == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("packet not delivered: %+v", fs)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Collective traffic.
+	data := make([][]int, 16)
+	for p := range data {
+		data[p] = make([]int, 16)
+	}
+	if resp, _ := postCollective(t, srv.URL, collectiveRequest{Op: "alltoall", Data: data}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("collective status %d", resp.StatusCode)
+	}
+
+	resp, lines := scrapeMetrics(t, srv.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("content type %q, want %q", ct, obs.ContentType)
+	}
+
+	// Every line must be a comment or a sample "name[{labels}] value".
+	counts := map[string]float64{}
+	for _, ln := range lines {
+		if ln == "" || strings.HasPrefix(ln, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(ln, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable sample line %q", ln)
+		}
+		v, err := strconv.ParseFloat(ln[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", ln, err)
+		}
+		series := ln[:sp]
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("unbalanced labels in %q", ln)
+			}
+			// counts aggregates by metric name across label sets.
+			series = series[:i]
+		}
+		counts[series] += v
+	}
+
+	// One histogram per pipeline stage, each populated by the traffic
+	// above (fault-check only exists; no fault was injected).
+	populated := []string{
+		"benes_engine_wait_seconds", "benes_engine_plan_seconds", "benes_engine_apply_seconds",
+		"benes_fabric_voq_wait_seconds", "benes_fabric_match_seconds",
+		"benes_fabric_plane_seconds", "benes_fabric_verify_seconds",
+		"benes_collective_round_seconds", "benes_collective_op_seconds",
+	}
+	for _, h := range populated {
+		if counts[h+"_count"] < 1 {
+			t.Errorf("histogram %s not populated: count %v", h, counts[h+"_count"])
+		}
+		if counts[h+"_bucket"] < 1 {
+			t.Errorf("histogram %s has no bucket samples", h)
+		}
+	}
+	if _, ok := counts["benes_fabric_faultcheck_seconds_count"]; !ok {
+		t.Error("fault-check histogram missing from exposition")
+	}
+	if got := counts["benes_fabric_delivered_total"]; got != 1 {
+		t.Errorf("benes_fabric_delivered_total = %v, want 1", got)
+	}
+	if got := counts["benes_collective_completed_total"]; got != 1 {
+		t.Errorf("benes_collective_completed_total = %v, want 1", got)
+	}
+	if got := counts["benes_fabric_healthy_planes"]; got != 2 {
+		t.Errorf("benes_fabric_healthy_planes = %v, want 2", got)
+	}
+}
+
+// getTraces fetches and decodes /debug/traces.
+func getTraces(t *testing.T, url string) obs.RingSnapshot {
+	t.Helper()
+	resp, err := http.Get(url + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rs obs.RingSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&rs); err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+// spanStages tallies a trace's spans by stage name.
+func spanStages(tr obs.TraceSnapshot) map[string]int {
+	m := map[string]int{}
+	for _, sp := range tr.Spans {
+		m[sp.Stage]++
+	}
+	return m
+}
+
+// TestTracesEndpoint reconstructs requests stage by stage from
+// /debug/traces: a /collective request must surface with one span per
+// round plus the end-to-end span, and a /send request with VOQ-wait
+// and plane-transit spans once its packet is delivered.
+func TestTracesEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	const n = 16
+	data := make([][]int, n)
+	for p := range data {
+		data[p] = make([]int, n)
+	}
+	if resp, _ := postCollective(t, srv.URL, collectiveRequest{Op: "alltoall", Data: data}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("collective status %d", resp.StatusCode)
+	}
+	if _, sr := postSend(t, srv.URL, map[string]any{"src": 7, "dst": 2}); sr.Accepted != 1 {
+		t.Fatal("send not accepted")
+	}
+
+	// Both traces land asynchronously: the collective's when the
+	// middleware drops the last reference, the send's when the fabric
+	// delivers the packet. Poll until both are visible.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rs := getTraces(t, srv.URL)
+		var col, send *obs.TraceSnapshot
+		for i := range rs.Traces {
+			switch rs.Traces[i].Name {
+			case "/collective":
+				col = &rs.Traces[i]
+			case "/send":
+				send = &rs.Traces[i]
+			}
+		}
+		if col != nil && send != nil {
+			st := spanStages(*col)
+			if st["round"] != n {
+				t.Fatalf("/collective trace has %d round spans, want %d: %+v", st["round"], n, col.Spans)
+			}
+			if st["collective_alltoall"] != 1 {
+				t.Fatalf("/collective trace missing end-to-end span: %+v", col.Spans)
+			}
+			if col.DurNs <= 0 {
+				t.Fatal("/collective trace has no pinned duration")
+			}
+			st = spanStages(*send)
+			for _, stage := range []string{"admit", "voq_wait", "plane_transit"} {
+				if st[stage] != 1 {
+					t.Fatalf("/send trace missing %q span: %+v", stage, send.Spans)
+				}
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("traces not observed in time: %+v", rs)
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 }

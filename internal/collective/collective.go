@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/perm"
 )
 
@@ -106,6 +107,13 @@ type Service[T any] struct {
 
 	perOp       [numOps]atomic.Int64
 	planeRounds []atomic.Int64
+
+	// roundHist is the per-round service time (route + move
+	// application); pipelined batches contribute their amortized
+	// per-round time, the same sample the admission EWMA consumes.
+	// opHist is the end-to-end collective latency, submit to settle.
+	roundHist obs.Histogram
+	opHist    obs.Histogram
 
 	// ewmaRoundNs is the exponentially weighted moving average of
 	// per-round service time, feeding deadline admission.
@@ -350,6 +358,11 @@ type Stats struct {
 	ChunksMoved    int64 `json:"chunks_moved"`
 	BytesMoved     int64 `json:"bytes_moved"`
 
+	// Round is the per-round service-time histogram; EndToEnd the
+	// submit-to-settle latency of whole collectives.
+	Round    obs.HistogramSnapshot `json:"round"`
+	EndToEnd obs.HistogramSnapshot `json:"end_to_end"`
+
 	// SelfRouteRatio is SelfRouted / Rounds: 1.0 means no round paid
 	// looping setup.
 	SelfRouteRatio float64 `json:"self_route_ratio"`
@@ -377,6 +390,8 @@ func (s *Service[T]) Stats() Stats {
 		Fallbacks:        s.fallbacks.Load(),
 		RoundCacheHits:   s.cacheHits.Load(),
 		ChunksMoved:      s.chunksMoved.Load(),
+		Round:            s.roundHist.Snapshot(),
+		EndToEnd:         s.opHist.Snapshot(),
 		EstRoundNs:       s.ewmaRoundNs.Load(),
 		PlaneRounds:      make([]int64, len(s.planeRounds)),
 		PerOp:            make(map[string]int64, numOps),
@@ -399,4 +414,32 @@ func (s *Service[T]) Stats() Stats {
 // Var adapts the service to an expvar.Var for /debug/vars publishing.
 func (s *Service[T]) Var() expvar.Var {
 	return expvar.Func(func() any { return s.Stats() })
+}
+
+// Register exports the service's counters and latency histograms into
+// reg under the benes_collective_* names. Like the engine and fabric
+// registrations, every value is read at scrape time from the counters
+// the executors already maintain.
+func (s *Service[T]) Register(reg *obs.Registry) {
+	reg.CounterFunc("benes_collective_submitted_total", "Collectives admitted.", nil, s.submitted.Load)
+	reg.CounterFunc("benes_collective_completed_total", "Collectives finished successfully.", nil, s.completed.Load)
+	reg.CounterFunc("benes_collective_failed_total", "Collectives settled with a routing error.", nil, s.failed.Load)
+	reg.CounterFunc("benes_collective_cancelled_total", "Collectives aborted by context cancellation.", nil, s.cancelled.Load)
+	reg.CounterFunc("benes_collective_deadline_rejected_total", "Collectives rejected at admission: schedule cannot meet the deadline.", nil, s.deadlineRejected.Load)
+	reg.CounterFunc("benes_collective_rounds_total", "Whole-permutation rounds executed.", nil, s.rounds.Load)
+	reg.CounterFunc("benes_collective_self_routed_rounds_total", "Rounds served without looping setup.", nil, s.selfRouted.Load)
+	reg.CounterFunc("benes_collective_fallback_rounds_total", "Rounds that fell back to the looping algorithm.", nil, s.fallbacks.Load)
+	reg.CounterFunc("benes_collective_round_cache_hits_total", "Rounds whose plan was already resolved on arrival.", nil, s.cacheHits.Load)
+	reg.CounterFunc("benes_collective_chunks_moved_total", "Payload chunks moved by completed rounds.", nil, s.chunksMoved.Load)
+	reg.GaugeFunc("benes_collective_active", "Collectives currently in flight.", nil,
+		func() float64 { return float64(s.active.Load()) })
+	reg.GaugeFunc("benes_collective_est_round_seconds", "Admission controller's per-round service-time estimate.", nil,
+		func() float64 { return float64(s.ewmaRoundNs.Load()) / 1e9 })
+	for op := 0; op < numOps; op++ {
+		op := op
+		reg.CounterFunc("benes_collective_ops_total", "Collectives submitted, by operation.",
+			obs.Labels{{"op", Op(op).String()}}, s.perOp[op].Load)
+	}
+	reg.RegisterHistogram("benes_collective_round_seconds", "Per-round service time (route plus move application).", nil, &s.roundHist)
+	reg.RegisterHistogram("benes_collective_op_seconds", "End-to-end collective latency, submit to settle.", nil, &s.opHist)
 }

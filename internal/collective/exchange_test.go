@@ -1,0 +1,165 @@
+package collective
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomEdges draws a random bipartite transfer set on n senders and n
+// receivers with at most one edge per (src, dst) pair — the multigraph
+// CompileExchange hands to the coloring (parallel chunks from one port
+// to one destination are rejected upstream because received slots are
+// keyed by source). Returns the edges and the maximum degree.
+func randomEdges(rng *rand.Rand, n, tries int) ([]edge, int) {
+	var edges []edge
+	outdeg := make([]int, n)
+	indeg := make([]int, n)
+	seen := map[[2]int]bool{}
+	for i := 0; i < tries; i++ {
+		s, d := rng.Intn(n), rng.Intn(n)
+		if seen[[2]int{s, d}] {
+			continue
+		}
+		seen[[2]int{s, d}] = true
+		edges = append(edges, edge{src: s, dst: d, chunk: outdeg[s], color: -1})
+		outdeg[s]++
+		indeg[d]++
+	}
+	maxDeg := 0
+	for p := 0; p < n; p++ {
+		if outdeg[p] > maxDeg {
+			maxDeg = outdeg[p]
+		}
+		if indeg[p] > maxDeg {
+			maxDeg = indeg[p]
+		}
+	}
+	return edges, maxDeg
+}
+
+// checkColoring asserts the König invariants on a colored edge set:
+// every edge carries exactly one color in [0, maxDeg), and no two
+// edges sharing a sender or a receiver share a color — i.e. every
+// color class is a matching and the classes partition the edges.
+func checkColoring(t *testing.T, edges []edge, n, maxDeg int) {
+	t.Helper()
+	bySrc := make([]map[int]bool, n)
+	byDst := make([]map[int]bool, n)
+	for p := 0; p < n; p++ {
+		bySrc[p] = map[int]bool{}
+		byDst[p] = map[int]bool{}
+	}
+	colored := 0
+	for i, e := range edges {
+		if e.color < 0 || e.color >= maxDeg {
+			t.Fatalf("edge %d (%d->%d) colored %d, want [0,%d)", i, e.src, e.dst, e.color, maxDeg)
+		}
+		if bySrc[e.src][e.color] {
+			t.Fatalf("sender %d has two edges colored %d", e.src, e.color)
+		}
+		if byDst[e.dst][e.color] {
+			t.Fatalf("receiver %d has two edges colored %d", e.dst, e.color)
+		}
+		bySrc[e.src][e.color] = true
+		byDst[e.dst][e.color] = true
+		colored++
+	}
+	if colored != len(edges) {
+		t.Fatalf("%d of %d edges colored", colored, len(edges))
+	}
+}
+
+// TestKonigColoringProperty is the property test for the constructive
+// König edge coloring: over random bipartite transfer sets of varied
+// size and density, the alternating-path recoloring must always
+// decompose the edges into at most max-degree matchings with every
+// edge covered exactly once.
+func TestKonigColoringProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(63)            // 2..64 ports
+		tries := rng.Intn(3*n*n/2+1) + 1 // sparse through denser-than-complete
+		edges, maxDeg := randomEdges(rng, n, tries)
+		if maxDeg == 0 {
+			continue
+		}
+		colorEdges(edges, n, maxDeg)
+		checkColoring(t, edges, n, maxDeg)
+	}
+}
+
+// TestKonigColoringRegular colors the complete bipartite graph K(n,n):
+// the graph is n-regular, so König forces exactly n colors and every
+// color class must be a perfect matching.
+func TestKonigColoringRegular(t *testing.T) {
+	const n = 16
+	var edges []edge
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			edges = append(edges, edge{src: s, dst: d, chunk: d, color: -1})
+		}
+	}
+	colorEdges(edges, n, n)
+	checkColoring(t, edges, n, n)
+	perColor := make([]int, n)
+	for _, e := range edges {
+		perColor[e.color]++
+	}
+	for c, size := range perColor {
+		if size != n {
+			t.Fatalf("color %d covers %d edges, want a perfect matching of %d", c, size, n)
+		}
+	}
+}
+
+// TestExchangeRoundsCoverEdges checks the compiled view of the same
+// invariant: every non-Keep transfer of a random exchange spec appears
+// as a move in exactly one of the at-most-max-degree rounds, and each
+// round's permutation actually routes each of its moves.
+func TestExchangeRoundsCoverEdges(t *testing.T) {
+	const logN, n = 4, 16
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		dests := make([][]int, n)
+		want := map[[3]int]int{} // (src, chunk, dst) -> times seen in rounds
+		for p := range dests {
+			k := rng.Intn(n)
+			seen := map[int]bool{}
+			for c := 0; c < k; c++ {
+				d := rng.Intn(n)
+				if seen[d] {
+					d = Keep
+				} else {
+					seen[d] = true
+					want[[3]int{p, c, d}] = 0
+				}
+				dests[p] = append(dests[p], d)
+			}
+		}
+		prog, err := CompileExchange(logN, dests)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for ri, r := range prog.Rounds {
+			for _, m := range r.Moves {
+				key := [3]int{m.SrcPort, m.SrcChunk, m.DstPort}
+				if _, ok := want[key]; !ok {
+					t.Fatalf("trial %d round %d: move %+v not in the spec", trial, ri, m)
+				}
+				want[key]++
+				if r.Dest[m.SrcPort] != m.DstPort {
+					t.Fatalf("trial %d round %d: permutation sends %d to %d, move wants %d",
+						trial, ri, m.SrcPort, r.Dest[m.SrcPort], m.DstPort)
+				}
+				if m.DstChunk != m.SrcPort {
+					t.Fatalf("trial %d round %d: received slot %d, want source-keyed %d", trial, ri, m.DstChunk, m.SrcPort)
+				}
+			}
+		}
+		for key, count := range want {
+			if count != 1 {
+				t.Fatalf("trial %d: transfer %v served %d times, want exactly once", trial, key, count)
+			}
+		}
+	}
+}

@@ -3,12 +3,14 @@ package collective
 import (
 	"context"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/perm"
 )
 
@@ -27,6 +29,11 @@ type Handle[T any] struct {
 	svc  *Service[T]
 	prog *Program
 	ctx  context.Context
+
+	// tr is the request trace carried by the submission context (nil
+	// when untraced); begin anchors the end-to-end latency sample.
+	tr    *obs.Trace
+	begin time.Time
 
 	// in aliases the caller's payload (MPI-style ownership: the
 	// caller must not modify the buffers until the handle is done).
@@ -67,6 +74,8 @@ func newHandle[T any](svc *Service[T], prog *Program, ctx context.Context, data 
 		svc:   svc,
 		prog:  prog,
 		ctx:   ctx,
+		tr:    obs.FromContext(ctx),
+		begin: time.Now(),
 		in:    data,
 		state: make([][]T, prog.N),
 		done:  make(chan struct{}),
@@ -129,6 +138,9 @@ func (h *Handle[T]) run() {
 		h.runParallel()
 	}
 	s := h.svc
+	s.opHist.ObserveSince(h.begin)
+	h.tr.Span("collective_"+h.prog.Op.String(), h.begin,
+		strconv.Itoa(len(h.prog.Rounds))+" rounds")
 	s.active.Add(-1)
 	switch {
 	case h.err == nil:
@@ -191,8 +203,10 @@ func (h *Handle[T]) flush(t *roundTally) {
 
 // serveRound routes one round on the preferred plane and applies its
 // moves into state from the pre-read snapshot vals (serial programs
-// permute state in place, so reads must precede writes).
-func (h *Handle[T]) serveRound(r *Round, prefer int, vals []T, t *roundTally) error {
+// permute state in place, so reads must precede writes). idx is the
+// round's position in the schedule, for the trace span.
+func (h *Handle[T]) serveRound(r *Round, idx, prefer int, vals []T, t *roundTally) error {
+	start := time.Now()
 	res, err := h.svc.fab.RouteRound(r.Dest, prefer)
 	if err != nil {
 		return err
@@ -200,6 +214,8 @@ func (h *Handle[T]) serveRound(r *Round, prefer int, vals []T, t *roundTally) er
 	for j, m := range r.Moves {
 		h.state[m.DstPort][m.DstChunk] = vals[j]
 	}
+	h.svc.roundHist.ObserveSince(start)
+	h.tr.Span("round", start, "round "+strconv.Itoa(idx)+" plane "+strconv.Itoa(res.Plane))
 	h.completed.Add(1)
 	t.add(res, len(r.Moves))
 	return nil
@@ -233,9 +249,36 @@ func (h *Handle[T]) runParallel() {
 			defer wg.Done()
 			t := newRoundTally(len(h.svc.planeRounds))
 			defer h.flush(t)
-			mine := make([]*Round, 0, (len(rounds)+workers-1)/workers)
+			mine := make([]int, 0, (len(rounds)+workers-1)/workers)
 			for idx := w; idx < len(rounds); idx += workers {
-				mine = append(mine, &rounds[idx])
+				mine = append(mine, idx)
+			}
+			if h.tr != nil {
+				// Traced requests forgo batching so every round gets a
+				// real start/duration span instead of an amortized share
+				// of a pipelined batch — the point of a trace is seeing
+				// where the time went, round by round.
+				for _, idx := range mine {
+					if abort.Load() {
+						return
+					}
+					if err := h.ctx.Err(); err != nil {
+						h.fail(err)
+						abort.Store(true)
+						return
+					}
+					r := &rounds[idx]
+					vals := make([]T, len(r.Moves))
+					for j, m := range r.Moves {
+						vals[j] = h.in[m.SrcPort][m.SrcChunk]
+					}
+					if err := h.serveRound(r, idx, w, vals, t); err != nil {
+						h.fail(err)
+						abort.Store(true)
+						return
+					}
+				}
+				return
 			}
 			dests := make([]perm.Perm, 0, batchRounds)
 			for base := 0; base < len(mine); base += batchRounds {
@@ -252,19 +295,26 @@ func (h *Handle[T]) runParallel() {
 					end = len(mine)
 				}
 				dests = dests[:0]
-				for _, r := range mine[base:end] {
-					dests = append(dests, r.Dest)
+				for _, idx := range mine[base:end] {
+					dests = append(dests, rounds[idx].Dest)
 				}
+				batchStart := time.Now()
 				results, err := h.svc.fab.RouteRounds(dests, w)
 				if err != nil {
 					h.fail(err)
 					abort.Store(true)
 					return
 				}
-				for i, r := range mine[base:end] {
+				// Each pipelined round contributes its amortized share of
+				// the batch's wall time — the same per-round service time
+				// the admission EWMA consumes.
+				perRound := time.Since(batchStart) / time.Duration(end-base)
+				for i, idx := range mine[base:end] {
+					r := &rounds[idx]
 					for _, m := range r.Moves {
 						h.state[m.DstPort][m.DstChunk] = h.in[m.SrcPort][m.SrcChunk]
 					}
+					h.svc.roundHist.Observe(perRound)
 					h.completed.Add(1)
 					t.add(results[i], len(r.Moves))
 				}
@@ -303,7 +353,7 @@ func (h *Handle[T]) runSerial() {
 		for j, m := range r.Moves {
 			vals[j] = h.state[m.SrcPort][m.SrcChunk]
 		}
-		err := h.serveRound(r, idx%k, vals, t)
+		err := h.serveRound(r, idx, idx%k, vals, t)
 		if warmed != nil {
 			<-warmed
 		}

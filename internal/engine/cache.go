@@ -3,9 +3,9 @@ package engine
 import (
 	"container/list"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/perm"
 )
 
@@ -65,8 +65,8 @@ func hashPerm(p perm.Perm) uint64 {
 type planCache struct {
 	shards     []cacheShard
 	mask       uint64
-	evictions  *atomic.Int64
-	collisions *atomic.Int64
+	evictions  *obs.Counter
+	collisions *obs.Counter
 }
 
 type cacheShard struct {
@@ -81,7 +81,7 @@ type cacheShard struct {
 // least one plan). evictions is incremented once per displaced plan;
 // collisions once per lookup whose 64-bit key matched a cached plan for
 // a different permutation.
-func newPlanCache(capacity, shards int, evictions, collisions *atomic.Int64) *planCache {
+func newPlanCache(capacity, shards int, evictions, collisions *obs.Counter) *planCache {
 	if capacity < 1 {
 		capacity = 1
 	}

@@ -4,9 +4,9 @@ import (
 	"encoding/json"
 	"math/rand"
 	"sync"
-	"sync/atomic"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/perm"
 )
 
@@ -17,7 +17,7 @@ func mkPlan(d perm.Perm) *Plan {
 // TestCacheEvictionLRU fills a single-shard cache past capacity and
 // checks that exactly the least recently used plans are displaced.
 func TestCacheEvictionLRU(t *testing.T) {
-	var ev, col atomic.Int64
+	var ev, col obs.Counter
 	c := newPlanCache(4, 1, &ev, &col)
 	perms := make([]perm.Perm, 6)
 	for i := range perms {
@@ -38,7 +38,7 @@ func TestCacheEvictionLRU(t *testing.T) {
 	}
 	c.put(mkPlan(perms[4]))
 	c.put(mkPlan(perms[5]))
-	if got := ev.Load(); got != 2 {
+	if got := ev.Value(); got != 2 {
 		t.Fatalf("want 2 evictions, got %d", got)
 	}
 	if c.len() != 4 {
@@ -56,7 +56,7 @@ func TestCacheEvictionLRU(t *testing.T) {
 // key matches but whose permutation differs must read as a miss, and a
 // put under the same key must replace, not corrupt.
 func TestCacheCollision(t *testing.T) {
-	var ev, col atomic.Int64
+	var ev, col obs.Counter
 	c := newPlanCache(8, 1, &ev, &col)
 	d1 := perm.Identity(8)
 	d2 := perm.BitReversal(3)
@@ -65,8 +65,8 @@ func TestCacheCollision(t *testing.T) {
 	if c.get(key, d2) != nil {
 		t.Fatal("colliding key with different permutation must miss")
 	}
-	if col.Load() != 1 {
-		t.Fatalf("collision miss must be counted, got %d", col.Load())
+	if col.Value() != 1 {
+		t.Fatalf("collision miss must be counted, got %d", col.Value())
 	}
 	// Overwriting under the same key keeps exactly one entry.
 	c.put(&Plan{Kind: PlanLooped, Dest: d2, key: key})
@@ -79,8 +79,8 @@ func TestCacheCollision(t *testing.T) {
 	if c.get(key, d1) != nil {
 		t.Fatal("displaced colliding plan must miss")
 	}
-	if col.Load() != 2 {
-		t.Fatalf("both collision misses must be counted, got %d", col.Load())
+	if col.Value() != 2 {
+		t.Fatalf("both collision misses must be counted, got %d", col.Value())
 	}
 }
 
@@ -127,7 +127,7 @@ func TestEvictionsSurfacedUnderChurn(t *testing.T) {
 // TestCacheSharding checks shard rounding and that capacity is spread
 // across shards.
 func TestCacheSharding(t *testing.T) {
-	var ev, col atomic.Int64
+	var ev, col obs.Counter
 	c := newPlanCache(16, 3, &ev, &col) // shards round up to 4
 	if len(c.shards) != 4 {
 		t.Fatalf("3 shards should round to 4, got %d", len(c.shards))
@@ -145,7 +145,7 @@ func TestCacheSharding(t *testing.T) {
 // TestCacheConcurrent hammers get/put from many goroutines; run under
 // -race it checks the locking discipline.
 func TestCacheConcurrent(t *testing.T) {
-	var ev, col atomic.Int64
+	var ev, col obs.Counter
 	c := newPlanCache(32, 8, &ev, &col)
 	rng := rand.New(rand.NewSource(3))
 	pool := make([]perm.Perm, 64)

@@ -2,125 +2,36 @@ package engine
 
 import (
 	"expvar"
-	"math/bits"
-	"sync/atomic"
-	"time"
+
+	"repro/internal/obs"
 )
 
-// histBuckets is the number of power-of-two latency buckets. Bucket i
-// counts observations with bits.Len64(ns) == i, i.e. durations in
-// [2^(i-1), 2^i) nanoseconds; the last bucket absorbs everything longer
-// (> ~9 minutes).
-const histBuckets = 40
+// Histogram is the shared lock-free latency histogram of internal/obs.
+// The alias keeps the engine's exported metrics API stable now that
+// every layer records into one observability package.
+type Histogram = obs.Histogram
 
-// Histogram is a fixed-allocation, lock-free latency histogram with
-// power-of-two nanosecond buckets. The zero value is ready to use and
-// all methods are safe for concurrent use.
-type Histogram struct {
-	count   atomic.Int64
-	sumNs   atomic.Int64
-	buckets [histBuckets]atomic.Int64
-}
+// HistogramSnapshot is the point-in-time view of a Histogram.
+type HistogramSnapshot = obs.HistogramSnapshot
 
-// Observe records one duration.
-func (h *Histogram) Observe(d time.Duration) {
-	ns := d.Nanoseconds()
-	if ns < 0 {
-		ns = 0
-	}
-	idx := bits.Len64(uint64(ns))
-	if idx >= histBuckets {
-		idx = histBuckets - 1
-	}
-	h.count.Add(1)
-	h.sumNs.Add(ns)
-	h.buckets[idx].Add(1)
-}
-
-// BucketCount is one non-empty histogram bucket: Count observations at
-// or below UpToNs nanoseconds (and above the previous bucket's bound).
-type BucketCount struct {
-	UpToNs int64 `json:"up_to_ns"`
-	Count  int64 `json:"count"`
-}
-
-// HistogramSnapshot is a point-in-time, JSON-friendly view of a
-// Histogram. Quantiles are upper bounds of the containing bucket, so
-// they are conservative to within a factor of two.
-type HistogramSnapshot struct {
-	Count   int64         `json:"count"`
-	MeanNs  int64         `json:"mean_ns"`
-	P50Ns   int64         `json:"p50_ns"`
-	P90Ns   int64         `json:"p90_ns"`
-	P99Ns   int64         `json:"p99_ns"`
-	Buckets []BucketCount `json:"buckets,omitempty"`
-}
-
-// Snapshot captures the histogram's current state. Concurrent Observe
-// calls may straddle the capture; each bucket is read atomically.
-func (h *Histogram) Snapshot() HistogramSnapshot {
-	var counts [histBuckets]int64
-	total := int64(0)
-	for i := range h.buckets {
-		counts[i] = h.buckets[i].Load()
-		total += counts[i]
-	}
-	s := HistogramSnapshot{Count: total}
-	if total == 0 {
-		return s
-	}
-	s.MeanNs = h.sumNs.Load() / total
-	s.P50Ns = quantile(&counts, total, 0.50)
-	s.P90Ns = quantile(&counts, total, 0.90)
-	s.P99Ns = quantile(&counts, total, 0.99)
-	for i, c := range counts {
-		if c > 0 {
-			s.Buckets = append(s.Buckets, BucketCount{UpToNs: bucketUpper(i), Count: c})
-		}
-	}
-	return s
-}
-
-// bucketUpper returns the exclusive upper bound (in ns) of bucket i.
-func bucketUpper(i int) int64 {
-	if i == 0 {
-		return 0 // bucket 0 holds only zero-duration observations
-	}
-	return 1 << uint(i)
-}
-
-// quantile returns the upper bound of the bucket containing the q-th
-// quantile observation.
-func quantile(counts *[histBuckets]int64, total int64, q float64) int64 {
-	rank := int64(q * float64(total))
-	if rank >= total {
-		rank = total - 1
-	}
-	cum := int64(0)
-	for i, c := range counts {
-		cum += c
-		if cum > rank {
-			return bucketUpper(i)
-		}
-	}
-	return bucketUpper(histBuckets - 1)
-}
+// BucketCount is one non-empty histogram bucket.
+type BucketCount = obs.BucketCount
 
 // Metrics aggregates everything observable about a running engine:
 // plan-cache traffic, per-stage latency, and instantaneous queue depth.
 // All fields are updated atomically; a Metrics value must not be
 // copied.
 type Metrics struct {
-	requests   atomic.Int64 // vectors accepted by Submit
-	batches    atomic.Int64 // worker batches served
-	hits       atomic.Int64 // plan served from cache (or reused within a batch)
-	misses     atomic.Int64 // plan had to be computed
-	fallbacks  atomic.Int64 // misses outside F(n) that ran the looping algorithm
-	errors     atomic.Int64 // requests rejected (bad length, invalid permutation, closed)
-	evictions  atomic.Int64 // plans displaced from the LRU cache
-	collisions atomic.Int64 // lookups whose hash matched a plan for a different permutation
-	prewarms   atomic.Int64 // plans resolved ahead of traffic via Prewarm
-	queueDepth atomic.Int64 // requests submitted but not yet picked up by a worker
+	requests   obs.Counter // vectors accepted by Submit
+	batches    obs.Counter // worker batches served
+	hits       obs.Counter // plan served from cache (or reused within a batch)
+	misses     obs.Counter // plan had to be computed
+	fallbacks  obs.Counter // misses outside F(n) that ran the looping algorithm
+	errors     obs.Counter // requests rejected (bad length, invalid permutation, closed)
+	evictions  obs.Counter // plans displaced from the LRU cache
+	collisions obs.Counter // lookups whose hash matched a plan for a different permutation
+	prewarms   obs.Counter // plans resolved ahead of traffic via Prewarm
+	queueDepth obs.Gauge   // requests submitted but not yet picked up by a worker
 
 	// Per-stage latency histograms.
 	Wait  Histogram // submit -> worker pickup
@@ -129,26 +40,26 @@ type Metrics struct {
 }
 
 // Hits returns the number of requests whose plan came from the cache.
-func (m *Metrics) Hits() int64 { return m.hits.Load() }
+func (m *Metrics) Hits() int64 { return m.hits.Value() }
 
 // Misses returns the number of requests that computed a fresh plan.
-func (m *Metrics) Misses() int64 { return m.misses.Load() }
+func (m *Metrics) Misses() int64 { return m.misses.Value() }
 
 // Fallbacks returns the number of misses that needed the looping
 // algorithm because the permutation is outside F(n).
-func (m *Metrics) Fallbacks() int64 { return m.fallbacks.Load() }
+func (m *Metrics) Fallbacks() int64 { return m.fallbacks.Value() }
 
 // Evictions returns the number of plans displaced from the cache.
-func (m *Metrics) Evictions() int64 { return m.evictions.Load() }
+func (m *Metrics) Evictions() int64 { return m.evictions.Value() }
 
 // CollisionMisses returns the number of cache lookups that found a plan
 // under the same 64-bit key but for a different permutation — misses
 // forced by hash collisions rather than genuine absence.
-func (m *Metrics) CollisionMisses() int64 { return m.collisions.Load() }
+func (m *Metrics) CollisionMisses() int64 { return m.collisions.Value() }
 
 // Prewarms returns the number of plans resolved ahead of traffic via
 // Engine.Prewarm.
-func (m *Metrics) Prewarms() int64 { return m.prewarms.Load() }
+func (m *Metrics) Prewarms() int64 { return m.prewarms.Value() }
 
 // QueueDepth returns the number of requests currently waiting for a
 // worker.
@@ -179,15 +90,15 @@ type Snapshot struct {
 // known to Metrics itself; Engine.Stats fills it in.
 func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
-		Requests:   m.requests.Load(),
-		Batches:    m.batches.Load(),
-		Hits:       m.hits.Load(),
-		Misses:     m.misses.Load(),
-		Fallbacks:  m.fallbacks.Load(),
-		Errors:     m.errors.Load(),
-		Evictions:  m.evictions.Load(),
-		Collisions: m.collisions.Load(),
-		Prewarms:   m.prewarms.Load(),
+		Requests:   m.requests.Value(),
+		Batches:    m.batches.Value(),
+		Hits:       m.hits.Value(),
+		Misses:     m.misses.Value(),
+		Fallbacks:  m.fallbacks.Value(),
+		Errors:     m.errors.Value(),
+		Evictions:  m.evictions.Value(),
+		Collisions: m.collisions.Value(),
+		Prewarms:   m.prewarms.Value(),
 		QueueDepth: m.queueDepth.Load(),
 		Wait:       m.Wait.Snapshot(),
 		Plan:       m.Plan.Snapshot(),
@@ -203,4 +114,28 @@ func (m *Metrics) Snapshot() Snapshot {
 // expvar.Publish them under /debug/vars.
 func (m *Metrics) Var() expvar.Var {
 	return expvar.Func(func() any { return m.Snapshot() })
+}
+
+// Register exports the engine's counters, gauges, and per-stage
+// latency histograms into reg under the benes_engine_* names, with
+// labels distinguishing this engine from its siblings (e.g. one series
+// per fabric plane). Counters and gauges are read live at scrape time
+// from the same atomics the hot path maintains — registration adds no
+// cost to the serving path.
+func (e *Engine[T]) Register(reg *obs.Registry, labels obs.Labels) {
+	m := e.met
+	reg.CounterFunc("benes_engine_requests_total", "Vectors accepted by Submit.", labels, m.requests.Value)
+	reg.CounterFunc("benes_engine_batches_total", "Worker batches served.", labels, m.batches.Value)
+	reg.CounterFunc("benes_engine_plan_cache_hits_total", "Plans served from the cache or reused within a batch.", labels, m.hits.Value)
+	reg.CounterFunc("benes_engine_plan_cache_misses_total", "Plans computed fresh.", labels, m.misses.Value)
+	reg.CounterFunc("benes_engine_loop_fallbacks_total", "Misses outside F(n) that ran the looping algorithm.", labels, m.fallbacks.Value)
+	reg.CounterFunc("benes_engine_errors_total", "Requests rejected (bad length, invalid permutation, closed).", labels, m.errors.Value)
+	reg.CounterFunc("benes_engine_plan_cache_evictions_total", "Plans displaced from the LRU cache.", labels, m.evictions.Value)
+	reg.CounterFunc("benes_engine_plan_cache_collisions_total", "Lookups that collided with a plan for a different permutation.", labels, m.collisions.Value)
+	reg.CounterFunc("benes_engine_prewarms_total", "Plans resolved ahead of traffic via Prewarm.", labels, m.prewarms.Value)
+	reg.GaugeFunc("benes_engine_queue_depth", "Requests waiting for a worker.", labels, func() float64 { return float64(m.queueDepth.Load()) })
+	reg.GaugeFunc("benes_engine_plans_cached", "Plans currently held by the cache.", labels, func() float64 { return float64(e.cache.len()) })
+	reg.RegisterHistogram("benes_engine_wait_seconds", "Queue wait: Submit to worker pickup.", labels, &m.Wait)
+	reg.RegisterHistogram("benes_engine_plan_seconds", "Plan acquisition: cache lookup plus setup on a miss.", labels, &m.Plan)
+	reg.RegisterHistogram("benes_engine_apply_seconds", "Payload application (or gate-level states replay).", labels, &m.Apply)
 }

@@ -29,11 +29,14 @@ package fabric
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/perm"
 )
 
@@ -47,11 +50,15 @@ var (
 )
 
 // Packet is one unit of traffic: deliver Payload from input port Src to
-// output port Dst.
+// output port Dst. Trace, when non-nil, accumulates per-stage spans
+// (VOQ wait, plane transit) as the packet moves through the fabric;
+// the fabric never releases the trace's reference — whoever attached
+// it (e.g. benesd's request middleware) owns its lifecycle.
 type Packet[T any] struct {
 	Src     int
 	Dst     int
 	Payload T
+	Trace   *obs.Trace
 }
 
 // frame is one scheduled unit of switching work: a full permutation
@@ -142,12 +149,13 @@ func New[T any](cfg Config, deliver func(Packet[T])) (*Fabric[T], error) {
 		deliver: deliver,
 		closing: make(chan struct{}),
 	}
+	f.voq.met = &f.met
 	for i := range f.planes {
 		p, err := newPlane(i, engine.Config{
 			LogN:          cfg.LogN,
 			Workers:       cfg.PlaneWorkers,
 			CacheCapacity: cfg.PlaneCache,
-		})
+		}, &f.met)
 		if err != nil {
 			for _, q := range f.planes[:i] {
 				q.close()
@@ -287,6 +295,7 @@ func (f *Fabric[T]) dispatch(home int, fr *frame[T]) {
 	failed := false
 	for attempt := 0; attempt < len(f.planes); attempt++ {
 		p := f.planes[(home+attempt)%len(f.planes)]
+		start := time.Now()
 		if err := p.route(fr.dest, fr.srcs, fr.dsts); err != nil {
 			failed = true
 			continue
@@ -295,6 +304,11 @@ func (f *Fabric[T]) dispatch(home int, fr *frame[T]) {
 			f.met.failovers.Add(1)
 		}
 		f.met.delivered.Add(int64(len(fr.pkts)))
+		transit := time.Since(start)
+		note := "plane " + strconv.Itoa(p.id)
+		for _, pkt := range fr.pkts {
+			pkt.Trace.SpanDur("plane_transit", start, transit, note)
+		}
 		if f.deliver != nil {
 			for _, pkt := range fr.pkts {
 				f.deliver(pkt)
@@ -305,4 +319,7 @@ func (f *Fabric[T]) dispatch(home int, fr *frame[T]) {
 	// Every plane refused the frame: the packets are accepted but
 	// undeliverable. Account for them so the books still balance.
 	f.met.lost.Add(int64(len(fr.pkts)))
+	for _, pkt := range fr.pkts {
+		pkt.Trace.SpanDur("lost", time.Now(), 0, "no healthy plane")
+	}
 }

@@ -2,12 +2,17 @@ package fabric
 
 import (
 	"expvar"
+	"strconv"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
-// metrics aggregates the fabric-level counters. Per-plane counters live
-// on the planes themselves; per-VOQ counters live under the voqSet
-// mutex. Snapshot stitches all three views together.
+// metrics aggregates the fabric-level counters and per-stage latency
+// histograms. Per-plane counters live on the planes themselves; per-VOQ
+// counters live under the voqSet mutex. Snapshot stitches all three
+// views together; Register exports every series — including the
+// per-plane engines — into one obs.Registry.
 type metrics struct {
 	accepted  atomic.Int64 // packets admitted into a VOQ
 	rejected  atomic.Int64 // packets refused by tail drop or close
@@ -18,6 +23,17 @@ type metrics struct {
 
 	rounds         atomic.Int64 // collective rounds served via RouteRound
 	roundFailovers atomic.Int64 // rounds served only after a plane failover
+
+	// Per-stage latency histograms, mapping the paper's delay split
+	// onto the packet path: queueing (VOQWait), scheduling (Match),
+	// transmission (PlaneRTT), and the exactly-once check (Verify).
+	// FaultCheck times the gate-level simulator pass a damaged plane
+	// runs per frame, fed by netsim's timing hook.
+	VOQWait    obs.Histogram // packet enqueue -> extraction into a frame
+	Match      obs.Histogram // one matching extraction (buildFrame)
+	PlaneRTT   obs.Histogram // plane round-trip: engine route of a frame or round
+	Verify     obs.Histogram // output-port verification of a frame or round
+	FaultCheck obs.Histogram // gate-level fault-check simulation per frame
 }
 
 // VOQInputCounters is one input port's ingress accounting.
@@ -35,8 +51,21 @@ type VOQSnapshot struct {
 	PerInput []VOQInputCounters `json:"per_input"`
 }
 
+// StageSnapshot is the per-stage latency view of a fabric snapshot.
+type StageSnapshot struct {
+	VOQWait    obs.HistogramSnapshot `json:"voq_wait"`
+	Match      obs.HistogramSnapshot `json:"match"`
+	PlaneRTT   obs.HistogramSnapshot `json:"plane_rtt"`
+	Verify     obs.HistogramSnapshot `json:"verify"`
+	FaultCheck obs.HistogramSnapshot `json:"fault_check"`
+}
+
 // Snapshot is a point-in-time, JSON-friendly view of a running fabric,
-// in the same expvar style as engine.Snapshot.
+// in the same expvar style as engine.Snapshot. Counters are read
+// atomically but independently: a snapshot taken mid-flight may be a
+// few packets out of phase between fields (e.g. Accepted vs Delivered),
+// which is inherent to lock-free stitching and harmless for
+// monitoring; each individual field is never torn.
 type Snapshot struct {
 	Accepted  int64 `json:"accepted"`
 	Rejected  int64 `json:"rejected"`
@@ -55,12 +84,13 @@ type Snapshot struct {
 	// small values mean the scheduler is padding mostly-idle frames.
 	FrameFill float64 `json:"frame_fill"`
 
+	Stages StageSnapshot   `json:"stages"`
 	Planes []PlaneSnapshot `json:"planes"`
 	VOQ    VOQSnapshot     `json:"voq"`
 }
 
-// Stats captures the full fabric snapshot: fabric counters, per-plane
-// engine snapshots, and per-VOQ counters.
+// Stats captures the full fabric snapshot: fabric counters, per-stage
+// latency, per-plane engine snapshots, and per-VOQ counters.
 func (f *Fabric[T]) Stats() Snapshot {
 	s := Snapshot{
 		Accepted:  f.met.accepted.Load(),
@@ -72,6 +102,14 @@ func (f *Fabric[T]) Stats() Snapshot {
 
 		Rounds:         f.met.rounds.Load(),
 		RoundFailovers: f.met.roundFailovers.Load(),
+
+		Stages: StageSnapshot{
+			VOQWait:    f.met.VOQWait.Snapshot(),
+			Match:      f.met.Match.Snapshot(),
+			PlaneRTT:   f.met.PlaneRTT.Snapshot(),
+			Verify:     f.met.Verify.Snapshot(),
+			FaultCheck: f.met.FaultCheck.Snapshot(),
+		},
 	}
 	if s.Frames > 0 {
 		s.FrameFill = float64(s.Delivered) / float64(s.Frames) / float64(f.n)
@@ -90,4 +128,52 @@ func (f *Fabric[T]) Stats() Snapshot {
 // Var adapts the fabric to an expvar.Var for /debug/vars publishing.
 func (f *Fabric[T]) Var() expvar.Var {
 	return expvar.Func(func() any { return f.Stats() })
+}
+
+// Register exports the fabric into reg: fabric counters, queue and
+// plane-health gauges, the per-stage latency histograms, and — labeled
+// by plane — each plane's counters and its engine's full series.
+// Values are read at scrape time from the same atomics the data path
+// maintains, so registration adds nothing to the packet path.
+func (f *Fabric[T]) Register(reg *obs.Registry) {
+	m := &f.met
+	reg.CounterFunc("benes_fabric_accepted_total", "Packets admitted into a VOQ.", nil, m.accepted.Load)
+	reg.CounterFunc("benes_fabric_rejected_total", "Packets refused by tail drop or close.", nil, m.rejected.Load)
+	reg.CounterFunc("benes_fabric_delivered_total", "Packets verified at their output port.", nil, m.delivered.Load)
+	reg.CounterFunc("benes_fabric_lost_total", "Accepted packets abandoned (no healthy plane at close).", nil, m.lost.Load)
+	reg.CounterFunc("benes_fabric_frames_total", "Frames scheduled.", nil, m.frames.Load)
+	reg.CounterFunc("benes_fabric_failovers_total", "Frames re-dispatched after a plane failure.", nil, m.failovers.Load)
+	reg.CounterFunc("benes_fabric_rounds_total", "Collective rounds served.", nil, m.rounds.Load)
+	reg.CounterFunc("benes_fabric_round_failovers_total", "Rounds served only after a plane failover.", nil, m.roundFailovers.Load)
+	reg.GaugeFunc("benes_fabric_voq_occupied", "Packets currently queued across all VOQs.", nil,
+		func() float64 { return float64(f.voq.occupancy()) })
+	reg.GaugeFunc("benes_fabric_healthy_planes", "Planes currently in rotation.", nil, func() float64 {
+		healthy := 0
+		for _, p := range f.planes {
+			if p.healthy.Load() {
+				healthy++
+			}
+		}
+		return float64(healthy)
+	})
+	reg.RegisterHistogram("benes_fabric_voq_wait_seconds", "Packet wait from VOQ enqueue to frame extraction.", nil, &m.VOQWait)
+	reg.RegisterHistogram("benes_fabric_match_seconds", "Matching extraction (one scheduler tick).", nil, &m.Match)
+	reg.RegisterHistogram("benes_fabric_plane_seconds", "Plane round-trip for one frame or round.", nil, &m.PlaneRTT)
+	reg.RegisterHistogram("benes_fabric_verify_seconds", "Output-port verification of a frame or round.", nil, &m.Verify)
+	reg.RegisterHistogram("benes_fabric_faultcheck_seconds", "Gate-level fault-check simulation per frame on a damaged plane.", nil, &m.FaultCheck)
+	for _, p := range f.planes {
+		p := p
+		labels := obs.Labels{{"plane", strconv.Itoa(p.id)}}
+		reg.GaugeFunc("benes_fabric_plane_healthy", "1 when the plane is in rotation.", labels, func() float64 {
+			if p.healthy.Load() {
+				return 1
+			}
+			return 0
+		})
+		reg.CounterFunc("benes_fabric_plane_frames_total", "Frames this plane routed.", labels, p.frames.Load)
+		reg.CounterFunc("benes_fabric_plane_packets_total", "Payload packets inside routed frames.", labels, p.packets.Load)
+		reg.CounterFunc("benes_fabric_plane_rounds_total", "Collective rounds this plane routed.", labels, p.rounds.Load)
+		reg.CounterFunc("benes_fabric_plane_failovers_total", "Frames or rounds this plane rejected or misrouted.", labels, p.failovers.Load)
+		p.eng.Register(reg, labels)
+	}
 }

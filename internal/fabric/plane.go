@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -23,7 +24,8 @@ var errPlaneDown = errors.New("fabric: plane unhealthy")
 type plane struct {
 	id      int
 	eng     *engine.Engine[int]
-	ident   []int // read-only identity payload, reused by every frame
+	ident   []int    // read-only identity payload, reused by every frame
+	met     *metrics // fabric-level stage histograms; nil in bare unit tests
 	healthy atomic.Bool
 
 	frames    atomic.Int64 // frames this plane routed successfully
@@ -39,12 +41,12 @@ type plane struct {
 	sim    *netsim.Engine
 }
 
-func newPlane(id int, cfg engine.Config) (*plane, error) {
+func newPlane(id int, cfg engine.Config, met *metrics) (*plane, error) {
 	eng, err := engine.New[int](cfg)
 	if err != nil {
 		return nil, fmt.Errorf("fabric: plane %d: %w", id, err)
 	}
-	p := &plane{id: id, eng: eng, ident: make([]int, eng.Network().N())}
+	p := &plane{id: id, eng: eng, ident: make([]int, eng.Network().N()), met: met}
 	for i := range p.ident {
 		p.ident[i] = i
 	}
@@ -61,6 +63,9 @@ func (p *plane) inject(faults []core.Fault) {
 		p.sim = nil
 	} else {
 		p.sim = netsim.NewWithFaults(p.eng.Network(), faults)
+		if p.met != nil {
+			p.sim.SetTimingHook(p.met.FaultCheck.Observe)
+		}
 	}
 	p.mu.Unlock()
 	p.healthy.Store(len(faults) == 0)
@@ -98,7 +103,11 @@ func (p *plane) route(dest perm.Perm, srcs, dsts []int) error {
 		p.failovers.Add(1)
 		return fmt.Errorf("fabric: plane %d misroutes frame: %w", p.id, errPlaneDown)
 	}
+	rtt := time.Now()
 	resp := p.eng.Route(dest, p.ident)
+	if p.met != nil {
+		p.met.PlaneRTT.ObserveSince(rtt)
+	}
 	if resp.Err != nil {
 		p.healthy.Store(false)
 		p.failovers.Add(1)
@@ -107,6 +116,7 @@ func (p *plane) route(dest perm.Perm, srcs, dsts []int) error {
 	// Output-port tag check: input i's payload must sit at port
 	// dest[i]. With data[i] = i, the routed vector holds each packet's
 	// source at its destination port.
+	verify := time.Now()
 	for k, dst := range dsts {
 		if resp.Data[dst] != srcs[k] {
 			p.healthy.Store(false)
@@ -114,6 +124,9 @@ func (p *plane) route(dest perm.Perm, srcs, dsts []int) error {
 			return fmt.Errorf("fabric: plane %d delivered port %d to the wrong source: %w",
 				p.id, dst, errPlaneDown)
 		}
+	}
+	if p.met != nil {
+		p.met.Verify.ObserveSince(verify)
 	}
 	p.frames.Add(1)
 	p.packets.Add(int64(len(dsts)))
@@ -135,12 +148,17 @@ func (p *plane) routeRound(dest perm.Perm) (engine.PlanKind, bool, error) {
 		p.failovers.Add(1)
 		return 0, false, fmt.Errorf("fabric: plane %d misroutes round: %w", p.id, errPlaneDown)
 	}
+	rtt := time.Now()
 	resp := p.eng.Route(dest, p.ident)
+	if p.met != nil {
+		p.met.PlaneRTT.ObserveSince(rtt)
+	}
 	if resp.Err != nil {
 		p.healthy.Store(false)
 		p.failovers.Add(1)
 		return 0, false, fmt.Errorf("fabric: plane %d: %w", p.id, resp.Err)
 	}
+	verify := time.Now()
 	for i, d := range dest {
 		if resp.Data[d] != i {
 			p.healthy.Store(false)
@@ -148,6 +166,9 @@ func (p *plane) routeRound(dest perm.Perm) (engine.PlanKind, bool, error) {
 			return 0, false, fmt.Errorf("fabric: plane %d delivered port %d to the wrong source: %w",
 				p.id, d, errPlaneDown)
 		}
+	}
+	if p.met != nil {
+		p.met.Verify.ObserveSince(verify)
 	}
 	p.rounds.Add(1)
 	return resp.Kind, resp.CacheHit, nil
@@ -179,6 +200,9 @@ func (p *plane) routeRoundBatch(dests []perm.Perm, out []RoundResult) (int, erro
 		return done, err
 	}
 	var ring [roundWindow]<-chan engine.Response[int]
+	// subAt[k] is when round k's submission entered the engine queue;
+	// the receive side turns it into the round's pipelined sojourn.
+	var subAt [roundWindow]time.Time
 	next := 0
 	for done := 0; done < len(dests); done++ {
 		for next < len(dests) && next-done < roundWindow {
@@ -188,18 +212,26 @@ func (p *plane) routeRoundBatch(dests []perm.Perm, out []RoundResult) (int, erro
 				// simply dropped) and retried elsewhere.
 				return fail(done, fmt.Errorf("fabric: plane %d misroutes round: %w", p.id, errPlaneDown))
 			}
+			subAt[next%roundWindow] = time.Now()
 			ring[next%roundWindow] = p.eng.Submit(engine.Request[int]{Dest: dests[next], Data: p.ident})
 			next++
 		}
 		resp := <-ring[done%roundWindow]
+		if p.met != nil {
+			p.met.PlaneRTT.ObserveSince(subAt[done%roundWindow])
+		}
 		if resp.Err != nil {
 			return fail(done, fmt.Errorf("fabric: plane %d: %w", p.id, resp.Err))
 		}
+		verify := time.Now()
 		for i, d := range dests[done] {
 			if resp.Data[d] != i {
 				return fail(done, fmt.Errorf("fabric: plane %d delivered port %d to the wrong source: %w",
 					p.id, d, errPlaneDown))
 			}
+		}
+		if p.met != nil {
+			p.met.Verify.ObserveSince(verify)
 		}
 		out[done] = RoundResult{Plane: p.id, Kind: resp.Kind, CacheHit: resp.CacheHit}
 	}

@@ -1,0 +1,150 @@
+package fabric
+
+import (
+	"errors"
+	"math/rand"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/perm"
+)
+
+// TestFabricConcurrentStress is the data-race audit for the stats and
+// control plane: while senders offer packet traffic and round clients
+// drive RouteRound, other goroutines concurrently snapshot Stats,
+// scrape the metrics registry, inject faults, and fail/restore planes.
+// The test asserts no operation errors unexpectedly and, under
+// `go test -race`, that every counter, histogram, and health bit on
+// those paths is accessed atomically.
+func TestFabricConcurrentStress(t *testing.T) {
+	const (
+		logN    = 4 // N = 16
+		planes  = 3
+		senders = 4
+		perSend = 400
+		rounds  = 120
+	)
+	var delivered atomic.Int64
+	f, err := New[int](Config{LogN: logN, Planes: planes, VOQDepth: 8},
+		func(Packet[int]) { delivered.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	f.Register(reg)
+
+	// traffic holds the finite workloads (senders, round clients);
+	// background holds the unbounded ones (snapshots, chaos), which run
+	// until the traffic drains and stop closes.
+	var traffic, background sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Packet traffic.
+	var accepted atomic.Int64
+	for s := 0; s < senders; s++ {
+		traffic.Add(1)
+		go func(s int) {
+			defer traffic.Done()
+			rng := rand.New(rand.NewSource(int64(s)))
+			n := f.N()
+			for k := 0; k < perSend; k++ {
+				p := Packet[int]{Src: rng.Intn(n), Dst: rng.Intn(n), Payload: k}
+				switch err := f.Send(p); {
+				case err == nil:
+					accepted.Add(1)
+				case errors.Is(err, ErrBackpressure):
+				default:
+					t.Errorf("send: %v", err)
+				}
+			}
+		}(s)
+	}
+
+	// Round traffic, spread across preferred planes. A round may hit a
+	// plane the chaos goroutine just failed; only no-healthy-plane is
+	// an acceptable error.
+	for w := 0; w < 2; w++ {
+		traffic.Add(1)
+		go func(w int) {
+			defer traffic.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for k := 0; k < rounds; k++ {
+				d := perm.Random(1<<logN, rng)
+				if _, err := f.RouteRound(d, k%planes); err != nil &&
+					!errors.Is(err, errPlaneDown) {
+					t.Errorf("round: %v", err)
+				}
+			}
+		}(w)
+	}
+
+	// Stats snapshots and registry scrapes racing the writers.
+	background.Add(1)
+	go func() {
+		defer background.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := f.Stats()
+			if s.Accepted < 0 || s.Stages.VOQWait.Count < 0 {
+				t.Error("negative snapshot")
+			}
+			rec := httptest.NewRecorder()
+			reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+			if rec.Code != 200 {
+				t.Errorf("scrape: %d", rec.Code)
+			}
+		}
+	}()
+
+	// Chaos: fault injection and plane failover churn. Plane 0 is left
+	// alone so at least one plane stays healthy throughout.
+	background.Add(1)
+	go func() {
+		defer background.Done()
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := 1 + rng.Intn(planes-1)
+			switch i % 3 {
+			case 0:
+				fault := core.Fault{Stage: rng.Intn(2*logN - 1), Switch: rng.Intn(1 << (logN - 1))}
+				if err := f.InjectFaults(id, []core.Fault{fault}); err != nil {
+					t.Errorf("inject: %v", err)
+				}
+			case 1:
+				if err := f.FailPlane(id); err != nil {
+					t.Errorf("fail: %v", err)
+				}
+			case 2:
+				if err := f.RestorePlane(id); err != nil {
+					t.Errorf("restore: %v", err)
+				}
+			}
+		}
+	}()
+
+	traffic.Wait()
+	close(stop)
+	background.Wait()
+	f.Close()
+
+	s := f.Stats()
+	if s.Delivered+s.Lost != accepted.Load() {
+		t.Fatalf("accepted %d but delivered %d + lost %d", accepted.Load(), s.Delivered, s.Lost)
+	}
+	if delivered.Load() != s.Delivered {
+		t.Fatalf("deliver callback saw %d, counter says %d", delivered.Load(), s.Delivered)
+	}
+}

@@ -3,6 +3,7 @@ package fabric
 import (
 	"math/bits"
 	"sync"
+	"time"
 )
 
 // DropPolicy selects what Send does when a packet's virtual output
@@ -38,6 +39,14 @@ type voqInputCounters struct {
 	maxDepth int64 // high-water mark of occupied
 }
 
+// queued is one packet sitting in a VOQ, stamped with its enqueue time
+// so extraction can histogram the sojourn (the paper's queueing delay,
+// as opposed to the setup and transmission delays the planes measure).
+type queued[T any] struct {
+	pkt Packet[T]
+	enq time.Time
+}
+
 // voqSet is the fabric's ingress stage: one bounded FIFO per
 // (input, output) pair — N² virtual output queues — so a burst to one
 // hot output cannot head-of-line block traffic from the same input to
@@ -48,9 +57,14 @@ type voqSet[T any] struct {
 	n     int
 	depth int // per-queue bound
 
+	// met, when non-nil, receives VOQ-wait and matching latency; the
+	// fabric points it at its own metrics after construction so unit
+	// tests can build bare voqSets.
+	met *metrics
+
 	mu     sync.Mutex
 	space  *sync.Cond    // signalled when a queue drains (Block policy)
-	queues [][]Packet[T] // queues[in*n+out]
+	queues [][]queued[T] // queues[in*n+out]
 	counts []voqInputCounters
 	closed bool
 
@@ -74,7 +88,7 @@ func newVOQSet[T any](n, depth int) *voqSet[T] {
 	v := &voqSet[T]{
 		n:        n,
 		depth:    depth,
-		queues:   make([][]Packet[T], n*n),
+		queues:   make([][]queued[T], n*n),
 		counts:   make([]voqInputCounters, n),
 		nonempty: make([][]uint64, n),
 		rrOut:    make([]int, n),
@@ -131,7 +145,7 @@ func (v *voqSet[T]) enqueue(p Packet[T], policy DropPolicy) error {
 	if v.closed {
 		return ErrClosed
 	}
-	v.queues[idx] = append(v.queues[idx], p)
+	v.queues[idx] = append(v.queues[idx], queued[T]{pkt: p, enq: time.Now()})
 	v.nonempty[p.Src][p.Dst>>6] |= 1 << uint(p.Dst&63)
 	c := &v.counts[p.Src]
 	c.enqueued++
@@ -153,6 +167,7 @@ func (v *voqSet[T]) enqueue(p Packet[T], policy DropPolicy) error {
 // its own rotating pointer, so repeated frames cycle through contending
 // pairs instead of always favouring low indices.
 func (v *voqSet[T]) buildFrame() *frame[T] {
+	tick := time.Now()
 	v.mu.Lock()
 	defer v.mu.Unlock()
 
@@ -188,7 +203,7 @@ func (v *voqSet[T]) buildFrame() *frame[T] {
 			continue
 		}
 		q := v.queues[in*v.n+out]
-		pkt := q[0]
+		qd := q[0]
 		// Shift rather than reslice so the backing array does not pin
 		// every packet ever queued.
 		copy(q, q[1:])
@@ -199,7 +214,12 @@ func (v *voqSet[T]) buildFrame() *frame[T] {
 		v.counts[in].occupied--
 		partial[in] = out
 		taken[out] = true
-		pkts = append(pkts, pkt)
+		wait := tick.Sub(qd.enq)
+		if v.met != nil {
+			v.met.VOQWait.Observe(wait)
+		}
+		qd.pkt.Trace.SpanDur("voq_wait", qd.enq, wait, "")
+		pkts = append(pkts, qd.pkt)
 		srcs = append(srcs, in)
 		dsts = append(dsts, out)
 		v.rrOut[in] = (out + 1) % v.n
@@ -209,6 +229,9 @@ func (v *voqSet[T]) buildFrame() *frame[T] {
 	}
 	v.rrIn = (v.rrIn + 1) % v.n
 	v.space.Broadcast()
+	if v.met != nil {
+		v.met.Match.ObserveSince(tick)
+	}
 
 	dest, err := Complete(partial)
 	if err != nil {

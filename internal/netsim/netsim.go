@@ -15,6 +15,7 @@ package netsim
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/bits"
 	"repro/internal/core"
@@ -38,9 +39,18 @@ func (v *VectorResult) OK() bool { return len(v.Misrouted) == 0 }
 
 // Engine is a concurrent instantiation of a Benes network.
 type Engine struct {
-	net   *core.Network
-	stuck map[switchID]bool // injected faults: switch -> frozen state
+	net    *core.Network
+	stuck  map[switchID]bool // injected faults: switch -> frozen state
+	timing func(time.Duration)
 }
+
+// SetTimingHook installs a callback invoked after every Run/RouteOne
+// with the wall-clock time the gate-level pass took — the hook the
+// observability layer uses to histogram simulator latency (e.g. the
+// fabric's per-frame fault checks). The hook runs in the caller's
+// goroutine and must be safe for concurrent use if the engine is.
+// A nil hook disables timing.
+func (e *Engine) SetTimingHook(h func(time.Duration)) { e.timing = h }
 
 type switchID struct{ stage, sw int }
 
@@ -71,6 +81,10 @@ func NewWithFaults(net *core.Network, faults []core.Fault) *Engine {
 // decided for the first vector so callers can compare against the
 // synchronous engine.
 func (e *Engine) Run(vectors []perm.Perm) ([]VectorResult, core.States) {
+	if e.timing != nil {
+		start := time.Now()
+		defer func() { e.timing(time.Since(start)) }()
+	}
 	N := e.net.N()
 	stages := e.net.Stages()
 	depth := len(vectors)

@@ -1,0 +1,18 @@
+package obs
+
+import "sync/atomic"
+
+// Gauge is an instantaneous value that moves both ways — queue depths,
+// in-flight request counts. The zero value is ready to use and all
+// methods are safe for concurrent use. Export one with
+// Registry.GaugeFunc over Load.
+type Gauge struct{ v atomic.Int64 }
+
+// Add moves the gauge by delta (either sign).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Set pins the gauge to v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }

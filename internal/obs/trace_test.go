@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestTraceSpansAndContext covers span recording, context carriage,
+// and the nil no-op contract instrumentation points rely on.
+func TestTraceSpansAndContext(t *testing.T) {
+	tr := NewTrace("POST /collective")
+	ctx := With(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("trace should round-trip through context")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context must yield a nil trace")
+	}
+
+	t0 := time.Now()
+	tr.Span("round", t0, "round=0 plane=1")
+	tr.SpanDur("round", t0, 3*time.Millisecond, "round=1 plane=0")
+	s := tr.Snapshot()
+	if s.Name != "POST /collective" || s.ID == "" {
+		t.Fatalf("snapshot header wrong: %+v", s)
+	}
+	if len(s.Spans) != 2 {
+		t.Fatalf("want 2 spans, got %+v", s.Spans)
+	}
+	if s.Spans[1].DurNs != 3_000_000 || s.Spans[1].Note != "round=1 plane=0" {
+		t.Fatalf("explicit-duration span wrong: %+v", s.Spans[1])
+	}
+
+	// The nil trace accepts every call and reports zero values.
+	var nilTr *Trace
+	nilTr.Span("x", t0, "")
+	nilTr.Ref()
+	if nilTr.Release() {
+		t.Fatal("nil Release must report false")
+	}
+	if nilTr.ID() != "" || nilTr.Name() != "" || nilTr.Duration() != 0 {
+		t.Fatal("nil accessors must return zero values")
+	}
+}
+
+// TestTraceRefcount checks the last Release wins and that a trace is
+// kept in a ring at most once even when observed twice.
+func TestTraceRefcount(t *testing.T) {
+	tr := NewTrace("POST /send")
+	tr.Ref() // one packet in flight
+	tr.Ref() // another
+	if tr.Release() {
+		t.Fatal("first release is not last")
+	}
+	if tr.Release() {
+		t.Fatal("second release is not last")
+	}
+	if !tr.Release() {
+		t.Fatal("third release must be last")
+	}
+	ring := NewTraceRing(4, 0)
+	ring.Observe(tr)
+	ring.Observe(tr) // double delivery must not duplicate
+	if got := ring.Len(); got != 1 {
+		t.Fatalf("ring holds %d traces, want 1", got)
+	}
+	snap := ring.Snapshot()
+	if snap.Seen != 1 || snap.Kept != 1 {
+		t.Fatalf("seen/kept = %d/%d, want 1/1", snap.Seen, snap.Kept)
+	}
+}
+
+// TestTraceRingThresholdAndOrder checks the slow filter and the
+// newest-first bounded eviction order.
+func TestTraceRingThresholdAndOrder(t *testing.T) {
+	ring := NewTraceRing(2, time.Hour)
+	fast := NewTrace("fast")
+	ring.Observe(fast)
+	if ring.Len() != 0 {
+		t.Fatal("fast trace must be filtered by the slow threshold")
+	}
+
+	ring = NewTraceRing(2, 0)
+	names := []string{"a", "b", "c"}
+	for _, n := range names {
+		ring.Observe(NewTrace(n))
+	}
+	snap := ring.Snapshot()
+	if len(snap.Traces) != 2 {
+		t.Fatalf("ring must stay bounded at 2, got %d", len(snap.Traces))
+	}
+	if snap.Traces[0].Name != "c" || snap.Traces[1].Name != "b" {
+		t.Fatalf("want newest-first [c b], got [%s %s]", snap.Traces[0].Name, snap.Traces[1].Name)
+	}
+	if snap.Seen != 3 || snap.Kept != 3 {
+		t.Fatalf("seen/kept = %d/%d, want 3/3", snap.Seen, snap.Kept)
+	}
+}
+
+// TestTraceSpanCap checks span recording stays bounded and counts the
+// overflow instead of growing without limit.
+func TestTraceSpanCap(t *testing.T) {
+	tr := NewTrace("big")
+	t0 := time.Now()
+	for i := 0; i < maxSpans+10; i++ {
+		tr.Span("s", t0, "")
+	}
+	s := tr.Snapshot()
+	if len(s.Spans) != maxSpans {
+		t.Fatalf("spans must cap at %d, got %d", maxSpans, len(s.Spans))
+	}
+	if s.DroppedSpans != 10 {
+		t.Fatalf("dropped = %d, want 10", s.DroppedSpans)
+	}
+}
+
+// TestTraceRingHandler checks /debug/traces serves the ring as JSON.
+func TestTraceRingHandler(t *testing.T) {
+	ring := NewTraceRing(4, 0)
+	tr := NewTrace("GET /x")
+	tr.Span("stage", time.Now(), "n")
+	ring.Observe(tr)
+	rec := httptest.NewRecorder()
+	ring.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var snap RingSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("handler body is not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(snap.Traces) != 1 || snap.Traces[0].Name != "GET /x" || len(snap.Traces[0].Spans) != 1 {
+		t.Fatalf("unexpected ring JSON: %+v", snap)
+	}
+}
