@@ -1,0 +1,64 @@
+#!/bin/sh
+# Bench trajectory guard: regenerate the three benchmark artifacts into
+# a scratch directory and diff the machine-portable keys against the
+# checked-in snapshots at the repo root. Raw ns/op and pkts/s figures
+# shift with hardware, so only invariants are enforced exactly (the
+# warm-path allocation count, the collective self-route ratio) and
+# relative figures (speedups) are held to a wide tolerance factor —
+# catching a collapsed cache or a serialized plane, not CPU jitter.
+# Override the factor with BENCH_TOL (default 4).
+set -eu
+cd "$(dirname "$0")/.."
+TOL=${BENCH_TOL:-4}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+BENCH_ENGINE_JSON="$tmp/BENCH_engine.json" \
+	go test -count=1 -run '^TestBenchEngineArtifact$' ./internal/engine
+BENCH_FABRIC_JSON="$tmp/BENCH_fabric.json" \
+	go test -count=1 -run '^TestBenchFabricArtifact$' ./internal/fabric
+BENCH_COLLECTIVE_JSON="$tmp/BENCH_collective.json" \
+	go test -count=1 -run '^TestBenchCollectiveArtifact$' ./internal/collective
+
+# key FILE NAME -> the value of "NAME" in a flat indented-JSON artifact.
+key() {
+	awk -v k="\"$2\":" '$1 == k { v = $2; gsub(/,/, "", v); print v; exit }' "$1"
+}
+
+fail=0
+
+# exact FILE NAME: the fresh value must equal the checked-in one.
+exact() {
+	base=$(key "$1" "$2")
+	fresh=$(key "$tmp/$1" "$2")
+	if [ "$base" != "$fresh" ]; then
+		echo "FAIL: $1 $2 = $fresh, checked-in snapshot has $base"
+		fail=1
+	else
+		echo "ok: $1 $2 = $fresh (exact)"
+	fi
+}
+
+# floor FILE NAME: the fresh value must stay above checked-in / TOL.
+# Speedups are regression guards — collapsing is a failure, exceeding
+# the snapshot (a faster machine, a real improvement) is not.
+floor() {
+	base=$(key "$1" "$2")
+	fresh=$(key "$tmp/$1" "$2")
+	awk -v b="$base" -v f="$fresh" -v t="$TOL" -v file="$1" -v name="$2" 'BEGIN {
+		if (b + 0 <= 0 || f + 0 <= 0 || f < b / t) {
+			printf "FAIL: %s %s = %s, below checked-in %s / %g\n", file, name, f, b, t
+			exit 1
+		}
+		printf "ok: %s %s = %s (checked-in %s, floor /%g)\n", file, name, f, b, t
+	}' || fail=1
+}
+
+exact BENCH_engine.json warm_allocs_op
+floor BENCH_engine.json speedup_warm
+floor BENCH_fabric.json plane_scaling_speedup
+exact BENCH_collective.json self_route_ratio
+floor BENCH_collective.json speedup
+
+exit $fail

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Regenerates the checked-in benchmark trajectory artifacts at the repo
+# root: BENCH_engine.json (plan-cache setup amortization + warm-path
+# alloc count with the flight recorder on), BENCH_fabric.json (packet
+# throughput, 1 plane vs GOMAXPROCS planes, recorder on), and
+# BENCH_collective.json (compiled vs naive all-to-all). Each is written
+# by the corresponding env-gated TestBench*Artifact test, so the
+# numbers come from exactly the code paths CI exercises.
+#
+# Run after perf-relevant changes and commit the refreshed artifacts;
+# ci/bench_diff.sh holds future runs to the machine-portable keys.
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCH_ENGINE_JSON="$PWD/BENCH_engine.json" \
+	go test -count=1 -run '^TestBenchEngineArtifact$' -v ./internal/engine
+BENCH_FABRIC_JSON="$PWD/BENCH_fabric.json" \
+	go test -count=1 -run '^TestBenchFabricArtifact$' -v ./internal/fabric
+BENCH_COLLECTIVE_JSON="$PWD/BENCH_collective.json" \
+	go test -count=1 -run '^TestBenchCollectiveArtifact$' -v ./internal/collective
+
+echo "wrote BENCH_engine.json BENCH_fabric.json BENCH_collective.json"

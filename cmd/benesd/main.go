@@ -26,11 +26,22 @@
 //	               fallbacks, per-stage latency histograms, queue depth)
 //	GET  /fabric/stats  fabric snapshot (accepted/rejected/delivered,
 //	               frame fill, per-plane engines, per-VOQ counters)
-//	GET  /healthz  liveness probe
+//	GET  /healthz  pure liveness probe ("ok" while the process is up)
+//	GET  /readyz   readiness probe: 503 with reasons when no plane is
+//	               healthy, VOQs are saturated, or the engine queue is
+//	               full; 200 with "degraded" reasons on partial trouble
 //	GET  /metrics  Prometheus text-format exposition: counters, gauges,
 //	               and per-stage latency histograms (engine wait/plan/
 //	               apply, fabric VOQ wait/match/plane/verify/fault-check,
-//	               collective round/end-to-end) for every layer
+//	               collective round/end-to-end) for every layer, plus
+//	               per-stage benes_switch_* flight-recorder series
+//	GET  /debug/heatmap  gate-level utilization heatmap: per-switch
+//	               traversal/flip/forced/fault counters for all 2n-1
+//	               stages x N/2 switches, engine and per-plane, with
+//	               per-stage occupancy/skew summaries, JSON
+//	GET  /debug/history?window=30s  rate-over-time report from the
+//	               snapshot ring: counter deltas/rates and windowed
+//	               histogram p50/p99 over the requested window
 //	GET  /debug/traces  recent slow request traces (per-stage spans for
 //	               /send packets and /collective rounds), JSON
 //	GET  /debug/pprof/  standard net/http/pprof profiles
@@ -57,17 +68,21 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"repro/internal/collective"
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/fabric"
+	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/perm"
 )
@@ -77,26 +92,36 @@ type server struct {
 	fab *fabric.Fabric[int]
 	col *collective.Service[int]
 	obs *obsState
+	log *slog.Logger
 }
 
 // obsState bundles the process-wide observability surface: the metric
-// registry behind /metrics and the slow-trace ring behind
-// /debug/traces.
+// registry behind /metrics, the slow-trace ring behind /debug/traces,
+// the snapshot time-series ring behind /debug/history, and the
+// process's structured logger.
 type obsState struct {
 	reg  *obs.Registry
 	ring *obs.TraceRing
+	hist *obs.History
+	log  *slog.Logger
 }
 
-// newObsState builds one registry over all three layers. The fabric's
-// deliver callback must release packet traces into the same ring (see
+// newObsState builds one registry over all three layers plus the
+// bounded history ring sampling it (histCap samples every
+// histInterval; Start it to begin sampling). The fabric's deliver
+// callback must release packet traces into the same ring (see
 // newTracedDeliver) so /send traces surface once their last packet is
-// verified at its output port.
-func newObsState(eng *engine.Engine[int], fab *fabric.Fabric[int], col *collective.Service[int], ring *obs.TraceRing) *obsState {
+// verified at its output port. A nil logger logs to stderr.
+func newObsState(eng *engine.Engine[int], fab *fabric.Fabric[int], col *collective.Service[int], ring *obs.TraceRing,
+	histCap int, histInterval time.Duration, logger *slog.Logger) *obsState {
 	reg := obs.NewRegistry()
 	eng.Register(reg, nil)
 	fab.Register(reg)
 	col.Register(reg)
-	return &obsState{reg: reg, ring: ring}
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	return &obsState{reg: reg, ring: ring, hist: obs.NewHistory(reg, histCap, histInterval), log: logger}
 }
 
 // newTracedDeliver returns the fabric deliver callback: each verified
@@ -119,7 +144,11 @@ func newTracedDeliver(ring *obs.TraceRing) func(fabric.Packet[int]) {
 func (s *server) traced(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		tr := obs.NewTrace(name)
+		start := time.Now()
 		h(w, r.WithContext(obs.With(r.Context(), tr)))
+		// The trace_id here is the same ID /debug/traces serves, so a
+		// log line joins to its per-stage span breakdown.
+		s.log.Info("request served", "path", name, "trace_id", tr.ID(), "dur", time.Since(start))
 		if tr.Release() {
 			s.obs.ring.Observe(tr)
 		}
@@ -140,7 +169,7 @@ type routeResponse struct {
 func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	var req routeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON: %v", err))
+		s.httpError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON: %v", err))
 		return
 	}
 	if req.Data == nil {
@@ -151,10 +180,10 @@ func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := s.eng.Route(perm.Perm(req.Dest), req.Data)
 	if resp.Err != nil {
-		httpError(w, http.StatusBadRequest, resp.Err.Error())
+		s.httpError(w, http.StatusBadRequest, resp.Err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, routeResponse{Data: resp.Data, Kind: resp.Kind.String(), CacheHit: resp.CacheHit})
+	s.writeJSON(w, http.StatusOK, routeResponse{Data: resp.Data, Kind: resp.Kind.String(), CacheHit: resp.CacheHit})
 }
 
 type sendPacket struct {
@@ -182,19 +211,19 @@ type sendResponse struct {
 func (s *server) handleSend(w http.ResponseWriter, r *http.Request) {
 	var req sendRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON: %v", err))
+		s.httpError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON: %v", err))
 		return
 	}
 	pkts := req.Packets
 	if req.Src != nil || req.Dst != nil {
 		if req.Src == nil || req.Dst == nil {
-			httpError(w, http.StatusBadRequest, "single-packet send needs both src and dst")
+			s.httpError(w, http.StatusBadRequest, "single-packet send needs both src and dst")
 			return
 		}
 		pkts = append(pkts, sendPacket{Src: *req.Src, Dst: *req.Dst})
 	}
 	if len(pkts) == 0 {
-		httpError(w, http.StatusBadRequest, "no packets")
+		s.httpError(w, http.StatusBadRequest, "no packets")
 		return
 	}
 	// Each accepted packet carries the request trace and one reference
@@ -213,7 +242,7 @@ func (s *server) handleSend(w http.ResponseWriter, r *http.Request) {
 			resp.Rejected++
 		default:
 			tr.Release()
-			httpError(w, http.StatusBadRequest, err.Error())
+			s.httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 	}
@@ -222,7 +251,7 @@ func (s *server) handleSend(w http.ResponseWriter, r *http.Request) {
 	if resp.Accepted == 0 {
 		code = http.StatusTooManyRequests
 	}
-	writeJSON(w, code, resp)
+	s.writeJSON(w, code, resp)
 }
 
 type collectiveRequest struct {
@@ -258,7 +287,7 @@ type collectiveResponse struct {
 func (s *server) handleCollective(w http.ResponseWriter, r *http.Request) {
 	var req collectiveRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON: %v", err))
+		s.httpError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON: %v", err))
 		return
 	}
 	ctx := r.Context()
@@ -287,7 +316,7 @@ func (s *server) handleCollective(w http.ResponseWriter, r *http.Request) {
 	case "scatter":
 		h, err = s.col.Scatter(ctx, req.Root, req.Data)
 	default:
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown collective op %q", req.Op))
+		s.httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown collective op %q", req.Op))
 		return
 	}
 	if err != nil {
@@ -295,7 +324,7 @@ func (s *server) handleCollective(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, collective.ErrDeadline) {
 			code = http.StatusServiceUnavailable
 		}
-		httpError(w, code, err.Error())
+		s.httpError(w, code, err.Error())
 		return
 	}
 	if req.Stream {
@@ -304,10 +333,10 @@ func (s *server) handleCollective(w http.ResponseWriter, r *http.Request) {
 	}
 	result, err := h.Wait()
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		s.httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, collectiveResponse{Done: true, Result: result, Stats: h.Stats()})
+	s.writeJSON(w, http.StatusOK, collectiveResponse{Done: true, Result: result, Stats: h.Stats()})
 }
 
 // streamCollective writes NDJSON progress records while the collective
@@ -319,7 +348,7 @@ func (s *server) streamCollective(w http.ResponseWriter, h *collective.Handle[in
 	enc := json.NewEncoder(w)
 	emit := func(v any) {
 		if err := enc.Encode(v); err != nil {
-			log.Printf("benesd: streaming collective progress: %v", err)
+			s.log.Warn("streaming collective progress", "err", err)
 		}
 		if fl != nil {
 			fl.Flush()
@@ -349,30 +378,148 @@ func (s *server) streamCollective(w http.ResponseWriter, h *collective.Handle[in
 }
 
 func (s *server) handleCollectiveStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.col.Stats())
+	s.writeJSON(w, http.StatusOK, s.col.Stats())
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.eng.Stats())
+	s.writeJSON(w, http.StatusOK, s.eng.Stats())
 }
 
 func (s *server) handleFabricStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.fab.Stats())
+	s.writeJSON(w, http.StatusOK, s.fab.Stats())
 }
 
-func httpError(w http.ResponseWriter, code int, msg string) {
+// readiness is the /readyz body: whether the process should receive
+// traffic, plus every degradation the probe noticed (a degraded
+// process can still be ready — e.g. one failed plane out of four).
+type readiness struct {
+	Ready    bool     `json:"ready"`
+	Degraded []string `json:"degraded,omitempty"`
+}
+
+// computeReadiness derives the /readyz verdict from live signals:
+// plane rotation, VOQ occupancy, and engine queue depth. Not ready
+// when no plane can serve, the VOQs are full (every Send would drop or
+// block), or the engine queue is at capacity; degraded-but-ready when
+// any plane is out of rotation or either queue crosses half full.
+func computeReadiness(h fabric.Health, queueDepth int64, queueCap int) readiness {
+	r := readiness{Ready: true}
+	switch {
+	case h.PlanesHealthy == 0:
+		r.Ready = false
+		r.Degraded = append(r.Degraded, "no healthy planes")
+	case h.PlanesHealthy < h.PlanesTotal:
+		r.Degraded = append(r.Degraded, fmt.Sprintf("%d/%d planes healthy", h.PlanesHealthy, h.PlanesTotal))
+	}
+	switch {
+	case h.VOQOccupied >= h.VOQCapacity:
+		r.Ready = false
+		r.Degraded = append(r.Degraded, "VOQs saturated")
+	case 2*h.VOQOccupied >= h.VOQCapacity:
+		r.Degraded = append(r.Degraded, fmt.Sprintf("VOQs %d/%d occupied", h.VOQOccupied, h.VOQCapacity))
+	}
+	switch {
+	case queueDepth >= int64(queueCap):
+		r.Ready = false
+		r.Degraded = append(r.Degraded, "engine queue full")
+	case 2*queueDepth >= int64(queueCap):
+		r.Degraded = append(r.Degraded, fmt.Sprintf("engine queue %d/%d", queueDepth, queueCap))
+	}
+	return r
+}
+
+// handleReadyz is the readiness probe: 200 while the fabric and engine
+// can absorb traffic, 503 once they cannot. /healthz stays a pure
+// liveness check — the process is up — so an orchestrator restarts on
+// /healthz failures but only sheds traffic on /readyz ones.
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	r := computeReadiness(s.fab.Health(), s.eng.Metrics().QueueDepth(), s.eng.QueueCapacity())
+	code := http.StatusOK
+	if !r.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, r)
+}
+
+// heatmapStage is one stage row of the /debug/heatmap response: the
+// per-switch counter vectors plus the stage's occupancy/skew summary.
+type heatmapStage struct {
+	Stage      int              `json:"stage"`
+	ControlBit int              `json:"control_bit"`
+	Traversed  []int64          `json:"traversed"`
+	Flips      []int64          `json:"flips"`
+	Forced     []int64          `json:"forced"`
+	FaultHits  []int64          `json:"fault_hits"`
+	Summary    obs.StageSummary `json:"summary"`
+}
+
+type heatmapPlane struct {
+	Plane  int            `json:"plane"`
+	Stages []heatmapStage `json:"stages"`
+}
+
+type heatmapResponse struct {
+	N                int `json:"n"`
+	Stages           int `json:"stages"`
+	SwitchesPerStage int `json:"switches_per_stage"`
+	// Engine is the /route path's recorder; Planes are the fabric's,
+	// one per switching plane. Either is omitted when its recorder is
+	// disabled.
+	Engine []heatmapStage `json:"engine,omitempty"`
+	Planes []heatmapPlane `json:"planes,omitempty"`
+}
+
+// heatmapStages renders one recorder snapshot as stage rows.
+func (s *server) heatmapStages(rec *netsim.Recorder) []heatmapStage {
+	snap := rec.Snapshot()
+	out := make([]heatmapStage, snap.Stages)
+	for st := 0; st < snap.Stages; st++ {
+		out[st] = heatmapStage{
+			Stage:      st,
+			ControlBit: s.eng.Network().ControlBit(st),
+			Traversed:  snap.Counts[st].Traversed,
+			Flips:      snap.Counts[st].Flips,
+			Forced:     snap.Counts[st].Forced,
+			FaultHits:  snap.Counts[st].FaultHits,
+			Summary:    obs.SummarizeStage(snap.Counts[st].Traversed),
+		}
+	}
+	return out
+}
+
+// handleHeatmap serves the full gate-level utilization view: all 2n-1
+// stages by N/2 switches, for the engine and for every fabric plane.
+func (s *server) handleHeatmap(w http.ResponseWriter, _ *http.Request) {
+	net := s.eng.Network()
+	resp := heatmapResponse{
+		N:                net.N(),
+		Stages:           net.Stages(),
+		SwitchesPerStage: net.SwitchesPerStage(),
+	}
+	if rec := s.eng.Recorder(); rec != nil {
+		resp.Engine = s.heatmapStages(rec)
+	}
+	for id := 0; id < s.fab.Planes(); id++ {
+		if rec := s.fab.PlaneRecorder(id); rec != nil {
+			resp.Planes = append(resp.Planes, heatmapPlane{Plane: id, Stages: s.heatmapStages(rec)})
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) httpError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	if err := json.NewEncoder(w).Encode(map[string]string{"error": msg}); err != nil {
-		log.Printf("benesd: encoding error response: %v", err)
+		s.log.Warn("encoding error response", "err", err)
 	}
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+func (s *server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("benesd: encoding response: %v", err)
+		s.log.Warn("encoding response", "err", err)
 	}
 }
 
@@ -381,7 +528,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // /debug/traces ring; /send and /collective run under the tracing
 // middleware.
 func newMux(eng *engine.Engine[int], fab *fabric.Fabric[int], col *collective.Service[int], o *obsState) *http.ServeMux {
-	s := &server{eng: eng, fab: fab, col: col, obs: o}
+	s := &server{eng: eng, fab: fab, col: col, obs: o, log: o.log}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /route", s.handleRoute)
 	mux.HandleFunc("POST /send", s.traced("/send", s.handleSend))
@@ -392,8 +539,11 @@ func newMux(eng *engine.Engine[int], fab *fabric.Fabric[int], col *collective.Se
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.Handle("GET /metrics", o.reg.Handler())
 	mux.Handle("GET /debug/traces", o.ring.Handler())
+	mux.HandleFunc("GET /debug/heatmap", s.handleHeatmap)
+	mux.Handle("GET /debug/history", o.hist.Handler())
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -420,6 +570,7 @@ func serve(ctx context.Context, ln net.Listener, eng *engine.Engine[int], fab *f
 	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()
 	err := srv.Shutdown(sctx)
+	o.hist.Stop()
 	fab.Close()
 	eng.Close()
 	if err != nil {
@@ -441,17 +592,35 @@ func main() {
 		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 		tring   = flag.Int("trace-ring", 64, "recent request traces kept for /debug/traces")
 		tslow   = flag.Duration("trace-slow", 0, "keep only traces at least this slow (0 keeps all)")
+		record  = flag.Bool("record", true, "gate-level flight recorder (per-switch counters behind /debug/heatmap)")
+		hcap    = flag.Int("history", 120, "snapshot samples kept for /debug/history")
+		hival   = flag.Duration("history-interval", time.Second, "interval between /debug/history snapshot samples")
 	)
 	flag.Parse()
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	fatal := func(err error) {
+		logger.Error("benesd: startup failed", "err", err)
+		os.Exit(1)
+	}
+
+	var rec *netsim.Recorder
+	if *record {
+		w := *workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		rec = netsim.NewRecorder(core.New(*n), w+1)
+	}
 	eng, err := engine.New[int](engine.Config{
 		LogN:          *n,
 		Workers:       *workers,
 		CacheCapacity: *cache,
 		ReplayStates:  *replay,
+		Recorder:      rec,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	policy := fabric.DropNew
 	if *block {
@@ -463,12 +632,14 @@ func main() {
 		Planes:   *planes,
 		VOQDepth: *voq,
 		Policy:   policy,
+		Record:   *record,
 	}, newTracedDeliver(ring))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	col := collective.New[int](fab, collective.Options{})
-	o := newObsState(eng, fab, col, ring)
+	o := newObsState(eng, fab, col, ring, *hcap, *hival, logger)
+	o.hist.Start()
 	expvar.Publish("engine", expvar.Func(func() any { return eng.Stats() }))
 	expvar.Publish("fabric", fab.Var())
 	expvar.Publish("collective", col.Var())
@@ -478,11 +649,12 @@ func main() {
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
-	log.Printf("benesd: serving B(%d) (N=%d, %d planes) on %s", *n, eng.Network().N(), fab.Planes(), *addr)
+	logger.Info("benesd: serving", "log_n", *n, "terminals", eng.Network().N(), "planes", fab.Planes(),
+		"addr", *addr, "record", *record)
 	if err := serve(ctx, ln, eng, fab, col, o, *drain); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
-	log.Printf("benesd: drained and stopped")
+	logger.Info("benesd: drained and stopped")
 }

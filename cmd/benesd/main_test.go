@@ -6,51 +6,68 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
+	"log/slog"
+	"math/rand"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/collective"
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/fabric"
+	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/perm"
 )
 
+// testLogger keeps the tracing middleware's request logs out of the
+// test output.
+func testLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
 func newTestServer(t *testing.T) (*httptest.Server, *engine.Engine[int]) {
-	srv, eng, _ := newTestServerFull(t, collective.Options{})
+	srv, eng, _, _ := newTestServerFull(t, collective.Options{})
 	return srv, eng
 }
 
 func newTestServerOpts(t *testing.T, colOpts collective.Options) (*httptest.Server, *engine.Engine[int]) {
-	srv, eng, _ := newTestServerFull(t, colOpts)
+	srv, eng, _, _ := newTestServerFull(t, colOpts)
 	return srv, eng
 }
 
-func newTestServerFull(t *testing.T, colOpts collective.Options) (*httptest.Server, *engine.Engine[int], *obsState) {
+func newTestServerFull(t *testing.T, colOpts collective.Options) (*httptest.Server, *engine.Engine[int], *fabric.Fabric[int], *obsState) {
 	t.Helper()
-	eng, err := engine.New[int](engine.Config{LogN: 4}) // N = 16
+	eng, err := engine.New[int](engine.Config{
+		LogN:     4, // N = 16
+		Recorder: netsim.NewRecorder(core.New(4), runtime.GOMAXPROCS(0)+1),
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ring := obs.NewTraceRing(16, 0) // keep every trace: tests inspect them
-	fab, err := fabric.New[int](fabric.Config{LogN: 4, Planes: 2, VOQDepth: 2}, newTracedDeliver(ring))
+	fab, err := fabric.New[int](fabric.Config{LogN: 4, Planes: 2, VOQDepth: 2, Record: true}, newTracedDeliver(ring))
 	if err != nil {
 		t.Fatal(err)
 	}
 	col := collective.New[int](fab, colOpts)
-	o := newObsState(eng, fab, col, ring)
+	o := newObsState(eng, fab, col, ring, 8, time.Millisecond, testLogger())
 	srv := httptest.NewServer(newMux(eng, fab, col, o))
 	t.Cleanup(func() {
 		srv.Close()
+		o.hist.Stop()
 		fab.Close()
 		eng.Close()
 	})
-	return srv, eng, o
+	return srv, eng, fab, o
 }
 
 func postRoute(t *testing.T, url string, body any) (*http.Response, routeResponse) {
@@ -490,7 +507,7 @@ func TestGracefulShutdown(t *testing.T) {
 		t.Fatal(err)
 	}
 	col := collective.New[int](fab, collective.Options{})
-	o := newObsState(eng, fab, col, obs.NewTraceRing(4, 0))
+	o := newObsState(eng, fab, col, obs.NewTraceRing(4, 0), 4, time.Second, testLogger())
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
@@ -740,5 +757,258 @@ func TestTracesEndpoint(t *testing.T) {
 			t.Fatalf("traces not observed in time: %+v", rs)
 		}
 		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestComputeReadiness covers the pure readiness rules: hard outages
+// flip ready off, partial trouble only adds degraded reasons.
+func TestComputeReadiness(t *testing.T) {
+	healthy := fabric.Health{PlanesTotal: 2, PlanesHealthy: 2, VOQOccupied: 0, VOQCapacity: 64}
+	cases := []struct {
+		name      string
+		h         fabric.Health
+		depth     int64
+		cap_      int
+		ready     bool
+		nDegraded int
+	}{
+		{"all clear", healthy, 0, 16, true, 0},
+		{"one plane down", fabric.Health{PlanesTotal: 2, PlanesHealthy: 1, VOQCapacity: 64}, 0, 16, true, 1},
+		{"no planes", fabric.Health{PlanesTotal: 2, PlanesHealthy: 0, VOQCapacity: 64}, 0, 16, false, 1},
+		{"voq half", fabric.Health{PlanesTotal: 2, PlanesHealthy: 2, VOQOccupied: 32, VOQCapacity: 64}, 0, 16, true, 1},
+		{"voq full", fabric.Health{PlanesTotal: 2, PlanesHealthy: 2, VOQOccupied: 64, VOQCapacity: 64}, 0, 16, false, 1},
+		{"queue half", healthy, 8, 16, true, 1},
+		{"queue full", healthy, 16, 16, false, 1},
+		{"everything wrong", fabric.Health{PlanesTotal: 2, PlanesHealthy: 0, VOQOccupied: 64, VOQCapacity: 64}, 16, 16, false, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := computeReadiness(tc.h, tc.depth, tc.cap_)
+			if r.Ready != tc.ready || len(r.Degraded) != tc.nDegraded {
+				t.Fatalf("computeReadiness = %+v, want ready=%v with %d reasons", r, tc.ready, tc.nDegraded)
+			}
+		})
+	}
+}
+
+// TestReadyzEndpoint walks /readyz through the plane-failure ladder:
+// fully healthy, degraded-but-ready, and 503 with no plane in rotation.
+func TestReadyzEndpoint(t *testing.T) {
+	srv, _, fab, _ := newTestServerFull(t, collective.Options{})
+	get := func() (int, readiness) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var r readiness
+		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, r
+	}
+
+	if code, r := get(); code != http.StatusOK || !r.Ready || len(r.Degraded) != 0 {
+		t.Fatalf("fresh server: code %d, %+v", code, r)
+	}
+	if err := fab.FailPlane(0); err != nil {
+		t.Fatal(err)
+	}
+	if code, r := get(); code != http.StatusOK || !r.Ready || len(r.Degraded) != 1 {
+		t.Fatalf("one plane down: code %d, %+v, want ready with one degraded reason", code, r)
+	}
+	if err := fab.FailPlane(1); err != nil {
+		t.Fatal(err)
+	}
+	if code, r := get(); code != http.StatusServiceUnavailable || r.Ready {
+		t.Fatalf("all planes down: code %d, %+v, want 503 not-ready", code, r)
+	}
+	if err := fab.RestorePlane(0); err != nil {
+		t.Fatal(err)
+	}
+	if code, r := get(); code != http.StatusOK || !r.Ready {
+		t.Fatalf("after restore: code %d, %+v", code, r)
+	}
+}
+
+// TestHeatmapEndpointExact pins the full /debug/heatmap body, byte for
+// byte, for a fully deterministic B(2) server: one worker, one plane,
+// exactly one bit-reversal routed. The self-routed setting for
+// (0,2,1,3) is switch 1 crossed in all three stages, so against the
+// all-straight power-on state the recorder must show one flip at
+// switch 1 per stage, two traversals per switch from the single full
+// vector, and an untouched plane recorder.
+func TestHeatmapEndpointExact(t *testing.T) {
+	eng, err := engine.New[int](engine.Config{
+		LogN:     2,
+		Workers:  1,
+		Recorder: netsim.NewRecorder(core.New(2), 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := obs.NewTraceRing(4, 0)
+	fab, err := fabric.New[int](fabric.Config{LogN: 2, Planes: 1, Record: true}, newTracedDeliver(ring))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := collective.New[int](fab, collective.Options{})
+	o := newObsState(eng, fab, col, ring, 4, time.Hour, testLogger())
+	srv := httptest.NewServer(newMux(eng, fab, col, o))
+	t.Cleanup(func() {
+		srv.Close()
+		fab.Close()
+		eng.Close()
+	})
+
+	if resp, rr := postRoute(t, srv.URL, routeRequest{Dest: perm.BitReversal(2)}); resp.StatusCode != http.StatusOK || rr.Kind != "self-routed" {
+		t.Fatalf("route: status %d, %+v", resp.StatusCode, rr)
+	}
+
+	resp, err := http.Get(srv.URL + "/debug/heatmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	engStage := func(s, cb int) string {
+		return `{"stage":` + strconv.Itoa(s) + `,"control_bit":` + strconv.Itoa(cb) +
+			`,"traversed":[2,2],"flips":[0,1],"forced":[0,0],"fault_hits":[0,0],` +
+			`"summary":{"max":2,"mean":2,"total":4,"skew":1,"gini":0}}`
+	}
+	idleStage := func(s, cb int) string {
+		return `{"stage":` + strconv.Itoa(s) + `,"control_bit":` + strconv.Itoa(cb) +
+			`,"traversed":[0,0],"flips":[0,0],"forced":[0,0],"fault_hits":[0,0],` +
+			`"summary":{"max":0,"mean":0,"total":0,"skew":0,"gini":0}}`
+	}
+	want := `{"n":4,"stages":3,"switches_per_stage":2,` +
+		`"engine":[` + engStage(0, 0) + `,` + engStage(1, 1) + `,` + engStage(2, 0) + `],` +
+		`"planes":[{"plane":0,"stages":[` + idleStage(0, 0) + `,` + idleStage(1, 1) + `,` + idleStage(2, 0) + `]}]}` + "\n"
+	if string(body) != want {
+		t.Fatalf("heatmap body mismatch:\n got: %s\nwant: %s", body, want)
+	}
+}
+
+// TestHeatmapEndpointShape checks the standard test server reports the
+// full geometry: all 2n-1 stages x N/2 switches for the engine and for
+// every plane.
+func TestHeatmapEndpointShape(t *testing.T) {
+	srv, _ := newTestServer(t)
+	postRoute(t, srv.URL, routeRequest{Dest: perm.BitReversal(4)})
+
+	resp, err := http.Get(srv.URL + "/debug/heatmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hm heatmapResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hm); err != nil {
+		t.Fatal(err)
+	}
+	if hm.N != 16 || hm.Stages != 7 || hm.SwitchesPerStage != 8 {
+		t.Fatalf("geometry: %+v, want N=16 stages=7 switches=8", hm)
+	}
+	if len(hm.Engine) != 7 {
+		t.Fatalf("engine rows = %d, want all 2n-1 = 7 stages", len(hm.Engine))
+	}
+	for _, st := range hm.Engine {
+		if len(st.Traversed) != 8 || len(st.Flips) != 8 || len(st.Forced) != 8 || len(st.FaultHits) != 8 {
+			t.Fatalf("stage %d rows must span all N/2 = 8 switches: %+v", st.Stage, st)
+		}
+		// One full vector traversed: two tags per switch, eight switches.
+		if st.Summary.Total != 16 {
+			t.Fatalf("stage %d total = %d, want 2 traversals x 8 switches = 16", st.Stage, st.Summary.Total)
+		}
+	}
+	if len(hm.Planes) != 2 {
+		t.Fatalf("planes = %d, want 2", len(hm.Planes))
+	}
+	for _, pl := range hm.Planes {
+		if len(pl.Stages) != 7 {
+			t.Fatalf("plane %d rows = %d, want 7", pl.Plane, len(pl.Stages))
+		}
+	}
+}
+
+// TestObservabilityScrapeStress hammers routing and /send concurrently
+// with /debug/heatmap, /debug/history, and /metrics scrapes while the
+// history sampler runs — the -race exercise for the whole flight
+// recorder read path against live writers.
+func TestObservabilityScrapeStress(t *testing.T) {
+	srv, eng, _, o := newTestServerFull(t, collective.Options{})
+	o.hist.Start()
+	t.Cleanup(o.hist.Stop)
+
+	const iters = 60
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				if resp := eng.Route(perm.Random(16, rng), make([]int, 16)); resp.Err != nil {
+					t.Error(resp.Err)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			postSend(t, srv.URL, map[string]any{"src": i % 16, "dst": (i * 7) % 16})
+		}
+	}()
+	for _, path := range []string{"/debug/heatmap", "/debug/history", "/metrics", "/readyz"} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				resp, err := http.Get(srv.URL + path)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("%s: status %d", path, resp.StatusCode)
+					return
+				}
+			}
+		}(path)
+	}
+	wg.Wait()
+
+	// The history ring sampled throughout; a windowed report must decode
+	// and carry series once at least two samples landed.
+	resp, err := http.Get(srv.URL + "/debug/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var wr obs.WindowReport
+	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+		t.Fatal(err)
+	}
+	if wr.Samples < 2 || len(wr.Series) == 0 {
+		t.Fatalf("history report after stress: %d samples, %d series", wr.Samples, len(wr.Series))
+	}
+	if resp, err := http.Get(srv.URL + "/debug/history?window=banana"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad window: status %d, want 400", resp.StatusCode)
+		}
 	}
 }

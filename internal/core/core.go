@@ -132,6 +132,13 @@ func (b *Network) ControlBit(stage int) int {
 	return stage
 }
 
+// Link returns the stage-(stage+1) input line fed by stage-stage output
+// line y — one wiring lookup without Wiring's deep copy, for callers
+// walking packet paths on the hot serving path.
+func (b *Network) Link(stage, y int) int {
+	return b.link[stage][y]
+}
+
 // Wiring returns a deep copy of the inter-stage link maps:
 // Wiring()[s][y] is the stage-s+1 input line fed by stage-s output line
 // y. Package netsim uses this to build the goroutine-per-switch engine

@@ -42,6 +42,7 @@ type Plan struct {
 	States core.States // switch setting realizing Dest on B(n)
 	Dest   perm.Perm   // the permutation the plan realizes (input i -> Dest[i])
 	key    uint64      // hashPerm(Dest), the cache key
+	mask   []uint64    // States packed for the flight recorder; nil when accounting is off
 }
 
 // hashPerm returns the 64-bit plan-cache key for a destination vector:

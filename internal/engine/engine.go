@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/netsim"
 	"repro/internal/perm"
 )
 
@@ -67,6 +68,12 @@ type Config struct {
 	// through core.ExternalRoute (full gate-level fidelity) instead of
 	// applying the plan's end-to-end mapping directly.
 	ReplayStates bool
+	// Recorder, when non-nil, receives gate-level accounting for every
+	// served request: per-switch traversals and state flips. Full
+	// permutation vectors cost one atomic add plus a word-compare sweep;
+	// partially filled frames (Request.Real set) walk only the real
+	// packets' paths. Nil disables accounting entirely.
+	Recorder *netsim.Recorder
 }
 
 // Defaults for Config fields left zero.
@@ -98,6 +105,13 @@ func (c Config) withDefaults() Config {
 type Request[T any] struct {
 	Dest perm.Perm
 	Data []T
+	// Real, when non-nil, lists the input terminals carrying real
+	// packets; the rest of the vector is filler completing the
+	// permutation (the fabric's partially filled frames). The flight
+	// recorder then counts traversals along only the real packets'
+	// paths, while switch flips still reflect the full setting. Nil
+	// means every input is real — a full permutation pass.
+	Real []int
 }
 
 // Response reports one served request.
@@ -127,6 +141,7 @@ type Engine[T any] struct {
 	cfg   Config
 	cache *planCache
 	met   *Metrics
+	rec   *netsim.Recorder
 	reqs  chan *pending[T]
 	wg    sync.WaitGroup
 
@@ -146,6 +161,7 @@ func New[T any](cfg Config) (*Engine[T], error) {
 		cfg:   cfg,
 		cache: newPlanCache(cfg.CacheCapacity, cfg.CacheShards, &met.evictions, &met.collisions),
 		met:   met,
+		rec:   cfg.Recorder,
 		reqs:  make(chan *pending[T], cfg.QueueDepth),
 	}
 	e.wg.Add(cfg.Workers)
@@ -157,6 +173,14 @@ func New[T any](cfg Config) (*Engine[T], error) {
 
 // Network returns the underlying wired network.
 func (e *Engine[T]) Network() *core.Network { return e.net }
+
+// Recorder returns the flight recorder the engine records into, nil
+// when accounting is disabled.
+func (e *Engine[T]) Recorder() *netsim.Recorder { return e.rec }
+
+// QueueCapacity returns the request queue's depth limit — the
+// denominator readiness probes compare QueueDepth against.
+func (e *Engine[T]) QueueCapacity() int { return e.cfg.QueueDepth }
 
 // Metrics returns the engine's live counters.
 func (e *Engine[T]) Metrics() *Metrics { return e.met }
@@ -258,6 +282,7 @@ func (e *Engine[T]) Close() {
 // low-latency while heavy load amortizes plan lookups across a batch.
 func (e *Engine[T]) worker() {
 	defer e.wg.Done()
+	sh := e.rec.Shard() // nil (and inert) when accounting is off
 	batch := make([]*pending[T], 0, e.cfg.MaxBatch)
 	for {
 		p, ok := <-e.reqs
@@ -277,7 +302,7 @@ func (e *Engine[T]) worker() {
 				break drain
 			}
 		}
-		e.serve(batch)
+		e.serve(batch, sh)
 	}
 }
 
@@ -293,7 +318,7 @@ type batchPlan struct {
 // serve resolves plans for a batch and answers every request. Requests
 // sharing a permutation are served by one plan acquisition (Section IV
 // pipelining: one switch setting, many vectors).
-func (e *Engine[T]) serve(batch []*pending[T]) {
+func (e *Engine[T]) serve(batch []*pending[T], sh *netsim.RecorderShard) {
 	now := time.Now()
 	for _, p := range batch {
 		e.met.queueDepth.Add(-1)
@@ -325,7 +350,39 @@ func (e *Engine[T]) serve(batch []*pending[T]) {
 		t0 := time.Now()
 		out := e.applyPlan(ent.plan, p.req.Data)
 		e.met.Apply.Observe(time.Since(t0))
+		if sh != nil {
+			e.record(sh, ent.plan, p.req.Real)
+		}
 		p.done <- Response[T]{Data: out, Kind: ent.plan.Kind, CacheHit: ent.cached || reused}
+	}
+}
+
+// record accounts one served pass into the flight recorder. A full
+// permutation vector (real == nil) is one RecordVector — an atomic add
+// plus a word-compare flip sweep that is all loads while the cached
+// setting is unchanged. A partially filled frame records the flip sweep
+// for the full setting (every switch is physically pinned) but walks
+// only the real packets' paths for traversal counts.
+func (e *Engine[T]) record(sh *netsim.RecorderShard, pl *Plan, real []int) {
+	if real == nil {
+		sh.RecordVector(pl.mask)
+		return
+	}
+	sh.RecordFlips(pl.mask)
+	stages := e.net.Stages()
+	for _, src := range real {
+		y := src
+		for s := 0; s < stages; s++ {
+			sw := y >> 1
+			sh.Traverse(s, sw)
+			out := 2 * sw
+			if crossed := pl.States[s][sw]; crossed != (y&1 == 1) {
+				out++ // straight keeps the line parity; crossed swaps it
+			}
+			if s < stages-1 {
+				y = e.net.Link(s, out)
+			}
+		}
 	}
 }
 
@@ -351,6 +408,9 @@ func (e *Engine[T]) acquire(key uint64, d perm.Perm) (*Plan, bool, error) {
 		e.met.fallbacks.Add(1)
 		pl = &Plan{Kind: PlanLooped, States: e.net.Setup(d), Dest: d.Clone(), key: key}
 	}
+	// Pack the setting once at plan-build time so recording a cached
+	// pass is a word sweep, not a boolean matrix walk.
+	pl.mask = e.rec.PackStates(pl.States)
 	e.cache.put(pl)
 	return pl, false, nil
 }

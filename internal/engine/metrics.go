@@ -2,6 +2,7 @@ package engine
 
 import (
 	"expvar"
+	"strconv"
 
 	"repro/internal/obs"
 )
@@ -138,4 +139,26 @@ func (e *Engine[T]) Register(reg *obs.Registry, labels obs.Labels) {
 	reg.RegisterHistogram("benes_engine_wait_seconds", "Queue wait: Submit to worker pickup.", labels, &m.Wait)
 	reg.RegisterHistogram("benes_engine_plan_seconds", "Plan acquisition: cache lookup plus setup on a miss.", labels, &m.Plan)
 	reg.RegisterHistogram("benes_engine_apply_seconds", "Payload application (or gate-level states replay).", labels, &m.Apply)
+
+	// With a flight recorder attached, export one series per stage of
+	// the gate-level counters (per-switch series would be N/2 times the
+	// cardinality; the per-switch view stays on /debug/heatmap).
+	rec := e.rec
+	if rec == nil {
+		return
+	}
+	for s := 0; s < rec.Stages(); s++ {
+		stage := s
+		sl := append(append(obs.Labels{}, labels...), [2]string{"stage", strconv.Itoa(stage)})
+		reg.CounterFunc("benes_switch_traversals_total", "Destination tags that traversed the stage's switches.", sl,
+			func() int64 { return rec.StageTotals(stage).Traversed })
+		reg.CounterFunc("benes_switch_flips_total", "Switch state transitions between consecutively routed vectors.", sl,
+			func() int64 { return rec.StageTotals(stage).Flips })
+		reg.CounterFunc("benes_switch_forced_total", "Settings imposed by the omega bit rather than decided from tags.", sl,
+			func() int64 { return rec.StageTotals(stage).Forced })
+		reg.CounterFunc("benes_switch_fault_hits_total", "Vectors that demanded the opposite state from a stuck switch.", sl,
+			func() int64 { return rec.StageTotals(stage).FaultHits })
+		reg.GaugeFunc("benes_stage_skew", "Gini coefficient of the stage's per-switch traversal load.", sl,
+			func() float64 { return obs.Gini(rec.TraversedRow(stage)) })
+	}
 }

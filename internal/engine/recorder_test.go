@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/perm"
+)
+
+// TestEngineRecorderFullVectors routes full permutation vectors through
+// a recorder-enabled engine and checks the gate-level totals: every
+// switch carries exactly two tags per vector, and flips match the state
+// diffs between consecutively served plans.
+func TestEngineRecorderFullVectors(t *testing.T) {
+	const logN = 3
+	net := core.New(logN)
+	rec := netsim.NewRecorder(net, 2)
+	eng, err := New[int](Config{LogN: logN, Workers: 1, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if eng.Recorder() != rec {
+		t.Fatal("Recorder() accessor must return the configured recorder")
+	}
+
+	data := benchPayload(1 << logN)
+	vectors := []perm.Perm{
+		perm.BitReversal(logN),
+		perm.Identity(1 << logN),
+		perm.BitReversal(logN), // cache hit: still a recorded pass
+	}
+	for _, d := range vectors {
+		if resp := eng.Route(d, data); resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+	}
+
+	stages, switches := net.Stages(), net.SwitchesPerStage()
+	wantFlips := make([][]int64, stages)
+	for s := range wantFlips {
+		wantFlips[s] = make([]int64, switches)
+	}
+	prev := net.NewStates()
+	for _, d := range vectors {
+		res := net.SelfRoute(d)
+		if !res.OK() {
+			t.Fatalf("premise: %v must self-route", d)
+		}
+		for s := range res.States {
+			for i, crossed := range res.States[s] {
+				if crossed != prev[s][i] {
+					wantFlips[s][i]++
+				}
+			}
+		}
+		prev = res.States.Clone()
+	}
+
+	snap := rec.Snapshot()
+	if snap.FullVectors != int64(len(vectors)) {
+		t.Fatalf("full vectors = %d, want %d", snap.FullVectors, len(vectors))
+	}
+	for s := 0; s < stages; s++ {
+		for i := 0; i < switches; i++ {
+			if got := snap.Counts[s].Traversed[i]; got != 2*int64(len(vectors)) {
+				t.Errorf("traversed[%d][%d] = %d, want %d", s, i, got, 2*len(vectors))
+			}
+			if got := snap.Counts[s].Flips[i]; got != wantFlips[s][i] {
+				t.Errorf("flips[%d][%d] = %d, want %d", s, i, got, wantFlips[s][i])
+			}
+		}
+	}
+}
+
+// TestEngineRecorderRealPaths serves a partially filled frame
+// (Request.Real set) and checks traversals are counted along exactly
+// the real packets' gate-level paths — derived independently from the
+// synchronous evaluator's tag trace, where each unique destination tag
+// appears on exactly one line per stage.
+func TestEngineRecorderRealPaths(t *testing.T) {
+	const logN = 3
+	net := core.New(logN)
+	rec := netsim.NewRecorder(net, 1)
+	eng, err := New[int](Config{LogN: logN, Workers: 1, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	d := perm.BitReversal(logN)
+	real := []int{0, 3, 5}
+	resp := <-eng.Submit(Request[int]{Dest: d, Data: benchPayload(1 << logN), Real: real})
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+
+	res := net.SelfRoute(d)
+	stages, switches := net.Stages(), net.SwitchesPerStage()
+	want := make([][]int64, stages)
+	for s := range want {
+		want[s] = make([]int64, switches)
+		for _, src := range real {
+			tag := d[src]
+			hit := -1
+			for y, tr := range res.TagTrace[s] {
+				if tr == tag {
+					hit = y
+					break
+				}
+			}
+			if hit < 0 {
+				t.Fatalf("tag %d missing from stage %d trace", tag, s)
+			}
+			want[s][hit/2]++
+		}
+	}
+
+	snap := rec.Snapshot()
+	if snap.FullVectors != 0 {
+		t.Fatalf("a Real frame must not count as a full vector, got %d", snap.FullVectors)
+	}
+	for s := 0; s < stages; s++ {
+		var stageSum int64
+		for i := 0; i < switches; i++ {
+			if got := snap.Counts[s].Traversed[i]; got != want[s][i] {
+				t.Errorf("traversed[%d][%d] = %d, want %d", s, i, got, want[s][i])
+			}
+			stageSum += snap.Counts[s].Traversed[i]
+		}
+		if stageSum != int64(len(real)) {
+			t.Errorf("stage %d carries %d traversals, want one per real packet = %d", s, stageSum, len(real))
+		}
+	}
+	// Flips still reflect the full pinned setting.
+	flips := int64(0)
+	for s := 0; s < stages; s++ {
+		flips += rec.StageTotals(s).Flips
+	}
+	if want := int64(res.States.CountCrossed()); flips != want {
+		t.Fatalf("flips from power-on = %d, want crossed switch count %d", flips, want)
+	}
+}
+
+// TestEngineWarmRouteAllocs is the allocation guard: the warm-cache
+// serving path — Submit, worker pickup, cached plan, payload apply —
+// must stay at 5 allocations per request with gate-level accounting
+// enabled. The flight recorder's RecordVector is an atomic add plus a
+// word sweep; if it (or anything else on the warm path) starts
+// allocating, this fails before a benchmark ever notices.
+func TestEngineWarmRouteAllocs(t *testing.T) {
+	const logN = 6
+	rec := netsim.NewRecorder(core.New(logN), 2)
+	eng, err := New[int](Config{LogN: logN, Workers: 1, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	d := perm.BitReversal(logN)
+	data := benchPayload(1 << logN)
+	eng.Route(d, data) // prime the cache
+
+	allocs := testing.AllocsPerRun(200, func() {
+		if resp := eng.Route(d, data); resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+	})
+	if allocs > 5 {
+		t.Fatalf("warm Route allocates %.1f objects/op with accounting enabled, budget is 5", allocs)
+	}
+}
+
+// TestEngineQueueCapacity pins the readiness probe's denominator.
+func TestEngineQueueCapacity(t *testing.T) {
+	eng, err := New[int](Config{LogN: 2, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if got := eng.QueueCapacity(); got != 12 { // default 4*Workers
+		t.Fatalf("QueueCapacity = %d, want 12", got)
+	}
+}

@@ -1,0 +1,92 @@
+package fabric
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestBenchFabricArtifact is the CI bench-snapshot hook: when
+// BENCH_FABRIC_JSON names a file, it measures end-to-end packet
+// throughput (Send → VOQ → scheduler → plane → delivery) with the
+// gate-level flight recorder on, for one plane versus GOMAXPROCS
+// planes, and writes a small JSON artifact there. Without the env var
+// the test is skipped, so normal runs stay fast and deterministic.
+func TestBenchFabricArtifact(t *testing.T) {
+	path := os.Getenv("BENCH_FABRIC_JSON")
+	if path == "" {
+		t.Skip("BENCH_FABRIC_JSON not set")
+	}
+	multi := runtime.GOMAXPROCS(0)
+	if multi < 2 {
+		multi = 2
+	}
+	run := func(planes int) (pktsPerSec, frameFill float64) {
+		res := testing.Benchmark(func(b *testing.B) {
+			done := make(chan struct{})
+			var delivered atomic.Int64
+			target := int64(b.N)
+			f, err := New[int](Config{
+				LogN:     8,
+				Planes:   planes,
+				VOQDepth: 64,
+				Policy:   Block,
+				Record:   true,
+			}, func(Packet[int]) {
+				if delivered.Add(1) == target {
+					close(done)
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			senders := runtime.GOMAXPROCS(0)
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for s := 0; s < senders; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(s)))
+					n := f.N()
+					for i := s; i < b.N; i += senders {
+						if err := f.Send(Packet[int]{Src: rng.Intn(n), Dst: rng.Intn(n)}); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(s)
+			}
+			wg.Wait()
+			<-done
+			b.StopTimer()
+			frameFill = f.Stats().FrameFill
+			f.Close()
+		})
+		return float64(res.N) / res.T.Seconds(), frameFill
+	}
+
+	onePlane, fillOne := run(1)
+	multiPlane, fillMulti := run(multi)
+	artifact := map[string]any{
+		"log_n":                 8,
+		"planes_multi":          multi,
+		"pkts_per_sec_1plane":   onePlane,
+		"pkts_per_sec_multi":    multiPlane,
+		"frame_fill_1plane":     fillOne,
+		"frame_fill_multi":      fillMulti,
+		"plane_scaling_speedup": multiPlane / onePlane,
+	}
+	out, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %s", path, out)
+}

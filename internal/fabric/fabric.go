@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/perm"
 )
@@ -92,6 +93,14 @@ type Config struct {
 	// PlaneCache is the plan-cache capacity per plane. Defaults to the
 	// engine's DefaultCacheCapacity.
 	PlaneCache int
+	// Record attaches a gate-level flight recorder to every plane:
+	// per-switch traversal, flip, and fault-hit counters, served by
+	// PlaneRecorder and exported per stage by Register. Frames count
+	// traversals for their real packets only (filler assignments pin
+	// switches but move nothing), and a damaged plane's per-frame
+	// fault-check simulation contributes fault hits without double
+	// counting traversals.
+	Record bool
 }
 
 // DefaultVOQDepth bounds each virtual output queue unless Config says
@@ -150,11 +159,22 @@ func New[T any](cfg Config, deliver func(Packet[T])) (*Fabric[T], error) {
 		closing: make(chan struct{}),
 	}
 	f.voq.met = &f.met
+	// One geometry network shared by every plane's recorder; the planes'
+	// engines still wire their own.
+	var geo *core.Network
+	if cfg.Record {
+		geo = core.New(cfg.LogN)
+	}
 	for i := range f.planes {
+		var rec *netsim.Recorder
+		if cfg.Record {
+			rec = netsim.NewRecorder(geo, cfg.PlaneWorkers+1)
+		}
 		p, err := newPlane(i, engine.Config{
 			LogN:          cfg.LogN,
 			Workers:       cfg.PlaneWorkers,
 			CacheCapacity: cfg.PlaneCache,
+			Recorder:      rec,
 		}, &f.met)
 		if err != nil {
 			for _, q := range f.planes[:i] {
@@ -178,6 +198,42 @@ func (f *Fabric[T]) N() int { return f.n }
 
 // Planes returns K.
 func (f *Fabric[T]) Planes() int { return len(f.planes) }
+
+// PlaneRecorder returns plane id's gate-level flight recorder, nil when
+// Config.Record was off or id is out of range.
+func (f *Fabric[T]) PlaneRecorder(id int) *netsim.Recorder {
+	if id < 0 || id >= len(f.planes) {
+		return nil
+	}
+	return f.planes[id].eng.Recorder()
+}
+
+// Health is the fabric's readiness view: how much of the redundant
+// capacity is actually in rotation and how full the ingress queues run.
+// Readiness probes compare these against their thresholds.
+type Health struct {
+	PlanesTotal   int   `json:"planes_total"`
+	PlanesHealthy int   `json:"planes_healthy"`
+	VOQOccupied   int64 `json:"voq_occupied"`
+	VOQCapacity   int64 `json:"voq_capacity"`
+}
+
+// Health reads the fabric's live readiness signals. It is cheap — one
+// atomic read per plane plus the VOQ occupancy sum — and safe to call
+// from a probe handler on every scrape.
+func (f *Fabric[T]) Health() Health {
+	h := Health{
+		PlanesTotal: len(f.planes),
+		VOQOccupied: f.voq.occupancy(),
+		VOQCapacity: int64(f.n) * int64(f.n) * int64(f.cfg.VOQDepth),
+	}
+	for _, p := range f.planes {
+		if p.healthy.Load() {
+			h.PlanesHealthy++
+		}
+	}
+	return h
+}
 
 // Send offers one packet to the fabric. It returns nil when the packet
 // is accepted — from then on the fabric delivers it exactly once — or

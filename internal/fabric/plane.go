@@ -66,6 +66,10 @@ func (p *plane) inject(faults []core.Fault) {
 		if p.met != nil {
 			p.sim.SetTimingHook(p.met.FaultCheck.Observe)
 		}
+		// The fault-check pass contributes only fault-hit coordinates:
+		// the serving engine already accounts traversals and flips, and
+		// a check pass moves no payload.
+		p.sim.SetFaultRecorder(p.eng.Recorder())
 	}
 	p.mu.Unlock()
 	p.healthy.Store(len(faults) == 0)
@@ -104,7 +108,10 @@ func (p *plane) route(dest perm.Perm, srcs, dsts []int) error {
 		return fmt.Errorf("fabric: plane %d misroutes frame: %w", p.id, errPlaneDown)
 	}
 	rtt := time.Now()
-	resp := p.eng.Route(dest, p.ident)
+	// Real = srcs: the flight recorder walks only the real packets'
+	// paths; the frame's filler assignments pin switches without
+	// carrying traffic.
+	resp := <-p.eng.Submit(engine.Request[int]{Dest: dest, Data: p.ident, Real: srcs})
 	if p.met != nil {
 		p.met.PlaneRTT.ObserveSince(rtt)
 	}

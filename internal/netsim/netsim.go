@@ -42,7 +42,28 @@ type Engine struct {
 	net    *core.Network
 	stuck  map[switchID]bool // injected faults: switch -> frozen state
 	timing func(time.Duration)
+
+	rec        *Recorder // gate-level flight recorder; nil = disabled
+	faultsOnly bool      // record only fault hits (fabric's per-frame checks)
+	omega      bool      // omega bit asserted: stages 0..n-2 forced straight
 }
+
+// SetRecorder enables full gate-level accounting: every switch records
+// traversals, flips, forced settings, and fault hits into r. A nil r
+// disables recording; the per-message cost is then a single nil check.
+// Not safe to call concurrently with Run or Start.
+func (e *Engine) SetRecorder(r *Recorder) { e.rec, e.faultsOnly = r, false }
+
+// SetFaultRecorder enables fault-hit-only accounting: the one counter
+// a per-frame fault-check pass should contribute without also double
+// counting traversals the serving engine already records.
+func (e *Engine) SetFaultRecorder(r *Recorder) { e.rec, e.faultsOnly = r, true }
+
+// SetOmega asserts or clears the omega bit (Section II): with it set,
+// switches in stages 0..n-2 are forced straight instead of reading
+// their control bit, so every Omega(n) permutation self-routes. Not
+// safe to call concurrently with Run or Start.
+func (e *Engine) SetOmega(on bool) { e.omega = on }
 
 // SetTimingHook installs a callback invoked after every Run/RouteOne
 // with the wall-clock time the gate-level pass took — the hook the
@@ -110,8 +131,11 @@ func (e *Engine) Run(vectors []perm.Perm) ([]VectorResult, core.States) {
 	var wg sync.WaitGroup
 	for s := 0; s < stages; s++ {
 		cb := e.net.ControlBit(s)
+		forced := e.omega && s <= e.net.LogN()-2
 		for i := 0; i < N/2; i++ {
 			frozen, isStuck := e.stuck[switchID{s, i}]
+			sh := e.rec.shardFor(s, i)
+			recordAll := sh != nil && !e.faultsOnly
 			wg.Add(1)
 			go func(s, i, cb int) {
 				defer wg.Done()
@@ -122,15 +146,33 @@ func (e *Engine) Run(vectors []perm.Perm) ([]VectorResult, core.States) {
 				} else {
 					upOut, loOut = wires[s+1][link[s][2*i]], wires[s+1][link[s][2*i+1]]
 				}
+				prev := false // power-on state: straight
 				for k := 0; k < depth; k++ {
 					// The switch decides from the upper input's control
 					// bit and forwards it immediately — self-timing. A
-					// stuck switch cannot decide: it stays frozen.
+					// forced switch (omega bit) ignores the bit and stays
+					// straight; a stuck switch cannot decide at all.
 					u := <-upIn
-					crossed := bits.Bit(u.Tag, cb) == 1
+					desired := !forced && bits.Bit(u.Tag, cb) == 1
+					crossed := desired
 					if isStuck {
 						crossed = frozen
 					}
+					if sh != nil {
+						if recordAll {
+							sh.Traverse(s, i)
+							if forced {
+								sh.Forced(s, i)
+							}
+							if crossed != prev {
+								sh.Flip(s, i)
+							}
+						}
+						if isStuck && desired != frozen {
+							sh.FaultHit(s, i)
+						}
+					}
+					prev = crossed
 					if k == 0 {
 						firstStates[s][i] = crossed
 					}
@@ -140,6 +182,9 @@ func (e *Engine) Run(vectors []perm.Perm) ([]VectorResult, core.States) {
 						upOut <- u
 					}
 					l := <-loIn
+					if recordAll {
+						sh.Traverse(s, i)
+					}
 					if crossed {
 						upOut <- l
 					} else {

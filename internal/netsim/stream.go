@@ -57,7 +57,11 @@ func (e *Engine) Start(depth int) *Stream {
 	// wires on shutdown propagates termination stage by stage.
 	for st := 0; st < stages; st++ {
 		cb := e.net.ControlBit(st)
+		forced := e.omega && st <= e.net.LogN()-2
 		for i := 0; i < N/2; i++ {
+			frozen, isStuck := e.stuck[switchID{st, i}]
+			sh := e.rec.shardFor(st, i)
+			recordAll := sh != nil && !e.faultsOnly
 			s.wg.Add(1)
 			go func(st, i, cb int) {
 				defer s.wg.Done()
@@ -68,6 +72,7 @@ func (e *Engine) Start(depth int) *Stream {
 				} else {
 					upOut, loOut = wires[st+1][link[st][2*i]], wires[st+1][link[st][2*i+1]]
 				}
+				prev := false // power-on state: straight
 				for {
 					u, ok := <-upIn
 					if !ok {
@@ -76,14 +81,38 @@ func (e *Engine) Start(depth int) *Stream {
 						return
 					}
 					// Fig. 3: decide from the upper input's control bit,
-					// forward immediately — self-timing.
-					crossed := bits.Bit(u.Tag, cb) == 1
+					// forward immediately — self-timing. The omega bit
+					// forces the first n-1 stages straight; a stuck
+					// switch stays frozen.
+					desired := !forced && bits.Bit(u.Tag, cb) == 1
+					crossed := desired
+					if isStuck {
+						crossed = frozen
+					}
+					if sh != nil {
+						if recordAll {
+							sh.Traverse(st, i)
+							if forced {
+								sh.Forced(st, i)
+							}
+							if crossed != prev {
+								sh.Flip(st, i)
+							}
+						}
+						if isStuck && desired != frozen {
+							sh.FaultHit(st, i)
+						}
+					}
+					prev = crossed
 					if crossed {
 						loOut <- u
 					} else {
 						upOut <- u
 					}
 					l := <-loIn
+					if recordAll {
+						sh.Traverse(st, i)
+					}
 					if crossed {
 						upOut <- l
 					} else {

@@ -1,0 +1,65 @@
+package obs
+
+import "sort"
+
+// StageSummary rolls one stage's per-switch load vector up into the
+// occupancy and skew figures the heatmap endpoints serve: how hot the
+// hottest switch runs against the stage mean, and how unevenly the
+// load spreads (a Gini coefficient, 0 = perfectly balanced, →1 = all
+// load on one switch). Per-switch load balance is the determinant of
+// packet-mode Benes performance (Huang & Walrand), so these are the
+// first numbers a perf investigation should read.
+type StageSummary struct {
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	Total int64   `json:"total"`
+	// Skew is max/mean — 1.0 when every switch carries the same load, 0
+	// when the stage is idle.
+	Skew float64 `json:"skew"`
+	// Gini is the Gini coefficient of the load distribution.
+	Gini float64 `json:"gini"`
+}
+
+// SummarizeStage computes a StageSummary over one stage's per-switch
+// loads. An empty or all-zero stage summarizes to the zero value.
+func SummarizeStage(loads []int64) StageSummary {
+	var s StageSummary
+	if len(loads) == 0 {
+		return s
+	}
+	for _, v := range loads {
+		s.Total += v
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	if s.Total == 0 {
+		return s
+	}
+	s.Mean = float64(s.Total) / float64(len(loads))
+	s.Skew = float64(s.Max) / s.Mean
+	s.Gini = Gini(loads)
+	return s
+}
+
+// Gini returns the Gini coefficient of a non-negative load vector
+// using the sorted-rank formula: G = (2·Σ i·x_i)/(n·Σ x) − (n+1)/n
+// with 1-based ranks over ascending x. Zero for empty, all-zero, or
+// perfectly uniform input.
+func Gini(loads []int64) float64 {
+	n := len(loads)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), loads...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total, weighted float64
+	for i, v := range sorted {
+		total += float64(v)
+		weighted += float64(i+1) * float64(v)
+	}
+	if total == 0 {
+		return 0
+	}
+	return 2*weighted/(float64(n)*total) - float64(n+1)/float64(n)
+}

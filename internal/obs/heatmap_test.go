@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeStage(t *testing.T) {
+	cases := []struct {
+		name  string
+		loads []int64
+		want  StageSummary
+	}{
+		{"empty", nil, StageSummary{}},
+		{"idle", []int64{0, 0, 0, 0}, StageSummary{}},
+		{"uniform", []int64{5, 5, 5, 5}, StageSummary{Max: 5, Mean: 5, Total: 20, Skew: 1, Gini: 0}},
+		{"one-hot", []int64{8, 0, 0, 0}, StageSummary{Max: 8, Mean: 2, Total: 8, Skew: 4, Gini: 0.75}},
+		{"mixed", []int64{1, 3}, StageSummary{Max: 3, Mean: 2, Total: 4, Skew: 1.5, Gini: 0.25}},
+	}
+	for _, c := range cases {
+		got := SummarizeStage(c.loads)
+		if got.Max != c.want.Max || got.Total != c.want.Total ||
+			!near(got.Mean, c.want.Mean) || !near(got.Skew, c.want.Skew) || !near(got.Gini, c.want.Gini) {
+			t.Errorf("%s: SummarizeStage(%v) = %+v, want %+v", c.name, c.loads, got, c.want)
+		}
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := Gini(nil); g != 0 {
+		t.Fatalf("Gini(nil) = %v, want 0", g)
+	}
+	if g := Gini([]int64{7, 7, 7}); !near(g, 0) {
+		t.Fatalf("uniform Gini = %v, want 0", g)
+	}
+	// All load on one of n switches: G = (n-1)/n.
+	if g := Gini([]int64{0, 0, 0, 12}); !near(g, 0.75) {
+		t.Fatalf("one-hot Gini = %v, want 0.75", g)
+	}
+	// Order must not matter.
+	if a, b := Gini([]int64{1, 2, 3, 4}), Gini([]int64{4, 2, 1, 3}); !near(a, b) {
+		t.Fatalf("Gini order-sensitive: %v vs %v", a, b)
+	}
+	// 1,2,3,4: G = 2*(1+4+9+16)/(4*10) - 5/4 = 60/40 - 1.25 = 0.25.
+	if g := Gini([]int64{1, 2, 3, 4}); !near(g, 0.25) {
+		t.Fatalf("Gini(1..4) = %v, want 0.25", g)
+	}
+}

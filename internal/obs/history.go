@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SeriesPoint is one series' value at one sampling instant. Counters
+// and gauges carry Value; histograms carry the raw bucket counts so a
+// later window query can subtract two points and get the latency
+// distribution of just that window.
+type SeriesPoint struct {
+	Name    string
+	Labels  string
+	Kind    string // "counter", "gauge", "histogram"
+	Value   float64
+	Count   int64
+	SumNs   int64
+	Buckets []int64 // len histBuckets, histograms only
+}
+
+// Sample reads every registered series at one instant, in the same
+// deterministic order WritePrometheus renders (families sorted by
+// name, series in registration order).
+func (r *Registry) Sample() []SeriesPoint {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type entry struct {
+		f *family
+		s []*series
+	}
+	entries := make([]entry, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		entries = append(entries, entry{f, append([]*series(nil), f.series...)})
+	}
+	r.mu.Unlock()
+
+	var points []SeriesPoint
+	for _, e := range entries {
+		for _, s := range e.s {
+			p := SeriesPoint{Name: e.f.name, Labels: s.labels, Kind: e.f.typ}
+			switch {
+			case s.counter != nil:
+				p.Value = float64(s.counter())
+			case s.gauge != nil:
+				p.Value = s.gauge()
+			case s.hist != nil:
+				p.Buckets = make([]int64, histBuckets)
+				for i := range s.hist.buckets {
+					c := s.hist.buckets[i].Load()
+					p.Buckets[i] = c
+					p.Count += c
+				}
+				p.SumNs = s.hist.sumNs.Load()
+			}
+			points = append(points, p)
+		}
+	}
+	return points
+}
+
+// histSample is one full-registry capture.
+type histSample struct {
+	at     time.Time
+	points []SeriesPoint
+}
+
+// History is the bounded snapshot time-series ring: it periodically
+// samples a whole Registry so rate-over-time and windowed-percentile
+// queries can be answered from process memory, without an external
+// Prometheus scraping and storing the series. Memory is bounded by
+// capacity × series count; old samples are overwritten in ring order.
+type History struct {
+	reg      *Registry
+	capacity int
+	interval time.Duration
+
+	mu   sync.Mutex
+	buf  []histSample
+	next int
+
+	startOnce, stopOnce sync.Once
+	stop                chan struct{}
+	done                chan struct{}
+}
+
+// NewHistory builds a ring of up to capacity samples taken every
+// interval once Start is called (capacity < 2 is raised to 2; interval
+// <= 0 defaults to one second).
+func NewHistory(reg *Registry, capacity int, interval time.Duration) *History {
+	if capacity < 2 {
+		capacity = 2
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &History{
+		reg:      reg,
+		capacity: capacity,
+		interval: interval,
+		buf:      make([]histSample, 0, capacity),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Interval returns the sampling period.
+func (h *History) Interval() time.Duration { return h.interval }
+
+// Record captures one sample now. The background sampler calls this on
+// every tick; tests call it directly for deterministic rings.
+func (h *History) Record(at time.Time) {
+	s := histSample{at: at, points: h.reg.Sample()}
+	h.mu.Lock()
+	if len(h.buf) < h.capacity {
+		h.buf = append(h.buf, s)
+	} else {
+		h.buf[h.next] = s
+		h.next = (h.next + 1) % h.capacity
+	}
+	h.mu.Unlock()
+}
+
+// Start launches the background sampler. Start is idempotent.
+func (h *History) Start() {
+	h.startOnce.Do(func() {
+		go func() {
+			defer close(h.done)
+			t := time.NewTicker(h.interval)
+			defer t.Stop()
+			for {
+				select {
+				case now := <-t.C:
+					h.Record(now)
+				case <-h.stop:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the sampler and waits for it to exit. Stop is idempotent
+// and safe to call even if Start never ran.
+func (h *History) Stop() {
+	h.stopOnce.Do(func() { close(h.stop) })
+	h.startOnce.Do(func() { close(h.done) }) // never started: unblock the wait
+	<-h.done
+}
+
+// ordered returns the held samples oldest first.
+func (h *History) ordered() []histSample {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]histSample, 0, len(h.buf))
+	if len(h.buf) < h.capacity {
+		out = append(out, h.buf...)
+		return out
+	}
+	for i := 0; i < len(h.buf); i++ {
+		out = append(out, h.buf[(h.next+i)%h.capacity])
+	}
+	return out
+}
+
+// SeriesWindow is one series' change across a window: counter deltas
+// and per-second rates, gauge movement, and — for histograms — the
+// observation count and p50/p99 of just the window's observations
+// (bucket-count subtraction between the window's endpoints).
+type SeriesWindow struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"`
+	Kind   string  `json:"kind"`
+	First  float64 `json:"first"`
+	Last   float64 `json:"last"`
+	Delta  float64 `json:"delta"`
+	Rate   float64 `json:"rate_per_sec"`
+	Count  int64   `json:"count,omitempty"`
+	P50Ns  int64   `json:"p50_ns,omitempty"`
+	P99Ns  int64   `json:"p99_ns,omitempty"`
+}
+
+// WindowReport answers one history query: the real time span covered,
+// how many samples fell inside it, and every series' movement.
+type WindowReport struct {
+	From    time.Time      `json:"from"`
+	To      time.Time      `json:"to"`
+	Seconds float64        `json:"seconds"`
+	Samples int            `json:"samples"`
+	Series  []SeriesWindow `json:"series"`
+}
+
+// Window reports every series' change over the trailing window d. d <=
+// 0 means the whole ring. With fewer than two samples in the window the
+// report carries no series (there is no delta to compute).
+func (h *History) Window(d time.Duration) WindowReport {
+	samples := h.ordered()
+	if len(samples) == 0 {
+		return WindowReport{}
+	}
+	newest := samples[len(samples)-1]
+	inWin := samples
+	if d > 0 {
+		cutoff := newest.at.Add(-d)
+		for len(inWin) > 1 && inWin[0].at.Before(cutoff) {
+			inWin = inWin[1:]
+		}
+	}
+	rep := WindowReport{
+		From:    inWin[0].at,
+		To:      newest.at,
+		Seconds: newest.at.Sub(inWin[0].at).Seconds(),
+		Samples: len(inWin),
+	}
+	if len(inWin) < 2 {
+		return rep
+	}
+	first := inWin[0]
+	// Match by name+labels so series registered between the endpoints
+	// are skipped rather than mis-paired.
+	idx := make(map[[2]string]*SeriesPoint, len(first.points))
+	for i := range first.points {
+		p := &first.points[i]
+		idx[[2]string{p.Name, p.Labels}] = p
+	}
+	for i := range newest.points {
+		last := &newest.points[i]
+		f, ok := idx[[2]string{last.Name, last.Labels}]
+		if !ok || f.Kind != last.Kind {
+			continue
+		}
+		sw := SeriesWindow{Name: last.Name, Labels: last.Labels, Kind: last.Kind}
+		switch last.Kind {
+		case "histogram":
+			var counts [histBuckets]int64
+			for b := 0; b < histBuckets && b < len(last.Buckets) && b < len(f.Buckets); b++ {
+				if delta := last.Buckets[b] - f.Buckets[b]; delta > 0 {
+					counts[b] = delta
+				}
+			}
+			for _, c := range counts {
+				sw.Count += c
+			}
+			sw.First, sw.Last = float64(f.Count), float64(last.Count)
+			sw.Delta = float64(sw.Count)
+			if rep.Seconds > 0 {
+				sw.Rate = sw.Delta / rep.Seconds
+			}
+			if sw.Count > 0 {
+				sw.P50Ns = quantile(&counts, sw.Count, 0.50)
+				sw.P99Ns = quantile(&counts, sw.Count, 0.99)
+			}
+		default:
+			sw.First, sw.Last = f.Value, last.Value
+			sw.Delta = last.Value - f.Value
+			if rep.Seconds > 0 {
+				sw.Rate = sw.Delta / rep.Seconds
+			}
+		}
+		rep.Series = append(rep.Series, sw)
+	}
+	return rep
+}
+
+// Handler serves the history as the /debug/history endpoint:
+// ?window=30s selects the trailing window (default: the whole ring).
+func (h *History) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := time.Duration(0)
+		if raw := r.URL.Query().Get("window"); raw != "" {
+			parsed, err := time.ParseDuration(raw)
+			if err != nil || parsed < 0 {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusBadRequest)
+				_ = json.NewEncoder(w).Encode(map[string]string{"error": "bad window: " + raw})
+				return
+			}
+			d = parsed
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(h.Window(d)); err != nil {
+			return // body already streaming; nothing left to report
+		}
+	})
+}
