@@ -2,14 +2,33 @@
 # Bench trajectory guard: regenerate the three benchmark artifacts into
 # a scratch directory and diff the machine-portable keys against the
 # checked-in snapshots at the repo root. Raw ns/op and pkts/s figures
-# shift with hardware, so only invariants are enforced exactly (the
-# warm-path allocation count, the collective self-route ratio) and
-# relative figures (speedups) are held to a wide tolerance factor —
-# catching a collapsed cache or a serialized plane, not CPU jitter.
-# Override the factor with BENCH_TOL (default 4).
+# shift with hardware, so three grades of guard apply:
+#
+#   exact   — invariants (warm-path allocation count, collective
+#             self-route ratio) must match the snapshot bit for bit;
+#   ratchet — hard floors on the fabric's multi-plane scaling: the
+#             fresh value must stay above checked-in x RATCHET
+#             (default 0.9). These are the perf numbers this repo
+#             exists to defend — raise the snapshot when they improve,
+#             and a regression past 10% fails CI outright;
+#   floor   — wide-tolerance regression guards (checked-in / TOL,
+#             default 4) for figures that legitimately wobble across
+#             runner hardware — catching a collapsed cache or a
+#             serialized plane, not CPU jitter.
+#
+# Override with BENCH_TOL / BENCH_RATCHET. The regeneration runs under
+# the same pinned environment as ci/bench_snapshot.sh (GOMAXPROCS,
+# fabric iteration and plane counts) so the fresh artifacts are
+# comparable with the checked-in ones.
 set -eu
 cd "$(dirname "$0")/.."
 TOL=${BENCH_TOL:-4}
+RATCHET=${BENCH_RATCHET:-0.9}
+
+GOMAXPROCS=${BENCH_GOMAXPROCS:-4}
+BENCH_ITERS=${BENCH_ITERS:-200000}
+BENCH_PLANES=${BENCH_PLANES:-2}
+export GOMAXPROCS BENCH_ITERS BENCH_PLANES
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -55,9 +74,26 @@ floor() {
 	}' || fail=1
 }
 
+# ratchet FILE NAME: hard floor — the fresh value must stay above
+# checked-in x RATCHET. Improvements are banked by refreshing the
+# snapshot (ci/bench_snapshot.sh) in the same PR; after that, sliding
+# more than (1 - RATCHET) back down fails CI.
+ratchet() {
+	base=$(key "$1" "$2")
+	fresh=$(key "$tmp/$1" "$2")
+	awk -v b="$base" -v f="$fresh" -v r="$RATCHET" -v file="$1" -v name="$2" 'BEGIN {
+		if (b + 0 <= 0 || f + 0 <= 0 || f < b * r) {
+			printf "FAIL: %s %s = %s, below checked-in %s x %g ratchet\n", file, name, f, b, r
+			exit 1
+		}
+		printf "ok: %s %s = %s (checked-in %s, ratchet x%g)\n", file, name, f, b, r
+	}' || fail=1
+}
+
 exact BENCH_engine.json warm_allocs_op
 floor BENCH_engine.json speedup_warm
-floor BENCH_fabric.json plane_scaling_speedup
+ratchet BENCH_fabric.json plane_scaling_speedup
+ratchet BENCH_fabric.json pkts_per_sec_multi
 exact BENCH_collective.json self_route_ratio
 floor BENCH_collective.json speedup
 

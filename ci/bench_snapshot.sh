@@ -2,15 +2,30 @@
 # Regenerates the checked-in benchmark trajectory artifacts at the repo
 # root: BENCH_engine.json (plan-cache setup amortization + warm-path
 # alloc count with the flight recorder on), BENCH_fabric.json (packet
-# throughput, 1 plane vs GOMAXPROCS planes, recorder on), and
+# throughput, 1 plane vs BENCH_PLANES planes, recorder on), and
 # BENCH_collective.json (compiled vs naive all-to-all). Each is written
 # by the corresponding env-gated TestBench*Artifact test, so the
 # numbers come from exactly the code paths CI exercises.
+#
+# The environment is pinned so two runs on the same machine do the same
+# work: GOMAXPROCS (default 4, override with BENCH_GOMAXPROCS) applies
+# to all three artifacts, and the fabric artifact additionally pins its
+# iteration count (BENCH_ITERS, default 200000 packets per
+# configuration) and its multi-plane count (BENCH_PLANES, default 2)
+# instead of calibrating against wall-clock time. Raw pkts/s still
+# shifts with hardware — only ratios are comparable across machines.
 #
 # Run after perf-relevant changes and commit the refreshed artifacts;
 # ci/bench_diff.sh holds future runs to the machine-portable keys.
 set -eu
 cd "$(dirname "$0")/.."
+
+GOMAXPROCS=${BENCH_GOMAXPROCS:-4}
+BENCH_ITERS=${BENCH_ITERS:-200000}
+BENCH_PLANES=${BENCH_PLANES:-2}
+export GOMAXPROCS BENCH_ITERS BENCH_PLANES
+
+echo "pinned: GOMAXPROCS=$GOMAXPROCS BENCH_ITERS=$BENCH_ITERS BENCH_PLANES=$BENCH_PLANES"
 
 BENCH_ENGINE_JSON="$PWD/BENCH_engine.json" \
 	go test -count=1 -run '^TestBenchEngineArtifact$' -v ./internal/engine

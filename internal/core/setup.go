@@ -20,15 +20,58 @@ func (b *Network) Setup(d perm.Perm) States {
 		panic(fmt.Sprintf("core: Setup: permutation length %d != N %d", len(d), b.size))
 	}
 	st := b.NewStates()
-	dests := append([]int(nil), d...)
-	b.setup(dests, 0, 0, b.n, st)
+	b.SetupInto(d, st, NewSetupScratch(b))
 	return st
 }
 
-// setup solves the B(m) block whose inputs occupy lines [lo, lo+2^m) at
-// stages [s0, s0+2m-2]. dests[k] is the block-local destination of the
-// input at block-local position k.
-func (b *Network) setup(dests []int, lo, s0, m int, st States) {
+// SetupScratch is the reusable working memory of one looping-algorithm
+// run: the per-level destination buffers plus the loop-resolution
+// arrays. A scratch belongs to one goroutine at a time; reusing it
+// across calls makes SetupInto allocation-free, which matters on hot
+// paths that set up a fresh permutation per frame (the packet fabric).
+type SetupScratch struct {
+	invDest []int   // destination -> block-local input, reused per block
+	up      []int   // loop-resolution direction per input, reused per block
+	levels  [][]int // levels[depth] holds every block's dests at that depth
+}
+
+// NewSetupScratch allocates scratch sized for b. The total footprint is
+// N*(log N + 2) ints.
+func NewSetupScratch(b *Network) *SetupScratch {
+	sc := &SetupScratch{
+		invDest: make([]int, b.size),
+		up:      make([]int, b.size),
+		levels:  make([][]int, b.n),
+	}
+	for i := range sc.levels {
+		sc.levels[i] = make([]int, b.size)
+	}
+	return sc
+}
+
+// SetupInto is Setup writing into caller-owned memory: st receives the
+// switch setting (every switch is overwritten, so a dirty st is fine)
+// and sc provides the working buffers. It performs no allocations,
+// making it the right entry point for per-frame setup on serving paths.
+// Like Setup it panics on an invalid permutation — callers on hot paths
+// are expected to construct d correct by construction.
+func (b *Network) SetupInto(d perm.Perm, st States, sc *SetupScratch) {
+	if len(d) != b.size {
+		panic(fmt.Sprintf("core: SetupInto: permutation length %d != N %d", len(d), b.size))
+	}
+	dests := sc.levels[0][:b.size]
+	copy(dests, d)
+	b.setupScratch(dests, 0, 0, b.n, st, sc)
+}
+
+// setupScratch solves the B(m) block whose inputs occupy lines
+// [lo, lo+2^m) at stages [s0, s0+2m-2]. dests[k] is the block-local
+// destination of the input at block-local position k. All working
+// memory comes from sc: invDest and up are safe to share across blocks
+// because their last use precedes the recursive calls, and the
+// sub-permutations live in sc.levels[depth+1], segmented by lo so
+// sibling blocks never overlap.
+func (b *Network) setupScratch(dests []int, lo, s0, m int, st States, sc *SetupScratch) {
 	size := 1 << uint(m)
 	if m == 1 {
 		// A single switch: inputs (0,1) to outputs {dests[0], dests[1]}.
@@ -37,7 +80,7 @@ func (b *Network) setup(dests []int, lo, s0, m int, st States) {
 	}
 	half := size / 2
 	// invDest[v] = input position whose destination is v.
-	invDest := make([]int, size)
+	invDest := sc.invDest[:size]
 	for k, v := range dests {
 		invDest[v] = k
 	}
@@ -50,7 +93,10 @@ func (b *Network) setup(dests []int, lo, s0, m int, st States) {
 	const unset = 0
 	const goesUp = 1
 	const goesDown = 2
-	up := make([]int, size)
+	up := sc.up[:size]
+	for i := range up {
+		up[i] = unset
+	}
 	for start := 0; start < size; start++ {
 		if up[start] != unset {
 			continue
@@ -82,8 +128,10 @@ func (b *Network) setup(dests []int, lo, s0, m int, st States) {
 	// Build the sub-permutations seen by the two subnetworks. The input
 	// at position k enters subnetwork position k/2; destination v is
 	// served by subnetwork output v/2.
-	upDests := make([]int, half)
-	downDests := make([]int, half)
+	depth := b.n - m // 0 at the outermost block
+	next := sc.levels[depth+1]
+	upDests := next[lo : lo+half]
+	downDests := next[lo+half : lo+size]
 	for k, v := range dests {
 		if up[k] == goesUp {
 			upDests[k/2] = v / 2
@@ -99,6 +147,6 @@ func (b *Network) setup(dests []int, lo, s0, m int, st States) {
 			st[lastStage][lo/2+v/2] = v%2 == 1
 		}
 	}
-	b.setup(upDests, lo, s0+1, m-1, st)
-	b.setup(downDests, lo+half, s0+1, m-1, st)
+	b.setupScratch(upDests, lo, s0+1, m-1, st, sc)
+	b.setupScratch(downDests, lo+half, s0+1, m-1, st, sc)
 }

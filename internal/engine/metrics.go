@@ -32,6 +32,7 @@ type Metrics struct {
 	evictions  obs.Counter // plans displaced from the LRU cache
 	collisions obs.Counter // lookups whose hash matched a plan for a different permutation
 	prewarms   obs.Counter // plans resolved ahead of traffic via Prewarm
+	frames     obs.Counter // frames served synchronously via FrameServer.Serve
 	queueDepth obs.Gauge   // requests submitted but not yet picked up by a worker
 
 	// Per-stage latency histograms.
@@ -62,6 +63,11 @@ func (m *Metrics) CollisionMisses() int64 { return m.collisions.Value() }
 // Engine.Prewarm.
 func (m *Metrics) Prewarms() int64 { return m.prewarms.Value() }
 
+// FramesServed returns the number of frames served synchronously
+// through the FrameServer path, which bypasses the request queue and
+// the plan cache entirely.
+func (m *Metrics) FramesServed() int64 { return m.frames.Value() }
+
 // QueueDepth returns the number of requests currently waiting for a
 // worker.
 func (m *Metrics) QueueDepth() int64 { return m.queueDepth.Load() }
@@ -78,6 +84,7 @@ type Snapshot struct {
 	Evictions   int64   `json:"evictions"`
 	Collisions  int64   `json:"collision_misses"`
 	Prewarms    int64   `json:"prewarms"`
+	Frames      int64   `json:"frames"`
 	HitRate     float64 `json:"hit_rate"`
 	QueueDepth  int64   `json:"queue_depth"`
 	PlansCached int     `json:"plans_cached"`
@@ -100,6 +107,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		Evictions:  m.evictions.Value(),
 		Collisions: m.collisions.Value(),
 		Prewarms:   m.prewarms.Value(),
+		Frames:     m.frames.Value(),
 		QueueDepth: m.queueDepth.Load(),
 		Wait:       m.Wait.Snapshot(),
 		Plan:       m.Plan.Snapshot(),
@@ -134,6 +142,7 @@ func (e *Engine[T]) Register(reg *obs.Registry, labels obs.Labels) {
 	reg.CounterFunc("benes_engine_plan_cache_evictions_total", "Plans displaced from the LRU cache.", labels, m.evictions.Value)
 	reg.CounterFunc("benes_engine_plan_cache_collisions_total", "Lookups that collided with a plan for a different permutation.", labels, m.collisions.Value)
 	reg.CounterFunc("benes_engine_prewarms_total", "Plans resolved ahead of traffic via Prewarm.", labels, m.prewarms.Value)
+	reg.CounterFunc("benes_engine_frames_total", "Frames served synchronously via FrameServer.", labels, m.frames.Value)
 	reg.GaugeFunc("benes_engine_queue_depth", "Requests waiting for a worker.", labels, func() float64 { return float64(m.queueDepth.Load()) })
 	reg.GaugeFunc("benes_engine_plans_cached", "Plans currently held by the cache.", labels, func() float64 { return float64(e.cache.len()) })
 	reg.RegisterHistogram("benes_engine_wait_seconds", "Queue wait: Submit to worker pickup.", labels, &m.Wait)

@@ -5,75 +5,107 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
+
+// artifactEnvInt reads a positive integer knob for the bench artifact,
+// falling back to def when the variable is unset.
+func artifactEnvInt(t *testing.T, name string, def int) int {
+	s := os.Getenv(name)
+	if s == "" {
+		return def
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v <= 0 {
+		t.Fatalf("%s must be a positive integer, got %q", name, s)
+	}
+	return v
+}
 
 // TestBenchFabricArtifact is the CI bench-snapshot hook: when
 // BENCH_FABRIC_JSON names a file, it measures end-to-end packet
 // throughput (Send → VOQ → scheduler → plane → delivery) with the
-// gate-level flight recorder on, for one plane versus GOMAXPROCS
-// planes, and writes a small JSON artifact there. Without the env var
-// the test is skipped, so normal runs stay fast and deterministic.
+// gate-level flight recorder on, for one plane versus BENCH_PLANES
+// planes (default 2), and writes a small JSON artifact there. Without
+// the env var the test is skipped, so normal runs stay fast and
+// deterministic.
+//
+// The workload is pinned, not calibrated: exactly BENCH_ITERS packets
+// per configuration (default 200000) after a short warmup, so two runs
+// on the same machine do identical work and the artifact diff in
+// ci/bench_diff.sh compares like with like. ci/bench_snapshot.sh pins
+// GOMAXPROCS as well.
 func TestBenchFabricArtifact(t *testing.T) {
 	path := os.Getenv("BENCH_FABRIC_JSON")
 	if path == "" {
 		t.Skip("BENCH_FABRIC_JSON not set")
 	}
-	multi := runtime.GOMAXPROCS(0)
+	iters := artifactEnvInt(t, "BENCH_ITERS", 200000)
+	multi := artifactEnvInt(t, "BENCH_PLANES", 2)
 	if multi < 2 {
 		multi = 2
 	}
-	run := func(planes int) (pktsPerSec, frameFill float64) {
-		res := testing.Benchmark(func(b *testing.B) {
-			done := make(chan struct{})
-			var delivered atomic.Int64
-			target := int64(b.N)
-			f, err := New[int](Config{
-				LogN:     8,
-				Planes:   planes,
-				VOQDepth: 64,
-				Policy:   Block,
-				Record:   true,
-			}, func(Packet[int]) {
-				if delivered.Add(1) == target {
-					close(done)
-				}
-			})
-			if err != nil {
-				b.Fatal(err)
+	run := func(planes, count int) (pktsPerSec, frameFill float64) {
+		done := make(chan struct{})
+		var delivered atomic.Int64
+		target := int64(count)
+		// VOQDepth 16: uniform random traffic touches all N² flows, and
+		// each flow's ring preallocates its full bound on first use —
+		// deep rings just buy memory and GC scan time here.
+		f, err := New[int](Config{
+			LogN:     8,
+			Planes:   planes,
+			VOQDepth: 16,
+			Policy:   Block,
+			Record:   true,
+		}, func(Packet[int]) {
+			if delivered.Add(1) == target {
+				close(done)
 			}
-			senders := runtime.GOMAXPROCS(0)
-			b.ResetTimer()
-			var wg sync.WaitGroup
-			for s := 0; s < senders; s++ {
-				wg.Add(1)
-				go func(s int) {
-					defer wg.Done()
-					rng := rand.New(rand.NewSource(int64(s)))
-					n := f.N()
-					for i := s; i < b.N; i += senders {
-						if err := f.Send(Packet[int]{Src: rng.Intn(n), Dst: rng.Intn(n)}); err != nil {
-							b.Error(err)
-							return
-						}
-					}
-				}(s)
-			}
-			wg.Wait()
-			<-done
-			b.StopTimer()
-			frameFill = f.Stats().FrameFill
-			f.Close()
 		})
-		return float64(res.N) / res.T.Seconds(), frameFill
+		if err != nil {
+			t.Fatal(err)
+		}
+		senders := runtime.GOMAXPROCS(0)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for s := 0; s < senders; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(s)))
+				n := f.N()
+				for i := s; i < count; i += senders {
+					if err := f.Send(Packet[int]{Src: rng.Intn(n), Dst: rng.Intn(n)}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+		<-done
+		elapsed := time.Since(start)
+		frameFill = f.Stats().FrameFill
+		f.Close()
+		return float64(count) / elapsed.Seconds(), frameFill
 	}
 
-	onePlane, fillOne := run(1)
-	multiPlane, fillMulti := run(multi)
+	// Warmup primes the goroutine pools and frame freelists of both
+	// configurations before anything is timed.
+	run(1, iters/10+1)
+	run(multi, iters/10+1)
+
+	onePlane, fillOne := run(1, iters)
+	multiPlane, fillMulti := run(multi, iters)
 	artifact := map[string]any{
 		"log_n":                 8,
+		"iters":                 iters,
+		"gomaxprocs":            runtime.GOMAXPROCS(0),
 		"planes_multi":          multi,
 		"pkts_per_sec_1plane":   onePlane,
 		"pkts_per_sec_multi":    multiPlane,

@@ -28,7 +28,7 @@ func BenchmarkFabricThroughput(b *testing.B) {
 			f, err := New[int](Config{
 				LogN:     8, // N = 256
 				Planes:   k,
-				VOQDepth: 64,
+				VOQDepth: 16,
 				Policy:   Block,
 			}, func(Packet[int]) {
 				if delivered.Add(1) == target {
@@ -69,13 +69,14 @@ func BenchmarkFabricThroughput(b *testing.B) {
 func BenchmarkFrameScheduler(b *testing.B) {
 	const logN = 8
 	n := 1 << logN
-	v := newVOQSet[int](n, 4)
+	v := newVOQShard[int](n, 4, nil)
+	fr := newFrame[int](n)
 	rng := rand.New(rand.NewSource(1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for v.enqueue(Packet[int]{Src: rng.Intn(n), Dst: rng.Intn(n)}, DropNew) == nil {
 		}
-		if fr := v.buildFrame(); fr == nil {
+		if !v.buildFrame(fr) {
 			b.Fatal("queues loaded but no frame extracted")
 		}
 	}

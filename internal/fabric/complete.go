@@ -50,3 +50,23 @@ func Complete(partial []int) (perm.Perm, error) {
 	}
 	return full, nil
 }
+
+// completeInto is Complete for the scheduler hot path: it writes into
+// caller-owned memory and performs no validation, because partial comes
+// from buildFrame's matching loop, which is conflict-free by
+// construction. taken must already mark exactly the outputs claimed in
+// partial; it is consumed (filler outputs get marked too).
+func completeInto(partial []int, full perm.Perm, taken []bool) {
+	free := 0
+	for i, out := range partial {
+		if out != Idle {
+			full[i] = out
+			continue
+		}
+		for taken[free] {
+			free++
+		}
+		taken[free] = true
+		full[i] = free
+	}
+}

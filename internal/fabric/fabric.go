@@ -1,25 +1,29 @@
-// Package fabric is a packet-switched serving layer over the batched
-// routing engine of internal/engine. The paper's network moves one full
+// Package fabric is a packet-switched serving layer over the routing
+// engine of internal/engine. The paper's network moves one full
 // permutation per pass, but production traffic arrives as independent
 // packets; following Huang & Walrand's observation that Benes networks
 // run well in packet mode, the fabric bridges the two models:
 //
-//   - arriving packets land in bounded per-input virtual output queues
-//     (VOQs), one FIFO per (input, output) pair, so a hot output cannot
-//     head-of-line block unrelated traffic;
-//   - a frame scheduler repeatedly extracts a conflict-free partial
-//     matching (at most one packet per input and per output, rotating
-//     iSLIP-style pointers for fairness) and completes it to a full
-//     permutation over the idle ports, which is exactly what the
-//     self-routing/plan-cache path of internal/engine serves;
-//   - each frame is dispatched to one of K switching planes — sharded
-//     engine instances with independent worker pools and plan caches —
-//     so K frames traverse the fabric concurrently;
+//   - arriving packets land in bounded lock-free virtual output queues
+//     (VOQs), one ring per (input, output) pair, so a hot output cannot
+//     head-of-line block unrelated traffic and senders never contend on
+//     a lock;
+//   - every (src, dst) flow is pinned to one switching plane by a
+//     rendezvous hash over the healthy planes, so the ingress is sharded
+//     per plane with no cross-plane contention and a flow's packets stay
+//     in order on one plane;
+//   - each plane owns a scheduler goroutine that repeatedly extracts a
+//     conflict-free partial matching from its shard (at most one packet
+//     per input and per output, rotating iSLIP-style pointers for
+//     fairness), completes it to a full permutation, and hands the whole
+//     frame to its router in one channel exchange;
+//   - each plane's router serves frames synchronously through the
+//     engine's FrameServer — no worker handoff, no plan-cache churn, no
+//     steady-state allocations — and fails frames over to the next
+//     healthy plane when its own plane is down or misroutes;
 //   - full queues exert backpressure with a configurable policy (tail
-//     drop or blocking), and a plane that fails — marked down by an
-//     operator or misrouting because of injected stuck-switch faults —
-//     is taken out of rotation while its frames fail over to the
-//     surviving planes.
+//     drop or blocking), and delivery callbacks are coalesced per frame
+//     (see NewBatched) instead of paid per packet.
 //
 // Accepted packets are delivered exactly once: a frame is only
 // delivered after the serving plane verifies every packet at its output
@@ -64,11 +68,57 @@ type Packet[T any] struct {
 
 // frame is one scheduled unit of switching work: a full permutation
 // dest carrying len(pkts) real packets (pkts[k] travels srcs[k] →
-// dsts[k]); the remaining ports carry filler assignments from Complete.
+// dsts[k]); the remaining ports carry filler assignments. Frames are
+// pooled per plane and reused, so the slices alias caller-invisible
+// memory that is recycled after delivery.
 type frame[T any] struct {
 	dest       perm.Perm
 	pkts       []Packet[T]
 	srcs, dsts []int
+}
+
+func newFrame[T any](n int) *frame[T] {
+	return &frame[T]{
+		dest: make(perm.Perm, n),
+		pkts: make([]Packet[T], 0, n),
+		srcs: make([]int, 0, n),
+		dsts: make([]int, 0, n),
+	}
+}
+
+func (fr *frame[T]) reset() {
+	var zero Packet[T]
+	for i := range fr.pkts {
+		fr.pkts[i] = zero // release payload and trace references
+	}
+	fr.pkts = fr.pkts[:0]
+	fr.srcs = fr.srcs[:0]
+	fr.dsts = fr.dsts[:0]
+}
+
+// Affinity selects how Send assigns a packet's flow to a plane shard.
+type Affinity int
+
+const (
+	// FlowHash (the default) pins each (src, dst) flow to one healthy
+	// plane by rendezvous hashing: minimal reshuffling when a plane
+	// leaves or rejoins the rotation, per-flow FIFO order within a
+	// stable healthy set, and zero cross-plane contention per flow.
+	FlowHash Affinity = iota
+	// Spray round-robins packets across planes regardless of flow — the
+	// pre-sharding behaviour, kept for comparison benchmarks. Spray
+	// preserves no per-flow ordering.
+	Spray
+)
+
+func (a Affinity) String() string {
+	switch a {
+	case FlowHash:
+		return "flow-hash"
+	case Spray:
+		return "spray"
+	}
+	return "unknown"
 }
 
 // Config parameterizes New. The zero value of every field except LogN
@@ -79,16 +129,19 @@ type Config struct {
 	// Planes is K, the number of parallel switching planes. Defaults
 	// to 1.
 	Planes int
-	// VOQDepth bounds each (input, output) queue. Defaults to
-	// DefaultVOQDepth.
+	// VOQDepth bounds each (input, output) queue, rounded up to a power
+	// of two. Defaults to DefaultVOQDepth.
 	VOQDepth int
-	// FrameQueue is the buffered depth of the scheduler → dispatcher
-	// channel. Defaults to 2*Planes.
+	// FrameQueue is the buffered depth of each plane's scheduler →
+	// router channel. Defaults to 2.
 	FrameQueue int
 	// Policy selects what Send does when a VOQ is full.
 	Policy DropPolicy
-	// PlaneWorkers is the engine worker count per plane. Defaults to 1,
-	// so K planes give K-way frame parallelism.
+	// Affinity selects flow-hash plane pinning (default) or spray.
+	Affinity Affinity
+	// PlaneWorkers is the engine worker count per plane, serving the
+	// collective-round path; frames bypass the workers entirely.
+	// Defaults to 1.
 	PlaneWorkers int
 	// PlaneCache is the plan-cache capacity per plane. Defaults to the
 	// engine's DefaultCacheCapacity.
@@ -115,7 +168,7 @@ func (c Config) withDefaults() Config {
 		c.VOQDepth = DefaultVOQDepth
 	}
 	if c.FrameQueue <= 0 {
-		c.FrameQueue = 2 * c.Planes
+		c.FrameQueue = 2
 	}
 	if c.PlaneWorkers <= 0 {
 		c.PlaneWorkers = 1
@@ -126,13 +179,18 @@ func (c Config) withDefaults() Config {
 // Fabric is a multi-plane packet switch. All methods are safe for
 // concurrent use.
 type Fabric[T any] struct {
-	cfg     Config
-	n       int
-	voq     *voqSet[T]
-	planes  []*plane
-	frames  chan *frame[T]
-	met     metrics
-	deliver func(Packet[T])
+	cfg       Config
+	n         int
+	shards    []*voqShard[T] // one ingress shard per plane
+	planes    []*plane
+	planeSeed []uint64 // rendezvous-hash seed per plane
+	spray     atomic.Uint64
+	frames    []chan *frame[T] // per-plane scheduler → router handoff
+	freelist  []chan *frame[T] // per-plane frame recycling
+	met       metrics
+
+	deliver      func(Packet[T])
+	deliverBatch func(plane int, pkts []Packet[T])
 
 	closing   chan struct{}
 	closed    atomic.Bool
@@ -143,22 +201,40 @@ type Fabric[T any] struct {
 // New builds and starts a fabric of cfg.Planes planes over B(cfg.LogN).
 // deliver, if non-nil, is invoked once per packet after the packet is
 // verified at its output port; it may be called concurrently from
-// several dispatcher goroutines and must be safe for that.
+// several router goroutines and must be safe for that.
 func New[T any](cfg Config, deliver func(Packet[T])) (*Fabric[T], error) {
+	return newFabric(cfg, deliver, nil)
+}
+
+// NewBatched is New with a coalesced delivery callback: after a frame
+// is verified, deliverBatch is invoked once with the serving plane and
+// every packet the frame carried, instead of once per packet. pkts is
+// only valid for the duration of the call — the fabric recycles the
+// backing array — so callers that retain packets must copy them out.
+// deliverBatch may be called concurrently from several router
+// goroutines and must be safe for that.
+func NewBatched[T any](cfg Config, deliverBatch func(plane int, pkts []Packet[T])) (*Fabric[T], error) {
+	return newFabric(cfg, nil, deliverBatch)
+}
+
+func newFabric[T any](cfg Config, deliver func(Packet[T]), deliverBatch func(int, []Packet[T])) (*Fabric[T], error) {
 	if cfg.LogN < 1 {
 		return nil, fmt.Errorf("fabric: Config.LogN must be >= 1, got %d", cfg.LogN)
 	}
 	cfg = cfg.withDefaults()
+	n := 1 << cfg.LogN
 	f := &Fabric[T]{
-		cfg:     cfg,
-		n:       1 << cfg.LogN,
-		voq:     newVOQSet[T](1<<cfg.LogN, cfg.VOQDepth),
-		planes:  make([]*plane, cfg.Planes),
-		frames:  make(chan *frame[T], cfg.FrameQueue),
-		deliver: deliver,
-		closing: make(chan struct{}),
+		cfg:          cfg,
+		n:            n,
+		shards:       make([]*voqShard[T], cfg.Planes),
+		planes:       make([]*plane, cfg.Planes),
+		planeSeed:    make([]uint64, cfg.Planes),
+		frames:       make([]chan *frame[T], cfg.Planes),
+		freelist:     make([]chan *frame[T], cfg.Planes),
+		deliver:      deliver,
+		deliverBatch: deliverBatch,
+		closing:      make(chan struct{}),
 	}
-	f.voq.met = &f.met
 	// One geometry network shared by every plane's recorder; the planes'
 	// engines still wire their own.
 	var geo *core.Network
@@ -168,7 +244,8 @@ func New[T any](cfg Config, deliver func(Packet[T])) (*Fabric[T], error) {
 	for i := range f.planes {
 		var rec *netsim.Recorder
 		if cfg.Record {
-			rec = netsim.NewRecorder(geo, cfg.PlaneWorkers+1)
+			// Workers plus the frame routers that may fail over here.
+			rec = netsim.NewRecorder(geo, cfg.PlaneWorkers+cfg.Planes)
 		}
 		p, err := newPlane(i, engine.Config{
 			LogN:          cfg.LogN,
@@ -183,12 +260,15 @@ func New[T any](cfg Config, deliver func(Packet[T])) (*Fabric[T], error) {
 			return nil, err
 		}
 		f.planes[i] = p
+		f.shards[i] = newVOQShard[T](n, cfg.VOQDepth, &f.met)
+		f.planeSeed[i] = mix64(uint64(i) + 0x9e3779b97f4a7c15)
+		f.frames[i] = make(chan *frame[T], cfg.FrameQueue)
+		f.freelist[i] = make(chan *frame[T], cfg.FrameQueue+2)
 	}
-	f.wg.Add(1)
-	go f.scheduler()
 	for i := range f.planes {
-		f.wg.Add(1)
-		go f.dispatcher(i)
+		f.wg.Add(2)
+		go f.scheduler(i)
+		go f.router(i)
 	}
 	return f, nil
 }
@@ -208,6 +288,66 @@ func (f *Fabric[T]) PlaneRecorder(id int) *netsim.Recorder {
 	return f.planes[id].eng.Recorder()
 }
 
+// mix64 is the SplitMix64 finalizer: a cheap, well-distributed 64-bit
+// mixer for the flow hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// planeFor picks the (src, dst) flow's home plane by rendezvous
+// hashing over the currently healthy planes: the healthy plane whose
+// seeded hash of the flow key is highest wins, so a plane leaving the
+// rotation moves only the flows it was serving and a rejoining plane
+// reclaims exactly its old flows. With every plane down the hash runs
+// over all planes instead, keeping the choice deterministic (the frames
+// will be counted lost at dispatch, preserving the books).
+func (f *Fabric[T]) planeFor(src, dst int) int {
+	key := mix64(uint64(src)<<32 | uint64(dst))
+	best, bestW := -1, uint64(0)
+	for i, p := range f.planes {
+		if !p.healthy.Load() {
+			continue
+		}
+		if w := mix64(key ^ f.planeSeed[i]); best == -1 || w > bestW {
+			best, bestW = i, w
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	for i := range f.planes {
+		if w := mix64(key ^ f.planeSeed[i]); best == -1 || w > bestW {
+			best, bestW = i, w
+		}
+	}
+	return best
+}
+
+// PlaneFor reports which plane the (src, dst) flow is currently pinned
+// to under flow-hash affinity: the plane a Send of that flow would
+// enqueue toward given the present healthy set. Exported so tests and
+// operators can predict and verify flow placement.
+func (f *Fabric[T]) PlaneFor(src, dst int) (int, error) {
+	if src < 0 || src >= f.n || dst < 0 || dst >= f.n {
+		return 0, fmt.Errorf("fabric: flow (%d -> %d) out of range [0,%d)", src, dst, f.n)
+	}
+	return f.planeFor(src, dst), nil
+}
+
+// shardFor routes a packet to its ingress shard per the configured
+// affinity.
+func (f *Fabric[T]) shardFor(src, dst int) int {
+	if f.cfg.Affinity == Spray {
+		return int(f.spray.Add(1) % uint64(len(f.shards)))
+	}
+	return f.planeFor(src, dst)
+}
+
 // Health is the fabric's readiness view: how much of the redundant
 // capacity is actually in rotation and how full the ingress queues run.
 // Readiness probes compare these against their thresholds.
@@ -219,18 +359,20 @@ type Health struct {
 }
 
 // Health reads the fabric's live readiness signals. It is cheap — one
-// atomic read per plane plus the VOQ occupancy sum — and safe to call
-// from a probe handler on every scrape.
+// atomic read per plane plus the VOQ occupancy sums — and safe to call
+// from a probe handler on every scrape. VOQCapacity is the logical
+// bound N²·depth: under flow-hash affinity each (src, dst) flow owns
+// exactly one ring across all shards.
 func (f *Fabric[T]) Health() Health {
 	h := Health{
 		PlanesTotal: len(f.planes),
-		VOQOccupied: f.voq.occupancy(),
-		VOQCapacity: int64(f.n) * int64(f.n) * int64(f.cfg.VOQDepth),
+		VOQCapacity: int64(f.n) * int64(f.n) * int64(ringDepth(f.cfg.VOQDepth)),
 	}
-	for _, p := range f.planes {
+	for i, p := range f.planes {
 		if p.healthy.Load() {
 			h.PlanesHealthy++
 		}
+		h.VOQOccupied += f.shards[i].occupancy()
 	}
 	return h
 }
@@ -247,7 +389,8 @@ func (f *Fabric[T]) Send(p Packet[T]) error {
 		f.met.rejected.Add(1)
 		return ErrClosed
 	}
-	if err := f.voq.enqueue(p, f.cfg.Policy); err != nil {
+	sh := f.shards[f.shardFor(p.Src, p.Dst)]
+	if err := sh.enqueue(p, f.cfg.Policy); err != nil {
 		f.met.rejected.Add(1)
 		return err
 	}
@@ -260,9 +403,9 @@ func (f *Fabric[T]) Send(p Packet[T]) error {
 // internal/netsim. The plane stays in rotation until a frame actually
 // misroutes — a stuck switch only damages permutations that need it in
 // the other state — at which point it is marked unhealthy and drained:
-// it holds no queued frames (dispatch is pull-based), and every
-// subsequent frame fails over to the surviving planes. Injecting an
-// empty fault set repairs and restores the plane.
+// it holds no queued frames beyond its channel window, its shard's
+// frames fail over at dispatch, and new flows rehash to the surviving
+// planes. Injecting an empty fault set repairs and restores the plane.
 func (f *Fabric[T]) InjectFaults(id int, faults []core.Fault) error {
 	if id < 0 || id >= len(f.planes) {
 		return fmt.Errorf("fabric: no plane %d", id)
@@ -271,8 +414,9 @@ func (f *Fabric[T]) InjectFaults(id int, faults []core.Fault) error {
 	return nil
 }
 
-// FailPlane administratively marks plane id unhealthy; frames fail over
-// to the surviving planes until RestorePlane.
+// FailPlane administratively marks plane id unhealthy; its flows rehash
+// to the surviving planes and in-flight frames fail over until
+// RestorePlane.
 func (f *Fabric[T]) FailPlane(id int) error {
 	if id < 0 || id >= len(f.planes) {
 		return fmt.Errorf("fabric: no plane %d", id)
@@ -291,14 +435,13 @@ func (f *Fabric[T]) RestorePlane(id int) error {
 }
 
 // Close stops accepting packets, schedules everything still queued,
-// waits for the dispatchers to drain, and shuts the planes down. Close
-// is idempotent. Packets accepted before Close are still delivered,
+// waits for the routers to drain, and shuts the planes down. Close is
+// idempotent. Packets accepted before Close are still delivered,
 // unless no healthy plane remains, in which case they are counted as
 // lost in the snapshot.
 func (f *Fabric[T]) Close() {
 	f.closeOnce.Do(func() {
 		f.closed.Store(true)
-		f.voq.close()
 		close(f.closing)
 		f.wg.Wait()
 		for _, p := range f.planes {
@@ -307,52 +450,102 @@ func (f *Fabric[T]) Close() {
 	})
 }
 
-// scheduler is the fabric's single matchmaking loop: each iteration
-// ("tick") extracts one frame from the VOQs and hands it to the
-// dispatchers, blocking — and thereby letting the VOQs fill and exert
-// backpressure — when all planes are busy. On close it drains the VOQs
-// before exiting.
-func (f *Fabric[T]) scheduler() {
+// takeFrame recycles a frame from plane i's freelist, allocating only
+// when the pool is dry (startup, or a deliverBatch callback still
+// holding the previous frame's slices longer than the window).
+func (f *Fabric[T]) takeFrame(i int) *frame[T] {
+	select {
+	case fr := <-f.freelist[i]:
+		return fr
+	default:
+		return newFrame[T](f.n)
+	}
+}
+
+func (f *Fabric[T]) putFrame(i int, fr *frame[T]) {
+	fr.reset()
+	select {
+	case f.freelist[i] <- fr:
+	default:
+	}
+}
+
+// scheduler is plane i's matchmaking loop: each iteration extracts one
+// frame from the plane's ingress shard and hands the whole matching to
+// the router in one channel exchange, blocking — and thereby letting
+// the VOQs fill and exert backpressure — when the router is behind. On
+// close it seals the shard and drains it before exiting.
+func (f *Fabric[T]) scheduler(i int) {
 	defer f.wg.Done()
-	defer close(f.frames)
+	defer close(f.frames[i])
+	sh := f.shards[i]
 	for {
-		fr := f.voq.buildFrame()
-		if fr == nil {
+		select {
+		case <-f.closing:
+			f.drainShard(i)
+			return
+		default:
+		}
+		fr := f.takeFrame(i)
+		if !sh.buildFrame(fr) {
+			f.putFrame(i, fr)
 			select {
-			case <-f.voq.notify:
-				continue
+			case <-sh.notify:
 			case <-f.closing:
-				for {
-					fr := f.voq.buildFrame()
-					if fr == nil {
-						return
-					}
-					f.met.frames.Add(1)
-					f.frames <- fr
-				}
+				f.drainShard(i)
+				return
 			}
+			continue
 		}
 		f.met.frames.Add(1)
-		f.frames <- fr
+		f.met.HandoffBatch.ObserveValue(int64(len(fr.pkts)))
+		f.frames[i] <- fr
 	}
 }
 
-// dispatcher pulls frames and serves them, preferring its home plane so
-// K dispatchers keep K planes busy; when the home plane is down or
-// misroutes, the frame fails over to the next healthy plane.
-func (f *Fabric[T]) dispatcher(home int) {
+// drainShard seals plane i's shard — after which every accepted packet
+// is observable in its rings — and schedules the remainder.
+func (f *Fabric[T]) drainShard(i int) {
+	sh := f.shards[i]
+	sh.seal()
+	for {
+		fr := f.takeFrame(i)
+		if !sh.buildFrame(fr) {
+			f.putFrame(i, fr)
+			return
+		}
+		f.met.frames.Add(1)
+		f.met.HandoffBatch.ObserveValue(int64(len(fr.pkts)))
+		f.frames[i] <- fr
+	}
+}
+
+// router serves plane i's frames synchronously through per-plane
+// FrameServers (its own, plus one per failover target), so the frame
+// hot path never crosses a goroutine boundary after the scheduler
+// handoff.
+func (f *Fabric[T]) router(i int) {
 	defer f.wg.Done()
-	for fr := range f.frames {
-		f.dispatch(home, fr)
+	servers := make([]*engine.FrameServer[int], len(f.planes))
+	for j, p := range f.planes {
+		servers[j] = p.eng.NewFrameServer()
+	}
+	for fr := range f.frames[i] {
+		f.dispatch(i, servers, fr)
+		f.putFrame(i, fr)
 	}
 }
 
-func (f *Fabric[T]) dispatch(home int, fr *frame[T]) {
+// dispatch serves one frame, preferring the home plane and failing over
+// to the next healthy plane when it is down or misroutes. Delivery is
+// coalesced: one deliverBatch call (or a tight deliver loop) per frame.
+func (f *Fabric[T]) dispatch(home int, servers []*engine.FrameServer[int], fr *frame[T]) {
 	failed := false
 	for attempt := 0; attempt < len(f.planes); attempt++ {
-		p := f.planes[(home+attempt)%len(f.planes)]
+		id := (home + attempt) % len(f.planes)
+		p := f.planes[id]
 		start := time.Now()
-		if err := p.route(fr.dest, fr.srcs, fr.dsts); err != nil {
+		if err := p.routeFrame(servers[id], fr.dest, fr.srcs); err != nil {
 			failed = true
 			continue
 		}
@@ -365,7 +558,11 @@ func (f *Fabric[T]) dispatch(home int, fr *frame[T]) {
 		for _, pkt := range fr.pkts {
 			pkt.Trace.SpanDur("plane_transit", start, transit, note)
 		}
-		if f.deliver != nil {
+		f.met.Coalesce.ObserveValue(int64(len(fr.pkts)))
+		switch {
+		case f.deliverBatch != nil:
+			f.deliverBatch(p.id, fr.pkts)
+		case f.deliver != nil:
 			for _, pkt := range fr.pkts {
 				f.deliver(pkt)
 			}

@@ -25,15 +25,25 @@ type metrics struct {
 	roundFailovers atomic.Int64 // rounds served only after a plane failover
 
 	// Per-stage latency histograms, mapping the paper's delay split
-	// onto the packet path: queueing (VOQWait), scheduling (Match),
-	// transmission (PlaneRTT), and the exactly-once check (Verify).
-	// FaultCheck times the gate-level simulator pass a damaged plane
-	// runs per frame, fed by netsim's timing hook.
-	VOQWait    obs.Histogram // packet enqueue -> extraction into a frame
-	Match      obs.Histogram // one matching extraction (buildFrame)
-	PlaneRTT   obs.Histogram // plane round-trip: engine route of a frame or round
-	Verify     obs.Histogram // output-port verification of a frame or round
-	FaultCheck obs.Histogram // gate-level fault-check simulation per frame
+	// onto the packet path: queueing (VOQWait, plus EnqueueWait for the
+	// backpressured slow path), scheduling (Match), transmission
+	// (PlaneRTT), and the exactly-once check (Verify, populated by the
+	// round path; frames verify inside the plane serve, timed by the
+	// engine's Apply histogram). FaultCheck times the gate-level
+	// simulator pass a damaged plane runs per frame, fed by netsim's
+	// timing hook.
+	VOQWait     obs.Histogram // packet enqueue -> extraction into a frame
+	EnqueueWait obs.Histogram // time a Block-policy sender spent parked on a full ring
+	Match       obs.Histogram // one matching extraction (buildFrame)
+	PlaneRTT    obs.Histogram // plane round-trip: engine route of a frame or round
+	Verify      obs.Histogram // output-port verification of a round
+	FaultCheck  obs.Histogram // gate-level fault-check simulation per frame
+
+	// Size histograms (fed by ObserveValue, not durations): how many
+	// real packets each scheduler→router handoff carried, and how many
+	// delivery callbacks each frame completion coalesced.
+	HandoffBatch obs.Histogram // real packets per frame handed to a router
+	Coalesce     obs.Histogram // packets delivered per coalesced frame drain
 }
 
 // VOQInputCounters is one input port's ingress accounting.
@@ -51,13 +61,19 @@ type VOQSnapshot struct {
 	PerInput []VOQInputCounters `json:"per_input"`
 }
 
-// StageSnapshot is the per-stage latency view of a fabric snapshot.
+// StageSnapshot is the per-stage latency view of a fabric snapshot,
+// plus the unitless batch-size distributions of the sharded hot path
+// (HandoffBatch and Coalesce report raw sizes in the *Ns fields).
 type StageSnapshot struct {
-	VOQWait    obs.HistogramSnapshot `json:"voq_wait"`
-	Match      obs.HistogramSnapshot `json:"match"`
-	PlaneRTT   obs.HistogramSnapshot `json:"plane_rtt"`
-	Verify     obs.HistogramSnapshot `json:"verify"`
-	FaultCheck obs.HistogramSnapshot `json:"fault_check"`
+	VOQWait     obs.HistogramSnapshot `json:"voq_wait"`
+	EnqueueWait obs.HistogramSnapshot `json:"enqueue_wait"`
+	Match       obs.HistogramSnapshot `json:"match"`
+	PlaneRTT    obs.HistogramSnapshot `json:"plane_rtt"`
+	Verify      obs.HistogramSnapshot `json:"verify"`
+	FaultCheck  obs.HistogramSnapshot `json:"fault_check"`
+
+	HandoffBatch obs.HistogramSnapshot `json:"handoff_batch"`
+	Coalesce     obs.HistogramSnapshot `json:"coalesce"`
 }
 
 // Snapshot is a point-in-time, JSON-friendly view of a running fabric,
@@ -104,11 +120,15 @@ func (f *Fabric[T]) Stats() Snapshot {
 		RoundFailovers: f.met.roundFailovers.Load(),
 
 		Stages: StageSnapshot{
-			VOQWait:    f.met.VOQWait.Snapshot(),
-			Match:      f.met.Match.Snapshot(),
-			PlaneRTT:   f.met.PlaneRTT.Snapshot(),
-			Verify:     f.met.Verify.Snapshot(),
-			FaultCheck: f.met.FaultCheck.Snapshot(),
+			VOQWait:     f.met.VOQWait.Snapshot(),
+			EnqueueWait: f.met.EnqueueWait.Snapshot(),
+			Match:       f.met.Match.Snapshot(),
+			PlaneRTT:    f.met.PlaneRTT.Snapshot(),
+			Verify:      f.met.Verify.Snapshot(),
+			FaultCheck:  f.met.FaultCheck.Snapshot(),
+
+			HandoffBatch: f.met.HandoffBatch.Snapshot(),
+			Coalesce:     f.met.Coalesce.Snapshot(),
 		},
 	}
 	if s.Frames > 0 {
@@ -118,7 +138,21 @@ func (f *Fabric[T]) Stats() Snapshot {
 	for i, p := range f.planes {
 		s.Planes[i] = p.snapshot()
 	}
-	s.VOQ.PerInput = f.voq.snapshot()
+	// Per-input VOQ books, summed across the per-plane shards. MaxDepth
+	// is the highest per-shard high-water mark, a conservative view of
+	// the input's worst backlog.
+	s.VOQ.PerInput = make([]VOQInputCounters, f.n)
+	for _, sh := range f.shards {
+		for i, c := range sh.snapshot() {
+			p := &s.VOQ.PerInput[i]
+			p.Enqueued += c.Enqueued
+			p.Dropped += c.Dropped
+			p.Occupied += c.Occupied
+			if c.MaxDepth > p.MaxDepth {
+				p.MaxDepth = c.MaxDepth
+			}
+		}
+	}
 	for _, c := range s.VOQ.PerInput {
 		s.VOQ.Occupied += c.Occupied
 	}
@@ -146,7 +180,13 @@ func (f *Fabric[T]) Register(reg *obs.Registry) {
 	reg.CounterFunc("benes_fabric_rounds_total", "Collective rounds served.", nil, m.rounds.Load)
 	reg.CounterFunc("benes_fabric_round_failovers_total", "Rounds served only after a plane failover.", nil, m.roundFailovers.Load)
 	reg.GaugeFunc("benes_fabric_voq_occupied", "Packets currently queued across all VOQs.", nil,
-		func() float64 { return float64(f.voq.occupancy()) })
+		func() float64 {
+			total := int64(0)
+			for _, sh := range f.shards {
+				total += sh.occupancy()
+			}
+			return float64(total)
+		})
 	reg.GaugeFunc("benes_fabric_healthy_planes", "Planes currently in rotation.", nil, func() float64 {
 		healthy := 0
 		for _, p := range f.planes {
@@ -157,10 +197,13 @@ func (f *Fabric[T]) Register(reg *obs.Registry) {
 		return float64(healthy)
 	})
 	reg.RegisterHistogram("benes_fabric_voq_wait_seconds", "Packet wait from VOQ enqueue to frame extraction.", nil, &m.VOQWait)
+	reg.RegisterHistogram("benes_fabric_enqueue_wait_seconds", "Time Block-policy senders spent parked on a full VOQ ring.", nil, &m.EnqueueWait)
 	reg.RegisterHistogram("benes_fabric_match_seconds", "Matching extraction (one scheduler tick).", nil, &m.Match)
 	reg.RegisterHistogram("benes_fabric_plane_seconds", "Plane round-trip for one frame or round.", nil, &m.PlaneRTT)
-	reg.RegisterHistogram("benes_fabric_verify_seconds", "Output-port verification of a frame or round.", nil, &m.Verify)
+	reg.RegisterHistogram("benes_fabric_verify_seconds", "Output-port verification of a round.", nil, &m.Verify)
 	reg.RegisterHistogram("benes_fabric_faultcheck_seconds", "Gate-level fault-check simulation per frame on a damaged plane.", nil, &m.FaultCheck)
+	reg.RegisterSizeHistogram("benes_fabric_handoff_batch_size", "Real packets per frame handed from a scheduler to its router.", nil, &m.HandoffBatch)
+	reg.RegisterSizeHistogram("benes_fabric_coalesce_size", "Packets delivered per coalesced frame drain.", nil, &m.Coalesce)
 	for _, p := range f.planes {
 		p := p
 		labels := obs.Labels{{"plane", strconv.Itoa(p.id)}}

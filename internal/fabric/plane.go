@@ -91,11 +91,14 @@ func (p *plane) checkFaults(dest perm.Perm) bool {
 	return res.OK()
 }
 
-// route serves one frame: the full permutation dest, carrying real
-// packets from srcs[k] to dsts[k]. On success every packet has been
-// verified at its output port; any error means nothing was delivered
-// and the caller must fail the frame over to another plane.
-func (p *plane) route(dest perm.Perm, srcs, dsts []int) error {
+// routeFrame serves one frame synchronously in the caller's goroutine:
+// the full permutation dest, carrying real packets from the inputs in
+// srcs. fs must be a FrameServer of this plane's engine owned by the
+// calling goroutine. On success every real packet has been verified at
+// its output port — FrameServer.Serve walks each packet's path gate by
+// gate through the computed setting — and any error means nothing was
+// delivered, so the caller must fail the frame over to another plane.
+func (p *plane) routeFrame(fs *engine.FrameServer[int], dest perm.Perm, srcs []int) error {
 	if !p.healthy.Load() {
 		p.failovers.Add(1)
 		return errPlaneDown
@@ -108,35 +111,17 @@ func (p *plane) route(dest perm.Perm, srcs, dsts []int) error {
 		return fmt.Errorf("fabric: plane %d misroutes frame: %w", p.id, errPlaneDown)
 	}
 	rtt := time.Now()
-	// Real = srcs: the flight recorder walks only the real packets'
-	// paths; the frame's filler assignments pin switches without
-	// carrying traffic.
-	resp := <-p.eng.Submit(engine.Request[int]{Dest: dest, Data: p.ident, Real: srcs})
+	err := fs.Serve(dest, srcs)
 	if p.met != nil {
 		p.met.PlaneRTT.ObserveSince(rtt)
 	}
-	if resp.Err != nil {
+	if err != nil {
 		p.healthy.Store(false)
 		p.failovers.Add(1)
-		return fmt.Errorf("fabric: plane %d: %w", p.id, resp.Err)
-	}
-	// Output-port tag check: input i's payload must sit at port
-	// dest[i]. With data[i] = i, the routed vector holds each packet's
-	// source at its destination port.
-	verify := time.Now()
-	for k, dst := range dsts {
-		if resp.Data[dst] != srcs[k] {
-			p.healthy.Store(false)
-			p.failovers.Add(1)
-			return fmt.Errorf("fabric: plane %d delivered port %d to the wrong source: %w",
-				p.id, dst, errPlaneDown)
-		}
-	}
-	if p.met != nil {
-		p.met.Verify.ObserveSince(verify)
+		return fmt.Errorf("fabric: plane %d: %w", p.id, err)
 	}
 	p.frames.Add(1)
-	p.packets.Add(int64(len(dsts)))
+	p.packets.Add(int64(len(srcs)))
 	return nil
 }
 

@@ -2,7 +2,9 @@ package fabric
 
 import (
 	"math/bits"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -30,85 +32,310 @@ func (p DropPolicy) String() string {
 	return "unknown"
 }
 
+// voqSlot is one ring slot. turn is the slot's lap word: ticket pos
+// (lap = pos >> shift) may push when turn == 2·lap, the packet is
+// published to the consumer by storing 2·lap+1, and the consumer frees
+// the slot for the next lap by storing 2·lap+2. The encoding starts at
+// zero — "free for lap 0" — so a freshly allocated ring needs no
+// initialization pass beyond Go's zeroing, which keeps the lazy
+// per-flow allocation in ring() cheap. enq is the enqueue wall clock in
+// UnixNano (an int64, not a time.Time, to keep slots small: rings exist
+// per (input, output) flow and their footprint is the fabric's memory
+// bill).
+type voqSlot[T any] struct {
+	turn atomic.Uint64
+	pkt  Packet[T]
+	enq  int64
+}
+
+// voqRing is one (input, output) virtual output queue: a bounded
+// lock-free ring in the style of Vyukov's bounded MPMC queue, used here
+// with many producers (senders) and a single consumer (the owning
+// shard's scheduler goroutine). Producers claim a ticket with one CAS
+// on tail and publish with one store to the slot's turn word; the
+// consumer needs no CAS at all. Capacity is rounded up to a power of
+// two so slot indexing is a mask.
+type voqRing[T any] struct {
+	mask  uint64
+	shift uint
+	slots []voqSlot[T]
+	_     [32]byte // keep head off the producers' tail line
+	head  atomic.Uint64
+	_     [56]byte
+	tail  atomic.Uint64
+}
+
+// ringDepth rounds depth up to the power of two the ring actually
+// allocates, minimum 2: with a single slot the sequence value that
+// marks "free for ticket t" equals the one that marks "published by
+// ticket t-1", so the ring cannot tell a full slot from an empty one.
+func ringDepth(depth int) int {
+	size := 2
+	for size < depth {
+		size <<= 1
+	}
+	return size
+}
+
+func newVOQRing[T any](depth int) *voqRing[T] {
+	size := ringDepth(depth)
+	return &voqRing[T]{
+		mask:  uint64(size - 1),
+		shift: uint(bits.TrailingZeros(uint(size))),
+		slots: make([]voqSlot[T], size),
+	}
+}
+
+// push publishes one packet; false means the ring is full.
+func (r *voqRing[T]) push(p Packet[T], enq int64) bool {
+	for {
+		pos := r.tail.Load()
+		s := &r.slots[pos&r.mask]
+		switch d := int64(s.turn.Load()) - int64(pos>>r.shift<<1); {
+		case d == 0:
+			if r.tail.CompareAndSwap(pos, pos+1) {
+				s.pkt, s.enq = p, enq
+				s.turn.Store((pos>>r.shift)<<1 + 1)
+				return true
+			}
+		case d < 0:
+			// The slot still holds the previous lap's packet: full.
+			return false
+		}
+		// d > 0 or a lost CAS: another producer advanced tail; retry.
+	}
+}
+
+// pop takes the oldest packet; enq is its enqueue UnixNano. Single
+// consumer only.
+func (r *voqRing[T]) pop() (Packet[T], int64, bool) {
+	pos := r.head.Load()
+	s := &r.slots[pos&r.mask]
+	lap := pos >> r.shift << 1
+	if s.turn.Load() != lap+1 {
+		var zero Packet[T]
+		return zero, 0, false
+	}
+	p, enq := s.pkt, s.enq
+	var zero Packet[T]
+	s.pkt = zero // release payload and trace references
+	s.turn.Store(lap + 2)
+	r.head.Store(pos + 1)
+	return p, enq, true
+}
+
+// size is the approximate occupancy; exact when producers are quiescent.
+func (r *voqRing[T]) size() int64 {
+	t, h := r.tail.Load(), r.head.Load()
+	if t < h {
+		return 0
+	}
+	return int64(t - h)
+}
+
 // voqInputCounters is the per-input slice of VOQ accounting, exported
-// through VOQSnapshot.
+// through VOQSnapshot. All fields are atomics: producers bump them
+// outside any lock.
 type voqInputCounters struct {
-	enqueued int64 // packets accepted into this input's queues
-	dropped  int64 // packets rejected by tail drop
-	occupied int64 // packets currently queued
-	maxDepth int64 // high-water mark of occupied
+	enqueued atomic.Int64 // packets accepted into this input's queues
+	dropped  atomic.Int64 // packets rejected by tail drop
+	occupied atomic.Int64 // packets currently queued
+	maxDepth atomic.Int64 // high-water mark of occupied
 }
 
-// queued is one packet sitting in a VOQ, stamped with its enqueue time
-// so extraction can histogram the sojourn (the paper's queueing delay,
-// as opposed to the setup and transmission delays the planes measure).
-type queued[T any] struct {
-	pkt Packet[T]
-	enq time.Time
-}
-
-// voqSet is the fabric's ingress stage: one bounded FIFO per
-// (input, output) pair — N² virtual output queues — so a burst to one
-// hot output cannot head-of-line block traffic from the same input to
-// other outputs. All state is guarded by one mutex; the scheduler and
-// senders interleave short critical sections (enqueue one packet,
-// extract one matching).
-type voqSet[T any] struct {
+// voqShard is one switching plane's slice of the fabric ingress: a
+// lazily allocated N² grid of lock-free rings, a per-input nonempty
+// bitmap, and the iSLIP-style rotating pointers of its scheduler. Flow
+// hashing assigns every (src, dst) flow to exactly one shard, so across
+// shards only N² rings are ever in use; rings materialize on a flow's
+// first packet (a CAS on the grid pointer), which keeps an idle shard's
+// footprint at one pointer per pair instead of a full ring.
+//
+// Producers (Send) touch only lock-free state: ring push, counter adds,
+// bitmap set. The single consumer — the shard's scheduler goroutine —
+// owns pop, bitmap clearing, and the rotating pointers. The only lock
+// is the Block-policy parking lot, paid exclusively by senders that
+// found their ring full.
+type voqShard[T any] struct {
 	n     int
-	depth int // per-queue bound
+	depth int // per-ring bound (power of two)
+	words int // bitmap words per input
+	met   *metrics
 
-	// met, when non-nil, receives VOQ-wait and matching latency; the
-	// fabric points it at its own metrics after construction so unit
-	// tests can build bare voqSets.
-	met *metrics
+	rings    []atomic.Pointer[voqRing[T]] // rings[in*n+out], lazily allocated
+	nonempty []atomic.Uint64              // nonempty[in*words+out/64]
+	counts   []voqInputCounters           // per input
 
-	mu     sync.Mutex
-	space  *sync.Cond    // signalled when a queue drains (Block policy)
-	queues [][]queued[T] // queues[in*n+out]
-	counts []voqInputCounters
-	closed bool
-
-	// nonempty[in] is a bitmap of outputs with a queued packet from
-	// `in`, so the scheduler finds candidates with find-next-set-bit
-	// scans instead of walking all N queues per input.
-	nonempty [][]uint64
-
-	// Round-robin pointers in the style of iSLIP: rrIn rotates which
-	// input gets first pick each frame, rrOut[i] rotates which output
-	// input i scans first, so no (input, output) pair is starved.
-	rrIn  int
-	rrOut []int
+	// Close protocol: inflight counts senders between admission check
+	// and ring publish; seal flips sealed, then waits for inflight to
+	// reach zero, after which a final drain observes every accepted
+	// packet.
+	sealed   atomic.Bool
+	inflight atomic.Int64
 
 	// notify wakes the scheduler when work arrives; capacity 1 so
 	// enqueues never block on it.
 	notify chan struct{}
+
+	// Block-policy parking lot. waiters is read lock-free by the
+	// consumer to skip the lock when nobody is parked.
+	blockMu sync.Mutex
+	space   *sync.Cond
+	waiters atomic.Int64
+
+	// Consumer-private scheduler state: the iSLIP rotating pointers and
+	// matching scratch. Owned by the scheduler goroutine; no
+	// synchronization.
+	rrIn    int
+	rrOut   []int
+	partial []int
+	taken   []bool
 }
 
-func newVOQSet[T any](n, depth int) *voqSet[T] {
-	v := &voqSet[T]{
-		n:        n,
-		depth:    depth,
-		queues:   make([][]queued[T], n*n),
-		counts:   make([]voqInputCounters, n),
-		nonempty: make([][]uint64, n),
-		rrOut:    make([]int, n),
-		notify:   make(chan struct{}, 1),
+func newVOQShard[T any](n, depth int, met *metrics) *voqShard[T] {
+	v := &voqShard[T]{
+		n:       n,
+		depth:   ringDepth(depth),
+		words:   (n + 63) / 64,
+		met:     met,
+		counts:  make([]voqInputCounters, n),
+		notify:  make(chan struct{}, 1),
+		rrOut:   make([]int, n),
+		partial: make([]int, n),
+		taken:   make([]bool, n),
 	}
-	words := (n + 63) / 64
-	for i := range v.nonempty {
-		v.nonempty[i] = make([]uint64, words)
-	}
-	v.space = sync.NewCond(&v.mu)
+	v.rings = make([]atomic.Pointer[voqRing[T]], n*n)
+	v.nonempty = make([]atomic.Uint64, n*v.words)
+	v.space = sync.NewCond(&v.blockMu)
 	return v
 }
 
-// nextSet returns the smallest bit index in [from, hi) set in bm, or -1.
-func nextSet(bm []uint64, from, hi int) int {
+// ring returns the (src, dst) ring, allocating it on first use. CAS
+// losers discard their allocation, so every index settles on one ring.
+func (v *voqShard[T]) ring(idx int) *voqRing[T] {
+	if r := v.rings[idx].Load(); r != nil {
+		return r
+	}
+	fresh := newVOQRing[T](v.depth)
+	if v.rings[idx].CompareAndSwap(nil, fresh) {
+		return fresh
+	}
+	return v.rings[idx].Load()
+}
+
+// setBit / clearBit are CAS loops because the go.mod language version
+// predates the atomic Or/And methods.
+func orBit(w *atomic.Uint64, bit uint64) {
+	for {
+		old := w.Load()
+		if old&bit != 0 || w.CompareAndSwap(old, old|bit) {
+			return
+		}
+	}
+}
+
+func andNotBit(w *atomic.Uint64, bit uint64) {
+	for {
+		old := w.Load()
+		if old&bit == 0 || w.CompareAndSwap(old, old&^bit) {
+			return
+		}
+	}
+}
+
+// enqueue publishes p into its VOQ, honouring the drop policy.
+func (v *voqShard[T]) enqueue(p Packet[T], policy DropPolicy) error {
+	v.inflight.Add(1)
+	defer v.inflight.Add(-1)
+	if v.sealed.Load() {
+		return ErrClosed
+	}
+	r := v.ring(p.Src*v.n + p.Dst)
+	if !r.push(p, time.Now().UnixNano()) {
+		if policy == DropNew {
+			v.counts[p.Src].dropped.Add(1)
+			return ErrBackpressure
+		}
+		if err := v.pushBlocking(r, p); err != nil {
+			return err
+		}
+	}
+	c := &v.counts[p.Src]
+	c.enqueued.Add(1)
+	occ := c.occupied.Add(1)
+	for {
+		m := c.maxDepth.Load()
+		if occ <= m || c.maxDepth.CompareAndSwap(m, occ) {
+			break
+		}
+	}
+	orBit(&v.nonempty[p.Src*v.words+p.Dst>>6], 1<<uint(p.Dst&63))
+	select {
+	case v.notify <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// pushBlocking parks the sender until the ring has room or the shard
+// seals. The waiter count is raised before each retry so the consumer's
+// post-pop check cannot miss a sender that observed the ring full just
+// before the pop freed a slot.
+func (v *voqShard[T]) pushBlocking(r *voqRing[T], p Packet[T]) error {
+	t0 := time.Now()
+	v.blockMu.Lock()
+	defer v.blockMu.Unlock()
+	for {
+		if v.sealed.Load() {
+			return ErrClosed
+		}
+		v.waiters.Add(1)
+		if r.push(p, time.Now().UnixNano()) {
+			v.waiters.Add(-1)
+			break
+		}
+		v.space.Wait()
+		v.waiters.Add(-1)
+	}
+	if v.met != nil {
+		v.met.EnqueueWait.ObserveSince(t0)
+	}
+	return nil
+}
+
+// signalSpace wakes parked senders after the scheduler freed ring
+// slots. The lock is taken only when somebody is actually parked.
+func (v *voqShard[T]) signalSpace() {
+	if v.waiters.Load() == 0 {
+		return
+	}
+	v.blockMu.Lock()
+	v.space.Broadcast()
+	v.blockMu.Unlock()
+}
+
+// seal stops admissions: senders racing the seal either complete their
+// publish (and are observed by the final drain) or see ErrClosed, and
+// parked senders are woken to see it too. On return every accepted
+// packet is in its ring.
+func (v *voqShard[T]) seal() {
+	v.blockMu.Lock()
+	v.sealed.Store(true)
+	v.space.Broadcast()
+	v.blockMu.Unlock()
+	for v.inflight.Load() != 0 {
+		runtime.Gosched()
+	}
+}
+
+// nextSet returns the smallest bit index in [from, hi) set in the
+// input's bitmap slice bm, or -1.
+func nextSet(bm []atomic.Uint64, from, hi int) int {
 	if from >= hi {
 		return -1
 	}
 	w := from >> 6
-	word := bm[w] & (^uint64(0) << uint(from&63))
+	word := bm[w].Load() & (^uint64(0) << uint(from&63))
 	for {
 		if word != 0 {
 			i := w<<6 + bits.TrailingZeros64(word)
@@ -121,156 +348,124 @@ func nextSet(bm []uint64, from, hi int) int {
 		if w >= len(bm) || w<<6 >= hi {
 			return -1
 		}
-		word = bm[w]
+		word = bm[w].Load()
 	}
 }
 
-// enqueue appends p to its VOQ, honouring the drop policy. It reports
-// whether the packet was accepted; a false return with a nil error
-// never happens.
-func (v *voqSet[T]) enqueue(p Packet[T], policy DropPolicy) error {
-	idx := p.Src*v.n + p.Dst
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	for len(v.queues[idx]) >= v.depth {
-		if policy == DropNew {
-			v.counts[p.Src].dropped++
-			return ErrBackpressure
-		}
-		v.space.Wait()
-		if v.closed {
-			return ErrClosed
-		}
+// clearIfEmpty drops the (in, out) nonempty bit when the ring has
+// drained, then re-checks: a producer that published between the
+// emptiness check and the clear re-raises its bit after the push, but a
+// producer that published *before* the clear would be lost without the
+// re-check.
+func (v *voqShard[T]) clearIfEmpty(in, out int, r *voqRing[T]) {
+	w := &v.nonempty[in*v.words+out>>6]
+	bit := uint64(1) << uint(out&63)
+	andNotBit(w, bit)
+	if r.size() > 0 {
+		orBit(w, bit)
 	}
-	if v.closed {
-		return ErrClosed
-	}
-	v.queues[idx] = append(v.queues[idx], queued[T]{pkt: p, enq: time.Now()})
-	v.nonempty[p.Src][p.Dst>>6] |= 1 << uint(p.Dst&63)
-	c := &v.counts[p.Src]
-	c.enqueued++
-	c.occupied++
-	if c.occupied > c.maxDepth {
-		c.maxDepth = c.occupied
-	}
-	select {
-	case v.notify <- struct{}{}:
-	default:
-	}
-	return nil
 }
 
 // buildFrame extracts a conflict-free partial matching — at most one
-// packet per input and per output — and completes it to a full
-// permutation. It returns nil when every queue is empty. Inputs are
+// packet per input and per output — into fr and completes it to a full
+// permutation. It reports false when every ring is empty. Inputs are
 // scanned from a rotating start, and each input scans its outputs from
 // its own rotating pointer, so repeated frames cycle through contending
-// pairs instead of always favouring low indices.
-func (v *voqSet[T]) buildFrame() *frame[T] {
+// pairs instead of always favouring low indices. Consumer only.
+func (v *voqShard[T]) buildFrame(fr *frame[T]) bool {
 	tick := time.Now()
-	v.mu.Lock()
-	defer v.mu.Unlock()
-
-	partial := make([]int, v.n)
+	tickNano := tick.UnixNano()
+	n := v.n
+	partial, taken := v.partial, v.taken
 	for i := range partial {
 		partial[i] = Idle
 	}
-	var pkts []Packet[T]
-	var srcs, dsts []int
-	taken := make([]bool, v.n)
-	for k := 0; k < v.n; k++ {
-		in := (v.rrIn + k) % v.n
-		if v.counts[in].occupied == 0 {
+	for i := range taken {
+		taken[i] = false
+	}
+	fr.reset()
+	for k := 0; k < n; k++ {
+		in := (v.rrIn + k) % n
+		if v.counts[in].occupied.Load() == 0 {
 			continue
 		}
+		bm := v.nonempty[in*v.words : (in+1)*v.words]
 		// Scan candidate outputs from the rotating pointer, wrapping
 		// once: non-empty per the bitmap and not yet claimed.
-		out := -1
 		start := v.rrOut[in]
-		for pass := 0; pass < 2 && out == -1; pass++ {
-			lo, hi := start, v.n
+		matched := false
+		for pass := 0; pass < 2 && !matched; pass++ {
+			lo, hi := start, n
 			if pass == 1 {
 				lo, hi = 0, start
 			}
-			for j := nextSet(v.nonempty[in], lo, hi); j != -1; j = nextSet(v.nonempty[in], j+1, hi) {
-				if !taken[j] {
-					out = j
-					break
+			for j := nextSet(bm, lo, hi); j != -1; j = nextSet(bm, j+1, hi) {
+				if taken[j] {
+					continue
 				}
+				r := v.rings[in*n+j].Load()
+				if r == nil {
+					// A bit with no ring cannot happen (the bit is set
+					// after the push); clear defensively.
+					andNotBit(&bm[j>>6], 1<<uint(j&63))
+					continue
+				}
+				pkt, enq, ok := r.pop()
+				if !ok {
+					v.clearIfEmpty(in, j, r)
+					continue
+				}
+				if r.size() == 0 {
+					v.clearIfEmpty(in, j, r)
+				}
+				v.counts[in].occupied.Add(-1)
+				wait := time.Duration(tickNano - enq)
+				if v.met != nil {
+					v.met.VOQWait.Observe(wait)
+				}
+				pkt.Trace.SpanDur("voq_wait", time.Unix(0, enq), wait, "")
+				partial[in] = j
+				taken[j] = true
+				fr.pkts = append(fr.pkts, pkt)
+				fr.srcs = append(fr.srcs, in)
+				fr.dsts = append(fr.dsts, j)
+				v.rrOut[in] = (j + 1) % n
+				matched = true
+				break
 			}
 		}
-		if out == -1 {
-			continue
-		}
-		q := v.queues[in*v.n+out]
-		qd := q[0]
-		// Shift rather than reslice so the backing array does not pin
-		// every packet ever queued.
-		copy(q, q[1:])
-		v.queues[in*v.n+out] = q[:len(q)-1]
-		if len(q) == 1 {
-			v.nonempty[in][out>>6] &^= 1 << uint(out&63)
-		}
-		v.counts[in].occupied--
-		partial[in] = out
-		taken[out] = true
-		wait := tick.Sub(qd.enq)
-		if v.met != nil {
-			v.met.VOQWait.Observe(wait)
-		}
-		qd.pkt.Trace.SpanDur("voq_wait", qd.enq, wait, "")
-		pkts = append(pkts, qd.pkt)
-		srcs = append(srcs, in)
-		dsts = append(dsts, out)
-		v.rrOut[in] = (out + 1) % v.n
 	}
-	if len(pkts) == 0 {
-		return nil
+	if len(fr.pkts) == 0 {
+		return false
 	}
-	v.rrIn = (v.rrIn + 1) % v.n
-	v.space.Broadcast()
+	v.rrIn = (v.rrIn + 1) % n
+	v.signalSpace()
 	if v.met != nil {
 		v.met.Match.ObserveSince(tick)
 	}
-
-	dest, err := Complete(partial)
-	if err != nil {
-		// Unreachable by construction: taken[] guarantees a matching.
-		panic("fabric: buildFrame produced a non-matching: " + err.Error())
-	}
-	return &frame[T]{dest: dest, pkts: pkts, srcs: srcs, dsts: dsts}
+	completeInto(partial, fr.dest, taken)
+	return true
 }
 
-// occupancy returns the total number of queued packets.
-func (v *voqSet[T]) occupancy() int64 {
-	v.mu.Lock()
-	defer v.mu.Unlock()
+// occupancy returns the shard's total queued packets.
+func (v *voqShard[T]) occupancy() int64 {
 	total := int64(0)
 	for i := range v.counts {
-		total += v.counts[i].occupied
+		total += v.counts[i].occupied.Load()
 	}
 	return total
 }
 
-// close wakes blocked senders so they observe the closed state.
-func (v *voqSet[T]) close() {
-	v.mu.Lock()
-	v.closed = true
-	v.space.Broadcast()
-	v.mu.Unlock()
-}
-
 // snapshot copies the per-input counters.
-func (v *voqSet[T]) snapshot() []VOQInputCounters {
-	v.mu.Lock()
-	defer v.mu.Unlock()
+func (v *voqShard[T]) snapshot() []VOQInputCounters {
 	out := make([]VOQInputCounters, v.n)
-	for i, c := range v.counts {
+	for i := range v.counts {
+		c := &v.counts[i]
 		out[i] = VOQInputCounters{
-			Enqueued: c.enqueued,
-			Dropped:  c.dropped,
-			Occupied: c.occupied,
-			MaxDepth: c.maxDepth,
+			Enqueued: c.enqueued.Load(),
+			Dropped:  c.dropped.Load(),
+			Occupied: c.occupied.Load(),
+			MaxDepth: c.maxDepth.Load(),
 		}
 	}
 	return out

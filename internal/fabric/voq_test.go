@@ -3,14 +3,56 @@ package fabric
 import (
 	"math/rand"
 	"testing"
+	"time"
 )
 
-// TestBuildFrameConflictFree fills the VOQs with random traffic and
+// drainOne extracts one frame from the shard, or nil when it is empty.
+func drainOne(t *testing.T, v *voqShard[int]) *frame[int] {
+	t.Helper()
+	fr := newFrame[int](v.n)
+	if !v.buildFrame(fr) {
+		return nil
+	}
+	return fr
+}
+
+// TestVOQRingWraps pushes and pops through several times the ring's
+// capacity, checking FIFO order and the full/empty edges across the
+// sequence-number wraparound of slot reuse.
+func TestVOQRingWraps(t *testing.T) {
+	r := newVOQRing[int](4)
+	next := 0
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 4; i++ {
+			if !r.push(Packet[int]{Payload: next + i}, time.Now().UnixNano()) {
+				t.Fatalf("round %d: push %d refused below capacity", round, i)
+			}
+		}
+		if r.push(Packet[int]{Payload: -1}, time.Now().UnixNano()) {
+			t.Fatalf("round %d: push beyond capacity accepted", round)
+		}
+		for i := 0; i < 4; i++ {
+			p, _, ok := r.pop()
+			if !ok {
+				t.Fatalf("round %d: pop %d found ring empty", round, i)
+			}
+			if p.Payload != next+i {
+				t.Fatalf("round %d: popped %d, want %d (FIFO broken)", round, p.Payload, next+i)
+			}
+		}
+		if _, _, ok := r.pop(); ok {
+			t.Fatalf("round %d: pop from empty ring succeeded", round)
+		}
+		next += 4
+	}
+}
+
+// TestBuildFrameConflictFree fills a shard with random traffic and
 // checks every extracted frame is a conflict-free matching: at most one
 // packet per input and per output, dest consistent with the packets.
 func TestBuildFrameConflictFree(t *testing.T) {
 	const n = 16
-	v := newVOQSet[int](n, 8)
+	v := newVOQShard[int](n, 8, nil)
 	rng := rand.New(rand.NewSource(2))
 	queued := 0
 	for i := 0; i < 300; i++ {
@@ -21,7 +63,7 @@ func TestBuildFrameConflictFree(t *testing.T) {
 	}
 	drained := 0
 	for {
-		fr := v.buildFrame()
+		fr := drainOne(t, v)
 		if fr == nil {
 			break
 		}
@@ -53,10 +95,10 @@ func TestBuildFrameConflictFree(t *testing.T) {
 	}
 }
 
-// TestVOQTailDrop fills one queue to its bound and checks the drop
+// TestVOQTailDrop fills one ring to its bound and checks the drop
 // accounting.
 func TestVOQTailDrop(t *testing.T) {
-	v := newVOQSet[int](4, 2)
+	v := newVOQShard[int](4, 2, nil)
 	p := Packet[int]{Src: 1, Dst: 3}
 	for i := 0; i < 2; i++ {
 		if err := v.enqueue(p, DropNew); err != nil {
@@ -76,18 +118,19 @@ func TestVOQTailDrop(t *testing.T) {
 	}
 }
 
-// TestVOQRoundRobinRotates checks the schedulers' pointers rotate: two
-// inputs contending for one output must alternate wins across frames.
+// TestVOQRoundRobinRotates checks the scheduler's pointers rotate: two
+// inputs contending for one output must split wins evenly across
+// frames.
 func TestVOQRoundRobinRotates(t *testing.T) {
 	const n = 4
-	v := newVOQSet[int](n, 8)
+	v := newVOQShard[int](n, 8, nil)
 	for i := 0; i < 4; i++ {
 		v.enqueue(Packet[int]{Src: 0, Dst: 2, Payload: 100 + i}, DropNew)
 		v.enqueue(Packet[int]{Src: 1, Dst: 2, Payload: 200 + i}, DropNew)
 	}
 	winners := make(map[int]int)
 	for {
-		fr := v.buildFrame()
+		fr := drainOne(t, v)
 		if fr == nil {
 			break
 		}
@@ -98,5 +141,26 @@ func TestVOQRoundRobinRotates(t *testing.T) {
 	}
 	if winners[0] != 4 || winners[1] != 4 {
 		t.Fatalf("rotating pointer should split wins 4/4, got %v", winners)
+	}
+}
+
+// TestVOQSealRefusesSenders checks the close protocol's admission gate:
+// after seal, enqueue returns ErrClosed and the shard still drains what
+// it had accepted.
+func TestVOQSealRefusesSenders(t *testing.T) {
+	v := newVOQShard[int](4, 8, nil)
+	if err := v.enqueue(Packet[int]{Src: 0, Dst: 1}, DropNew); err != nil {
+		t.Fatalf("enqueue before seal: %v", err)
+	}
+	v.seal()
+	if err := v.enqueue(Packet[int]{Src: 2, Dst: 3}, DropNew); err != ErrClosed {
+		t.Fatalf("enqueue after seal should return ErrClosed, got %v", err)
+	}
+	fr := drainOne(t, v)
+	if fr == nil || len(fr.pkts) != 1 || fr.pkts[0].Src != 0 || fr.pkts[0].Dst != 1 {
+		t.Fatalf("sealed shard must still drain its accepted packet, got %+v", fr)
+	}
+	if drainOne(t, v) != nil {
+		t.Fatal("shard should be empty after the drain")
 	}
 }

@@ -166,7 +166,19 @@ func (r *Recorder) PackStates(st core.States) []uint64 {
 	if r == nil {
 		return nil
 	}
-	mask := make([]uint64, r.stages*r.words)
+	return r.PackStatesInto(st, make([]uint64, r.stages*r.words))
+}
+
+// PackStatesInto is PackStates writing into a caller-owned mask buffer
+// of length MaskWords, clearing it first. RecordVector and RecordFlips
+// copy out of the mask, so the buffer is safe to reuse across passes —
+// the allocation-free path for callers that set up a fresh permutation
+// per frame. Nil on a nil recorder.
+func (r *Recorder) PackStatesInto(st core.States, mask []uint64) []uint64 {
+	if r == nil {
+		return nil
+	}
+	clear(mask)
 	for s := range st {
 		for i, crossed := range st[s] {
 			if crossed {
@@ -175,6 +187,15 @@ func (r *Recorder) PackStates(st core.States) []uint64 {
 		}
 	}
 	return mask
+}
+
+// MaskWords returns the length of a packed state bitmask for this
+// recorder's geometry (0 on nil): one word block per stage.
+func (r *Recorder) MaskWords() int {
+	if r == nil {
+		return 0
+	}
+	return r.stages * r.words
 }
 
 // RecordVector accounts one full-permutation pass whose switch setting

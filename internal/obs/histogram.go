@@ -57,6 +57,26 @@ func (h *Histogram) Observe(d time.Duration) {
 // ObserveSince records the time elapsed since t0.
 func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0)) }
 
+// ObserveValue records one unitless value — a batch size, a coalesce
+// count — into the same power-of-two buckets the latency path uses. A
+// histogram holds durations or values, never both; on a value
+// histogram the snapshot's *Ns fields read as raw values. Register
+// value histograms with Registry.RegisterSizeHistogram so the
+// exposition's le bounds stay unitless instead of being scaled to
+// seconds.
+func (h *Histogram) ObserveValue(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	idx := bits.Len64(uint64(v))
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	h.count.Add(1)
+	h.sumNs.Add(v)
+	h.buckets[idx].Add(1)
+}
+
 // Count returns the number of observations so far.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 

@@ -40,6 +40,7 @@ type series struct {
 	counter func() int64
 	gauge   func() float64
 	hist    *Histogram
+	size    bool // hist holds unitless values, not nanoseconds
 }
 
 // family is all series sharing one metric name.
@@ -128,6 +129,17 @@ func (r *Registry) RegisterHistogram(name, help string, labels Labels, h *Histog
 	r.register(name, help, "histogram", &series{labels: renderLabels(labels), hist: h})
 }
 
+// RegisterSizeHistogram registers a histogram fed by ObserveValue:
+// batch sizes, coalesce counts, and other unitless distributions. The
+// exposition's le bounds are the raw power-of-two bucket bounds (up to
+// 65535, then +Inf) instead of being scaled to seconds.
+func (r *Registry) RegisterSizeHistogram(name, help string, labels Labels, h *Histogram) {
+	if h == nil {
+		panic("obs: RegisterSizeHistogram requires a non-nil histogram")
+	}
+	r.register(name, help, "histogram", &series{labels: renderLabels(labels), hist: h, size: true})
+}
+
 // renderLabels renders labels as {k="v",...} with Prometheus escaping.
 func renderLabels(labels Labels) string {
 	if len(labels) == 0 {
@@ -166,6 +178,11 @@ func escapeLabelValue(v string) string {
 // ~69 s in factor-of-four steps; everything longer lands in +Inf.
 var promBucketExps = []int{6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 32, 34, 36}
 
+// sizeBucketExps are the bucket exponents for size histograms: raw
+// power-of-two value bounds from 1 to 65535, factor-of-two steps at the
+// small end where batch sizes live.
+var sizeBucketExps = []int{1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16}
+
 // WritePrometheus renders every registered family in the Prometheus
 // text exposition format: families sorted by name, series in
 // registration order, histograms as cumulative le buckets in seconds
@@ -197,7 +214,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			case s.gauge != nil:
 				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatFloat(s.gauge()))
 			case s.hist != nil:
-				writePromHistogram(&b, f.name, s.labels, s.hist)
+				writePromHistogram(&b, f.name, s.labels, s.hist, s.size)
 			}
 		}
 	}
@@ -206,8 +223,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 // writePromHistogram renders one histogram series: cumulative buckets
-// with le in seconds, then _sum (seconds) and _count.
-func writePromHistogram(b *strings.Builder, name, labels string, h *Histogram) {
+// with le in seconds (or raw values for size histograms), then _sum and
+// _count in the same unit.
+func writePromHistogram(b *strings.Builder, name, labels string, h *Histogram, size bool) {
 	// Load the buckets once; the cumulative sums are then monotone by
 	// construction even while Observe calls race the scrape.
 	var counts [histBuckets]int64
@@ -216,18 +234,22 @@ func writePromHistogram(b *strings.Builder, name, labels string, h *Histogram) {
 		counts[i] = h.buckets[i].Load()
 		total += counts[i]
 	}
+	exps, scale := promBucketExps, 1e9
+	if size {
+		exps, scale = sizeBucketExps, 1
+	}
 	cum := int64(0)
 	next := 0
-	for _, e := range promBucketExps {
+	for _, e := range exps {
 		for next <= e && next < histBuckets {
 			cum += counts[next]
 			next++
 		}
-		le := float64(int64(1)<<uint(e)-1) / 1e9
+		le := float64(int64(1)<<uint(e)-1) / scale
 		fmt.Fprintf(b, "%s_bucket%s %d\n", name, bucketLabels(labels, formatFloat(le)), cum)
 	}
 	fmt.Fprintf(b, "%s_bucket%s %d\n", name, bucketLabels(labels, "+Inf"), total)
-	fmt.Fprintf(b, "%s_sum%s %s\n", name, labels, formatFloat(float64(h.sumNs.Load())/1e9))
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labels, formatFloat(float64(h.sumNs.Load())/scale))
 	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, total)
 }
 
