@@ -1,11 +1,12 @@
 #!/bin/sh
-# Bench trajectory guard: regenerate the three benchmark artifacts into
+# Bench trajectory guard: regenerate the four benchmark artifacts into
 # a scratch directory and diff the machine-portable keys against the
 # checked-in snapshots at the repo root. Raw ns/op and pkts/s figures
 # shift with hardware, so three grades of guard apply:
 #
 #   exact   — invariants (warm-path allocation count, collective
-#             self-route ratio) must match the snapshot bit for bit;
+#             self-route ratio, seeded multicast fan-out
+#             amplification) must match the snapshot bit for bit;
 #   ratchet — hard floors on the fabric's multi-plane scaling: the
 #             fresh value must stay above checked-in x RATCHET
 #             (default 0.9). These are the perf numbers this repo
@@ -37,6 +38,8 @@ BENCH_ENGINE_JSON="$tmp/BENCH_engine.json" \
 	go test -count=1 -run '^TestBenchEngineArtifact$' ./internal/engine
 BENCH_FABRIC_JSON="$tmp/BENCH_fabric.json" \
 	go test -count=1 -run '^TestBenchFabricArtifact$' ./internal/fabric
+BENCH_MCAST_JSON="$tmp/BENCH_mcast.json" \
+	go test -count=1 -run '^TestBenchMcastArtifact$' ./internal/fabric
 BENCH_COLLECTIVE_JSON="$tmp/BENCH_collective.json" \
 	go test -count=1 -run '^TestBenchCollectiveArtifact$' ./internal/collective
 
@@ -94,6 +97,8 @@ exact BENCH_engine.json warm_allocs_op
 floor BENCH_engine.json speedup_warm
 ratchet BENCH_fabric.json plane_scaling_speedup
 ratchet BENCH_fabric.json pkts_per_sec_multi
+exact BENCH_mcast.json fanout_amplification
+ratchet BENCH_mcast.json pkts_per_sec_mcast
 exact BENCH_collective.json self_route_ratio
 floor BENCH_collective.json speedup
 

@@ -2,10 +2,12 @@
 # Regenerates the checked-in benchmark trajectory artifacts at the repo
 # root: BENCH_engine.json (plan-cache setup amortization + warm-path
 # alloc count with the flight recorder on), BENCH_fabric.json (packet
-# throughput, 1 plane vs BENCH_PLANES planes, recorder on), and
-# BENCH_collective.json (compiled vs naive all-to-all). Each is written
-# by the corresponding env-gated TestBench*Artifact test, so the
-# numbers come from exactly the code paths CI exercises.
+# throughput, 1 plane vs BENCH_PLANES planes, recorder on),
+# BENCH_mcast.json (seeded multicast fan-out throughput and copy
+# amplification through the packet path), and BENCH_collective.json
+# (compiled vs naive all-to-all). Each is written by the corresponding
+# env-gated TestBench*Artifact test, so the numbers come from exactly
+# the code paths CI exercises.
 #
 # The environment is pinned so two runs on the same machine do the same
 # work: GOMAXPROCS (default 4, override with BENCH_GOMAXPROCS) applies
@@ -31,7 +33,9 @@ BENCH_ENGINE_JSON="$PWD/BENCH_engine.json" \
 	go test -count=1 -run '^TestBenchEngineArtifact$' -v ./internal/engine
 BENCH_FABRIC_JSON="$PWD/BENCH_fabric.json" \
 	go test -count=1 -run '^TestBenchFabricArtifact$' -v ./internal/fabric
+BENCH_MCAST_JSON="$PWD/BENCH_mcast.json" \
+	go test -count=1 -run '^TestBenchMcastArtifact$' -v ./internal/fabric
 BENCH_COLLECTIVE_JSON="$PWD/BENCH_collective.json" \
 	go test -count=1 -run '^TestBenchCollectiveArtifact$' -v ./internal/collective
 
-echo "wrote BENCH_engine.json BENCH_fabric.json BENCH_collective.json"
+echo "wrote BENCH_engine.json BENCH_fabric.json BENCH_mcast.json BENCH_collective.json"

@@ -12,11 +12,18 @@
 //	POST /send     {"src":3, "dst":9} or {"packets":[{"src":..,"dst":..},...]}
 //	               -> per-packet accepted/rejected counts; packets ride
 //	               the VOQ → frame scheduler → plane path
+//	POST /multicast  {"map":[src per output, -1 idle]} or
+//	               {"entries":[{"src":0,"dsts":[1,2,3]},...]} -> one
+//	               whole-mapping copy-network round (classification,
+//	               serving plane, cache hit); with "packet": true the
+//	               entries instead ride the VOQ → frame scheduler path
+//	               as fan-out packets (accepted/rejected counts)
 //	POST /collective  {"op":"alltoall","data":[[...],...]} -> bulk
 //	               data movement compiled into pipelined fabric rounds.
 //	               Ops: alltoall, exchange (with "dests"), transpose
 //	               (with "rows"/"cols"), shuffle, bitreversal,
-//	               broadcast / gather / scatter (with "root").
+//	               broadcast / gather / scatter (with "root"),
+//	               allgather, fanout (with "dests" as subscriber lists).
 //	               "deadline_ms" arms deadline-aware admission (503 on
 //	               reject); "stream": true switches the response to
 //	               NDJSON progress lines ending in a "done" record
@@ -36,9 +43,11 @@
 //	               collective round/end-to-end) for every layer, plus
 //	               per-stage benes_switch_* flight-recorder series
 //	GET  /debug/heatmap  gate-level utilization heatmap: per-switch
-//	               traversal/flip/forced/fault counters for all 2n-1
-//	               stages x N/2 switches, engine and per-plane, with
-//	               per-stage occupancy/skew summaries, JSON
+//	               traversal/flip/forced/fault/broadcast counters for
+//	               all 2n-1 stages x N/2 switches, engine and per-plane,
+//	               plus the n-stage copy-ladder sections fed by
+//	               multicast traffic, with per-stage occupancy/skew
+//	               summaries, JSON
 //	GET  /debug/history?window=30s  rate-over-time report from the
 //	               snapshot ring: counter deltas/rates and windowed
 //	               histogram p50/p99 over the requested window
@@ -254,6 +263,137 @@ func (s *server) handleSend(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, code, resp)
 }
 
+// multicastEntry is one fan-out unit: source port Src copied to every
+// port in Dsts.
+type multicastEntry struct {
+	Src  int   `json:"src"`
+	Dsts []int `json:"dsts"`
+}
+
+type multicastRequest struct {
+	// Map is the output-major mapping: Map[out] names the source port
+	// whose value lands at output out, -1 for outputs left idle.
+	Map []int `json:"map,omitempty"`
+	// Entries is the fan-out form, converted to a mapping (round mode)
+	// or sent as individual fan-out packets (packet mode).
+	Entries []multicastEntry `json:"entries,omitempty"`
+	// Packet switches from one whole-mapping copy-network round to the
+	// packet path: each entry rides the VOQ -> frame scheduler -> plane
+	// pipeline as a multicast packet.
+	Packet bool `json:"packet,omitempty"`
+}
+
+type multicastResponse struct {
+	// Round mode: the mapping's classification and the round's books.
+	Class     string `json:"class,omitempty"`
+	Sources   int    `json:"sources,omitempty"`
+	Assigned  int    `json:"assigned,omitempty"`
+	MaxFanout int    `json:"max_fanout,omitempty"`
+	Plane     int    `json:"plane,omitempty"`
+	CacheHit  bool   `json:"cache_hit,omitempty"`
+	// Packet mode: per-packet admission counts.
+	Accepted int `json:"accepted,omitempty"`
+	Rejected int `json:"rejected,omitempty"`
+}
+
+// handleMulticast serves fan-out traffic. Round mode (default) turns
+// the request into one output-major mapping, classifies it, and routes
+// it as a whole copy-network round with plane failover; packet mode
+// offers each entry to the fabric as a multicast packet, reporting
+// admission like /send. Spec errors are 400s, full backpressure 429.
+func (s *server) handleMulticast(w http.ResponseWriter, r *http.Request) {
+	var req multicastRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.httpError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON: %v", err))
+		return
+	}
+	if req.Map != nil && req.Entries != nil {
+		s.httpError(w, http.StatusBadRequest, "give either map or entries, not both")
+		return
+	}
+	if req.Packet {
+		if req.Entries == nil {
+			s.httpError(w, http.StatusBadRequest, "packet mode needs entries")
+			return
+		}
+		tr := obs.FromContext(r.Context())
+		admit := time.Now()
+		var resp multicastResponse
+		for _, e := range req.Entries {
+			// One reference per copy: the fabric delivers (and the
+			// deliver callback releases) each destination separately.
+			for range e.Dsts {
+				tr.Ref()
+			}
+			switch err := s.fab.SendMulticast(fabric.MulticastPacket[int]{Src: e.Src, Dsts: e.Dsts, Payload: e.Src, Trace: tr}); err {
+			case nil:
+				resp.Accepted++
+			case fabric.ErrBackpressure, fabric.ErrClosed:
+				for range e.Dsts {
+					tr.Release()
+				}
+				resp.Rejected++
+			default:
+				for range e.Dsts {
+					tr.Release()
+				}
+				s.httpError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+		}
+		tr.Span("admit", admit, fmt.Sprintf("%d accepted, %d rejected", resp.Accepted, resp.Rejected))
+		code := http.StatusOK
+		if resp.Accepted == 0 {
+			code = http.StatusTooManyRequests
+		}
+		s.writeJSON(w, code, resp)
+		return
+	}
+	m := req.Map
+	if m == nil {
+		n := s.fab.N()
+		m = make([]int, n)
+		for i := range m {
+			m[i] = fabric.Idle
+		}
+		for _, e := range req.Entries {
+			if e.Src < 0 || e.Src >= n {
+				s.httpError(w, http.StatusBadRequest, fmt.Sprintf("source %d out of range [0,%d)", e.Src, n))
+				return
+			}
+			for _, d := range e.Dsts {
+				if d < 0 || d >= n {
+					s.httpError(w, http.StatusBadRequest, fmt.Sprintf("destination %d out of range [0,%d)", d, n))
+					return
+				}
+				if m[d] != fabric.Idle {
+					s.httpError(w, http.StatusBadRequest, fmt.Sprintf("output %d claimed twice", d))
+					return
+				}
+				m[d] = e.Src
+			}
+		}
+	}
+	cls := perm.ClassifyMapping(m)
+	res, err := s.fab.RouteMulticastRound(m, 0)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, fabric.ErrClosed) || errors.Is(err, fabric.ErrPlaneDown) {
+			code = http.StatusServiceUnavailable
+		}
+		s.httpError(w, code, err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, multicastResponse{
+		Class:     cls.Class.String(),
+		Sources:   cls.Sources,
+		Assigned:  cls.Assigned,
+		MaxFanout: cls.MaxFanout,
+		Plane:     res.Plane,
+		CacheHit:  res.CacheHit,
+	})
+}
+
 type collectiveRequest struct {
 	Op   string  `json:"op"`
 	Data [][]int `json:"data"`
@@ -263,7 +403,8 @@ type collectiveRequest struct {
 	Rows int `json:"rows,omitempty"`
 	Cols int `json:"cols,omitempty"`
 	// Dests is the per-port, per-chunk destination matrix for op
-	// "exchange" (-1 = keep in place).
+	// "exchange" (-1 = keep in place), or the per-source subscriber
+	// lists for op "fanout".
 	Dests [][]int `json:"dests,omitempty"`
 	// DeadlineMs arms deadline-aware admission: if the compiled
 	// schedule's estimated time exceeds it, the request is rejected
@@ -315,6 +456,10 @@ func (s *server) handleCollective(w http.ResponseWriter, r *http.Request) {
 		h, err = s.col.Gather(ctx, req.Root, req.Data)
 	case "scatter":
 		h, err = s.col.Scatter(ctx, req.Root, req.Data)
+	case "allgather":
+		h, err = s.col.AllGather(ctx, req.Data)
+	case "fanout":
+		h, err = s.col.FanOut(ctx, req.Dests, req.Data)
 	default:
 		s.httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown collective op %q", req.Op))
 		return
@@ -444,43 +589,59 @@ func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 // heatmapStage is one stage row of the /debug/heatmap response: the
 // per-switch counter vectors plus the stage's occupancy/skew summary.
 type heatmapStage struct {
-	Stage      int              `json:"stage"`
-	ControlBit int              `json:"control_bit"`
-	Traversed  []int64          `json:"traversed"`
-	Flips      []int64          `json:"flips"`
-	Forced     []int64          `json:"forced"`
-	FaultHits  []int64          `json:"fault_hits"`
-	Summary    obs.StageSummary `json:"summary"`
+	Stage      int     `json:"stage"`
+	ControlBit int     `json:"control_bit"`
+	Traversed  []int64 `json:"traversed"`
+	Flips      []int64 `json:"flips"`
+	Forced     []int64 `json:"forced"`
+	FaultHits  []int64 `json:"fault_hits"`
+	// Bcast counts transitions into or out of a broadcast (fan-out)
+	// switch state — always zero on the binary B(n) stages, live on
+	// the copy-ladder stages.
+	Bcast   []int64          `json:"bcast_flips"`
+	Summary obs.StageSummary `json:"summary"`
 }
 
 type heatmapPlane struct {
 	Plane  int            `json:"plane"`
 	Stages []heatmapStage `json:"stages"`
+	// Ladder is the plane's copy-ladder section (multicast frames
+	// only); omitted when the plane has served none or recording is
+	// off.
+	Ladder []heatmapStage `json:"ladder,omitempty"`
 }
 
 type heatmapResponse struct {
 	N                int `json:"n"`
 	Stages           int `json:"stages"`
 	SwitchesPerStage int `json:"switches_per_stage"`
-	// Engine is the /route path's recorder; Planes are the fabric's,
-	// one per switching plane. Either is omitted when its recorder is
-	// disabled.
-	Engine []heatmapStage `json:"engine,omitempty"`
-	Planes []heatmapPlane `json:"planes,omitempty"`
+	// LadderStages is the copy ladder's depth (log2 N): the fan-out
+	// stages multicast traffic traverses between the two B(n) passes.
+	LadderStages int `json:"ladder_stages"`
+	// Engine is the /route path's recorder; EngineLadder the engine's
+	// copy-ladder section; Planes are the fabric's, one per switching
+	// plane. Each is omitted when its recorder is disabled.
+	Engine       []heatmapStage `json:"engine,omitempty"`
+	EngineLadder []heatmapStage `json:"engine_ladder,omitempty"`
+	Planes       []heatmapPlane `json:"planes,omitempty"`
 }
 
-// heatmapStages renders one recorder snapshot as stage rows.
-func (s *server) heatmapStages(rec *netsim.Recorder) []heatmapStage {
+// heatmapStages renders one recorder snapshot as stage rows. bit maps
+// a stage index to the address bit its switches decide: the B(n)
+// wiring's control bit for the Benes recorders, n-1-j for ladder stage
+// j (the copy ladder splits on address bits MSB-first).
+func heatmapStages(rec *netsim.Recorder, bit func(int) int) []heatmapStage {
 	snap := rec.Snapshot()
 	out := make([]heatmapStage, snap.Stages)
 	for st := 0; st < snap.Stages; st++ {
 		out[st] = heatmapStage{
 			Stage:      st,
-			ControlBit: s.eng.Network().ControlBit(st),
+			ControlBit: bit(st),
 			Traversed:  snap.Counts[st].Traversed,
 			Flips:      snap.Counts[st].Flips,
 			Forced:     snap.Counts[st].Forced,
 			FaultHits:  snap.Counts[st].FaultHits,
+			Bcast:      snap.Counts[st].Bcast,
 			Summary:    obs.SummarizeStage(snap.Counts[st].Traversed),
 		}
 	}
@@ -488,21 +649,35 @@ func (s *server) heatmapStages(rec *netsim.Recorder) []heatmapStage {
 }
 
 // handleHeatmap serves the full gate-level utilization view: all 2n-1
-// stages by N/2 switches, for the engine and for every fabric plane.
+// stages by N/2 switches plus the n copy-ladder stages, for the engine
+// and for every fabric plane.
 func (s *server) handleHeatmap(w http.ResponseWriter, _ *http.Request) {
 	net := s.eng.Network()
+	logN := net.Stages()/2 + 1
+	benesBit := net.ControlBit
+	ladderBit := func(st int) int { return logN - 1 - st }
 	resp := heatmapResponse{
 		N:                net.N(),
 		Stages:           net.Stages(),
 		SwitchesPerStage: net.SwitchesPerStage(),
+		LadderStages:     logN,
 	}
 	if rec := s.eng.Recorder(); rec != nil {
-		resp.Engine = s.heatmapStages(rec)
+		resp.Engine = heatmapStages(rec, benesBit)
+	}
+	if rec := s.eng.LadderRecorder(); rec != nil {
+		resp.EngineLadder = heatmapStages(rec, ladderBit)
 	}
 	for id := 0; id < s.fab.Planes(); id++ {
-		if rec := s.fab.PlaneRecorder(id); rec != nil {
-			resp.Planes = append(resp.Planes, heatmapPlane{Plane: id, Stages: s.heatmapStages(rec)})
+		rec := s.fab.PlaneRecorder(id)
+		if rec == nil {
+			continue
 		}
+		hp := heatmapPlane{Plane: id, Stages: heatmapStages(rec, benesBit)}
+		if lad := s.fab.PlaneLadderRecorder(id); lad != nil {
+			hp.Ladder = heatmapStages(lad, ladderBit)
+		}
+		resp.Planes = append(resp.Planes, hp)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -532,6 +707,7 @@ func newMux(eng *engine.Engine[int], fab *fabric.Fabric[int], col *collective.Se
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /route", s.handleRoute)
 	mux.HandleFunc("POST /send", s.traced("/send", s.handleSend))
+	mux.HandleFunc("POST /multicast", s.traced("/multicast", s.handleMulticast))
 	mux.HandleFunc("POST /collective", s.traced("/collective", s.handleCollective))
 	mux.HandleFunc("GET /collective/stats", s.handleCollectiveStats)
 	mux.HandleFunc("GET /stats", s.handleStats)

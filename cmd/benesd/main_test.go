@@ -270,6 +270,180 @@ func TestSendEndpoint(t *testing.T) {
 	}
 }
 
+func postMulticast(t *testing.T, url string, body any) (*http.Response, multicastResponse) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/multicast", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var mr multicastResponse
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusTooManyRequests {
+		if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, mr
+}
+
+// TestMulticastEndpointRound routes one copy-network round from the
+// fan-out entry form, checks the classification books, and then reads
+// /debug/heatmap back: the serving plane's copy-ladder section must
+// have recorded broadcast-state flips, and the binary stages none.
+func TestMulticastEndpointRound(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, mr := postMulticast(t, srv.URL, multicastRequest{Entries: []multicastEntry{
+		{Src: 3, Dsts: []int{0, 1, 2, 3}},
+		{Src: 7, Dsts: []int{8}},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if mr.Class != "multicast" || mr.Sources != 2 || mr.Assigned != 5 || mr.MaxFanout != 4 {
+		t.Fatalf("classification books wrong: %+v", mr)
+	}
+
+	hresp, err := http.Get(srv.URL + "/debug/heatmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var hm heatmapResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&hm); err != nil {
+		t.Fatal(err)
+	}
+	if hm.LadderStages != 4 {
+		t.Fatalf("ladder_stages = %d, want 4", hm.LadderStages)
+	}
+	if mr.Plane >= len(hm.Planes) {
+		t.Fatalf("serving plane %d missing from heatmap: %+v", mr.Plane, hm.Planes)
+	}
+	pl := hm.Planes[mr.Plane]
+	var ladderBcast int64
+	for _, st := range pl.Ladder {
+		for _, v := range st.Bcast {
+			ladderBcast += v
+		}
+	}
+	if ladderBcast == 0 {
+		t.Fatalf("plane %d ladder recorded no broadcast flips: %+v", mr.Plane, pl.Ladder)
+	}
+	for _, st := range pl.Stages {
+		for sw, v := range st.Bcast {
+			if v != 0 {
+				t.Fatalf("binary stage %d switch %d has bcast flips %d", st.Stage, sw, v)
+			}
+		}
+	}
+}
+
+// TestMulticastEndpointMap drives round mode with an explicit
+// output-major mapping, including the degenerate permutation case.
+func TestMulticastEndpointMap(t *testing.T) {
+	srv, _ := newTestServer(t)
+	m := make([]int, 16)
+	for i := range m {
+		m[i] = fabric.Idle
+	}
+	m[0], m[1], m[15] = 5, 5, 5
+	resp, mr := postMulticast(t, srv.URL, multicastRequest{Map: m})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if mr.Class != "multicast" || mr.Sources != 1 || mr.Assigned != 3 || mr.MaxFanout != 3 {
+		t.Fatalf("map round books wrong: %+v", mr)
+	}
+
+	// A full permutation is a legal (fan-out 1) mapping too.
+	d := perm.BitReversal(4)
+	resp, mr = postMulticast(t, srv.URL, multicastRequest{Map: d})
+	if resp.StatusCode != http.StatusOK || mr.Class != "permutation" || mr.MaxFanout != 1 {
+		t.Fatalf("permutation map: status %d %+v", resp.StatusCode, mr)
+	}
+}
+
+// TestMulticastEndpointPacket sends fan-out packets through the VOQ
+// path and polls the fabric stats until every copy is delivered.
+func TestMulticastEndpointPacket(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, mr := postMulticast(t, srv.URL, multicastRequest{Packet: true, Entries: []multicastEntry{
+		{Src: 2, Dsts: []int{4, 5, 6}},
+		{Src: 9, Dsts: []int{0}},
+	}})
+	if resp.StatusCode != http.StatusOK || mr.Accepted != 2 || mr.Rejected != 0 {
+		t.Fatalf("packet admit: status %d, %+v", resp.StatusCode, mr)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		hresp, err := http.Get(srv.URL + "/fabric/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fs fabric.Snapshot
+		if err := json.NewDecoder(hresp.Body).Decode(&fs); err != nil {
+			t.Fatal(err)
+		}
+		hresp.Body.Close()
+		if fs.Mcast.Delivered == 2 {
+			if fs.Mcast.Accepted != 2 || fs.Mcast.Copies != 4 {
+				t.Fatalf("multicast books wrong: %+v", fs.Mcast)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("multicast packets not delivered in time: %+v", fs.Mcast)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestMulticastValidation sweeps the 400 surface of /multicast.
+func TestMulticastValidation(t *testing.T) {
+	srv, _ := newTestServer(t)
+	idle := make([]int, 16)
+	for i := range idle {
+		idle[i] = fabric.Idle
+	}
+	short := []int{0, 1}
+	cases := []struct {
+		name string
+		req  multicastRequest
+	}{
+		{"map and entries", multicastRequest{Map: idle, Entries: []multicastEntry{{Src: 0, Dsts: []int{1}}}}},
+		{"packet without entries", multicastRequest{Packet: true}},
+		{"source out of range", multicastRequest{Entries: []multicastEntry{{Src: 16, Dsts: []int{1}}}}},
+		{"destination out of range", multicastRequest{Entries: []multicastEntry{{Src: 0, Dsts: []int{16}}}}},
+		{"output claimed twice", multicastRequest{Entries: []multicastEntry{
+			{Src: 0, Dsts: []int{3}}, {Src: 1, Dsts: []int{3}}}}},
+		{"map wrong length", multicastRequest{Map: short}},
+		{"map assigns nothing", multicastRequest{Map: idle}},
+		{"packet source out of range", multicastRequest{Packet: true,
+			Entries: []multicastEntry{{Src: 99, Dsts: []int{1}}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, _ := postMulticast(t, srv.URL, tc.req)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+
+	resp, err := http.Post(srv.URL+"/multicast", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+}
+
 func postCollective(t *testing.T, url string, body any) (*http.Response, collectiveResponse) {
 	t.Helper()
 	raw, err := json.Marshal(body)
@@ -368,6 +542,52 @@ func TestCollectiveBroadcastAndTranspose(t *testing.T) {
 	}
 }
 
+// TestCollectiveAllGatherAndFanOut exercises the multicast-backed
+// collective ops through the HTTP layer.
+func TestCollectiveAllGatherAndFanOut(t *testing.T) {
+	srv, _ := newTestServer(t)
+	const n = 16
+	data := make([][]int, n)
+	for p := range data {
+		data[p] = []int{p * 10}
+	}
+	resp, cr := postCollective(t, srv.URL, collectiveRequest{Op: "allgather", Data: data})
+	if resp.StatusCode != http.StatusOK || !cr.Done {
+		t.Fatalf("allgather: status %d done=%v", resp.StatusCode, cr.Done)
+	}
+	for p := 0; p < n; p++ {
+		for j := 0; j < n; j++ {
+			if cr.Result[p][j] != j*10 {
+				t.Fatalf("allgather result[%d][%d] = %d, want %d", p, j, cr.Result[p][j], j*10)
+			}
+		}
+	}
+
+	dests := make([][]int, n)
+	dests[0] = []int{4, 5}
+	dests[1] = []int{4}
+	fdata := make([][]int, n)
+	fdata[0] = []int{100}
+	fdata[1] = []int{200}
+	resp, cr = postCollective(t, srv.URL, collectiveRequest{Op: "fanout", Dests: dests, Data: fdata})
+	if resp.StatusCode != http.StatusOK || !cr.Done {
+		t.Fatalf("fanout: status %d done=%v", resp.StatusCode, cr.Done)
+	}
+	want := make([][]int, n)
+	want[4] = []int{100, 200}
+	want[5] = []int{100}
+	for p := range want {
+		if len(cr.Result[p]) != len(want[p]) {
+			t.Fatalf("fanout result[%d] = %v, want %v", p, cr.Result[p], want[p])
+		}
+		for c := range want[p] {
+			if cr.Result[p][c] != want[p][c] {
+				t.Fatalf("fanout result[%d] = %v, want %v", p, cr.Result[p], want[p])
+			}
+		}
+	}
+}
+
 // TestCollectiveValidation is the table-driven 400 sweep: malformed
 // specs must be rejected with a JSON error before any round is routed.
 func TestCollectiveValidation(t *testing.T) {
@@ -383,7 +603,12 @@ func TestCollectiveValidation(t *testing.T) {
 		name string
 		req  collectiveRequest
 	}{
-		{"unknown op", collectiveRequest{Op: "allgather", Data: mk(16, 16)}},
+		{"unknown op", collectiveRequest{Op: "reduce", Data: mk(16, 16)}},
+		{"allgather wrong chunk width", collectiveRequest{Op: "allgather", Data: mk(16, 16)}},
+		{"fanout subscriber out of range", collectiveRequest{Op: "fanout",
+			Dests: append([][]int{{16}}, mk(15, 0)...), Data: append([][]int{{7}}, mk(15, 0)...)}},
+		{"fanout duplicate subscriber", collectiveRequest{Op: "fanout",
+			Dests: append([][]int{{3, 3}}, mk(15, 0)...), Data: append([][]int{{7}}, mk(15, 0)...)}},
 		{"empty op", collectiveRequest{Op: "", Data: mk(16, 16)}},
 		{"non-power-of-two ports", collectiveRequest{Op: "alltoall", Data: mk(10, 10)}},
 		{"wrong port count", collectiveRequest{Op: "alltoall", Data: mk(8, 8)}},
@@ -880,17 +1105,22 @@ func TestHeatmapEndpointExact(t *testing.T) {
 	}
 	engStage := func(s, cb int) string {
 		return `{"stage":` + strconv.Itoa(s) + `,"control_bit":` + strconv.Itoa(cb) +
-			`,"traversed":[2,2],"flips":[0,1],"forced":[0,0],"fault_hits":[0,0],` +
+			`,"traversed":[2,2],"flips":[0,1],"forced":[0,0],"fault_hits":[0,0],"bcast_flips":[0,0],` +
 			`"summary":{"max":2,"mean":2,"total":4,"skew":1,"gini":0}}`
 	}
 	idleStage := func(s, cb int) string {
 		return `{"stage":` + strconv.Itoa(s) + `,"control_bit":` + strconv.Itoa(cb) +
-			`,"traversed":[0,0],"flips":[0,0],"forced":[0,0],"fault_hits":[0,0],` +
+			`,"traversed":[0,0],"flips":[0,0],"forced":[0,0],"fault_hits":[0,0],"bcast_flips":[0,0],` +
 			`"summary":{"max":0,"mean":0,"total":0,"skew":0,"gini":0}}`
 	}
-	want := `{"n":4,"stages":3,"switches_per_stage":2,` +
+	// Ladder stage j decides address bit logN-1-j (MSB first): control
+	// bits 1, 0 for the two B(2) ladder stages. No multicast was routed,
+	// so every ladder section is all zeros but still present.
+	want := `{"n":4,"stages":3,"switches_per_stage":2,"ladder_stages":2,` +
 		`"engine":[` + engStage(0, 0) + `,` + engStage(1, 1) + `,` + engStage(2, 0) + `],` +
-		`"planes":[{"plane":0,"stages":[` + idleStage(0, 0) + `,` + idleStage(1, 1) + `,` + idleStage(2, 0) + `]}]}` + "\n"
+		`"engine_ladder":[` + idleStage(0, 1) + `,` + idleStage(1, 0) + `],` +
+		`"planes":[{"plane":0,"stages":[` + idleStage(0, 0) + `,` + idleStage(1, 1) + `,` + idleStage(2, 0) + `],` +
+		`"ladder":[` + idleStage(0, 1) + `,` + idleStage(1, 0) + `]}]}` + "\n"
 	if string(body) != want {
 		t.Fatalf("heatmap body mismatch:\n got: %s\nwant: %s", body, want)
 	}

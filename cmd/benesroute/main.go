@@ -10,10 +10,16 @@
 //	benesroute -n 4 -perm "shift:3" -mode omega
 //	benesroute -n 3 -perm bitreversal -engine concurrent
 //	benesroute -n 4 -perm transpose -classify
+//	benesroute -map "0,0,2,x"                # classify + compile a multicast mapping
 //
 // Named permutations: identity, bitreversal, vectorreversal, shuffle,
 // unshuffle, transpose, shuffledrowmajor, bitshuffle, shift:K, pord:P,
 // pordshift:P:K. Modes: self (default), omega, external.
+//
+// -map takes an output-major mapping ("x" or "-1" marks an unassigned
+// output), classifies it (permutation / broadcast-free / multicast),
+// and for multicast mappings compiles and gate-verifies the
+// distribute-copy-permute plan.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/mcast"
 	"repro/internal/netsim"
 	"repro/internal/perm"
 )
@@ -37,7 +44,16 @@ func main() {
 	dump := flag.Bool("dump", false, "with -mode external: print the computed switch states")
 	dot := flag.Bool("dot", false, "print the network as a Graphviz digraph instead of the diagram")
 	classify := flag.Bool("classify", false, "classify the permutation (BPC / inverse-omega / F(n) / looping-only) and exit")
+	mapFlag := flag.String("map", "", "output-major multicast mapping, e.g. \"0,0,2,x\" (x = unassigned); classifies and compiles it")
 	flag.Parse()
+
+	if *mapFlag != "" {
+		if err := runMapping(*mapFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "benesroute:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	d, err := buildPerm(*n, *name, *dflag)
 	if err != nil {
@@ -118,6 +134,66 @@ func main() {
 		fmt.Println()
 		os.Exit(2)
 	}
+}
+
+// runMapping parses, classifies, and — when the mapping actually fans
+// out — compiles and gate-verifies an output-major multicast mapping.
+func runMapping(spec string) error {
+	fields := strings.Split(spec, ",")
+	m := make(mcast.Mapping, len(fields))
+	for i, f := range fields {
+		f = strings.TrimSpace(f)
+		if f == "x" || f == "X" || f == "-1" {
+			m[i] = -1
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return fmt.Errorf("mapping entry %d: %v", i, err)
+		}
+		m[i] = v
+	}
+	if len(m) == 0 || len(m)&(len(m)-1) != 0 {
+		return fmt.Errorf("mapping length %d is not a power of two", len(m))
+	}
+	cls := perm.ClassifyMapping(m)
+	fmt.Printf("mapping: %v\n", []int(m))
+	fmt.Printf("class: %s\n", cls.Class)
+	fmt.Printf("sources: %d  assigned outputs: %d  max fan-out: %d  fanning sources: %d\n",
+		cls.Sources, cls.Assigned, cls.MaxFanout, cls.BcastCount)
+	switch cls.Class {
+	case perm.MappingInvalid:
+		return fmt.Errorf("mapping entries out of range for %d ports", len(m))
+	case perm.MappingPermutation:
+		fmt.Printf("permutation sub-class: %s (self-routable: %v)\n",
+			cls.Perm.Class, cls.Perm.Class.SelfRoutable())
+		fmt.Print("one Benes pass suffices — no copy network needed\n")
+	case perm.MappingBroadcastFree:
+		fmt.Print("injective but partial — one Benes pass after spare-output completion\n")
+	case perm.MappingMulticast:
+		b := core.New(intLog2(len(m)))
+		p, err := mcast.Compile(b, m)
+		if err != nil {
+			return err
+		}
+		res := p.Route(b)
+		fmt.Printf("copy network: distribute B(%d) -> %d-stage ladder -> permute B(%d)\n",
+			b.LogN(), b.LogN(), b.LogN())
+		fmt.Printf("ladder broadcast switches: %d  copies carried: %d\n", p.BcastSwitches, p.Copies)
+		fmt.Printf("gate-level verification: ok=%v\n", res.OK())
+		if !res.OK() {
+			return fmt.Errorf("plan misroutes sources %v", res.Misrouted)
+		}
+	}
+	return nil
+}
+
+func intLog2(v int) int {
+	n := 0
+	for 1<<uint(n) < v {
+		n++
+	}
+	return n
 }
 
 // classifyReport renders the -classify output: the cheapest routing

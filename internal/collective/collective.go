@@ -68,6 +68,11 @@ type Rounder interface {
 	RouteRound(dest perm.Perm, prefer int) (fabric.RoundResult, error)
 	RouteRounds(dests []perm.Perm, prefer int) ([]fabric.RoundResult, error)
 	PrewarmRound(dest perm.Perm, prefer int)
+	// RouteMulticastRound serves one copy-network round: m[out] names
+	// the source whose value lands at output out (fabric.Idle for
+	// unassigned outputs), and fan-out — one source feeding many
+	// outputs — rides a single pass.
+	RouteMulticastRound(m []int, prefer int) (fabric.RoundResult, error)
 }
 
 // Options parameterizes New. The zero value is usable.
@@ -81,6 +86,11 @@ type Options struct {
 	// estimate": until the first rounds complete, every deadline is
 	// admitted.
 	RoundEstimate time.Duration
+	// LegacyBroadcast compiles Broadcast with the permutation-only
+	// recursive-doubling schedule (log2 N serial BPC rounds) instead
+	// of the copy network's one fan-out round per chunk. Kept for
+	// fabrics without multicast support and for A/B measurement.
+	LegacyBroadcast bool
 }
 
 // Service compiles and executes collectives over one fabric. All
@@ -102,6 +112,7 @@ type Service[T any] struct {
 	rounds      atomic.Int64
 	selfRouted  atomic.Int64
 	fallbacks   atomic.Int64
+	mcastRounds atomic.Int64
 	cacheHits   atomic.Int64
 	chunksMoved atomic.Int64
 
@@ -238,14 +249,45 @@ func (s *Service[T]) BitReversal(ctx context.Context, data [][]T) (*Handle[T], e
 
 // Broadcast starts a copy-broadcast of the root's chunks to every
 // port. data[root] supplies the chunks; every other row must be empty.
+// By default each chunk rides one copy-network fan-out round; with
+// Options.LegacyBroadcast the schedule is the recursive-doubling
+// permutation ladder instead.
 func (s *Service[T]) Broadcast(ctx context.Context, root int, data [][]T) (*Handle[T], error) {
 	chunks := 0
 	if root >= 0 && root < len(data) {
 		chunks = len(data[root])
 	}
 	prog, err := s.cachedProgram(progKey{op: OpBroadcast, root: root, chunks: chunks}, func() (*Program, error) {
+		if s.opts.LegacyBroadcast {
+			return CompileBroadcastLegacy(s.logN, root, chunks)
+		}
 		return CompileBroadcast(s.logN, root, chunks)
 	})
+	if err != nil {
+		return nil, err
+	}
+	return s.submit(ctx, prog, data)
+}
+
+// AllGather starts the all-gather: every port contributes exactly one
+// chunk and ends holding all N in port order — out[p][j] = data[j][0].
+// Each contribution rides one copy-network fan-out round.
+func (s *Service[T]) AllGather(ctx context.Context, data [][]T) (*Handle[T], error) {
+	prog, err := s.cachedProgram(progKey{op: OpAllGather}, func() (*Program, error) {
+		return CompileAllGather(s.logN)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.submit(ctx, prog, data)
+}
+
+// FanOut starts a pub/sub fan-out: dests[s] lists the subscribers of
+// source s's single chunk, and each subscriber receives its
+// publishers' chunks in ascending source order. Like Exchange it is
+// uncached: the schedule depends on the whole subscription matrix.
+func (s *Service[T]) FanOut(ctx context.Context, dests [][]int, data [][]T) (*Handle[T], error) {
+	prog, err := CompileFanOut(s.logN, dests)
 	if err != nil {
 		return nil, err
 	}
@@ -325,6 +367,7 @@ func (s *Service[T]) observeRounds(t *roundTally, meanRound time.Duration) {
 	s.rounds.Add(int64(t.rounds))
 	s.selfRouted.Add(int64(t.selfRouted))
 	s.fallbacks.Add(int64(t.fallbacks))
+	s.mcastRounds.Add(int64(t.mcastRounds))
 	s.cacheHits.Add(int64(t.cacheHits))
 	s.chunksMoved.Add(int64(t.moves))
 	for p, c := range t.planeRounds {
@@ -351,9 +394,13 @@ type Stats struct {
 	DeadlineRejected int64 `json:"deadline_rejected"`
 	Active           int64 `json:"active"`
 
-	Rounds         int64 `json:"rounds"`
-	SelfRouted     int64 `json:"self_routed_rounds"`
-	Fallbacks      int64 `json:"fallback_rounds"`
+	Rounds     int64 `json:"rounds"`
+	SelfRouted int64 `json:"self_routed_rounds"`
+	Fallbacks  int64 `json:"fallback_rounds"`
+	// McastRounds counts the copy-network rounds within SelfRouted:
+	// they self-route by construction but take the multicast path, so
+	// they are tallied separately too.
+	McastRounds    int64 `json:"mcast_rounds"`
 	RoundCacheHits int64 `json:"round_cache_hits"`
 	ChunksMoved    int64 `json:"chunks_moved"`
 	BytesMoved     int64 `json:"bytes_moved"`
@@ -388,6 +435,7 @@ func (s *Service[T]) Stats() Stats {
 		Rounds:           s.rounds.Load(),
 		SelfRouted:       s.selfRouted.Load(),
 		Fallbacks:        s.fallbacks.Load(),
+		McastRounds:      s.mcastRounds.Load(),
 		RoundCacheHits:   s.cacheHits.Load(),
 		ChunksMoved:      s.chunksMoved.Load(),
 		Round:            s.roundHist.Snapshot(),
@@ -429,6 +477,7 @@ func (s *Service[T]) Register(reg *obs.Registry) {
 	reg.CounterFunc("benes_collective_rounds_total", "Whole-permutation rounds executed.", nil, s.rounds.Load)
 	reg.CounterFunc("benes_collective_self_routed_rounds_total", "Rounds served without looping setup.", nil, s.selfRouted.Load)
 	reg.CounterFunc("benes_collective_fallback_rounds_total", "Rounds that fell back to the looping algorithm.", nil, s.fallbacks.Load)
+	reg.CounterFunc("benes_collective_mcast_rounds_total", "Copy-network (multicast) rounds executed.", nil, s.mcastRounds.Load)
 	reg.CounterFunc("benes_collective_round_cache_hits_total", "Rounds whose plan was already resolved on arrival.", nil, s.cacheHits.Load)
 	reg.CounterFunc("benes_collective_chunks_moved_total", "Payload chunks moved by completed rounds.", nil, s.chunksMoved.Load)
 	reg.GaugeFunc("benes_collective_active", "Collectives currently in flight.", nil,

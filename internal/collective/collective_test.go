@@ -159,8 +159,9 @@ func TestShuffleAndBitReversal(t *testing.T) {
 	}
 }
 
-// TestBroadcast checks the serial recursive-doubling copy: every port
-// ends with the root's chunks, in log2(N) BPC rounds.
+// TestBroadcast checks the default copy-network broadcast: every port
+// ends with the root's chunks, in one fan-out round per chunk instead
+// of the legacy path's log2(N) serial rounds.
 func TestBroadcast(t *testing.T) {
 	const logN, n, root, chunks = 3, 8, 5, 2
 	s := newService(t, logN, 2, Options{})
@@ -180,8 +181,102 @@ func TestBroadcast(t *testing.T) {
 		}
 	}
 	requireAllSelfRouted(t, h)
+	if st := h.Stats(); st.Rounds != chunks {
+		t.Fatalf("broadcast rounds = %d, want one per chunk = %d", st.Rounds, chunks)
+	}
+	if st := s.Stats(); st.McastRounds != chunks {
+		t.Fatalf("mcast rounds = %d, want %d", st.McastRounds, chunks)
+	}
+}
+
+// TestBroadcastLegacy flips Options.LegacyBroadcast: same delivery
+// through the recursive-doubling permutation ladder, log2(N) rounds,
+// no multicast rounds.
+func TestBroadcastLegacy(t *testing.T) {
+	const logN, n, root = 3, 8, 5
+	s := newService(t, logN, 2, Options{LegacyBroadcast: true})
+	in := make([][]int, n)
+	in[root] = []int{42, 77}
+	h, err := s.Broadcast(context.Background(), root, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := wait(t, h)
+	for p := 0; p < n; p++ {
+		if out[p][0] != 42 || out[p][1] != 77 {
+			t.Fatalf("port %d received %v, want [42 77]", p, out[p])
+		}
+	}
+	requireAllSelfRouted(t, h)
 	if st := h.Stats(); st.Rounds != logN {
-		t.Fatalf("broadcast rounds = %d, want log2(N) = %d", st.Rounds, logN)
+		t.Fatalf("legacy broadcast rounds = %d, want log2(N) = %d", st.Rounds, logN)
+	}
+	if st := s.Stats(); st.McastRounds != 0 {
+		t.Fatalf("legacy broadcast took %d multicast rounds, want 0", st.McastRounds)
+	}
+}
+
+// TestAllGather checks the all-gather end to end: every port
+// contributes one chunk and ends holding all N in port order, one
+// self-routed copy-network round per contributor.
+func TestAllGather(t *testing.T) {
+	const logN, n = 3, 8
+	s := newService(t, logN, 2, Options{})
+	in := make([][]int, n)
+	for p := range in {
+		in[p] = []int{p * 10}
+	}
+	h, err := s.AllGather(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := wait(t, h)
+	for p := 0; p < n; p++ {
+		for j := 0; j < n; j++ {
+			if out[p][j] != j*10 {
+				t.Fatalf("out[%d][%d] = %d, want %d", p, j, out[p][j], j*10)
+			}
+		}
+	}
+	requireAllSelfRouted(t, h)
+	st := s.Stats()
+	if st.McastRounds != n || st.PerOp["allgather"] != 1 {
+		t.Fatalf("mcast rounds = %d per-op = %v, want %d and allgather=1", st.McastRounds, st.PerOp, n)
+	}
+}
+
+// TestFanOut checks pub/sub delivery end to end: overlapping
+// subscriber sets, slots keyed by ascending source.
+func TestFanOut(t *testing.T) {
+	const logN, n = 3, 8
+	s := newService(t, logN, 2, Options{})
+	dests := [][]int{
+		{4, 5, 6},
+		{4, 7},
+		{0, 1},
+		{2, 3},
+		nil, nil, nil, nil,
+	}
+	in := [][]int{{100}, {200}, {300}, {400}, {}, {}, {}, {}}
+	h, err := s.FanOut(context.Background(), dests, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := wait(t, h)
+	want := [][]int{{300}, {300}, {400}, {400}, {100, 200}, {100}, {100}, {200}}
+	for p := range want {
+		if len(out[p]) != len(want[p]) {
+			t.Fatalf("port %d received %v, want %v", p, out[p], want[p])
+		}
+		for c := range want[p] {
+			if out[p][c] != want[p][c] {
+				t.Fatalf("port %d received %v, want %v", p, out[p], want[p])
+			}
+		}
+	}
+	requireAllSelfRouted(t, h)
+	if _, err := s.FanOut(context.Background(), dests, [][]int{{1}, {2}}); err == nil {
+		t.Fatal("wrong payload shape must be rejected")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bits"
+	"repro/internal/fabric"
 	"repro/internal/perm"
 )
 
@@ -29,16 +30,24 @@ const (
 	// OpBitReversal moves chunk columns through the bit-reversal
 	// permutation of Table I (Fig. 4).
 	OpBitReversal
-	// OpBroadcast copies the root's chunks to every port by
-	// recursive doubling: log2(N) rounds, each a single-bit
-	// complement — a BPC permutation — with copy-on-deliver.
+	// OpBroadcast copies the root's chunks to every port. The default
+	// compiler emits one copy-network fan-out round per chunk; the
+	// legacy compiler (behind Options.LegacyBroadcast) uses recursive
+	// doubling — log2(N) serial single-bit-complement BPC rounds.
 	OpBroadcast
 	// OpGather collects one chunk from every port at the root.
 	OpGather
 	// OpScatter distributes the root's N chunks, one per port.
 	OpScatter
+	// OpAllGather gives every port a copy of every port's chunk: N
+	// copy-network rounds, round j a full fan-out of port j's chunk.
+	OpAllGather
+	// OpFanOut is pub/sub fan-out: each source names its subscriber
+	// set and the compiler packs sources with disjoint subscriber
+	// sets into shared copy-network rounds.
+	OpFanOut
 
-	numOps = int(OpScatter) + 1
+	numOps = int(OpFanOut) + 1
 )
 
 func (o Op) String() string {
@@ -59,6 +68,10 @@ func (o Op) String() string {
 		return "gather"
 	case OpScatter:
 		return "scatter"
+	case OpAllGather:
+		return "allgather"
+	case OpFanOut:
+		return "fanout"
 	}
 	return "unknown"
 }
@@ -76,9 +89,18 @@ type Move struct {
 // permutation plus the payload moves that ride it.
 type Round struct {
 	// Dest is the full permutation this round presents to the fabric.
+	// Nil for copy-network rounds, which present Map instead.
 	Dest perm.Perm
+	// Map, when non-nil, makes this a copy-network round: Map[out]
+	// names the source whose chunk lands at output out (fabric.Idle
+	// for outputs the round leaves untouched). Fan-out — one source
+	// feeding many outputs — is the point; the executor serves these
+	// through Rounder.RouteMulticastRound instead of RouteRound.
+	Map []int
 	// Class is the compiler's classification of Dest — the predicted
-	// routing cost. Self-routable classes pay no looping setup.
+	// routing cost. Self-routable classes pay no looping setup. Map
+	// rounds are ClassSelfRoutable by construction: every copy-network
+	// phase routes from local tag comparisons.
 	Class perm.Class
 	// Moves are the payload relocations this round performs.
 	Moves []Move
@@ -105,6 +127,12 @@ type Program struct {
 	// plan setup with round r's transmission.
 	Rounds []Round
 	Serial bool
+	// Multicast is true when the schedule contains copy-network (map)
+	// rounds. The executor then serves rounds individually through
+	// RouteMulticastRound — map rounds cannot ride the pipelined
+	// permutation batches — relying on the engine's plan cache to keep
+	// repeated mappings cheap.
+	Multicast bool
 	// SelfRoutable counts the rounds whose classification needs no
 	// looping setup.
 	SelfRoutable int
@@ -166,6 +194,15 @@ func newRound(dest perm.Perm, moves []Move) Round {
 // against perm.Classify in the compiler tests.
 func newRoundClass(dest perm.Perm, class perm.Class, moves []Move) Round {
 	return Round{Dest: dest, Class: class, Moves: moves}
+}
+
+// newMapRound wraps a copy-network round. No classifier runs: the
+// copy network self-routes by construction — the distribute and
+// permute B(n) phases route from destination tags and the omega copy
+// ladder from boolean interval splitting — so no map round ever pays
+// looping setup.
+func newMapRound(m []int, moves []Move) Round {
+	return Round{Map: m, Class: perm.ClassSelfRoutable, Moves: moves}
 }
 
 // columnRounds builds the k-round schedule shared by the Table I
@@ -281,13 +318,54 @@ func compileColumns(op Op, logN, chunks int, gen func(int) perm.Perm) (*Program,
 	return p.finish(), nil
 }
 
-// CompileBroadcast compiles a copy-broadcast of the root's k chunks to
-// every port by recursive doubling: after round r the holder set is
-// root XOR {0, ..., 2^(r+1)-1}. Each round's port permutation
-// complements one index bit in place — a BPC member — and the holders'
-// chunks ride it while every other port carries filler. The rounds are
-// serial: round r reads what round r-1 delivered.
+// CompileBroadcast compiles a copy-broadcast of the root's k chunks
+// through the copy network: chunk c rides one full-fan-out round
+// (Map[out] = root for every out), so the schedule is k data-parallel
+// rounds instead of the legacy compiler's log2(N) serial
+// recursive-doubling rounds — and because every round reads only the
+// immutable input, the rounds pipeline across planes instead of each
+// waiting on the previous round's delivery.
 func CompileBroadcast(logN, root, chunks int) (*Program, error) {
+	if logN < 1 {
+		return nil, fmt.Errorf("collective: logN must be >= 1, got %d", logN)
+	}
+	N := 1 << uint(logN)
+	if root < 0 || root >= N {
+		return nil, fmt.Errorf("collective: root %d out of range [0,%d)", root, N)
+	}
+	if chunks < 1 {
+		return nil, fmt.Errorf("collective: chunks must be >= 1, got %d", chunks)
+	}
+	in := uniform(N, 0)
+	in[root] = chunks
+	p := &Program{
+		Op:          OpBroadcast,
+		LogN:        logN,
+		N:           N,
+		InChunks:    in,
+		StateChunks: uniform(N, chunks),
+		Rounds:      make([]Round, chunks),
+		Multicast:   true,
+	}
+	for c := 0; c < chunks; c++ {
+		moves := make([]Move, N)
+		for o := 0; o < N; o++ {
+			moves[o] = Move{SrcPort: root, SrcChunk: c, DstPort: o, DstChunk: c}
+		}
+		p.Rounds[c] = newMapRound(uniform(N, root), moves)
+	}
+	return p.finish(), nil
+}
+
+// CompileBroadcastLegacy compiles the permutation-only copy-broadcast
+// by recursive doubling: after round r the holder set is root XOR
+// {0, ..., 2^(r+1)-1}. Each round's port permutation complements one
+// index bit in place — a BPC member — and the holders' chunks ride it
+// while every other port carries filler. The rounds are serial: round
+// r reads what round r-1 delivered. Kept behind Options.LegacyBroadcast
+// for fabrics without a copy network and for A/B measurement against
+// CompileBroadcast.
+func CompileBroadcastLegacy(logN, root, chunks int) (*Program, error) {
 	if logN < 1 {
 		return nil, fmt.Errorf("collective: logN must be >= 1, got %d", logN)
 	}
@@ -397,11 +475,121 @@ func CompileScatter(logN, root int) (*Program, error) {
 	return p.finish(), nil
 }
 
+// CompileAllGather compiles the all-gather: every port contributes one
+// chunk and ends holding all N, in port order — state[p][j] = in[j][0].
+// One copy-network round per contributor: round j broadcasts port j's
+// chunk to all N ports at slot j. On the permutation path the same
+// data motion costs N gather rounds plus a broadcast per slot; here it
+// is N data-parallel fan-out rounds that read only the immutable
+// input, so they pipeline across the fabric's planes.
+func CompileAllGather(logN int) (*Program, error) {
+	if logN < 1 {
+		return nil, fmt.Errorf("collective: logN must be >= 1, got %d", logN)
+	}
+	N := 1 << uint(logN)
+	p := &Program{
+		Op:          OpAllGather,
+		LogN:        logN,
+		N:           N,
+		InChunks:    uniform(N, 1),
+		StateChunks: uniform(N, N),
+		Rounds:      make([]Round, N),
+		Multicast:   true,
+	}
+	for j := 0; j < N; j++ {
+		moves := make([]Move, N)
+		for o := 0; o < N; o++ {
+			moves[o] = Move{SrcPort: j, SrcChunk: 0, DstPort: o, DstChunk: j}
+		}
+		p.Rounds[j] = newMapRound(uniform(N, j), moves)
+	}
+	return p.finish(), nil
+}
+
+// CompileFanOut compiles a pub/sub fan-out: dests[s] lists the
+// subscriber ports of source s's single chunk (an empty list means s
+// publishes nothing). Subscriber sets may overlap arbitrarily; the
+// compiler greedily packs sources with pairwise-disjoint subscriber
+// sets into shared copy-network rounds (first-fit in ascending source
+// order), so independent publications share passes and the round count
+// is bounded by the number of publishers, typically far fewer. Each
+// subscriber p receives its publishers' chunks in ascending source
+// order: the chunk from source s lands at state[p][rank of s among
+// p's publishers].
+func CompileFanOut(logN int, dests [][]int) (*Program, error) {
+	if logN < 1 {
+		return nil, fmt.Errorf("collective: logN must be >= 1, got %d", logN)
+	}
+	N := 1 << uint(logN)
+	if len(dests) != N {
+		return nil, fmt.Errorf("collective: fan-out spec for %d ports, want N=%d", len(dests), N)
+	}
+	in := make([]int, N)
+	indeg := make([]int, N)
+	slot := make(map[[2]int]int) // (src, dst) -> landing chunk at dst
+	for s, row := range dests {
+		if len(row) > 0 {
+			in[s] = 1
+		}
+		seen := make(map[int]bool, len(row))
+		for _, d := range row {
+			if d < 0 || d >= N {
+				return nil, fmt.Errorf("collective: source %d subscriber %d out of range [0,%d)", s, d, N)
+			}
+			if seen[d] {
+				return nil, fmt.Errorf("collective: source %d lists subscriber %d twice", s, d)
+			}
+			seen[d] = true
+			slot[[2]int{s, d}] = indeg[d]
+			indeg[d]++
+		}
+	}
+	p := &Program{
+		Op:          OpFanOut,
+		LogN:        logN,
+		N:           N,
+		InChunks:    in,
+		StateChunks: indeg,
+		Multicast:   true,
+	}
+	for s := 0; s < N; s++ {
+		row := dests[s]
+		if len(row) == 0 {
+			continue
+		}
+		fit := -1
+		for r := range p.Rounds {
+			ok := true
+			for _, d := range row {
+				if p.Rounds[r].Map[d] != fabric.Idle {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				fit = r
+				break
+			}
+		}
+		if fit == -1 {
+			fit = len(p.Rounds)
+			p.Rounds = append(p.Rounds, newMapRound(uniform(N, fabric.Idle), nil))
+		}
+		r := &p.Rounds[fit]
+		for _, d := range row {
+			r.Map[d] = s
+			r.Moves = append(r.Moves, Move{SrcPort: s, SrcChunk: 0, DstPort: d, DstChunk: slot[[2]int{s, d}]})
+		}
+	}
+	return p.finish(), nil
+}
+
 // Validate checks the compiled program's structural invariants: every
-// move's ports agree with its round's permutation, every read is in
-// shape, and — for concurrent (non-serial) programs — no state cell is
-// written twice. The compilers are tested to emit only valid programs;
-// Validate exists so tests (and the fuzzer) can prove it.
+// move's ports agree with its round's permutation or mapping, every
+// read is in shape, and — for concurrent (non-serial) programs — no
+// state cell is written twice. The compilers are tested to emit only
+// valid programs; Validate exists so tests (and the fuzzer) can prove
+// it.
 func (p *Program) Validate() error {
 	if len(p.InChunks) != p.N || len(p.StateChunks) != p.N {
 		return fmt.Errorf("collective: shape arrays sized %d/%d, want N=%d",
@@ -410,17 +598,48 @@ func (p *Program) Validate() error {
 	written := make(map[[2]int]bool)
 	for ri := range p.Rounds {
 		r := &p.Rounds[ri]
-		if len(r.Dest) != p.N {
-			return fmt.Errorf("collective: round %d permutation sized %d, want %d", ri, len(r.Dest), p.N)
-		}
-		if err := r.Dest.Validate(); err != nil {
-			return fmt.Errorf("collective: round %d: %w", ri, err)
+		if r.Map != nil {
+			if r.Dest != nil {
+				return fmt.Errorf("collective: round %d has both a permutation and a map", ri)
+			}
+			if !p.Multicast {
+				return fmt.Errorf("collective: round %d is a map round but the program is not marked multicast", ri)
+			}
+			if len(r.Map) != p.N {
+				return fmt.Errorf("collective: round %d map sized %d, want %d", ri, len(r.Map), p.N)
+			}
+			assigned := 0
+			for out, src := range r.Map {
+				if src == fabric.Idle {
+					continue
+				}
+				if src < 0 || src >= p.N {
+					return fmt.Errorf("collective: round %d maps output %d to source %d, out of range [0,%d)",
+						ri, out, src, p.N)
+				}
+				assigned++
+			}
+			if assigned == 0 {
+				return fmt.Errorf("collective: round %d map assigns no outputs", ri)
+			}
+		} else {
+			if len(r.Dest) != p.N {
+				return fmt.Errorf("collective: round %d permutation sized %d, want %d", ri, len(r.Dest), p.N)
+			}
+			if err := r.Dest.Validate(); err != nil {
+				return fmt.Errorf("collective: round %d: %w", ri, err)
+			}
 		}
 		for _, m := range r.Moves {
 			if m.SrcPort < 0 || m.SrcPort >= p.N || m.DstPort < 0 || m.DstPort >= p.N {
 				return fmt.Errorf("collective: round %d move ports (%d->%d) out of range", ri, m.SrcPort, m.DstPort)
 			}
-			if r.Dest[m.SrcPort] != m.DstPort {
+			if r.Map != nil {
+				if r.Map[m.DstPort] != m.SrcPort {
+					return fmt.Errorf("collective: round %d moves %d->%d but maps output %d to source %d",
+						ri, m.SrcPort, m.DstPort, m.DstPort, r.Map[m.DstPort])
+				}
+			} else if r.Dest[m.SrcPort] != m.DstPort {
 				return fmt.Errorf("collective: round %d moves %d->%d but routes %d->%d",
 					ri, m.SrcPort, m.DstPort, m.SrcPort, r.Dest[m.SrcPort])
 			}

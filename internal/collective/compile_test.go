@@ -87,10 +87,11 @@ func TestCompileColumnPrograms(t *testing.T) {
 	}
 }
 
-// TestCompileBroadcastProgram pins the recursive-doubling schedule:
-// log2(N) serial BPC rounds whose holder set doubles every round.
+// TestCompileBroadcastProgram pins the copy-network schedule: one
+// data-parallel full-fan-out map round per chunk, every output mapped
+// to the root.
 func TestCompileBroadcastProgram(t *testing.T) {
-	const logN, root, chunks = 3, 5, 2
+	const logN, n, root, chunks = 3, 8, 5, 2
 	p, err := CompileBroadcast(logN, root, chunks)
 	if err != nil {
 		t.Fatal(err)
@@ -98,9 +99,41 @@ func TestCompileBroadcastProgram(t *testing.T) {
 	if err := p.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if !p.Serial || len(p.Rounds) != logN || p.SelfRoutable != logN {
-		t.Fatalf("serial=%v rounds=%d selfRoutable=%d, want true/%d/%d",
-			p.Serial, len(p.Rounds), p.SelfRoutable, logN, logN)
+	if p.Serial || !p.Multicast || len(p.Rounds) != chunks || p.SelfRoutable != chunks {
+		t.Fatalf("serial=%v multicast=%v rounds=%d selfRoutable=%d, want false/true/%d/%d",
+			p.Serial, p.Multicast, len(p.Rounds), p.SelfRoutable, chunks, chunks)
+	}
+	for r := range p.Rounds {
+		rd := &p.Rounds[r]
+		if rd.Map == nil || rd.Dest != nil {
+			t.Fatalf("round %d is not a map round", r)
+		}
+		for out, src := range rd.Map {
+			if src != root {
+				t.Fatalf("round %d maps output %d to %d, want root %d", r, out, src, root)
+			}
+		}
+		if len(rd.Moves) != n {
+			t.Fatalf("round %d moves %d chunks, want one per port", r, len(rd.Moves))
+		}
+	}
+}
+
+// TestCompileBroadcastLegacyProgram pins the recursive-doubling
+// fallback: log2(N) serial BPC rounds whose holder set doubles every
+// round.
+func TestCompileBroadcastLegacyProgram(t *testing.T) {
+	const logN, root, chunks = 3, 5, 2
+	p, err := CompileBroadcastLegacy(logN, root, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Serial || p.Multicast || len(p.Rounds) != logN || p.SelfRoutable != logN {
+		t.Fatalf("serial=%v multicast=%v rounds=%d selfRoutable=%d, want true/false/%d/%d",
+			p.Serial, p.Multicast, len(p.Rounds), p.SelfRoutable, logN, logN)
 	}
 	for r := range p.Rounds {
 		if p.Rounds[r].Class != perm.ClassBPC {
@@ -109,6 +142,106 @@ func TestCompileBroadcastProgram(t *testing.T) {
 		if got, want := len(p.Rounds[r].Moves), (1<<uint(r))*chunks; got != want {
 			t.Fatalf("round %d moves %d chunks, want %d (holder set doubles)", r, got, want)
 		}
+	}
+}
+
+// TestCompileAllGatherProgram pins the all-gather schedule: N
+// data-parallel map rounds, round j a full fan-out of port j landing
+// in column j, covering every state cell exactly once.
+func TestCompileAllGatherProgram(t *testing.T) {
+	const logN, n = 3, 8
+	p, err := CompileAllGather(logN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Serial || !p.Multicast || len(p.Rounds) != n || p.SelfRoutable != n {
+		t.Fatalf("serial=%v multicast=%v rounds=%d selfRoutable=%d, want false/true/%d/%d",
+			p.Serial, p.Multicast, len(p.Rounds), p.SelfRoutable, n, n)
+	}
+	if p.TotalMoves() != n*n {
+		t.Fatalf("%d moves, want N^2=%d", p.TotalMoves(), n*n)
+	}
+	for j := range p.Rounds {
+		for out, src := range p.Rounds[j].Map {
+			if src != j {
+				t.Fatalf("round %d maps output %d to %d, want %d", j, out, src, j)
+			}
+		}
+	}
+	out := simulate(p, fill(n, 1))
+	for pt := 0; pt < n; pt++ {
+		for j := 0; j < n; j++ {
+			if want := j * 1000; out[pt][j] != want {
+				t.Fatalf("out[%d][%d] = %d, want %d", pt, j, out[pt][j], want)
+			}
+		}
+	}
+}
+
+// TestCompileFanOutProgram checks the pub/sub packer: overlapping
+// subscriber sets are split across rounds, disjoint ones share a
+// round, and each subscriber's slots are keyed by ascending source.
+func TestCompileFanOutProgram(t *testing.T) {
+	const logN, n = 3, 8
+	// Sources 0 and 1 overlap on port 4; sources 2 and 3 are disjoint
+	// from each other and from source 0.
+	dests := [][]int{
+		{4, 5, 6},
+		{4, 7},
+		{0, 1},
+		{2, 3},
+		nil, nil, nil, nil,
+	}
+	p, err := CompileFanOut(logN, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Serial || !p.Multicast {
+		t.Fatalf("serial=%v multicast=%v, want false/true", p.Serial, p.Multicast)
+	}
+	// First-fit: sources 0, 2, 3 pack into round 0; source 1 conflicts
+	// on port 4 and opens round 1.
+	if len(p.Rounds) != 2 {
+		t.Fatalf("%d rounds, want 2 (disjoint sets share a pass)", len(p.Rounds))
+	}
+	if p.TotalMoves() != 9 {
+		t.Fatalf("%d moves, want one per subscription edge (9)", p.TotalMoves())
+	}
+	in := [][]int{{100}, {200}, {300}, {400}, {}, {}, {}, {}}
+	out := simulate(p, in)
+	want := [][]int{{300}, {300}, {400}, {400}, {100, 200}, {100}, {100}, {200}}
+	for pt := range want {
+		if len(out[pt]) != len(want[pt]) {
+			t.Fatalf("port %d received %v, want %v", pt, out[pt], want[pt])
+		}
+		for c := range want[pt] {
+			if out[pt][c] != want[pt][c] {
+				t.Fatalf("port %d received %v, want %v", pt, out[pt], want[pt])
+			}
+		}
+	}
+}
+
+// TestCompileFanOutErrors covers the subscription-spec rejects.
+func TestCompileFanOutErrors(t *testing.T) {
+	if _, err := CompileFanOut(2, [][]int{{0}, {1}}); err == nil {
+		t.Fatal("wrong port count must be rejected")
+	}
+	if _, err := CompileFanOut(1, [][]int{{0, 0}, nil}); err == nil {
+		t.Fatal("duplicate subscriber must be rejected")
+	}
+	if _, err := CompileFanOut(1, [][]int{{2}, nil}); err == nil {
+		t.Fatal("out-of-range subscriber must be rejected")
+	}
+	p, err := CompileFanOut(1, [][]int{nil, nil})
+	if err != nil || len(p.Rounds) != 0 {
+		t.Fatalf("empty fan-out: %v rounds=%d, want trivial program", err, len(p.Rounds))
 	}
 }
 
@@ -288,12 +421,27 @@ func TestCompiledRoundClassesHonest(t *testing.T) {
 		must(CompileShuffle(logN, 3)),
 		must(CompileBitReversal(logN, 1)),
 		must(CompileBroadcast(logN, 3, 2)),
+		must(CompileBroadcastLegacy(logN, 3, 2)),
 		must(CompileGather(logN, 5)),
 		must(CompileScatter(logN, 5)),
+		must(CompileAllGather(logN)),
 	}
 	for _, p := range progs {
 		for i := range p.Rounds {
 			r := &p.Rounds[i]
+			if r.Map != nil {
+				// Map rounds claim self-routable by construction; the
+				// honest check is that the mapping classifier agrees the
+				// map is well-formed (multicast or degenerate-injective),
+				// never invalid.
+				if !r.Class.SelfRoutable() {
+					t.Errorf("%s round %d: map round claims %v, want self-routable", p.Op, i, r.Class)
+				}
+				if cls := perm.ClassifyMapping(r.Map); cls.Class == perm.MappingInvalid {
+					t.Errorf("%s round %d: map classified invalid", p.Op, i)
+				}
+				continue
+			}
 			switch r.Class {
 			case perm.ClassBPC:
 				if _, ok := perm.RecognizeBPC(r.Dest); !ok {

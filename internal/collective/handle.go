@@ -132,9 +132,12 @@ func (h *Handle[T]) fail(err error) {
 
 // run executes the schedule and settles the handle.
 func (h *Handle[T]) run() {
-	if h.prog.Serial {
+	switch {
+	case h.prog.Serial:
 		h.runSerial()
-	} else {
+	case h.prog.Multicast:
+		h.runMulticast()
+	default:
 		h.runParallel()
 	}
 	s := h.svc
@@ -161,6 +164,7 @@ type roundTally struct {
 	rounds      int
 	selfRouted  int
 	fallbacks   int
+	mcastRounds int
 	cacheHits   int
 	moves       int
 	planeRounds []int
@@ -173,9 +177,16 @@ func newRoundTally(planes int) *roundTally {
 
 func (t *roundTally) add(res fabric.RoundResult, moves int) {
 	t.rounds++
-	if res.Kind == engine.PlanSelfRouted {
+	switch res.Kind {
+	case engine.PlanSelfRouted:
 		t.selfRouted++
-	} else {
+	case engine.PlanMulticast:
+		// Copy-network rounds self-route by construction (every phase
+		// routes from local tag comparisons), so they count toward the
+		// self-route ratio — and separately, as multicast rounds.
+		t.selfRouted++
+		t.mcastRounds++
+	default:
 		t.fallbacks++
 	}
 	if res.CacheHit {
@@ -203,11 +214,18 @@ func (h *Handle[T]) flush(t *roundTally) {
 
 // serveRound routes one round on the preferred plane and applies its
 // moves into state from the pre-read snapshot vals (serial programs
-// permute state in place, so reads must precede writes). idx is the
-// round's position in the schedule, for the trace span.
+// permute state in place, so reads must precede writes). Map rounds go
+// through the copy network; the rest present their permutation. idx is
+// the round's position in the schedule, for the trace span.
 func (h *Handle[T]) serveRound(r *Round, idx, prefer int, vals []T, t *roundTally) error {
 	start := time.Now()
-	res, err := h.svc.fab.RouteRound(r.Dest, prefer)
+	var res fabric.RoundResult
+	var err error
+	if r.Map != nil {
+		res, err = h.svc.fab.RouteMulticastRound(r.Map, prefer)
+	} else {
+		res, err = h.svc.fab.RouteRound(r.Dest, prefer)
+	}
 	if err != nil {
 		return err
 	}
@@ -317,6 +335,55 @@ func (h *Handle[T]) runParallel() {
 					h.svc.roundHist.Observe(perRound)
 					h.completed.Add(1)
 					t.add(results[i], len(r.Moves))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runMulticast pipelines a data-parallel multicast schedule across the
+// fabric's K planes: worker w serves rounds w, w+K, w+2K, ... on plane
+// w, one at a time. Map rounds cannot ride RouteRounds' pipelined
+// permutation batches — each presents a mapping, not a permutation —
+// so the workers serve them individually through RouteMulticastRound;
+// the engine's plan cache keeps repeated mappings (a broadcast's
+// identical per-chunk rounds, re-run all-gathers) at cache-hit cost.
+// Safe for the same reason runParallel is: multicast programs are
+// non-serial, reading only the immutable input and writing
+// pairwise-disjoint state cells.
+func (h *Handle[T]) runMulticast() {
+	rounds := h.prog.Rounds
+	workers := h.svc.fab.Planes()
+	if workers > len(rounds) {
+		workers = len(rounds)
+	}
+	var abort atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			t := newRoundTally(len(h.svc.planeRounds))
+			defer h.flush(t)
+			for idx := w; idx < len(rounds); idx += workers {
+				if abort.Load() {
+					return
+				}
+				if err := h.ctx.Err(); err != nil {
+					h.fail(err)
+					abort.Store(true)
+					return
+				}
+				r := &rounds[idx]
+				vals := make([]T, len(r.Moves))
+				for j, m := range r.Moves {
+					vals[j] = h.in[m.SrcPort][m.SrcChunk]
+				}
+				if err := h.serveRound(r, idx, w, vals, t); err != nil {
+					h.fail(err)
+					abort.Store(true)
+					return
 				}
 			}
 		}(w)

@@ -42,6 +42,11 @@ type Network struct {
 	// stage, switch i has input lines 2i and 2i+1 (upper, lower) and
 	// output lines 2i and 2i+1.
 	link [][]int
+	// linkInv[s][x] is the stage-s output line that drives stage-(s+1)
+	// input line x — the inverse of link, for walking paths backward
+	// from an output (the only well-defined direction once broadcast
+	// states fan a single input out to both switch outputs).
+	linkInv [][]int
 }
 
 // New constructs B(n) for n >= 1. The recursive definition of Fig. 1 is
@@ -70,6 +75,13 @@ func New(n int) *Network {
 			if v < 0 {
 				panic(fmt.Sprintf("core: unwired line %d after stage %d", y, s))
 			}
+		}
+	}
+	b.linkInv = make([][]int, stages-1)
+	for s := range b.linkInv {
+		b.linkInv[s] = make([]int, size)
+		for y, x := range b.link[s] {
+			b.linkInv[s][x] = y
 		}
 	}
 	return b
@@ -137,6 +149,12 @@ func (b *Network) ControlBit(stage int) int {
 // walking packet paths on the hot serving path.
 func (b *Network) Link(stage, y int) int {
 	return b.link[stage][y]
+}
+
+// LinkInv returns the stage-stage output line that drives stage-(stage+1)
+// input line x — the inverse of Link, for backward path walks.
+func (b *Network) LinkInv(stage, x int) int {
+	return b.linkInv[stage][x]
 }
 
 // Wiring returns a deep copy of the inter-stage link maps:

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/mcast"
 	"repro/internal/obs"
 	"repro/internal/perm"
 )
@@ -20,6 +21,9 @@ const (
 	// PlanLooped marks a plan computed by the classic looping algorithm
 	// (core.Setup) because the permutation is outside F(n).
 	PlanLooped
+	// PlanMulticast marks a copy-network plan compiled from a fan-out
+	// mapping: distribute B(n), copy ladder, permute B(n).
+	PlanMulticast
 )
 
 func (k PlanKind) String() string {
@@ -28,6 +32,8 @@ func (k PlanKind) String() string {
 		return "self-routed"
 	case PlanLooped:
 		return "looped"
+	case PlanMulticast:
+		return "multicast"
 	}
 	return "unknown"
 }
@@ -41,8 +47,16 @@ type Plan struct {
 	Kind   PlanKind
 	States core.States // switch setting realizing Dest on B(n)
 	Dest   perm.Perm   // the permutation the plan realizes (input i -> Dest[i])
-	key    uint64      // hashPerm(Dest), the cache key
+	key    uint64      // hashPerm(Dest) or hashMapping(Map), the cache key
 	mask   []uint64    // States packed for the flight recorder; nil when accounting is off
+
+	// Multicast plans (Kind == PlanMulticast) carry the three-phase
+	// copy-network program instead of States/Dest, plus its packed
+	// recorder masks: the two B(n) phases in the binary mask format and
+	// the four-state ladder as a lo/hi pair.
+	Mcast              *mcast.Plan
+	distMask, permMask []uint64
+	ladLo, ladHi       []uint64
 }
 
 // hashPerm returns the 64-bit plan-cache key for a destination vector:
@@ -55,6 +69,21 @@ func hashPerm(p perm.Perm) uint64 {
 	h := uint64(offset64)
 	for _, d := range p {
 		h ^= uint64(d) + 1 // +1 so a leading 0 perturbs the state
+		h *= prime64
+	}
+	return h
+}
+
+// hashMapping keys a multicast mapping in the same cache. The offset
+// basis differs from hashPerm so a mapping that happens to be a
+// permutation does not land on the unicast plan for the same vector
+// (the two have different orientations), and entries may be -1.
+func hashMapping(m mcast.Mapping) uint64 {
+	const offset64 = 14695981039346656037 ^ 0x9e3779b97f4a7c15
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for _, d := range m {
+		h ^= uint64(d+2) // -1 maps to 1, sources to src+2
 		h *= prime64
 	}
 	return h
@@ -115,7 +144,29 @@ func (c *planCache) get(key uint64, d perm.Perm) *Plan {
 		return nil
 	}
 	pl := e.Value.(*Plan)
-	if !pl.Dest.Equal(d) {
+	if pl.Mcast != nil || !pl.Dest.Equal(d) {
+		if c.collisions != nil {
+			c.collisions.Add(1)
+		}
+		return nil
+	}
+	sh.ll.MoveToFront(e)
+	return pl
+}
+
+// getMapping is get for multicast plans: the stored mapping is
+// compared in full, and a unicast plan under the same key reads as a
+// collision miss.
+func (c *planCache) getMapping(key uint64, m mcast.Mapping) *Plan {
+	sh := &c.shards[key&c.mask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.items[key]
+	if !ok {
+		return nil
+	}
+	pl := e.Value.(*Plan)
+	if pl.Mcast == nil || !pl.Mcast.Map.Equal(m) {
 		if c.collisions != nil {
 			c.collisions.Add(1)
 		}

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/mcast"
 	"repro/internal/netsim"
 	"repro/internal/perm"
 )
@@ -142,6 +143,12 @@ type Engine[T any] struct {
 	cache *planCache
 	met   *Metrics
 	rec   *netsim.Recorder
+	// ladRec records the multicast copy ladder: log N stages of N/2
+	// four-state switches, a geometry separate from B(n)'s. Nil when
+	// accounting is off.
+	ladRec *netsim.Recorder
+	// mpool holds per-call mcast compilers for the RouteMulticast path.
+	mpool sync.Pool
 	reqs  chan *pending[T]
 	wg    sync.WaitGroup
 
@@ -164,6 +171,10 @@ func New[T any](cfg Config) (*Engine[T], error) {
 		rec:   cfg.Recorder,
 		reqs:  make(chan *pending[T], cfg.QueueDepth),
 	}
+	if e.rec != nil {
+		e.ladRec = netsim.NewRecorderGeom(cfg.LogN, e.net.SwitchesPerStage(), cfg.Workers+2)
+	}
+	e.mpool.New = func() any { return mcast.NewCompiler(e.net) }
 	e.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go e.worker()
@@ -177,6 +188,10 @@ func (e *Engine[T]) Network() *core.Network { return e.net }
 // Recorder returns the flight recorder the engine records into, nil
 // when accounting is disabled.
 func (e *Engine[T]) Recorder() *netsim.Recorder { return e.rec }
+
+// LadderRecorder returns the copy-ladder flight recorder (log N stages
+// of four-state switches), nil when accounting is disabled.
+func (e *Engine[T]) LadderRecorder() *netsim.Recorder { return e.ladRec }
 
 // QueueCapacity returns the request queue's depth limit — the
 // denominator readiness probes compare QueueDepth against.

@@ -31,14 +31,22 @@ type Metrics struct {
 	errors     obs.Counter // requests rejected (bad length, invalid permutation, closed)
 	evictions  obs.Counter // plans displaced from the LRU cache
 	collisions obs.Counter // lookups whose hash matched a plan for a different permutation
-	prewarms   obs.Counter // plans resolved ahead of traffic via Prewarm
-	frames     obs.Counter // frames served synchronously via FrameServer.Serve
-	queueDepth obs.Gauge   // requests submitted but not yet picked up by a worker
+	prewarms    obs.Counter // plans resolved ahead of traffic via Prewarm
+	frames      obs.Counter // frames served synchronously via FrameServer.Serve
+	mcasts      obs.Counter // multicast mappings served via RouteMulticast
+	mcastFrames obs.Counter // mapping frames served via McastFrameServer.Serve
+	mcastCopies obs.Counter // output copies delivered by multicast plans
+	queueDepth  obs.Gauge   // requests submitted but not yet picked up by a worker
 
 	// Per-stage latency histograms.
 	Wait  Histogram // submit -> worker pickup
 	Plan  Histogram // plan acquisition (cache lookup, plus setup on a miss)
 	Apply Histogram // payload application (or states replay)
+
+	// Multicast phase histograms: the copy-network compile split into
+	// its distribute/permute B(n) setups and its ladder programming.
+	McastDist Histogram // mcast_distribute: the two looping-algorithm setups
+	McastCopy Histogram // mcast_copy: interval-splitting ladder compile
 }
 
 // Hits returns the number of requests whose plan came from the cache.
@@ -68,6 +76,18 @@ func (m *Metrics) Prewarms() int64 { return m.prewarms.Value() }
 // the plan cache entirely.
 func (m *Metrics) FramesServed() int64 { return m.frames.Value() }
 
+// Mcasts returns the number of multicast mappings served through
+// RouteMulticast (the cached whole-mapping path).
+func (m *Metrics) Mcasts() int64 { return m.mcasts.Value() }
+
+// McastFramesServed returns the number of mapping frames served
+// through the McastFrameServer path.
+func (m *Metrics) McastFramesServed() int64 { return m.mcastFrames.Value() }
+
+// McastCopies returns the total output copies delivered by multicast
+// plans — the numerator of the fan-out amplification ratio.
+func (m *Metrics) McastCopies() int64 { return m.mcastCopies.Value() }
+
 // QueueDepth returns the number of requests currently waiting for a
 // worker.
 func (m *Metrics) QueueDepth() int64 { return m.queueDepth.Load() }
@@ -85,13 +105,18 @@ type Snapshot struct {
 	Collisions  int64   `json:"collision_misses"`
 	Prewarms    int64   `json:"prewarms"`
 	Frames      int64   `json:"frames"`
+	Mcasts      int64   `json:"mcasts"`
+	McastFrames int64   `json:"mcast_frames"`
+	McastCopies int64   `json:"mcast_copies"`
 	HitRate     float64 `json:"hit_rate"`
 	QueueDepth  int64   `json:"queue_depth"`
 	PlansCached int     `json:"plans_cached"`
 
-	Wait  HistogramSnapshot `json:"wait"`
-	Plan  HistogramSnapshot `json:"plan"`
-	Apply HistogramSnapshot `json:"apply"`
+	Wait      HistogramSnapshot `json:"wait"`
+	Plan      HistogramSnapshot `json:"plan"`
+	Apply     HistogramSnapshot `json:"apply"`
+	McastDist HistogramSnapshot `json:"mcast_distribute"`
+	McastCopy HistogramSnapshot `json:"mcast_copy"`
 }
 
 // Snapshot captures all counters and histograms. PlansCached is not
@@ -106,12 +131,17 @@ func (m *Metrics) Snapshot() Snapshot {
 		Errors:     m.errors.Value(),
 		Evictions:  m.evictions.Value(),
 		Collisions: m.collisions.Value(),
-		Prewarms:   m.prewarms.Value(),
-		Frames:     m.frames.Value(),
-		QueueDepth: m.queueDepth.Load(),
-		Wait:       m.Wait.Snapshot(),
-		Plan:       m.Plan.Snapshot(),
-		Apply:      m.Apply.Snapshot(),
+		Prewarms:    m.prewarms.Value(),
+		Frames:      m.frames.Value(),
+		Mcasts:      m.mcasts.Value(),
+		McastFrames: m.mcastFrames.Value(),
+		McastCopies: m.mcastCopies.Value(),
+		QueueDepth:  m.queueDepth.Load(),
+		Wait:        m.Wait.Snapshot(),
+		Plan:        m.Plan.Snapshot(),
+		Apply:       m.Apply.Snapshot(),
+		McastDist:   m.McastDist.Snapshot(),
+		McastCopy:   m.McastCopy.Snapshot(),
 	}
 	if lookups := s.Hits + s.Misses; lookups > 0 {
 		s.HitRate = float64(s.Hits) / float64(lookups)
@@ -143,11 +173,16 @@ func (e *Engine[T]) Register(reg *obs.Registry, labels obs.Labels) {
 	reg.CounterFunc("benes_engine_plan_cache_collisions_total", "Lookups that collided with a plan for a different permutation.", labels, m.collisions.Value)
 	reg.CounterFunc("benes_engine_prewarms_total", "Plans resolved ahead of traffic via Prewarm.", labels, m.prewarms.Value)
 	reg.CounterFunc("benes_engine_frames_total", "Frames served synchronously via FrameServer.", labels, m.frames.Value)
+	reg.CounterFunc("benes_engine_mcasts_total", "Multicast mappings served via RouteMulticast.", labels, m.mcasts.Value)
+	reg.CounterFunc("benes_engine_mcast_frames_total", "Mapping frames served via McastFrameServer.", labels, m.mcastFrames.Value)
+	reg.CounterFunc("benes_engine_mcast_copies_total", "Output copies delivered by multicast plans.", labels, m.mcastCopies.Value)
 	reg.GaugeFunc("benes_engine_queue_depth", "Requests waiting for a worker.", labels, func() float64 { return float64(m.queueDepth.Load()) })
 	reg.GaugeFunc("benes_engine_plans_cached", "Plans currently held by the cache.", labels, func() float64 { return float64(e.cache.len()) })
 	reg.RegisterHistogram("benes_engine_wait_seconds", "Queue wait: Submit to worker pickup.", labels, &m.Wait)
 	reg.RegisterHistogram("benes_engine_plan_seconds", "Plan acquisition: cache lookup plus setup on a miss.", labels, &m.Plan)
 	reg.RegisterHistogram("benes_engine_apply_seconds", "Payload application (or gate-level states replay).", labels, &m.Apply)
+	reg.RegisterHistogram("benes_engine_mcast_distribute_seconds", "Multicast compile: distribute/permute B(n) looping setups.", labels, &m.McastDist)
+	reg.RegisterHistogram("benes_engine_mcast_copy_seconds", "Multicast compile: interval-splitting copy-ladder programming.", labels, &m.McastCopy)
 
 	// With a flight recorder attached, export one series per stage of
 	// the gate-level counters (per-switch series would be N/2 times the

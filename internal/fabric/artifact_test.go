@@ -122,3 +122,116 @@ func TestBenchFabricArtifact(t *testing.T) {
 	}
 	t.Logf("wrote %s: %s", path, out)
 }
+
+// TestBenchMcastArtifact is the multicast slice of the bench
+// trajectory: when BENCH_MCAST_JSON names a file it pushes a pinned,
+// seeded fan-out workload (fan-out 1..4, uniform destinations over
+// N=256) through the packet path — SendMulticast → per-flow VOQ →
+// frame scheduler → copy-network plane — and writes packet throughput
+// plus the fabric's measured fanout amplification. The workload is
+// pregenerated from a fixed seed, so every run sends the identical
+// multiset of copies and fanout_amplification is bit-for-bit
+// reproducible: ci/bench_diff.sh holds it exact while ratcheting
+// pkts_per_sec_mcast.
+func TestBenchMcastArtifact(t *testing.T) {
+	path := os.Getenv("BENCH_MCAST_JSON")
+	if path == "" {
+		t.Skip("BENCH_MCAST_JSON not set")
+	}
+	iters := artifactEnvInt(t, "BENCH_ITERS", 200000)
+	planes := artifactEnvInt(t, "BENCH_PLANES", 2)
+
+	const n = 256 // LogN 8, matching the unicast artifact
+	type job struct {
+		src  int
+		dsts []int
+	}
+	// gen pregenerates the whole workload so the send loop measures the
+	// fabric, not the rng, and the copy count is known up front.
+	gen := func(count int) ([]job, int64) {
+		rng := rand.New(rand.NewSource(42))
+		jobs := make([]job, count)
+		copies := int64(0)
+		var seen [n]bool
+		for i := range jobs {
+			k := 1 + rng.Intn(4)
+			dsts := make([]int, 0, k)
+			for len(dsts) < k {
+				if d := rng.Intn(n); !seen[d] {
+					seen[d] = true
+					dsts = append(dsts, d)
+				}
+			}
+			for _, d := range dsts {
+				seen[d] = false
+			}
+			jobs[i] = job{src: rng.Intn(n), dsts: dsts}
+			copies += int64(len(dsts))
+		}
+		return jobs, copies
+	}
+
+	run := func(count int) (pktsPerSec, amp float64) {
+		jobs, copies := gen(count)
+		done := make(chan struct{})
+		var delivered atomic.Int64
+		f, err := New[int](Config{
+			LogN:     8,
+			Planes:   planes,
+			VOQDepth: 16,
+			Policy:   Block,
+			Record:   true,
+		}, func(Packet[int]) {
+			if delivered.Add(1) == copies {
+				close(done)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		senders := runtime.GOMAXPROCS(0)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for s := 0; s < senders; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				for i := s; i < count; i += senders {
+					err := f.SendMulticast(MulticastPacket[int]{
+						Src: jobs[i].src, Dsts: jobs[i].dsts, Payload: jobs[i].src,
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+		<-done
+		elapsed := time.Since(start)
+		amp = f.Stats().Mcast.FanoutAmplification
+		f.Close()
+		return float64(count) / elapsed.Seconds(), amp
+	}
+
+	run(iters/10 + 1)
+	pps, amp := run(iters)
+	artifact := map[string]any{
+		"log_n":                8,
+		"iters":                iters,
+		"gomaxprocs":           runtime.GOMAXPROCS(0),
+		"planes":               planes,
+		"pkts_per_sec_mcast":   pps,
+		"copies_per_sec":       pps * amp,
+		"fanout_amplification": amp,
+	}
+	out, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %s", path, out)
+}

@@ -71,18 +71,30 @@ type Packet[T any] struct {
 // dsts[k]); the remaining ports carry filler assignments. Frames are
 // pooled per plane and reused, so the slices alias caller-invisible
 // memory that is recycled after delivery.
+//
+// A frame that claimed at least one multicast head-of-line packet has
+// mcast set; its port assignment is then the output-major mapping
+// outSrc (an input may feed several outputs, so no permutation can
+// express it) and pkts holds one entry per copy. mpkts counts the
+// logical multicast packets folded in and mcopies their total copies.
 type frame[T any] struct {
 	dest       perm.Perm
 	pkts       []Packet[T]
 	srcs, dsts []int
+
+	outSrc []int
+	mcast  bool
+	mpkts  int
+	mcopies int
 }
 
 func newFrame[T any](n int) *frame[T] {
 	return &frame[T]{
-		dest: make(perm.Perm, n),
-		pkts: make([]Packet[T], 0, n),
-		srcs: make([]int, 0, n),
-		dsts: make([]int, 0, n),
+		dest:   make(perm.Perm, n),
+		pkts:   make([]Packet[T], 0, n),
+		srcs:   make([]int, 0, n),
+		dsts:   make([]int, 0, n),
+		outSrc: make([]int, n),
 	}
 }
 
@@ -94,6 +106,9 @@ func (fr *frame[T]) reset() {
 	fr.pkts = fr.pkts[:0]
 	fr.srcs = fr.srcs[:0]
 	fr.dsts = fr.dsts[:0]
+	fr.mcast = false
+	fr.mpkts = 0
+	fr.mcopies = 0
 }
 
 // Affinity selects how Send assigns a packet's flow to a plane shard.
@@ -286,6 +301,16 @@ func (f *Fabric[T]) PlaneRecorder(id int) *netsim.Recorder {
 		return nil
 	}
 	return f.planes[id].eng.Recorder()
+}
+
+// PlaneLadderRecorder returns plane id's copy-ladder flight recorder
+// (log N stages of fan-out switch counters), nil when Config.Record
+// was off or id is out of range.
+func (f *Fabric[T]) PlaneLadderRecorder(id int) *netsim.Recorder {
+	if id < 0 || id >= len(f.planes) {
+		return nil
+	}
+	return f.planes[id].eng.LadderRecorder()
 }
 
 // mix64 is the SplitMix64 finalizer: a cheap, well-distributed 64-bit
@@ -498,6 +523,9 @@ func (f *Fabric[T]) scheduler(i int) {
 			continue
 		}
 		f.met.frames.Add(1)
+		if fr.mcast {
+			f.met.mcastFrames.Add(1)
+		}
 		f.met.HandoffBatch.ObserveValue(int64(len(fr.pkts)))
 		f.frames[i] <- fr
 	}
@@ -515,6 +543,9 @@ func (f *Fabric[T]) drainShard(i int) {
 			return
 		}
 		f.met.frames.Add(1)
+		if fr.mcast {
+			f.met.mcastFrames.Add(1)
+		}
 		f.met.HandoffBatch.ObserveValue(int64(len(fr.pkts)))
 		f.frames[i] <- fr
 	}
@@ -527,11 +558,17 @@ func (f *Fabric[T]) drainShard(i int) {
 func (f *Fabric[T]) router(i int) {
 	defer f.wg.Done()
 	servers := make([]*engine.FrameServer[int], len(f.planes))
+	mservers := make([]*engine.McastFrameServer[int], len(f.planes))
 	for j, p := range f.planes {
 		servers[j] = p.eng.NewFrameServer()
+		mservers[j] = p.eng.NewMcastFrameServer()
 	}
 	for fr := range f.frames[i] {
-		f.dispatch(i, servers, fr)
+		if fr.mcast {
+			f.dispatchMcast(i, mservers, fr)
+		} else {
+			f.dispatch(i, servers, fr)
+		}
 		f.putFrame(i, fr)
 	}
 }

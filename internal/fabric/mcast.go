@@ -1,0 +1,363 @@
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/mcast"
+	"repro/internal/obs"
+)
+
+// MulticastPacket is one fan-out unit of traffic: deliver Payload from
+// input port Src to every output port in Dsts, in one frame, through
+// the copy network. Dsts is copied on Send, so the caller may reuse
+// the slice. Trace follows the same ownership rules as Packet.Trace.
+type MulticastPacket[T any] struct {
+	Src     int
+	Dsts    []int
+	Payload T
+	Trace   *obs.Trace
+}
+
+// mpayload is the ring payload a multicast packet travels as: the
+// destination set rides inside a regular Packet (Dst holds the first
+// destination, which doubles as the flow-hash key), so the multicast
+// ingress reuses the same lock-free ring as the unicast VOQs.
+type mpayload[T any] struct {
+	dsts []int
+	data T
+}
+
+// SendMulticast offers one fan-out packet to the fabric. It returns
+// nil when the packet is accepted — the fabric then delivers exactly
+// one verified copy to every destination, all within a single frame —
+// or ErrBackpressure / ErrClosed when it is not. The (Src, Dsts[0])
+// flow is pinned to a plane exactly like a unicast flow, so a
+// multicast stream keeps FIFO order with the unicast traffic sharing
+// its head destination.
+func (f *Fabric[T]) SendMulticast(p MulticastPacket[T]) error {
+	if p.Src < 0 || p.Src >= f.n {
+		return fmt.Errorf("fabric: multicast source %d out of range [0,%d)", p.Src, f.n)
+	}
+	if len(p.Dsts) == 0 {
+		return fmt.Errorf("fabric: multicast packet from %d has no destinations", p.Src)
+	}
+	if len(p.Dsts) > f.n {
+		return fmt.Errorf("fabric: multicast packet from %d targets %d ports, max %d", p.Src, len(p.Dsts), f.n)
+	}
+	seen := make([]bool, f.n)
+	dsts := make([]int, len(p.Dsts))
+	for i, d := range p.Dsts {
+		if d < 0 || d >= f.n {
+			return fmt.Errorf("fabric: multicast destination %d out of range [0,%d)", d, f.n)
+		}
+		if seen[d] {
+			return fmt.Errorf("fabric: multicast destination %d listed twice", d)
+		}
+		seen[d] = true
+		dsts[i] = d
+	}
+	if f.closed.Load() {
+		f.met.rejected.Add(1)
+		return ErrClosed
+	}
+	sh := f.shards[f.shardFor(p.Src, dsts[0])]
+	wrapped := Packet[mpayload[T]]{
+		Src:     p.Src,
+		Dst:     dsts[0],
+		Payload: mpayload[T]{dsts: dsts, data: p.Payload},
+		Trace:   p.Trace,
+	}
+	if err := sh.enqueueMcast(wrapped, f.cfg.Policy); err != nil {
+		f.met.rejected.Add(1)
+		return err
+	}
+	f.met.accepted.Add(1)
+	f.met.mcastAccepted.Add(1)
+	return nil
+}
+
+// mring returns input in's multicast ring, allocating it on first use.
+func (v *voqShard[T]) mring(in int) *voqRing[mpayload[T]] {
+	if r := v.mrings[in].Load(); r != nil {
+		return r
+	}
+	fresh := newVOQRing[mpayload[T]](v.depth)
+	if v.mrings[in].CompareAndSwap(nil, fresh) {
+		return fresh
+	}
+	return v.mrings[in].Load()
+}
+
+// enqueueMcast publishes a wrapped multicast packet into its input's
+// ring, honouring the drop policy — the multicast twin of enqueue,
+// sharing the seal protocol, the Block parking lot, and the scheduler
+// wakeup.
+func (v *voqShard[T]) enqueueMcast(p Packet[mpayload[T]], policy DropPolicy) error {
+	v.inflight.Add(1)
+	defer v.inflight.Add(-1)
+	if v.sealed.Load() {
+		return ErrClosed
+	}
+	r := v.mring(p.Src)
+	if !r.push(p, time.Now().UnixNano()) {
+		if policy == DropNew {
+			v.counts[p.Src].dropped.Add(1)
+			return ErrBackpressure
+		}
+		t0 := time.Now()
+		v.blockMu.Lock()
+		parked := true
+		for parked {
+			if v.sealed.Load() {
+				v.blockMu.Unlock()
+				return ErrClosed
+			}
+			v.waiters.Add(1)
+			if r.push(p, time.Now().UnixNano()) {
+				v.waiters.Add(-1)
+				parked = false
+				break
+			}
+			v.space.Wait()
+			v.waiters.Add(-1)
+		}
+		v.blockMu.Unlock()
+		if v.met != nil {
+			v.met.EnqueueWait.ObserveSince(t0)
+		}
+	}
+	v.mcastQueued.Add(1)
+	select {
+	case v.notify <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// peek exposes the oldest published packet without consuming it.
+// Single consumer only; the returned pointer is valid until the next
+// pop.
+func (r *voqRing[T]) peek() (*Packet[T], bool) {
+	pos := r.head.Load()
+	s := &r.slots[pos&r.mask]
+	if s.turn.Load() != pos>>r.shift<<1+1 {
+		return nil, false
+	}
+	return &s.pkt, true
+}
+
+// claimMulticast folds claimable multicast heads into the frame under
+// construction: a head is claimed only when its input and every one of
+// its destinations are still free, taking the whole fan-out in one
+// matching decision (the scheduler analogue of the copy network moving
+// all copies in one pass). A blocked head stays queued and retries
+// next frame — the rotating input pointer keeps it from being starved
+// by always-later scanning. Consumer only.
+func (v *voqShard[T]) claimMulticast(fr *frame[T], partial []int, taken []bool, tickNano int64) {
+	n := v.n
+	for k := 0; k < n; k++ {
+		in := (v.rrIn + k) % n
+		if partial[in] != Idle {
+			continue
+		}
+		r := v.mrings[in].Load()
+		if r == nil {
+			continue
+		}
+		head, ok := r.peek()
+		if !ok {
+			continue
+		}
+		blocked := false
+		for _, d := range head.Payload.dsts {
+			if taken[d] {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		pkt, enq, _ := r.pop()
+		v.mcastQueued.Add(-1)
+		wait := time.Duration(tickNano - enq)
+		if v.met != nil {
+			v.met.VOQWait.Observe(wait)
+		}
+		pkt.Trace.SpanDur("voq_wait", time.Unix(0, enq), wait, "")
+		partial[in] = pkt.Payload.dsts[0]
+		fr.mcast = true
+		fr.mpkts++
+		for _, d := range pkt.Payload.dsts {
+			taken[d] = true
+			fr.pkts = append(fr.pkts, Packet[T]{Src: in, Dst: d, Payload: pkt.Payload.data, Trace: pkt.Trace})
+			fr.srcs = append(fr.srcs, in)
+			fr.dsts = append(fr.dsts, d)
+			fr.mcopies++
+		}
+	}
+}
+
+// routeMcastFrame serves one mapping frame synchronously: compile the
+// copy-network plan, fault-check its two B(n) phases against the
+// plane's injected damage (the ladder section is not part of the
+// plane's binary gate model), then commit the accounting and verify
+// every listed output. As with routeFrame, any error means nothing was
+// delivered and the caller fails the frame over.
+func (p *plane) routeMcastFrame(fs *engine.McastFrameServer[int], m mcast.Mapping, outs []int) error {
+	if !p.healthy.Load() {
+		p.failovers.Add(1)
+		return errPlaneDown
+	}
+	if err := fs.Prepare(m); err != nil {
+		// A compile rejection is a property of the mapping, not the
+		// plane: count the refusal but leave the plane in rotation.
+		p.failovers.Add(1)
+		return fmt.Errorf("fabric: plane %d: %w", p.id, err)
+	}
+	if !p.checkFaults(fs.DistPerm()) || !p.checkFaults(fs.PermPerm()) {
+		p.healthy.Store(false)
+		p.failovers.Add(1)
+		return fmt.Errorf("fabric: plane %d misroutes mapping frame: %w", p.id, errPlaneDown)
+	}
+	rtt := time.Now()
+	err := fs.ServePrepared(outs)
+	if p.met != nil {
+		p.met.PlaneRTT.ObserveSince(rtt)
+	}
+	if err != nil {
+		p.healthy.Store(false)
+		p.failovers.Add(1)
+		return fmt.Errorf("fabric: plane %d: %w", p.id, err)
+	}
+	p.frames.Add(1)
+	p.packets.Add(int64(len(outs)))
+	return nil
+}
+
+// dispatchMcast is dispatch for mapping frames: same failover walk,
+// same coalesced delivery, but the plane serves the frame through its
+// McastFrameServer and the books additionally track fan-out copies.
+func (f *Fabric[T]) dispatchMcast(home int, servers []*engine.McastFrameServer[int], fr *frame[T]) {
+	m := mcast.Mapping(fr.outSrc)
+	failed := false
+	for attempt := 0; attempt < len(f.planes); attempt++ {
+		id := (home + attempt) % len(f.planes)
+		p := f.planes[id]
+		start := time.Now()
+		if err := p.routeMcastFrame(servers[id], m, fr.dsts); err != nil {
+			failed = true
+			continue
+		}
+		if failed {
+			f.met.failovers.Add(1)
+		}
+		f.met.delivered.Add(int64(len(fr.pkts)))
+		f.met.mcastDelivered.Add(int64(fr.mpkts))
+		f.met.mcastCopies.Add(int64(fr.mcopies))
+		transit := time.Since(start)
+		note := "plane " + fmt.Sprint(p.id)
+		for _, pkt := range fr.pkts {
+			pkt.Trace.SpanDur("plane_transit", start, transit, note)
+		}
+		f.met.Coalesce.ObserveValue(int64(len(fr.pkts)))
+		switch {
+		case f.deliverBatch != nil:
+			f.deliverBatch(p.id, fr.pkts)
+		case f.deliver != nil:
+			for _, pkt := range fr.pkts {
+				f.deliver(pkt)
+			}
+		}
+		return
+	}
+	f.met.lost.Add(int64(len(fr.pkts)))
+	for _, pkt := range fr.pkts {
+		pkt.Trace.SpanDur("lost", time.Now(), 0, "no healthy plane")
+	}
+}
+
+// routeMcastRound serves one whole-mapping collective round on this
+// plane: the engine resolves (or reuses) the cached copy-network plan,
+// fans the identity payload out, and verifies every assigned output by
+// its backward walk; the plane then fault-checks the plan's two B(n)
+// phases and re-verifies the delivered payload port by port.
+func (p *plane) routeMcastRound(m mcast.Mapping) (bool, error) {
+	if !p.healthy.Load() {
+		p.failovers.Add(1)
+		return false, errPlaneDown
+	}
+	rtt := time.Now()
+	resp := p.eng.RouteMulticast(m, p.ident)
+	if p.met != nil {
+		p.met.PlaneRTT.ObserveSince(rtt)
+	}
+	if resp.Err != nil {
+		p.healthy.Store(false)
+		p.failovers.Add(1)
+		return false, fmt.Errorf("fabric: plane %d: %w", p.id, resp.Err)
+	}
+	if !p.checkFaults(resp.Plan.Mcast.Dist) || !p.checkFaults(resp.Plan.Mcast.Perm) {
+		// Rounds move only the identity payload, so a post-route fault
+		// check loses nothing: the round simply retries elsewhere.
+		p.healthy.Store(false)
+		p.failovers.Add(1)
+		return false, fmt.Errorf("fabric: plane %d misroutes multicast round: %w", p.id, errPlaneDown)
+	}
+	verify := time.Now()
+	for out, src := range m {
+		if src >= 0 && resp.Data[out] != src {
+			p.healthy.Store(false)
+			p.failovers.Add(1)
+			return false, fmt.Errorf("fabric: plane %d delivered port %d to the wrong source: %w",
+				p.id, out, errPlaneDown)
+		}
+	}
+	if p.met != nil {
+		p.met.Verify.ObserveSince(verify)
+	}
+	p.rounds.Add(1)
+	return resp.CacheHit, nil
+}
+
+// RouteMulticastRound serves one whole-mapping collective round
+// synchronously on a healthy plane: m[out] names the source whose
+// chunk output out must receive, -1 leaves the output idle. prefer
+// selects the plane to try first, with the same failover walk as
+// RouteRound. The mapping is validated before any plane is touched, so
+// a bad round can never take a plane out of rotation. Repeated rounds
+// hit the plane's plan cache — the collective layer's pipelined
+// schedules rely on that.
+func (f *Fabric[T]) RouteMulticastRound(m []int, prefer int) (RoundResult, error) {
+	if f.closed.Load() {
+		return RoundResult{}, ErrClosed
+	}
+	mm := mcast.Mapping(m)
+	if err := mm.Validate(f.n); err != nil {
+		return RoundResult{}, fmt.Errorf("fabric: multicast round: %w", err)
+	}
+	assigned := mm.Assigned()
+	if assigned == 0 {
+		return RoundResult{}, fmt.Errorf("fabric: multicast round assigns no outputs")
+	}
+	k := len(f.planes)
+	prefer = ((prefer % k) + k) % k
+	failed := false
+	for attempt := 0; attempt < k; attempt++ {
+		p := f.planes[(prefer+attempt)%k]
+		hit, err := p.routeMcastRound(mm)
+		if err != nil {
+			failed = true
+			continue
+		}
+		if failed {
+			f.met.roundFailovers.Add(1)
+		}
+		f.met.rounds.Add(1)
+		f.met.mcastRounds.Add(1)
+		return RoundResult{Plane: p.id, Kind: engine.PlanMulticast, CacheHit: hit}, nil
+	}
+	return RoundResult{}, fmt.Errorf("fabric: no healthy plane for multicast round: %w", errPlaneDown)
+}

@@ -24,6 +24,15 @@ type metrics struct {
 	rounds         atomic.Int64 // collective rounds served via RouteRound
 	roundFailovers atomic.Int64 // rounds served only after a plane failover
 
+	// Multicast traffic. Accepted/delivered count logical fan-out
+	// packets; copies count per-output deliveries, so copies/delivered
+	// is the fabric's fan-out amplification.
+	mcastAccepted  atomic.Int64 // multicast packets admitted
+	mcastDelivered atomic.Int64 // multicast packets with every copy verified
+	mcastCopies    atomic.Int64 // verified copies (frames and rounds)
+	mcastFrames    atomic.Int64 // frames carrying at least one multicast packet
+	mcastRounds    atomic.Int64 // multicast collective rounds served
+
 	// Per-stage latency histograms, mapping the paper's delay split
 	// onto the packet path: queueing (VOQWait, plus EnqueueWait for the
 	// backpressured slow path), scheduling (Match), transmission
@@ -44,6 +53,20 @@ type metrics struct {
 	// delivery callbacks each frame completion coalesced.
 	HandoffBatch obs.Histogram // real packets per frame handed to a router
 	Coalesce     obs.Histogram // packets delivered per coalesced frame drain
+}
+
+// McastSnapshot is the multicast slice of a fabric Snapshot.
+// FanoutAmplification is Copies / Delivered — how many verified
+// output copies each served multicast packet produced on average.
+// All three packet counters cover frame traffic only; Rounds counts
+// whole-mapping collective rounds, which carry no packets.
+type McastSnapshot struct {
+	Accepted            int64   `json:"accepted"`
+	Delivered           int64   `json:"delivered"`
+	Copies              int64   `json:"copies"`
+	Frames              int64   `json:"frames"`
+	Rounds              int64   `json:"rounds"`
+	FanoutAmplification float64 `json:"fanout_amplification"`
 }
 
 // VOQInputCounters is one input port's ingress accounting.
@@ -95,6 +118,9 @@ type Snapshot struct {
 	Rounds         int64 `json:"rounds"`
 	RoundFailovers int64 `json:"round_failovers"`
 
+	// Multicast traffic: copy-network frames and rounds.
+	Mcast McastSnapshot `json:"mcast"`
+
 	// FrameFill is delivered packets per scheduled frame divided by N:
 	// 1.0 means every frame was a full permutation of real packets,
 	// small values mean the scheduler is padding mostly-idle frames.
@@ -119,6 +145,14 @@ func (f *Fabric[T]) Stats() Snapshot {
 		Rounds:         f.met.rounds.Load(),
 		RoundFailovers: f.met.roundFailovers.Load(),
 
+		Mcast: McastSnapshot{
+			Accepted:  f.met.mcastAccepted.Load(),
+			Delivered: f.met.mcastDelivered.Load(),
+			Copies:    f.met.mcastCopies.Load(),
+			Frames:    f.met.mcastFrames.Load(),
+			Rounds:    f.met.mcastRounds.Load(),
+		},
+
 		Stages: StageSnapshot{
 			VOQWait:     f.met.VOQWait.Snapshot(),
 			EnqueueWait: f.met.EnqueueWait.Snapshot(),
@@ -133,6 +167,9 @@ func (f *Fabric[T]) Stats() Snapshot {
 	}
 	if s.Frames > 0 {
 		s.FrameFill = float64(s.Delivered) / float64(s.Frames) / float64(f.n)
+	}
+	if s.Mcast.Delivered > 0 {
+		s.Mcast.FanoutAmplification = float64(s.Mcast.Copies) / float64(s.Mcast.Delivered)
 	}
 	s.Planes = make([]PlaneSnapshot, len(f.planes))
 	for i, p := range f.planes {
@@ -179,6 +216,11 @@ func (f *Fabric[T]) Register(reg *obs.Registry) {
 	reg.CounterFunc("benes_fabric_failovers_total", "Frames re-dispatched after a plane failure.", nil, m.failovers.Load)
 	reg.CounterFunc("benes_fabric_rounds_total", "Collective rounds served.", nil, m.rounds.Load)
 	reg.CounterFunc("benes_fabric_round_failovers_total", "Rounds served only after a plane failover.", nil, m.roundFailovers.Load)
+	reg.CounterFunc("benes_fabric_mcast_accepted_total", "Multicast packets admitted.", nil, m.mcastAccepted.Load)
+	reg.CounterFunc("benes_fabric_mcast_delivered_total", "Multicast packets with every copy verified.", nil, m.mcastDelivered.Load)
+	reg.CounterFunc("benes_fabric_mcast_copies_total", "Verified multicast copies.", nil, m.mcastCopies.Load)
+	reg.CounterFunc("benes_fabric_mcast_frames_total", "Frames carrying at least one multicast packet.", nil, m.mcastFrames.Load)
+	reg.CounterFunc("benes_fabric_mcast_rounds_total", "Multicast collective rounds served.", nil, m.mcastRounds.Load)
 	reg.GaugeFunc("benes_fabric_voq_occupied", "Packets currently queued across all VOQs.", nil,
 		func() float64 {
 			total := int64(0)

@@ -13,9 +13,13 @@ import (
 	"repro/internal/perm"
 )
 
-// errPlaneDown reports a route attempt on an unhealthy plane; the
-// dispatcher fails the frame over to a surviving plane.
-var errPlaneDown = errors.New("fabric: plane unhealthy")
+// ErrPlaneDown reports a route attempt on an unhealthy plane; the
+// dispatcher fails the frame over to a surviving plane, so callers see
+// it (wrapped) only when every plane is out of rotation.
+var ErrPlaneDown = errors.New("fabric: plane unhealthy")
+
+// errPlaneDown is the internal alias the plane paths return.
+var errPlaneDown = ErrPlaneDown
 
 // plane is one switching plane: an independent engine instance (its own
 // worker pool and plan cache) over its own copy of B(n). Planes share

@@ -166,6 +166,13 @@ type voqShard[T any] struct {
 	nonempty []atomic.Uint64              // nonempty[in*words+out/64]
 	counts   []voqInputCounters           // per input
 
+	// Multicast ingress: one lazily allocated ring per input (a fan-out
+	// packet targets many outputs, so the per-(input, output) grid does
+	// not apply; one ring per input preserves per-input FIFO order among
+	// its multicast packets). mcastQueued counts packets across them.
+	mrings      []atomic.Pointer[voqRing[mpayload[T]]]
+	mcastQueued atomic.Int64
+
 	// Close protocol: inflight counts senders between admission check
 	// and ring publish; seal flips sealed, then waits for inflight to
 	// reach zero, after which a final drain observes every accepted
@@ -205,6 +212,7 @@ func newVOQShard[T any](n, depth int, met *metrics) *voqShard[T] {
 		taken:   make([]bool, n),
 	}
 	v.rings = make([]atomic.Pointer[voqRing[T]], n*n)
+	v.mrings = make([]atomic.Pointer[voqRing[mpayload[T]]], n)
 	v.nonempty = make([]atomic.Uint64, n*v.words)
 	v.space = sync.NewCond(&v.blockMu)
 	return v
@@ -384,8 +392,17 @@ func (v *voqShard[T]) buildFrame(fr *frame[T]) bool {
 		taken[i] = false
 	}
 	fr.reset()
+	// Multicast heads first: a fan-out packet needs its input and every
+	// one of its destinations free, so it gets first pick of the outputs
+	// before the unicast matching fragments them.
+	if v.mcastQueued.Load() > 0 {
+		v.claimMulticast(fr, partial, taken, tickNano)
+	}
 	for k := 0; k < n; k++ {
 		in := (v.rrIn + k) % n
+		if partial[in] != Idle {
+			continue // input claimed by a multicast head
+		}
 		if v.counts[in].occupied.Load() == 0 {
 			continue
 		}
@@ -443,13 +460,26 @@ func (v *voqShard[T]) buildFrame(fr *frame[T]) bool {
 	if v.met != nil {
 		v.met.Match.ObserveSince(tick)
 	}
+	if fr.mcast {
+		// A frame with fan-out is a mapping, not a permutation: rebuild
+		// the output-major view from the claimed pairs. Unassigned
+		// outputs stay Idle — the copy-network compiler parks them.
+		for i := range fr.outSrc {
+			fr.outSrc[i] = Idle
+		}
+		for k, d := range fr.dsts {
+			fr.outSrc[d] = fr.srcs[k]
+		}
+		return true
+	}
 	completeInto(partial, fr.dest, taken)
 	return true
 }
 
-// occupancy returns the shard's total queued packets.
+// occupancy returns the shard's total queued packets, multicast
+// included.
 func (v *voqShard[T]) occupancy() int64 {
-	total := int64(0)
+	total := v.mcastQueued.Load()
 	for i := range v.counts {
 		total += v.counts[i].occupied.Load()
 	}

@@ -1,0 +1,94 @@
+package mcast
+
+import (
+	"repro/internal/bits"
+	"repro/internal/core"
+)
+
+// LadderRoute pushes one tag vector through the plan's copy ladder at
+// gate level: n rounds of perfect shuffle then four-state exchange.
+// in[r] is the tag entering ladder line r (-1 idle); the result is the
+// tag on every ladder output line.
+func (p *Plan) LadderRoute(net *core.Network, in []int) []int {
+	size, n := net.N(), net.LogN()
+	cur := append([]int(nil), in...)
+	nxt := make([]int, size)
+	for j := 0; j < n; j++ {
+		for i := 0; i < size; i++ {
+			nxt[bits.RotLeft(i, n)] = cur[i]
+		}
+		for sw := 0; sw < size/2; sw++ {
+			cur[2*sw], cur[2*sw+1] = p.Ladder[j][sw].Apply(nxt[2*sw], nxt[2*sw+1])
+		}
+	}
+	return cur
+}
+
+// Route evaluates the whole plan at gate level — distribute through
+// B(n), copy through the ladder, permute through B(n) — with source
+// tags on the requested inputs, and returns the multiset-checked
+// result. This is the plan's end-to-end proof obligation; the serving
+// paths use the cheaper WalkOutput spot checks instead.
+func (p *Plan) Route(net *core.Network) *core.McastResult {
+	size := net.N()
+	tags := make([]int, size)
+	for i := range tags {
+		tags[i] = -1
+	}
+	for _, src := range p.Map {
+		if src >= 0 {
+			tags[src] = src
+		}
+	}
+	afterDist, distTrace := net.McastRoute(tags, p.DistStates.Mcast())
+	afterCopy := p.LadderRoute(net, afterDist)
+	delivered, permTrace := net.McastRoute(afterCopy, p.PermStates.Mcast())
+	trace := append(distTrace, permTrace[1:]...)
+	return &core.McastResult{
+		Requested: append([]int(nil), p.Map...),
+		Delivered: delivered,
+		TagTrace:  trace,
+		Misrouted: core.CheckMulticast(p.Map, delivered),
+	}
+}
+
+// WalkOutput follows one network output backward through the plan to
+// the input that feeds it: permute B(n) backward, then the ladder
+// (whose backward direction stays a function even through broadcast
+// states), then distribute B(n) backward. For a correct plan,
+// WalkOutput(out) == Map[out] for every assigned output — the per-path
+// verification the fabric runs on live frames.
+func (p *Plan) WalkOutput(net *core.Network, out int) int {
+	slot := net.WalkBack(p.PermStates, out)
+	rank := p.walkLadderBack(net, slot)
+	return net.WalkBack(p.DistStates, rank) // dist input feeding line rank
+}
+
+// walkLadderBack follows ladder output line y backward to the ladder
+// input line driving it.
+func (p *Plan) walkLadderBack(net *core.Network, y int) int {
+	n := net.LogN()
+	for j := n - 1; j >= 0; j-- {
+		y = bits.RotRight(p.Ladder[j][y>>1].FeedLine(y), n)
+	}
+	return y
+}
+
+// Apply carries a payload vector through the plan without gate
+// simulation: out[o] = in[Map[o]] for assigned outputs, the zero value
+// elsewhere. The plan itself is the proof that the switch program
+// realizes this mapping (Route / WalkOutput check it at gate level).
+func Apply[T any](p *Plan, in []T, out []T) []T {
+	var zero T
+	if out == nil {
+		out = make([]T, len(p.Map))
+	}
+	for o, src := range p.Map {
+		if src >= 0 {
+			out[o] = in[src]
+		} else {
+			out[o] = zero
+		}
+	}
+	return out
+}

@@ -37,6 +37,7 @@ const (
 	kindFlips            // state transitions between consecutive vectors
 	kindForced           // omega-bit forced settings
 	kindFaultHits        // vectors demanding the opposite of a stuck state
+	kindBcast            // transitions entering or leaving a broadcast state
 	recKinds
 )
 
@@ -52,8 +53,13 @@ type Recorder struct {
 
 	// prev is the last recorded state bitmask, shared by every shard so
 	// flip counts reflect the physical switch flipping between
-	// consecutively applied vectors, not one count per writer.
-	prev []atomic.Uint64
+	// consecutively applied vectors, not one count per writer. prevHi is
+	// the second state bit of the four-state (multicast) encoding: a set
+	// bit means the switch last sat in a broadcast state. Binary vectors
+	// clear it, so flip counts stay exact when unicast and multicast
+	// passes interleave on the same hardware.
+	prev   []atomic.Uint64
+	prevHi []atomic.Uint64
 }
 
 // RecorderShard is one writer's slice of a Recorder. A shard may be
@@ -69,16 +75,24 @@ type RecorderShard struct {
 // NewRecorder builds a recorder for net's geometry with the given
 // number of writer shards (values < 1 are treated as 1).
 func NewRecorder(net *core.Network, shards int) *Recorder {
+	return NewRecorderGeom(net.Stages(), net.SwitchesPerStage(), shards)
+}
+
+// NewRecorderGeom builds a recorder for an arbitrary stages x switches
+// grid — the copy ladder of a multicast plan is log N stages of N/2
+// four-state switches, a geometry no *core.Network describes.
+func NewRecorderGeom(stages, switches, shards int) *Recorder {
 	if shards < 1 {
 		shards = 1
 	}
 	r := &Recorder{
-		stages:   net.Stages(),
-		switches: net.SwitchesPerStage(),
+		stages:   stages,
+		switches: switches,
 		shards:   make([]RecorderShard, shards),
 	}
 	r.words = (r.switches + 63) / 64
 	r.prev = make([]atomic.Uint64, r.stages*r.words)
+	r.prevHi = make([]atomic.Uint64, r.stages*r.words)
 	for i := range r.shards {
 		r.shards[i].rec = r
 		r.shards[i].c = make([]atomic.Int64, r.stages*r.switches*recKinds)
@@ -158,6 +172,16 @@ func (sh *RecorderShard) FaultHit(stage, sw int) {
 	sh.at(stage, sw, kindFaultHits).Add(1)
 }
 
+// Bcast counts one broadcast-state transition at switch (stage, sw):
+// the switch entered or left an upper/lower broadcast setting between
+// consecutive vectors.
+func (sh *RecorderShard) Bcast(stage, sw int) {
+	if sh == nil {
+		return
+	}
+	sh.at(stage, sw, kindBcast).Add(1)
+}
+
 // PackStates renders a full switch setting as the flat bitmask
 // RecordVector consumes: bit i of word stage*words + i/64 is switch
 // (stage, i)'s crossed state. Plans precompute this once so the warm
@@ -187,6 +211,31 @@ func (r *Recorder) PackStatesInto(st core.States, mask []uint64) []uint64 {
 		}
 	}
 	return mask
+}
+
+// PackMcastStatesInto packs a four-state setting into the caller's
+// lo/hi bitmask pair (each of length MaskWords, cleared first): bit i
+// of lo word stage*words + i/64 is the low bit of switch (stage, i)'s
+// state and the matching hi bit is set when the state broadcasts
+// (McBcastUpper / McBcastLower). RecordMcastFlips diffs both planes.
+// Nil receivers no-op.
+func (r *Recorder) PackMcastStatesInto(st core.McastStates, lo, hi []uint64) {
+	if r == nil {
+		return
+	}
+	clear(lo)
+	clear(hi)
+	for s := range st {
+		for i, state := range st[s] {
+			w, bit := s*r.words+i/64, uint64(1)<<uint(i%64)
+			if state&1 != 0 {
+				lo[w] |= bit
+			}
+			if state.Broadcast() {
+				hi[w] |= bit
+			}
+		}
+	}
 }
 
 // MaskWords returns the length of a packed state bitmask for this
@@ -225,16 +274,61 @@ func (sh *RecorderShard) RecordFlips(mask []uint64) {
 		base := s * r.words
 		for w := 0; w < r.words; w++ {
 			have := r.prev[base+w].Load()
+			hiHave := r.prevHi[base+w].Load()
 			want := mask[base+w]
-			if have == want {
+			if have == want && hiHave == 0 {
 				continue
 			}
 			r.prev[base+w].Store(want)
-			diff := have ^ want
+			if hiHave != 0 {
+				// A binary vector leaves every broadcast state: count
+				// those transitions and clear the high plane.
+				r.prevHi[base+w].Store(0)
+			}
+			diff := (have ^ want) | hiHave
 			for diff != 0 {
 				b := bits.TrailingZeros64(diff)
-				diff &^= 1 << uint(b)
+				bit := uint64(1) << uint(b)
+				diff &^= bit
 				sh.Flip(s, w*64+b)
+				if hiHave&bit != 0 {
+					sh.Bcast(s, w*64+b)
+				}
+			}
+		}
+	}
+}
+
+// RecordMcastFlips is RecordFlips for a four-state setting packed by
+// PackMcastStatesInto: a switch flips when either state bit changed,
+// and additionally counts a broadcast transition when the broadcast
+// bit changed — the copy network's reconfiguration cost metric.
+func (sh *RecorderShard) RecordMcastFlips(lo, hi []uint64) {
+	if sh == nil {
+		return
+	}
+	r := sh.rec
+	for s := 0; s < r.stages; s++ {
+		base := s * r.words
+		for w := 0; w < r.words; w++ {
+			loHave := r.prev[base+w].Load()
+			hiHave := r.prevHi[base+w].Load()
+			loWant, hiWant := lo[base+w], hi[base+w]
+			if loHave == loWant && hiHave == hiWant {
+				continue
+			}
+			r.prev[base+w].Store(loWant)
+			r.prevHi[base+w].Store(hiWant)
+			diff := (loHave ^ loWant) | (hiHave ^ hiWant)
+			bdiff := hiHave ^ hiWant
+			for diff != 0 {
+				b := bits.TrailingZeros64(diff)
+				bit := uint64(1) << uint(b)
+				diff &^= bit
+				sh.Flip(s, w*64+b)
+				if bdiff&bit != 0 {
+					sh.Bcast(s, w*64+b)
+				}
 			}
 		}
 	}
@@ -246,6 +340,7 @@ type StageTotals struct {
 	Flips     int64 `json:"flips"`
 	Forced    int64 `json:"forced"`
 	FaultHits int64 `json:"fault_hits"`
+	Bcast     int64 `json:"bcast_flips"`
 }
 
 // fullVectors sums the full-permutation passes across shards; each
@@ -302,6 +397,7 @@ func (r *Recorder) StageTotals(stage int) StageTotals {
 			t.Flips += r.shards[sh].c[(base+i)*recKinds+kindFlips].Load()
 			t.Forced += r.shards[sh].c[(base+i)*recKinds+kindForced].Load()
 			t.FaultHits += r.shards[sh].c[(base+i)*recKinds+kindFaultHits].Load()
+			t.Bcast += r.shards[sh].c[(base+i)*recKinds+kindBcast].Load()
 		}
 	}
 	t.Traversed += 2 * r.fullVectors() * int64(r.switches)
@@ -315,6 +411,7 @@ type StageCounts struct {
 	Flips     []int64 `json:"flips"`
 	Forced    []int64 `json:"forced"`
 	FaultHits []int64 `json:"fault_hits"`
+	Bcast     []int64 `json:"bcast_flips"`
 }
 
 // RecorderSnapshot is a point-in-time copy of every counter,
@@ -347,11 +444,13 @@ func (r *Recorder) Snapshot() RecorderSnapshot {
 			Flips:     make([]int64, r.switches),
 			Forced:    make([]int64, r.switches),
 			FaultHits: make([]int64, r.switches),
+			Bcast:     make([]int64, r.switches),
 		}
 		r.kindRow(st, kindTraversed, sc.Traversed)
 		r.kindRow(st, kindFlips, sc.Flips)
 		r.kindRow(st, kindForced, sc.Forced)
 		r.kindRow(st, kindFaultHits, sc.FaultHits)
+		r.kindRow(st, kindBcast, sc.Bcast)
 		for i := range sc.Traversed {
 			sc.Traversed[i] += full
 		}

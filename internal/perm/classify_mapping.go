@@ -1,0 +1,94 @@
+package perm
+
+// MappingClass grades a general output-major mapping (mapping[out] =
+// source, -1 = unassigned) by the cheapest machinery that realizes it,
+// the multiset-aware extension of Classify's permutation ladder:
+//
+//	MappingPermutation   total and injective — one Benes pass; the
+//	                     embedded Classification tells whether tags
+//	                     alone route it (F(n), omega bit) or the
+//	                     looping algorithm is needed;
+//	MappingBroadcastFree injective but partial — still one Benes pass
+//	                     after completing the spare outputs;
+//	MappingMulticast     some source fans out — needs the copy
+//	                     network (distribute, ladder, permute).
+type MappingClass int
+
+const (
+	MappingInvalid MappingClass = iota
+	MappingPermutation
+	MappingBroadcastFree
+	MappingMulticast
+)
+
+func (c MappingClass) String() string {
+	switch c {
+	case MappingPermutation:
+		return "permutation"
+	case MappingBroadcastFree:
+		return "broadcast-free"
+	case MappingMulticast:
+		return "multicast"
+	}
+	return "invalid"
+}
+
+// MappingClassification is ClassifyMapping's report.
+type MappingClassification struct {
+	Class      MappingClass
+	Sources    int // distinct sources requested
+	Assigned   int // outputs with a source
+	MaxFanout  int // widest per-source destination set
+	BcastCount int // sources with fan-out >= 2
+
+	// Perm is the permutation sub-classification (BPC / inverse-omega
+	// / F(n) / looping) when Class == MappingPermutation.
+	Perm Classification
+}
+
+// ClassifyMapping grades an output-major mapping. Entries outside
+// [-1, len(m)) make it invalid; length 0 or non-power-of-two lengths
+// are the caller's concern (the network size check), not this
+// predicate's.
+func ClassifyMapping(m []int) MappingClassification {
+	n := len(m)
+	fan := make([]int, n)
+	cls := MappingClassification{}
+	for _, src := range m {
+		if src == -1 {
+			continue
+		}
+		if src < 0 || src >= n {
+			return MappingClassification{Class: MappingInvalid}
+		}
+		if fan[src] == 0 {
+			cls.Sources++
+		}
+		fan[src]++
+		if fan[src] > cls.MaxFanout {
+			cls.MaxFanout = fan[src]
+		}
+		cls.Assigned++
+	}
+	for _, f := range fan {
+		if f >= 2 {
+			cls.BcastCount++
+		}
+	}
+	switch {
+	case cls.MaxFanout >= 2:
+		cls.Class = MappingMulticast
+	case cls.Assigned == n:
+		cls.Class = MappingPermutation
+		// The mapping is output-major (m[out] = src); the network routes
+		// by destination tags d[src] = out, so classify the inverse.
+		d := make(Perm, n)
+		for out, src := range m {
+			d[src] = out
+		}
+		cls.Perm = Classify(d)
+	default:
+		cls.Class = MappingBroadcastFree
+	}
+	return cls
+}

@@ -1,0 +1,40 @@
+package perm
+
+import "testing"
+
+func TestClassifyMapping(t *testing.T) {
+	cases := []struct {
+		name string
+		m    []int
+		want MappingClass
+	}{
+		{"identity", []int{0, 1, 2, 3, 4, 5, 6, 7}, MappingPermutation},
+		{"bitreversal", []int{0, 4, 2, 6, 1, 5, 3, 7}, MappingPermutation},
+		{"partial injective", []int{3, -1, 0, -1, 7, -1, -1, -1}, MappingBroadcastFree},
+		{"empty", []int{-1, -1, -1, -1}, MappingBroadcastFree},
+		{"fanout", []int{0, 0, 2, 3, 4, 5, 6, 7}, MappingMulticast},
+		{"full broadcast", []int{5, 5, 5, 5, 5, 5, 5, 5}, MappingMulticast},
+		{"out of range", []int{8, 0, 1, 2, 3, 4, 5, 6}, MappingInvalid},
+		{"below -1", []int{-2, 0, 1, 3}, MappingInvalid},
+	}
+	for _, c := range cases {
+		got := ClassifyMapping(c.m)
+		if got.Class != c.want {
+			t.Errorf("%s: class %v, want %v", c.name, got.Class, c.want)
+		}
+	}
+
+	// The permutation sub-classification sees the inverse orientation:
+	// m[out] = out+1 mod N means input i goes to output i-1 — a cyclic
+	// shift, which is BPC-adjacent but at minimum self-routable or
+	// looping; just check it produced a valid sub-report.
+	got := ClassifyMapping([]int{1, 2, 3, 4, 5, 6, 7, 0})
+	if got.Class != MappingPermutation || got.Perm.Class == ClassInvalid {
+		t.Fatalf("shift mapping: %+v", got)
+	}
+
+	fb := ClassifyMapping([]int{5, 5, 5, 5, 5, 5, 5, 5})
+	if fb.Sources != 1 || fb.MaxFanout != 8 || fb.BcastCount != 1 || fb.Assigned != 8 {
+		t.Fatalf("full broadcast stats: %+v", fb)
+	}
+}
