@@ -1,12 +1,14 @@
 #!/bin/sh
-# Bench trajectory guard: regenerate the four benchmark artifacts into
+# Bench trajectory guard: regenerate the benchmark artifacts into
 # a scratch directory and diff the machine-portable keys against the
 # checked-in snapshots at the repo root. Raw ns/op and pkts/s figures
 # shift with hardware, so three grades of guard apply:
 #
 #   exact   — invariants (warm-path allocation count, collective
 #             self-route ratio, seeded multicast fan-out
-#             amplification) must match the snapshot bit for bit;
+#             amplification, diagnosis probes-to-localize — a pure
+#             function of geometry, pool seed, and fault, not of the
+#             machine) must match the snapshot bit for bit;
 #   ratchet — hard floors on the fabric's multi-plane scaling: the
 #             fresh value must stay above checked-in x RATCHET
 #             (default 0.9). These are the perf numbers this repo
@@ -42,6 +44,8 @@ BENCH_MCAST_JSON="$tmp/BENCH_mcast.json" \
 	go test -count=1 -run '^TestBenchMcastArtifact$' ./internal/fabric
 BENCH_COLLECTIVE_JSON="$tmp/BENCH_collective.json" \
 	go test -count=1 -run '^TestBenchCollectiveArtifact$' ./internal/collective
+BENCH_DIAGNOSE_JSON="$tmp/BENCH_diagnose.json" \
+	go test -count=1 -run '^TestBenchDiagnoseArtifact$' ./internal/diagnose
 
 # key FILE NAME -> the value of "NAME" in a flat indented-JSON artifact.
 key() {
@@ -101,5 +105,9 @@ exact BENCH_mcast.json fanout_amplification
 ratchet BENCH_mcast.json pkts_per_sec_mcast
 exact BENCH_collective.json self_route_ratio
 floor BENCH_collective.json speedup
+exact BENCH_diagnose.json probes_to_localize_n64
+exact BENCH_diagnose.json probes_to_localize_n256
+floor BENCH_diagnose.json diagnoses_per_sec_n64
+floor BENCH_diagnose.json diagnoses_per_sec_n256
 
 exit $fail

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+)
+
+func postDebugFaults(t *testing.T, url string, body any) (*http.Response, faultsResponse) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/debug/faults", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var fr faultsResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, fr
+}
+
+func postDebugDiagnose(t *testing.T, url string, body any) (*http.Response, diagnoseResponse) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/debug/diagnose", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var dr diagnoseResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, dr
+}
+
+func getReadiness(t *testing.T, url string) (*http.Response, readiness) {
+	t.Helper()
+	resp, err := http.Get(url + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var r readiness
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatal(err)
+	}
+	return resp, r
+}
+
+// TestDebugFaultsAndDiagnose walks the whole operator loop over HTTP:
+// inject a stuck switch on plane 1, watch /readyz degrade and
+// /fabric/stats mark the plane unhealthy, diagnose the plane (the
+// injected switch must rank first), confirm the sibling plane
+// diagnoses healthy, repair, and watch everything recover.
+func TestDebugFaultsAndDiagnose(t *testing.T) {
+	srv, _, fab, _ := newTestServerFull(t, collective.Options{})
+	injected := faultSpec{Stage: 3, Switch: 5, StuckCrossed: true}
+
+	resp, fr := postDebugFaults(t, srv.URL, faultsRequest{Plane: 1, Faults: []faultSpec{injected}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("inject status %d", resp.StatusCode)
+	}
+	if fr.Plane != 1 || fr.Faults != 1 || fr.Healthy {
+		t.Fatalf("inject response wrong: %+v", fr)
+	}
+	if s := fab.Stats(); s.Planes[1].Healthy || s.Planes[1].Faults != 1 {
+		t.Fatalf("plane 1 not marked damaged: %+v", s.Planes[1])
+	}
+	rresp, rd := getReadiness(t, srv.URL)
+	if rresp.StatusCode != http.StatusOK || !rd.Ready {
+		t.Fatalf("one surviving plane must stay ready: %d %+v", rresp.StatusCode, rd)
+	}
+	degraded := false
+	for _, d := range rd.Degraded {
+		degraded = degraded || strings.Contains(d, "planes healthy")
+	}
+	if !degraded {
+		t.Fatalf("readiness must report the lost plane: %+v", rd)
+	}
+
+	// Diagnosis over the live fabric localizes the injected switch.
+	dresp, dr := postDebugDiagnose(t, srv.URL, diagnoseRequest{Plane: 1, Seed: 7})
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("diagnose status %d", dresp.StatusCode)
+	}
+	rep := dr.Report
+	if rep == nil || rep.Healthy {
+		t.Fatalf("damaged plane diagnosed healthy: %+v", rep)
+	}
+	if len(rep.Top) == 0 || rep.Top[0].Rank != 1 {
+		t.Fatalf("no rank-1 candidate: %+v", rep.Top)
+	}
+	want := core.Fault{Stage: injected.Stage, Switch: injected.Switch, StuckCrossed: injected.StuckCrossed}
+	if fs := rep.Top[0].Candidate.Faults; len(fs) != 1 || fs[0] != want {
+		t.Fatalf("top candidate %+v, want %+v", rep.Top[0].Candidate, want)
+	}
+
+	// The sibling plane is untouched and must diagnose healthy.
+	dresp, dr = postDebugDiagnose(t, srv.URL, diagnoseRequest{Plane: 0, Seed: 7})
+	if dresp.StatusCode != http.StatusOK || dr.Report == nil || !dr.Report.Healthy {
+		t.Fatalf("healthy plane misdiagnosed: %d %+v", dresp.StatusCode, dr.Report)
+	}
+
+	// Repair: an empty fault list heals the plane and clears /readyz.
+	resp, fr = postDebugFaults(t, srv.URL, faultsRequest{Plane: 1})
+	if resp.StatusCode != http.StatusOK || !fr.Healthy || fr.Faults != 0 {
+		t.Fatalf("repair response wrong: %d %+v", resp.StatusCode, fr)
+	}
+	if s := fab.Stats(); !s.Planes[1].Healthy || s.Planes[1].Faults != 0 {
+		t.Fatalf("plane 1 not repaired: %+v", s.Planes[1])
+	}
+	if _, rd = getReadiness(t, srv.URL); len(rd.Degraded) != 0 {
+		t.Fatalf("readiness still degraded after repair: %+v", rd)
+	}
+	dresp, dr = postDebugDiagnose(t, srv.URL, diagnoseRequest{Plane: 1, Seed: 7})
+	if dresp.StatusCode != http.StatusOK || dr.Report == nil || !dr.Report.Healthy {
+		t.Fatalf("repaired plane misdiagnosed: %d %+v", dresp.StatusCode, dr.Report)
+	}
+
+	// Three sessions ran; the prover metrics must be on /metrics.
+	_, lines := scrapeMetrics(t, srv.URL)
+	found := false
+	for _, ln := range lines {
+		found = found || ln == "benes_diagnose_sessions_total 3"
+	}
+	if !found {
+		t.Fatalf("benes_diagnose_sessions_total 3 missing from /metrics")
+	}
+}
+
+// TestDebugFaultsValidation sweeps the 400 surface of /debug/faults.
+func TestDebugFaultsValidation(t *testing.T) {
+	srv, _ := newTestServer(t)
+	cases := []struct {
+		name string
+		req  faultsRequest
+	}{
+		{"negative plane", faultsRequest{Plane: -1}},
+		{"plane out of range", faultsRequest{Plane: 2}},
+		{"stage out of range", faultsRequest{Plane: 0,
+			Faults: []faultSpec{{Stage: 7, Switch: 0}}}},
+		{"negative stage", faultsRequest{Plane: 0,
+			Faults: []faultSpec{{Stage: -1, Switch: 0}}}},
+		{"switch out of range", faultsRequest{Plane: 0,
+			Faults: []faultSpec{{Stage: 0, Switch: 8}}}},
+		{"one bad fault poisons the batch", faultsRequest{Plane: 0, Faults: []faultSpec{
+			{Stage: 0, Switch: 0}, {Stage: 0, Switch: 99}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, _ := postDebugFaults(t, srv.URL, tc.req)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+
+	// A rejected batch must leave the plane pristine.
+	_, rd := getReadiness(t, srv.URL)
+	if len(rd.Degraded) != 0 {
+		t.Fatalf("rejected faults must not damage a plane: %+v", rd)
+	}
+
+	resp, err := http.Post(srv.URL+"/debug/faults", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestDebugDiagnoseValidation sweeps the 400 surface of
+// /debug/diagnose.
+func TestDebugDiagnoseValidation(t *testing.T) {
+	srv, _ := newTestServer(t)
+	cases := []struct {
+		name string
+		req  diagnoseRequest
+	}{
+		{"negative plane", diagnoseRequest{Plane: -1}},
+		{"plane out of range", diagnoseRequest{Plane: 2}},
+		{"negative budget", diagnoseRequest{Plane: 0, Budget: -1}},
+		{"max_faults too high", diagnoseRequest{Plane: 0, MaxFaults: 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, _ := postDebugDiagnose(t, srv.URL, tc.req)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+
+	resp, err := http.Post(srv.URL+"/debug/diagnose", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -53,6 +53,16 @@
 //	               histogram p50/p99 over the requested window
 //	GET  /debug/traces  recent slow request traces (per-stage spans for
 //	               /send packets and /collective rounds), JSON
+//	POST /debug/faults  {"plane":1,"faults":[{"stage":3,"switch":5,
+//	               "stuck_crossed":true}]} freezes switches of one
+//	               fabric plane in their stuck states (gate-level
+//	               simulation); the plane leaves rotation while still
+//	               answering probes. An empty fault list repairs it
+//	POST /debug/diagnose  {"plane":1,"budget":12,"max_faults":1,
+//	               "seed":7} runs a fault-localization session against
+//	               the plane: crafted probe permutations, contradiction-
+//	               based elimination, ranked posterior over stuck-switch
+//	               hypotheses, JSON report
 //	GET  /debug/pprof/  standard net/http/pprof profiles
 //	GET  /debug/vars  standard expvar, with the engine and fabric
 //	               published under "engine" and "fabric"
@@ -78,6 +88,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"math/bits"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -89,6 +100,7 @@ import (
 
 	"repro/internal/collective"
 	"repro/internal/core"
+	"repro/internal/diagnose"
 	"repro/internal/engine"
 	"repro/internal/fabric"
 	"repro/internal/netsim"
@@ -102,6 +114,9 @@ type server struct {
 	col *collective.Service[int]
 	obs *obsState
 	log *slog.Logger
+	// dnet is the fabric planes' network geometry, shared by every
+	// /debug/diagnose prover.
+	dnet *core.Network
 }
 
 // obsState bundles the process-wide observability surface: the metric
@@ -112,6 +127,7 @@ type obsState struct {
 	reg  *obs.Registry
 	ring *obs.TraceRing
 	hist *obs.History
+	diag *diagnose.Metrics
 	log  *slog.Logger
 }
 
@@ -127,10 +143,12 @@ func newObsState(eng *engine.Engine[int], fab *fabric.Fabric[int], col *collecti
 	eng.Register(reg, nil)
 	fab.Register(reg)
 	col.Register(reg)
+	diag := &diagnose.Metrics{}
+	diag.Register(reg)
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
-	return &obsState{reg: reg, ring: ring, hist: obs.NewHistory(reg, histCap, histInterval), log: logger}
+	return &obsState{reg: reg, ring: ring, hist: obs.NewHistory(reg, histCap, histInterval), diag: diag, log: logger}
 }
 
 // newTracedDeliver returns the fabric deliver callback: each verified
@@ -682,6 +700,113 @@ func (s *server) handleHeatmap(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// faultSpec is the wire form of one stuck switch.
+type faultSpec struct {
+	Stage        int  `json:"stage"`
+	Switch       int  `json:"switch"`
+	StuckCrossed bool `json:"stuck_crossed"`
+}
+
+type faultsRequest struct {
+	Plane int `json:"plane"`
+	// Faults freezes the listed switches; an empty (or omitted) list
+	// repairs the plane and returns it to rotation.
+	Faults []faultSpec `json:"faults,omitempty"`
+}
+
+type faultsResponse struct {
+	Plane   int  `json:"plane"`
+	Faults  int  `json:"faults"`
+	Healthy bool `json:"healthy"`
+}
+
+// handleDebugFaults injects (or clears) stuck-switch faults on one
+// fabric plane. The damaged plane leaves rotation immediately — flows
+// rehash to the survivors — but keeps answering /debug/diagnose
+// probes. Bad plane IDs and out-of-range switch coordinates are 400s.
+func (s *server) handleDebugFaults(w http.ResponseWriter, r *http.Request) {
+	var req faultsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.httpError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON: %v", err))
+		return
+	}
+	faults := make([]core.Fault, len(req.Faults))
+	for i, f := range req.Faults {
+		faults[i] = core.Fault{Stage: f.Stage, Switch: f.Switch, StuckCrossed: f.StuckCrossed}
+	}
+	if err := s.fab.InjectFaults(req.Plane, faults); err != nil {
+		s.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	h := s.fab.Health()
+	s.writeJSON(w, http.StatusOK, faultsResponse{
+		Plane:   req.Plane,
+		Faults:  len(faults),
+		Healthy: len(faults) == 0 && h.PlanesHealthy > 0,
+	})
+}
+
+type diagnoseRequest struct {
+	Plane int `json:"plane"`
+	// Budget caps the probes the session may issue (0 = the prover's
+	// default, 2*logN + 2).
+	Budget int `json:"budget,omitempty"`
+	// MaxFaults is the hypothesis order: 1 (default) or 2.
+	MaxFaults int `json:"max_faults,omitempty"`
+	// Seed drives the deterministic probe pool, so a diagnosis can be
+	// replayed exactly.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+type diagnoseResponse struct {
+	Plane  int              `json:"plane"`
+	Report *diagnose.Report `json:"report"`
+}
+
+// handleDebugDiagnose runs one fault-localization session against a
+// fabric plane: crafted probe permutations go through the plane (live
+// engine or fault simulator — no payload moves, no VOQ is touched),
+// and the posterior over stuck-switch hypotheses comes back ranked.
+// Works on planes already out of rotation — that is the point.
+func (s *server) handleDebugDiagnose(w http.ResponseWriter, r *http.Request) {
+	var req diagnoseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.httpError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON: %v", err))
+		return
+	}
+	if req.Plane < 0 || req.Plane >= s.fab.Planes() {
+		s.httpError(w, http.StatusBadRequest, fmt.Sprintf("no plane %d", req.Plane))
+		return
+	}
+	if req.Budget < 0 {
+		s.httpError(w, http.StatusBadRequest, "budget must be non-negative")
+		return
+	}
+	prover, err := diagnose.New(diagnose.Config{
+		Net:       s.dnet,
+		MaxFaults: req.MaxFaults,
+		Budget:    req.Budget,
+		Seed:      req.Seed,
+		Metrics:   s.obs.diag,
+	})
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	rep, err := prover.Diagnose(diagnose.OracleFunc(func(d perm.Perm) (perm.Perm, error) {
+		return s.fab.ProbePlane(req.Plane, d)
+	}))
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, engine.ErrClosed) || errors.Is(err, fabric.ErrClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		s.httpError(w, code, err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, diagnoseResponse{Plane: req.Plane, Report: rep})
+}
+
 func (s *server) httpError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -703,7 +828,8 @@ func (s *server) writeJSON(w http.ResponseWriter, code int, v any) {
 // /debug/traces ring; /send and /collective run under the tracing
 // middleware.
 func newMux(eng *engine.Engine[int], fab *fabric.Fabric[int], col *collective.Service[int], o *obsState) *http.ServeMux {
-	s := &server{eng: eng, fab: fab, col: col, obs: o, log: o.log}
+	s := &server{eng: eng, fab: fab, col: col, obs: o, log: o.log,
+		dnet: core.New(bits.Len(uint(fab.N())) - 1)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /route", s.handleRoute)
 	mux.HandleFunc("POST /send", s.traced("/send", s.handleSend))
@@ -719,6 +845,8 @@ func newMux(eng *engine.Engine[int], fab *fabric.Fabric[int], col *collective.Se
 	mux.Handle("GET /metrics", o.reg.Handler())
 	mux.Handle("GET /debug/traces", o.ring.Handler())
 	mux.HandleFunc("GET /debug/heatmap", s.handleHeatmap)
+	mux.HandleFunc("POST /debug/faults", s.traced("/debug/faults", s.handleDebugFaults))
+	mux.HandleFunc("POST /debug/diagnose", s.traced("/debug/diagnose", s.handleDebugDiagnose))
 	mux.Handle("GET /debug/history", o.hist.Handler())
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)

@@ -1,0 +1,100 @@
+package chaos
+
+import "repro/internal/core"
+
+// Suite returns the canned scenarios CI runs (under the race detector)
+// — one per failure mode the fabric claims to survive. Every scenario
+// pins its seed, so a CI failure reproduces locally from the report.
+func Suite() []Scenario {
+	return []Scenario{
+		{
+			// Fault churn under uniform load: a stuck switch takes plane 0
+			// out, an administrative flap takes plane 1 out and back, and a
+			// diagnosis session localizes the stuck switch while the
+			// survivors carry the traffic.
+			Name:    "uniform-fault-churn",
+			LogN:    4,
+			Planes:  3,
+			Seed:    101,
+			Packets: 1200,
+			Mix:     MixUniform,
+			Events: []Event{
+				{AtPacket: 300, Kind: EventInject, Plane: 0,
+					Faults: []core.Fault{{Stage: 3, Switch: 5, StuckCrossed: true}}},
+				{AtPacket: 600, Kind: EventFail, Plane: 1},
+				{AtPacket: 900, Kind: EventRestore, Plane: 1},
+				{AtPacket: 1000, Kind: EventDiagnose, Plane: 0},
+			},
+		},
+		{
+			// Plane flap under bursty traffic: the only sibling plane goes
+			// down and comes back twice while whole bursts aim at single
+			// outputs.
+			Name:    "bursty-plane-flap",
+			LogN:    3,
+			Planes:  2,
+			Seed:    7,
+			Packets: 800,
+			Mix:     MixBursty,
+			Burst:   24,
+			Events: []Event{
+				{AtPacket: 200, Kind: EventFail, Plane: 1},
+				{AtPacket: 400, Kind: EventRestore, Plane: 1},
+				{AtPacket: 550, Kind: EventFail, Plane: 1},
+				{AtPacket: 700, Kind: EventRestore, Plane: 1},
+			},
+		},
+		{
+			// Double fault under skewed load: a fault pair on plane 1,
+			// best-effort pair diagnosis mid-run, then repair — the plane
+			// must end the run healthy again.
+			Name:           "skewed-pair-diagnosis",
+			LogN:           3,
+			Planes:         2,
+			Seed:           7,
+			Packets:        700,
+			Mix:            MixSkewed,
+			DiagnoseBudget: 12,
+			Events: []Event{
+				{AtPacket: 250, Kind: EventInject, Plane: 1, Faults: []core.Fault{
+					{Stage: 1, Switch: 1, StuckCrossed: true},
+					{Stage: 4, Switch: 3, StuckCrossed: true},
+				}},
+				{AtPacket: 450, Kind: EventDiagnose, Plane: 1},
+				{AtPacket: 500, Kind: EventRestore, Plane: 1},
+			},
+		},
+		{
+			// Adversarial permutation traffic with a mid-run fault and
+			// repair: cache-hostile frames, many outside F(n), while the
+			// fabric fails over and heals. A post-repair diagnosis must
+			// find the plane healthy.
+			Name:    "adversarial-perms-heal",
+			LogN:    3,
+			Planes:  2,
+			Seed:    42,
+			Packets: 640,
+			Mix:     MixAdversarial,
+			Events: []Event{
+				{AtPacket: 256, Kind: EventInject, Plane: 0,
+					Faults: []core.Fault{{Stage: 2, Switch: 2, StuckCrossed: false}}},
+				{AtPacket: 512, Kind: EventInject, Plane: 0}, // empty set: heal
+				{AtPacket: 640, Kind: EventDiagnose, Plane: 0},
+			},
+		},
+		{
+			// VOQ saturation: everything aims at output 0 through shallow
+			// rings with tail drop. Drops are expected; accepted packets
+			// must still arrive exactly once.
+			Name:        "voq-saturation",
+			LogN:        3,
+			Planes:      1,
+			VOQDepth:    2,
+			Drop:        true,
+			Seed:        13,
+			Packets:     400,
+			Mix:         MixSaturate,
+			ExpectDrops: true,
+		},
+	}
+}

@@ -1,0 +1,76 @@
+package chaos
+
+import (
+	"math/rand"
+
+	"repro/internal/perm"
+)
+
+// traffic generates the scenario's (src, dst) stream. All shapes draw
+// from one seeded rng consumed by the single offering goroutine, so a
+// scenario's packet sequence is a pure function of its Seed.
+type traffic struct {
+	sc  Scenario
+	n   int
+	rng *rand.Rand
+
+	hot   []int     // MixSkewed hot output set
+	burst int       // MixBursty packets left in the current burst
+	aim   int       // MixBursty current hot output
+	cur   perm.Perm // MixAdversarial current permutation
+	idx   int       // MixAdversarial next port
+}
+
+func newTraffic(sc Scenario, n int) *traffic {
+	t := &traffic{sc: sc, n: n, rng: rand.New(rand.NewSource(sc.Seed))}
+	if sc.Mix == MixSkewed {
+		hot := sc.Hot
+		if hot <= 0 {
+			hot = n / 8
+		}
+		if hot < 2 {
+			hot = 2
+		}
+		for len(t.hot) < hot {
+			t.hot = append(t.hot, t.rng.Intn(n))
+		}
+	}
+	return t
+}
+
+func (t *traffic) next() (src, dst int) {
+	switch t.sc.Mix {
+	case MixBursty:
+		if t.burst == 0 {
+			t.burst = t.sc.Burst
+			if t.burst <= 0 {
+				t.burst = 32
+			}
+			t.aim = t.rng.Intn(t.n)
+		}
+		t.burst--
+		return t.rng.Intn(t.n), t.aim
+	case MixSkewed:
+		src = t.rng.Intn(t.n)
+		if t.rng.Intn(8) != 0 {
+			return src, t.hot[t.rng.Intn(len(t.hot))]
+		}
+		return src, t.rng.Intn(t.n)
+	case MixAdversarial:
+		// Offer whole random permutations port by port: scheduled frames
+		// then assemble into permutations with no cache locality, many of
+		// them outside F(n) — the plan-cache- and fallback-hostile shape.
+		if t.idx == 0 || t.idx >= t.n {
+			t.cur = perm.Random(t.n, t.rng)
+			t.idx = 0
+		}
+		src = t.idx
+		dst = t.cur[t.idx]
+		t.idx++
+		return src, dst
+	case MixSaturate:
+		return t.rng.Intn(t.n), 0
+	default: // MixUniform
+		return t.rng.Intn(t.n), t.rng.Intn(t.n)
+	}
+}

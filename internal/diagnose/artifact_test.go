@@ -1,0 +1,105 @@
+package diagnose
+
+import (
+	"encoding/json"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// artifactEnvInt reads a positive integer knob for the bench artifact,
+// falling back to def when the variable is unset.
+func artifactEnvInt(t *testing.T, name string, def int) int {
+	s := os.Getenv(name)
+	if s == "" {
+		return def
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v <= 0 {
+		t.Fatalf("%s must be a positive integer, got %q", name, s)
+	}
+	return v
+}
+
+// TestBenchDiagnoseArtifact is the diagnosis slice of the bench
+// trajectory: when BENCH_DIAGNOSE_JSON names a file it sweeps a
+// deterministic sample of single faults at N=64 and N=256, diagnoses
+// each against the gate-level simulator oracle, and records
+//
+//   - probes_to_localize_*: the worst-case probe count over the sample
+//     — a pure function of (geometry, pool seed, fault), so
+//     ci/bench_diff.sh holds it exact; a regression means the probe
+//     schedule got less informative, not that the machine got slower;
+//   - diagnoses_per_sec_*: whole-session throughput (prediction sweeps
+//     over every candidate plus simulator probe round-trips), guarded
+//     by the wide-tolerance floor like other cross-machine figures.
+//
+// Without the env var the test is skipped, so normal runs stay fast.
+func TestBenchDiagnoseArtifact(t *testing.T) {
+	path := os.Getenv("BENCH_DIAGNOSE_JSON")
+	if path == "" {
+		t.Skip("BENCH_DIAGNOSE_JSON not set")
+	}
+	sweep := func(logN, sample int) (maxProbes int, perSec float64) {
+		net := core.New(logN)
+		p, err := New(Config{Net: net, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := net.EnumerateFaults()
+		stride := len(all) / sample
+		if stride < 1 {
+			stride = 1
+		}
+		runs := 0
+		start := time.Now()
+		for i := 0; i < len(all) && runs < sample; i += stride {
+			f := all[i]
+			rep, err := p.Diagnose(NewSimOracle(net, []core.Fault{f}))
+			if err != nil {
+				t.Fatalf("n=%d fault %+v: %v", logN, f, err)
+			}
+			if rank, found := rep.RankOf([]core.Fault{f}); !found || rank != 1 {
+				t.Fatalf("n=%d fault %+v: rank %d (found %v), want 1", logN, f, rank, found)
+			}
+			if rep.Probes > maxProbes {
+				maxProbes = rep.Probes
+			}
+			runs++
+		}
+		return maxProbes, float64(runs) / time.Since(start).Seconds()
+	}
+
+	sampleSmall := artifactEnvInt(t, "BENCH_DIAGNOSE_SAMPLE", 32)
+	sampleLarge := sampleSmall / 4
+	if sampleLarge < 4 {
+		sampleLarge = 4
+	}
+	// Warmup primes the simulator goroutine pools before anything is
+	// timed.
+	sweep(6, 2)
+	sweep(8, 1)
+
+	probes64, rate64 := sweep(6, sampleSmall)
+	probes256, rate256 := sweep(8, sampleLarge)
+	artifact := map[string]any{
+		"seed":                    7,
+		"sample_n64":              sampleSmall,
+		"sample_n256":             sampleLarge,
+		"probes_to_localize_n64":  probes64,
+		"probes_to_localize_n256": probes256,
+		"diagnoses_per_sec_n64":   rate64,
+		"diagnoses_per_sec_n256":  rate256,
+	}
+	out, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %s", path, out)
+}

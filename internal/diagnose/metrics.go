@@ -1,0 +1,42 @@
+package diagnose
+
+import "repro/internal/obs"
+
+// Metrics aggregates prover accounting across sessions. All fields are
+// updated atomically; a Metrics value must not be copied. Share one
+// Metrics across provers to get service-wide totals.
+type Metrics struct {
+	sessions   obs.Counter // Diagnose calls started
+	probes     obs.Counter // probes issued to oracles
+	eliminated obs.Counter // candidate eliminations (contradictions found)
+
+	// Latency is the wall-clock distribution of whole diagnosis
+	// sessions: probe round-trips plus prediction sweeps.
+	Latency obs.Histogram
+}
+
+// Sessions returns the number of diagnosis sessions started.
+func (m *Metrics) Sessions() int64 { return m.sessions.Value() }
+
+// ProbesIssued returns the number of probes issued to oracles.
+func (m *Metrics) ProbesIssued() int64 { return m.probes.Value() }
+
+// CandidatesEliminated returns the number of candidate eliminations.
+func (m *Metrics) CandidatesEliminated() int64 { return m.eliminated.Value() }
+
+// Register exports the prover metrics into reg under the
+// benes_diagnose_* names. Values are read at scrape time from the same
+// atomics the sessions maintain.
+func (m *Metrics) Register(reg *obs.Registry) {
+	reg.CounterFunc("benes_diagnose_sessions_total", "Diagnosis sessions started.", nil, m.sessions.Value)
+	reg.CounterFunc("benes_diagnose_probes_total", "Probe permutations issued to oracles.", nil, m.probes.Value)
+	reg.CounterFunc("benes_diagnose_eliminated_total", "Fault candidates eliminated by contradicting observations.", nil, m.eliminated.Value)
+	reg.GaugeFunc("benes_diagnose_elimination_rate", "Candidates eliminated per probe issued.", nil, func() float64 {
+		probes := m.probes.Value()
+		if probes == 0 {
+			return 0
+		}
+		return float64(m.eliminated.Value()) / float64(probes)
+	})
+	reg.RegisterHistogram("benes_diagnose_latency_seconds", "Wall-clock duration of whole diagnosis sessions.", nil, &m.Latency)
+}

@@ -1,0 +1,45 @@
+package diagnose
+
+import (
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/perm"
+)
+
+// Oracle is the system under diagnosis: it loads one probe's
+// destination tags, lets the switches set themselves (a self-routing
+// pass), and reports the realized permutation — which output each
+// input's tag actually reached. The contract is defined for any
+// permutation, not just F(n) members: a probe outside F(n) misroutes
+// even on healthy hardware, in exactly the way the gate-level model
+// predicts, and that sensitivity is what makes such probes
+// discriminating. Implementations include the gate-level simulator
+// below and a live fabric plane (fabric.ProbePlane via OracleFunc).
+type Oracle interface {
+	Probe(d perm.Perm) (perm.Perm, error)
+}
+
+// OracleFunc adapts a function to the Oracle interface.
+type OracleFunc func(d perm.Perm) (perm.Perm, error)
+
+// Probe implements Oracle.
+func (f OracleFunc) Probe(d perm.Perm) (perm.Perm, error) { return f(d) }
+
+// SimOracle answers probes from the concurrent gate-level simulator of
+// internal/netsim with a hidden fault set injected — the reference
+// oracle tests and chaos scenarios diagnose against.
+type SimOracle struct {
+	eng *netsim.Engine
+}
+
+// NewSimOracle builds an oracle over net with the given stuck switches.
+func NewSimOracle(net *core.Network, faults []core.Fault) *SimOracle {
+	return &SimOracle{eng: netsim.NewWithFaults(net, faults)}
+}
+
+// Probe implements Oracle: one pipelined pass of the goroutine-per-
+// switch fabric.
+func (o *SimOracle) Probe(d perm.Perm) (perm.Perm, error) {
+	res, _ := o.eng.RouteOne(d)
+	return res.Realized, nil
+}

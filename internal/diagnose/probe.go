@@ -1,0 +1,64 @@
+package diagnose
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+)
+
+// buildPool constructs the deterministic probe pool for net:
+//
+//  1. the two full-sweep XOR masks — m = 0 (the identity, which demands
+//     every switch straight) and m = N-1 (the complement, which demands
+//     every switch in stages 0..n-1 crossed);
+//  2. the single-bit masks m = 1, 2, 4, ..., which flip the demanded
+//     state of exactly the first-half stage reading that control bit;
+//  3. seeded uniform random permutations — the workhorses.
+//
+// The masks are cheap gross checks, but they are provably weak probes:
+// an XOR mask places bit-complementary tag pairs on every switch, and
+// when a stuck switch swaps such a pair the two tags still travel to
+// the same mirror-stage switch, whose self-setting logic reads the
+// swapped tag and adaptively undoes the damage — the fault is fully
+// compensated and invisible at the outputs. Early-stage faults are
+// invisible to every XOR mask for exactly this reason. Random
+// permutations place arbitrary tag pairs on switches; a wrong swap
+// then sends a tag into a subnetwork that must also carry the tag
+// legitimately routed there, the collision cascades, and the misroute
+// pattern at the outputs is essentially a fingerprint of the stuck
+// coordinate. Empirically, 4 log N random probes separate every single
+// stuck-switch candidate (both states of every switch, plus healthy)
+// pairwise at n <= 5 — the separation tests pin this.
+//
+// Probes are NOT restricted to F(n): the oracle contract is "route
+// these tags through the self-setting switches and report where each
+// lands", which is well-defined for any permutation. A probe outside
+// F(n) misroutes even on healthy hardware, in a healthy-specific way
+// the gate model predicts exactly — that sensitivity is what makes it
+// discriminating.
+func buildPool(net *core.Network, seed int64, extra int) []perm.Perm {
+	n := net.N()
+	mask := func(m int) perm.Perm {
+		d := make(perm.Perm, n)
+		for i := range d {
+			d[i] = i ^ m
+		}
+		return d
+	}
+	pool := make([]perm.Perm, 0, net.LogN()+1+extra)
+	pool = append(pool, mask(0), mask(n-1))
+	rng := rand.New(rand.NewSource(seed))
+	for k := 0; k < extra; k++ {
+		pool = append(pool, perm.Random(n, rng))
+	}
+	// The single-bit masks trail: under the fixed sweeps-then-randoms
+	// schedule they would waste budget (compensation blinds them), but
+	// they stay available to the greedy phase as tie-breakers.
+	for b := 1; b < n; b <<= 1 {
+		if b != n-1 {
+			pool = append(pool, mask(b))
+		}
+	}
+	return pool
+}

@@ -265,6 +265,43 @@ func (e *Engine[T]) Prewarm(dest perm.Perm) (PlanKind, bool, error) {
 	return pl.Kind, hit, nil
 }
 
+// ProbeRoute is the diagnosis oracle hook: it self-routes d through
+// the gate-level switch logic — tags decide every state, faults and
+// all — and returns the realized permutation, exactly what package
+// diagnose's probe contract asks of healthy hardware. It deliberately
+// bypasses the serving path twice over:
+//
+//   - no LRU: probes are one-shot, often adversarial permutations a
+//     diagnosis session will never repeat; letting them into the cache
+//     would evict hot production plans, and a cached plan would hide
+//     the very gate behaviour the probe exists to observe;
+//   - no looped fallback: core.Setup computes a setting that realizes
+//     d *correctly*, which is the wrong contract — a probe must report
+//     what the self-setting switches actually do with d's tags, even
+//     (especially) when that misroutes.
+//
+// It runs in the caller's goroutine and does not enter the request
+// queue.
+func (e *Engine[T]) ProbeRoute(d perm.Perm) (perm.Perm, error) {
+	if len(d) != e.net.N() {
+		e.met.errors.Add(1)
+		return nil, fmt.Errorf("engine: probe size %d does not match N=%d", len(d), e.net.N())
+	}
+	if err := d.Validate(); err != nil {
+		e.met.errors.Add(1)
+		return nil, err
+	}
+	e.mu.RLock()
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
+		e.met.errors.Add(1)
+		return nil, ErrClosed
+	}
+	e.met.probes.Add(1)
+	return e.net.SelfRoute(d).Realized, nil
+}
+
 // RouteBatch submits all requests before collecting any response, so
 // the worker pool serves them concurrently. Responses are returned in
 // request order.

@@ -36,6 +36,7 @@ type Metrics struct {
 	mcasts      obs.Counter // multicast mappings served via RouteMulticast
 	mcastFrames obs.Counter // mapping frames served via McastFrameServer.Serve
 	mcastCopies obs.Counter // output copies delivered by multicast plans
+	probes      obs.Counter // diagnostic passes served via ProbeRoute
 	queueDepth  obs.Gauge   // requests submitted but not yet picked up by a worker
 
 	// Per-stage latency histograms.
@@ -88,6 +89,10 @@ func (m *Metrics) McastFramesServed() int64 { return m.mcastFrames.Value() }
 // plans — the numerator of the fan-out amplification ratio.
 func (m *Metrics) McastCopies() int64 { return m.mcastCopies.Value() }
 
+// Probes returns the number of diagnostic passes served via
+// Engine.ProbeRoute.
+func (m *Metrics) Probes() int64 { return m.probes.Value() }
+
 // QueueDepth returns the number of requests currently waiting for a
 // worker.
 func (m *Metrics) QueueDepth() int64 { return m.queueDepth.Load() }
@@ -108,6 +113,7 @@ type Snapshot struct {
 	Mcasts      int64   `json:"mcasts"`
 	McastFrames int64   `json:"mcast_frames"`
 	McastCopies int64   `json:"mcast_copies"`
+	Probes      int64   `json:"probes"`
 	HitRate     float64 `json:"hit_rate"`
 	QueueDepth  int64   `json:"queue_depth"`
 	PlansCached int     `json:"plans_cached"`
@@ -136,6 +142,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		Mcasts:      m.mcasts.Value(),
 		McastFrames: m.mcastFrames.Value(),
 		McastCopies: m.mcastCopies.Value(),
+		Probes:      m.probes.Value(),
 		QueueDepth:  m.queueDepth.Load(),
 		Wait:        m.Wait.Snapshot(),
 		Plan:        m.Plan.Snapshot(),
@@ -176,6 +183,7 @@ func (e *Engine[T]) Register(reg *obs.Registry, labels obs.Labels) {
 	reg.CounterFunc("benes_engine_mcasts_total", "Multicast mappings served via RouteMulticast.", labels, m.mcasts.Value)
 	reg.CounterFunc("benes_engine_mcast_frames_total", "Mapping frames served via McastFrameServer.", labels, m.mcastFrames.Value)
 	reg.CounterFunc("benes_engine_mcast_copies_total", "Output copies delivered by multicast plans.", labels, m.mcastCopies.Value)
+	reg.CounterFunc("benes_engine_probes_total", "Diagnostic passes served via ProbeRoute.", labels, m.probes.Value)
 	reg.GaugeFunc("benes_engine_queue_depth", "Requests waiting for a worker.", labels, func() float64 { return float64(m.queueDepth.Load()) })
 	reg.GaugeFunc("benes_engine_plans_cached", "Plans currently held by the cache.", labels, func() float64 { return float64(e.cache.len()) })
 	reg.RegisterHistogram("benes_engine_wait_seconds", "Queue wait: Submit to worker pickup.", labels, &m.Wait)

@@ -425,18 +425,44 @@ func (f *Fabric[T]) Send(p Packet[T]) error {
 
 // InjectFaults freezes switches of plane id in their stuck states,
 // simulated through the gate-level concurrent fabric of
-// internal/netsim. The plane stays in rotation until a frame actually
-// misroutes — a stuck switch only damages permutations that need it in
-// the other state — at which point it is marked unhealthy and drained:
+// internal/netsim, and takes the plane out of rotation immediately:
 // it holds no queued frames beyond its channel window, its shard's
 // frames fail over at dispatch, and new flows rehash to the surviving
-// planes. Injecting an empty fault set repairs and restores the plane.
+// planes. (Frames racing the injection are caught by the per-frame
+// fault-check pass.) The damaged plane still answers ProbePlane — that
+// is how a diagnosis session localizes the stuck switch while traffic
+// routes around it. Injecting an empty fault set repairs and restores
+// the plane.
 func (f *Fabric[T]) InjectFaults(id int, faults []core.Fault) error {
 	if id < 0 || id >= len(f.planes) {
 		return fmt.Errorf("fabric: no plane %d", id)
 	}
+	for _, flt := range faults {
+		// Operator input: reject out-of-range coordinates here rather than
+		// panic in the gate-level simulator rebuild.
+		if err := f.planes[id].eng.Network().CheckFault(flt); err != nil {
+			return err
+		}
+	}
 	f.planes[id].inject(faults)
 	return nil
+}
+
+// ProbePlane runs one diagnosis probe through plane id and returns the
+// realized permutation — the fabric's Oracle hook for package diagnose
+// (wrap it in a diagnose.OracleFunc). The pass moves no payload and
+// touches no VOQ: a damaged plane answers from its gate-level fault
+// simulator, a healthy one from its engine's ProbeRoute, and both
+// bypass the plan cache and the looping fallback so the observation
+// reflects the self-setting switch logic alone. Probing works on
+// planes that are out of rotation — that is the point: diagnosis
+// localizes the stuck switch while production traffic routes around
+// the plane.
+func (f *Fabric[T]) ProbePlane(id int, d perm.Perm) (perm.Perm, error) {
+	if id < 0 || id >= len(f.planes) {
+		return nil, fmt.Errorf("fabric: no plane %d", id)
+	}
+	return f.planes[id].probe(d)
 }
 
 // FailPlane administratively marks plane id unhealthy; its flows rehash

@@ -235,6 +235,31 @@ func (p *plane) routeRoundBatch(dests []perm.Perm, out []RoundResult) (int, erro
 	return len(dests), nil
 }
 
+// probe answers one diagnosis probe on this plane: load d's tags, let
+// the switches set themselves, report where every tag landed. On a
+// damaged plane the pass runs through the gate-level simulator carrying
+// the injected faults — the realized permutation then bears the fault's
+// misroute fingerprint; on a healthy plane it is the engine's
+// gate-faithful ProbeRoute. Either way the serving path's plan cache
+// and looping fallback are bypassed: a probe reports what the
+// self-setting hardware does, not what a corrected setup would do.
+func (p *plane) probe(d perm.Perm) (perm.Perm, error) {
+	p.mu.Lock()
+	sim := p.sim
+	p.mu.Unlock()
+	if sim == nil {
+		return p.eng.ProbeRoute(d)
+	}
+	if len(d) != p.eng.Network().N() {
+		return nil, fmt.Errorf("fabric: probe size %d does not match N=%d", len(d), p.eng.Network().N())
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	res, _ := sim.RouteOne(d)
+	return res.Realized, nil
+}
+
 // prewarm resolves and caches dest's plan on this plane's engine so
 // the round that follows is a cache hit; errors are ignored — a failed
 // prewarm only costs the round its overlap, not its correctness.

@@ -1,0 +1,240 @@
+package fabric
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/diagnose"
+	"repro/internal/perm"
+)
+
+// TestProbePlaneHealthy: on an undamaged plane a probe must realize
+// exactly what the gate model's self-routing pass realizes — for F(n)
+// members and misrouting non-members alike — and count into the
+// plane engine's probes counter without touching its plan cache.
+func TestProbePlaneHealthy(t *testing.T) {
+	f, err := New[int](Config{LogN: 3, Planes: 2}, func(Packet[int]) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	net := core.New(3)
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		d := perm.Random(net.N(), rng)
+		got, err := f.ProbePlane(0, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := net.SelfRoute(d).Realized; !got.Equal(want) {
+			t.Fatalf("probe %v realized %v, gate model says %v", d, got, want)
+		}
+	}
+	s := f.Stats()
+	if s.Planes[0].Engine.Probes != 20 {
+		t.Fatalf("plane 0 probes = %d, want 20", s.Planes[0].Engine.Probes)
+	}
+	if s.Planes[0].Engine.PlansCached != 0 {
+		t.Fatalf("probes populated plane 0's plan cache: %d plans", s.Planes[0].Engine.PlansCached)
+	}
+}
+
+// TestProbePlaneFaulty: with injected damage, probes must answer from
+// the gate-level fault simulator — realized permutations carrying the
+// fault's misroute fingerprint, matching core.RouteWithFaults exactly.
+func TestProbePlaneFaulty(t *testing.T) {
+	f, err := New[int](Config{LogN: 3, Planes: 2}, func(Packet[int]) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	faults := []core.Fault{{Stage: 2, Switch: 1, StuckCrossed: true}}
+	if err := f.InjectFaults(1, faults); err != nil {
+		t.Fatal(err)
+	}
+	net := core.New(3)
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 20; trial++ {
+		d := perm.Random(net.N(), rng)
+		got, err := f.ProbePlane(1, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := net.RouteWithFaults(d, faults).Realized; !got.Equal(want) {
+			t.Fatalf("probe %v realized %v, fault model says %v", d, got, want)
+		}
+	}
+	// The undamaged sibling keeps answering healthily.
+	d := perm.Random(net.N(), rng)
+	got, err := f.ProbePlane(0, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := net.SelfRoute(d).Realized; !got.Equal(want) {
+		t.Fatalf("healthy plane 0 contaminated: %v vs %v", got, want)
+	}
+}
+
+// TestProbePlaneErrors: plane range and probe validity are rejected.
+func TestProbePlaneErrors(t *testing.T) {
+	f, err := New[int](Config{LogN: 3, Planes: 1}, func(Packet[int]) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.ProbePlane(1, perm.Identity(8)); err == nil {
+		t.Fatal("want error for unknown plane")
+	}
+	if _, err := f.ProbePlane(0, perm.Identity(4)); err == nil {
+		t.Fatal("want size error")
+	}
+	if err := f.InjectFaults(0, []core.Fault{{Stage: 0, Switch: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ProbePlane(0, perm.Identity(4)); err == nil {
+		t.Fatal("want size error on damaged plane")
+	}
+	if _, err := f.ProbePlane(0, perm.Perm{0, 0, 1, 2, 3, 4, 5, 6}); err == nil {
+		t.Fatal("want validation error on damaged plane")
+	}
+}
+
+// TestInjectFaultsValidates: out-of-range fault coordinates are
+// operator input and must come back as errors, not reach the
+// gate-level simulator's constructor panic; a rejected injection must
+// leave the plane healthy and undamaged.
+func TestInjectFaultsValidates(t *testing.T) {
+	f, err := New[int](Config{LogN: 3, Planes: 1}, func(Packet[int]) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, bad := range []core.Fault{
+		{Stage: -1, Switch: 0},
+		{Stage: 5, Switch: 0},
+		{Stage: 0, Switch: -1},
+		{Stage: 0, Switch: 4},
+	} {
+		if err := f.InjectFaults(0, []core.Fault{bad}); err == nil {
+			t.Fatalf("fault %+v accepted", bad)
+		}
+	}
+	if h := f.Health(); h.PlanesHealthy != 1 {
+		t.Fatalf("rejected injections damaged the plane: %+v", h)
+	}
+	if got, err := f.ProbePlane(0, perm.Identity(8)); err != nil || !got.Equal(perm.Identity(8)) {
+		t.Fatalf("plane not pristine after rejected injections: %v, %v", got, err)
+	}
+}
+
+// TestDiagnoseOverFabricProbe closes the loop the subsystem exists
+// for: inject a fault into a live fabric plane, run a diagnosis
+// session whose oracle is ProbePlane, and localize the stuck switch —
+// while the plane is out of rotation and production traffic is
+// unaffected.
+func TestDiagnoseOverFabricProbe(t *testing.T) {
+	var mu sync.Mutex
+	delivered := 0
+	f, err := New[int](Config{LogN: 3, Planes: 2, Policy: Block}, func(Packet[int]) {
+		mu.Lock()
+		delivered++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault := core.Fault{Stage: 3, Switch: 2, StuckCrossed: false}
+	if err := f.InjectFaults(1, []core.Fault{fault}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := diagnose.New(diagnose.Config{Net: core.New(3), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Diagnose(diagnose.OracleFunc(func(d perm.Perm) (perm.Perm, error) {
+		return f.ProbePlane(1, d)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank, found := rep.RankOf([]core.Fault{fault}); !found || rank != 1 {
+		t.Fatalf("injected fault ranked %d (found %v), want 1; report %+v", rank, found, rep)
+	}
+	if rep.Healthy {
+		t.Fatal("healthy hypothesis survived against a damaged plane")
+	}
+	// Production traffic kept flowing around the damaged plane while the
+	// probes ran.
+	rng := rand.New(rand.NewSource(9))
+	const pkts = 64
+	for i := 0; i < pkts; i++ {
+		if err := f.Send(Packet[int]{Src: rng.Intn(8), Dst: rng.Intn(8)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	if delivered != pkts {
+		t.Fatalf("delivered %d of %d packets", delivered, pkts)
+	}
+	if s := f.Stats(); s.Lost != 0 {
+		t.Fatalf("lost %d packets", s.Lost)
+	}
+}
+
+// TestMulticastWithInjectedFault drives fan-out traffic at a fabric
+// whose plane 0 carries a stuck switch: injection takes the plane out
+// of rotation immediately, so every mapping frame homed there must
+// fail over through the four-state copy-network path of the surviving
+// plane and every multicast copy must still arrive exactly once — the
+// stuck-fault interaction with multicast switching. (The recorder-
+// level fault-hit/bcast_flips interplay is pinned by netsim's
+// TestFaultHitsCoexistWithMcastCounters.)
+func TestMulticastWithInjectedFault(t *testing.T) {
+	col := newMcastCollector()
+	f, err := New(Config{LogN: 3, Planes: 2, Policy: Block, Record: true}, col.deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.InjectFaults(0, []core.Fault{{Stage: 2, Switch: 0, StuckCrossed: true}}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	const pkts = 60
+	want := make(map[int][]int, pkts)
+	for i := 0; i < pkts; i++ {
+		k := 1 + rng.Intn(4)
+		var dsts []int
+		seen := make(map[int]bool)
+		for len(dsts) < k {
+			if d := rng.Intn(8); !seen[d] {
+				seen[d] = true
+				dsts = append(dsts, d)
+			}
+		}
+		want[i] = dsts
+		if err := f.SendMulticast(MulticastPacket[int]{Src: rng.Intn(8), Dsts: dsts, Payload: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	for payload, dsts := range want {
+		sameSet(t, col.got(payload), dsts)
+	}
+	s := f.Stats()
+	if s.Lost != 0 {
+		t.Fatalf("lost %d packets", s.Lost)
+	}
+	if s.Mcast.Delivered != pkts {
+		t.Fatalf("mcast delivered %d of %d", s.Mcast.Delivered, pkts)
+	}
+	// The damaged plane is out of rotation from injection, so its
+	// engine served nothing; the sibling carried the whole load.
+	if h := f.Health(); h.PlanesHealthy != 1 {
+		t.Fatalf("planes healthy = %d, want 1", h.PlanesHealthy)
+	}
+	if s.Planes[1].Frames == 0 {
+		t.Fatal("surviving plane served no frames")
+	}
+}

@@ -1,0 +1,71 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+)
+
+// TestFaultHitsCoexistWithMcastCounters pins the recorder interaction a
+// fabric plane serving multicast traffic with injected damage depends
+// on: the engine's serving path records four-state copy-ladder settings
+// (flips plus bcast_flips) into the same per-switch counters the
+// fault-check pass records fault hits into. The two kinds must move
+// independently — a fault-check pass contributes fault hits only (no
+// traversals, no flips), and multicast recording must never disturb
+// the fault-hit column.
+func TestFaultHitsCoexistWithMcastCounters(t *testing.T) {
+	net := core.New(2)
+	rec := NewRecorder(net, 2)
+	sh := rec.Shard()
+
+	// A four-state setting with one broadcast: flips and bcast_flips.
+	st := core.McastStates{
+		{core.McBcastUpper, core.McStraight},
+		{core.McStraight, core.McCross},
+		{core.McStraight, core.McStraight},
+	}
+	words := rec.MaskWords()
+	lo, hi := make([]uint64, words), make([]uint64, words)
+	rec.PackMcastStatesInto(st, lo, hi)
+	sh.RecordMcastFlips(lo, hi)
+	base0 := rec.StageTotals(0)
+	if base0.Flips != 1 || base0.Bcast != 1 || base0.FaultHits != 0 {
+		t.Fatalf("stage 0 after mcast vector: %+v", base0)
+	}
+
+	// Fault-check pass: switch (0,0) stuck crossed, identity demands it
+	// straight, so the check registers a fault hit — and nothing else.
+	// The pass still delivers correctly: the swapped pair is
+	// bit-complementary, so the downstream self-setting switches read
+	// the swapped tags and compensate — a hit without a misroute, which
+	// is exactly why fault-hit accounting cannot be derived from
+	// misroute detection.
+	eng := NewWithFaults(net, []core.Fault{{Stage: 0, Switch: 0, StuckCrossed: true}})
+	eng.SetFaultRecorder(rec)
+	res, _ := eng.RouteOne(perm.Identity(net.N()))
+	if !res.OK() {
+		t.Fatalf("self-routing must compensate the stage-0 swap, got misroutes %v", res.Misrouted)
+	}
+	after0 := rec.StageTotals(0)
+	if after0.FaultHits != 1 {
+		t.Fatalf("fault hits = %d, want 1 (%+v)", after0.FaultHits, after0)
+	}
+	if after0.Flips != base0.Flips || after0.Bcast != base0.Bcast || after0.Traversed != base0.Traversed {
+		t.Fatalf("fault-check pass disturbed serving counters: %+v -> %+v", base0, after0)
+	}
+
+	// Another multicast setting change on the damaged switch: the flip
+	// and broadcast columns move, the fault-hit column does not.
+	st[0][0] = core.McCross
+	rec.PackMcastStatesInto(st, lo, hi)
+	sh.RecordMcastFlips(lo, hi)
+	final0 := rec.StageTotals(0)
+	if final0.Flips != base0.Flips+1 || final0.Bcast != base0.Bcast+1 {
+		t.Fatalf("stage 0 after second mcast vector: %+v", final0)
+	}
+	if final0.FaultHits != 1 {
+		t.Fatalf("mcast recording disturbed fault hits: %+v", final0)
+	}
+}
