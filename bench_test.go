@@ -21,6 +21,7 @@ import (
 	"repro/internal/omega"
 	"repro/internal/parsetup"
 	"repro/internal/perm"
+	"repro/internal/psetup"
 	"repro/internal/recirc"
 	"repro/internal/simd"
 )
@@ -479,7 +480,10 @@ func BenchmarkE25_ParallelSetup(b *testing.B) {
 	b.Run("parallel", func(b *testing.B) {
 		var rounds int
 		for i := 0; i < b.N; i++ {
-			_, stats := parsetup.Setup(net, d)
+			_, stats, err := parsetup.Setup(net, d)
+			if err != nil {
+				b.Fatal(err)
+			}
 			rounds = stats.TotalRounds()
 		}
 		b.ReportMetric(float64(rounds), "parallel-rounds")
@@ -664,6 +668,33 @@ func BenchmarkE33_Engine(b *testing.B) {
 		}
 		b.StopTimer()
 		b.ReportMetric(eng.Stats().HitRate, "hit-rate")
+	})
+}
+
+// BenchmarkE34_ColdSetup races the multicore worker-pool setup
+// (internal/psetup) against the serial looping algorithm on cold
+// arbitrary permutations — the engine's non-F(n) miss path. Rotating
+// seeded permutations keep every call cold; run with GOMAXPROCS > 1
+// to see the fork-join payoff.
+func BenchmarkE34_ColdSetup(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	net := core.New(benchN)
+	perms := make([]perm.Perm, 8)
+	for i := range perms {
+		perms[i] = perm.Random(1<<benchN, rng)
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			net.Setup(perms[i%len(perms)])
+		}
+	})
+	b.Run("workers", func(b *testing.B) {
+		r := psetup.New(net, psetup.Config{})
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Setup(perms[i%len(perms)]); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 }
 

@@ -17,7 +17,9 @@
 #   floor   — wide-tolerance regression guards (checked-in / TOL,
 #             default 4) for figures that legitimately wobble across
 #             runner hardware — catching a collapsed cache or a
-#             serialized plane, not CPU jitter.
+#             serialized plane, not CPU jitter;
+#   ceiling — the mirror of floor for costs (ns/op), where LOWER is
+#             better: the fresh value must stay below checked-in x TOL.
 #
 # Override with BENCH_TOL / BENCH_RATCHET. The regeneration runs under
 # the same pinned environment as ci/bench_snapshot.sh (GOMAXPROCS,
@@ -46,6 +48,8 @@ BENCH_COLLECTIVE_JSON="$tmp/BENCH_collective.json" \
 	go test -count=1 -run '^TestBenchCollectiveArtifact$' ./internal/collective
 BENCH_DIAGNOSE_JSON="$tmp/BENCH_diagnose.json" \
 	go test -count=1 -run '^TestBenchDiagnoseArtifact$' ./internal/diagnose
+BENCH_SETUP_JSON="$tmp/BENCH_setup.json" \
+	go test -count=1 -run '^TestBenchSetupArtifact$' ./internal/psetup
 
 # key FILE NAME -> the value of "NAME" in a flat indented-JSON artifact.
 key() {
@@ -81,6 +85,21 @@ floor() {
 	}' || fail=1
 }
 
+# ceiling FILE NAME: the fresh value must stay below checked-in x TOL.
+# For cost figures (ns/op) where lower is better — getting faster than
+# the snapshot is never a failure.
+ceiling() {
+	base=$(key "$1" "$2")
+	fresh=$(key "$tmp/$1" "$2")
+	awk -v b="$base" -v f="$fresh" -v t="$TOL" -v file="$1" -v name="$2" 'BEGIN {
+		if (b + 0 <= 0 || f + 0 <= 0 || f > b * t) {
+			printf "FAIL: %s %s = %s, above checked-in %s x %g\n", file, name, f, b, t
+			exit 1
+		}
+		printf "ok: %s %s = %s (checked-in %s, ceiling x%g)\n", file, name, f, b, t
+	}' || fail=1
+}
+
 # ratchet FILE NAME: hard floor — the fresh value must stay above
 # checked-in x RATCHET. Improvements are banked by refreshing the
 # snapshot (ci/bench_snapshot.sh) in the same PR; after that, sliding
@@ -109,5 +128,7 @@ exact BENCH_diagnose.json probes_to_localize_n64
 exact BENCH_diagnose.json probes_to_localize_n256
 floor BENCH_diagnose.json diagnoses_per_sec_n64
 floor BENCH_diagnose.json diagnoses_per_sec_n256
+ratchet BENCH_setup.json parallel_setup_speedup
+ceiling BENCH_setup.json cold_setup_ns_op_n4096
 
 exit $fail

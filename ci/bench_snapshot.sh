@@ -5,11 +5,12 @@
 # throughput, 1 plane vs BENCH_PLANES planes, recorder on),
 # BENCH_mcast.json (seeded multicast fan-out throughput and copy
 # amplification through the packet path), and BENCH_collective.json
-# (compiled vs naive all-to-all), and BENCH_diagnose.json (worst-case
+# (compiled vs naive all-to-all), BENCH_diagnose.json (worst-case
 # probes-to-localize and whole-session diagnosis throughput at N=64
-# and N=256). Each is written by the corresponding env-gated
-# TestBench*Artifact test, so the numbers come from exactly the code
-# paths CI exercises.
+# and N=256), and BENCH_setup.json (cold external setup: serial looping
+# vs the worker-pool router at N=1024/4096/8192). Each is written by
+# the corresponding env-gated TestBench*Artifact test, so the numbers
+# come from exactly the code paths CI exercises.
 #
 # The environment is pinned so two runs on the same machine do the same
 # work: GOMAXPROCS (default 4, override with BENCH_GOMAXPROCS) applies
@@ -41,5 +42,7 @@ BENCH_COLLECTIVE_JSON="$PWD/BENCH_collective.json" \
 	go test -count=1 -run '^TestBenchCollectiveArtifact$' -v ./internal/collective
 BENCH_DIAGNOSE_JSON="$PWD/BENCH_diagnose.json" \
 	go test -count=1 -run '^TestBenchDiagnoseArtifact$' -v ./internal/diagnose
+BENCH_SETUP_JSON="$PWD/BENCH_setup.json" \
+	go test -count=1 -run '^TestBenchSetupArtifact$' -v ./internal/psetup
 
-echo "wrote BENCH_engine.json BENCH_fabric.json BENCH_mcast.json BENCH_collective.json BENCH_diagnose.json"
+echo "wrote BENCH_engine.json BENCH_fabric.json BENCH_mcast.json BENCH_collective.json BENCH_diagnose.json BENCH_setup.json"

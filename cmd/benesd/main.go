@@ -890,6 +890,9 @@ func main() {
 		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		cache   = flag.Int("cache", engine.DefaultCacheCapacity, "plan cache capacity (plans)")
 		replay  = flag.Bool("replay", false, "replay cached states gate-by-gate instead of applying the mapping")
+		psetup  = flag.Bool("parallel-setup", true, "route non-F(n) cache misses through the multicore cold setup")
+		pswork  = flag.Int("setup-workers", 0, "goroutines per parallel cold setup (0 = GOMAXPROCS)")
+		psmemo  = flag.Bool("setup-memo", true, "memoize half-network sub-plans in the plan cache")
 		planes  = flag.Int("planes", 2, "parallel switching planes in the packet fabric")
 		voq     = flag.Int("voq-depth", fabric.DefaultVOQDepth, "per-(input,output) virtual output queue bound")
 		block   = flag.Bool("block", false, "block /send on full queues instead of tail-dropping")
@@ -921,6 +924,9 @@ func main() {
 		LogN:          *n,
 		Workers:       *workers,
 		CacheCapacity: *cache,
+		ParallelSetup: *psetup,
+		SetupWorkers:  *pswork,
+		SetupMemo:     *psetup && *psmemo,
 		ReplayStates:  *replay,
 		Recorder:      rec,
 	})
@@ -942,12 +948,13 @@ func main() {
 	}
 	ring := obs.NewTraceRing(*tring, *tslow)
 	fab, err := fabric.New[int](fabric.Config{
-		LogN:     *n,
-		Planes:   *planes,
-		VOQDepth: *voq,
-		Policy:   policy,
-		Affinity: affinity,
-		Record:   *record,
+		LogN:          *n,
+		Planes:        *planes,
+		VOQDepth:      *voq,
+		Policy:        policy,
+		Affinity:      affinity,
+		ParallelSetup: *psetup,
+		Record:        *record,
 	}, newTracedDeliver(ring))
 	if err != nil {
 		fatal(err)
@@ -967,7 +974,8 @@ func main() {
 		fatal(err)
 	}
 	logger.Info("benesd: serving", "log_n", *n, "terminals", eng.Network().N(), "planes", fab.Planes(),
-		"affinity", affinity.String(), "addr", *addr, "record", *record)
+		"affinity", affinity.String(), "addr", *addr, "record", *record,
+		"parallel_setup", *psetup, "setup_memo", *psetup && *psmemo)
 	if err := serve(ctx, ln, eng, fab, col, o, *drain); err != nil {
 		fatal(err)
 	}

@@ -116,7 +116,10 @@ func TestEverySetupPathRealizesEverything(t *testing.T) {
 		if !b.ExternalRoute(d, b.Setup(d)).OK() {
 			t.Fatal("sequential setup failed")
 		}
-		st, _ := parsetup.Setup(b, d)
+		st, _, err := parsetup.Setup(b, d)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !b.ExternalRoute(d, st).OK() {
 			t.Fatal("parallel setup failed")
 		}

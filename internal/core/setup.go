@@ -79,8 +79,31 @@ func (b *Network) setupScratch(dests []int, lo, s0, m int, st States, sc *SetupS
 		return
 	}
 	half := size / 2
+	depth := b.n - m // 0 at the outermost block
+	next := sc.levels[depth+1]
+	upDests := next[lo : lo+half]
+	downDests := next[lo+half : lo+size]
+	colorBlock(dests, lo, s0, m, st, sc.invDest, sc.up, upDests, downDests)
+	b.setupScratch(upDests, lo, s0+1, m-1, st, sc)
+	b.setupScratch(downDests, lo+half, s0+1, m-1, st, sc)
+}
+
+// colorBlock runs one level of the looping algorithm on the B(m) block
+// at lines [lo, lo+2^m), stages [s0, s0+2m-2]: it resolves the
+// 2-coloring loops, writes the block's first- and last-stage switch
+// states into st, and scatters the two half-size sub-permutations into
+// upDests and downDests (each len 2^(m-1), caller-owned). invDest and
+// up are scratch of length >= 2^m. The coloring is deterministic —
+// Waksman's free choice always sends each loop's smallest-numbered
+// input through the upper subnetwork — which is what makes every
+// alternative driver of this routine (serial recursion here, the
+// worker-pool recursion in internal/psetup, the PRAM-rounds model in
+// internal/parsetup) bit-identical in its emitted states.
+func colorBlock(dests []int, lo, s0, m int, st States, invDestSc, upSc []int, upDests, downDests []int) {
+	size := 1 << uint(m)
+	half := size / 2
 	// invDest[v] = input position whose destination is v.
-	invDest := sc.invDest[:size]
+	invDest := invDestSc[:size]
 	for k, v := range dests {
 		invDest[v] = k
 	}
@@ -93,7 +116,7 @@ func (b *Network) setupScratch(dests []int, lo, s0, m int, st States, sc *SetupS
 	const unset = 0
 	const goesUp = 1
 	const goesDown = 2
-	up := sc.up[:size]
+	up := upSc[:size]
 	for i := range up {
 		up[i] = unset
 	}
@@ -128,10 +151,6 @@ func (b *Network) setupScratch(dests []int, lo, s0, m int, st States, sc *SetupS
 	// Build the sub-permutations seen by the two subnetworks. The input
 	// at position k enters subnetwork position k/2; destination v is
 	// served by subnetwork output v/2.
-	depth := b.n - m // 0 at the outermost block
-	next := sc.levels[depth+1]
-	upDests := next[lo : lo+half]
-	downDests := next[lo+half : lo+size]
 	for k, v := range dests {
 		if up[k] == goesUp {
 			upDests[k/2] = v / 2
@@ -147,6 +166,27 @@ func (b *Network) setupScratch(dests []int, lo, s0, m int, st States, sc *SetupS
 			st[lastStage][lo/2+v/2] = v%2 == 1
 		}
 	}
-	b.setupScratch(upDests, lo, s0+1, m-1, st, sc)
-	b.setupScratch(downDests, lo+half, s0+1, m-1, st, sc)
+}
+
+// ColorBlock exposes one level of the looping algorithm for external
+// recursion drivers (the parallel setup of internal/psetup): it solves
+// the 2-coloring of the B(m) block at lines [lo, lo+2^m) and stages
+// [s0, s0+2m-2], writes the block's outer stage pair into st, and
+// scatters the two half-size sub-permutations into upDests and
+// downDests (each len 2^(m-1)). sc supplies the loop-resolution
+// scratch; the call leaves sc.levels untouched, so one scratch may
+// serve interleaved ColorBlock and SetupBlock calls. m must be >= 2.
+func (b *Network) ColorBlock(dests []int, lo, s0, m int, st States, sc *SetupScratch, upDests, downDests []int) {
+	colorBlock(dests, lo, s0, m, st, sc.invDest, sc.up, upDests, downDests)
+}
+
+// SetupBlock solves the complete B(m) sub-block at lines [lo, lo+2^m)
+// and stages [s0, s0+2m-2] serially, exactly as a Setup of the whole
+// network would solve it: the emitted states depend only on the
+// block-local dests, never on the surrounding blocks. This is the
+// serial-subtree leaf of internal/psetup's worker-pool recursion. sc
+// must come from NewSetupScratch of this network (its level buffers
+// are indexed by absolute depth b.LogN()-m and line offset lo).
+func (b *Network) SetupBlock(dests []int, lo, s0, m int, st States, sc *SetupScratch) {
+	b.setupScratch(dests, lo, s0, m, st, sc)
 }

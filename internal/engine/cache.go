@@ -24,6 +24,15 @@ const (
 	// PlanMulticast marks a copy-network plan compiled from a fan-out
 	// mapping: distribute B(n), copy ladder, permute B(n).
 	PlanMulticast
+	// PlanParallel marks a plan computed by the multicore looping setup
+	// (internal/psetup) — bit-identical states to PlanLooped, produced
+	// by the worker-pool recursion instead of one goroutine.
+	PlanParallel
+	// PlanSubBlock marks a memoized half-network sub-plan: the canonical
+	// setting of one B(n-1) block of a parallel setup, cached so later
+	// permutations sharing that half skip its recursion subtree. Never
+	// returned for a request — sub-plans exist only for psetup reuse.
+	PlanSubBlock
 )
 
 func (k PlanKind) String() string {
@@ -34,6 +43,10 @@ func (k PlanKind) String() string {
 		return "looped"
 	case PlanMulticast:
 		return "multicast"
+	case PlanParallel:
+		return "parallel-setup"
+	case PlanSubBlock:
+		return "sub-block"
 	}
 	return "unknown"
 }
@@ -83,10 +96,50 @@ func hashMapping(m mcast.Mapping) uint64 {
 	const prime64 = 1099511628211
 	h := uint64(offset64)
 	for _, d := range m {
-		h ^= uint64(d+2) // -1 maps to 1, sources to src+2
+		h ^= uint64(d + 2) // -1 maps to 1, sources to src+2
 		h *= prime64
 	}
 	return h
+}
+
+// hashSub keys a memoized half-network sub-plan. The offset basis is
+// perturbed by the block size so a B(m) sub-permutation never lands on
+// the full-network plan for an identical vector, and the size itself is
+// folded in so equal-content blocks of different m stay distinct.
+func hashSub(m int, dests []int) uint64 {
+	const offset64 = 14695981039346656037 ^ 0x6a09e667f3bcc908
+	const prime64 = 1099511628211
+	h := uint64(offset64) ^ uint64(m)<<32
+	for _, d := range dests {
+		h ^= uint64(d) + 1
+		h *= prime64
+	}
+	return h
+}
+
+// subPlanCache adapts the engine's sharded LRU to psetup.SubPlanCache:
+// half-network sub-plans are memoized as PlanSubBlock entries in the
+// same cache that holds full routing plans, sharing its capacity,
+// recency order, and eviction/collision accounting — the partial-plan
+// reuse half of ROADMAP item 2. Hits and misses are tallied on their
+// own counters so the books of the serving cache stay separable.
+type subPlanCache struct {
+	c            *planCache
+	hits, misses *obs.Counter
+}
+
+func (s *subPlanCache) Get(m int, dests []int) core.States {
+	if pl := s.c.get(hashSub(m, dests), perm.Perm(dests)); pl != nil {
+		s.hits.Add(1)
+		return pl.States
+	}
+	s.misses.Add(1)
+	return nil
+}
+
+func (s *subPlanCache) Put(m int, dests []int, st core.States) {
+	key := hashSub(m, dests)
+	s.c.put(&Plan{Kind: PlanSubBlock, States: st, Dest: perm.Perm(dests).Clone(), key: key})
 }
 
 // planCache is a sharded LRU cache of routing plans. Each shard owns an

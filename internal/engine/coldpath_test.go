@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+)
+
+// nonFPerm draws seeded random permutations until one falls outside
+// F(n) — the cold external-setup path under test. Random permutations
+// essentially never self-route, but the differential suite must not
+// depend on "essentially".
+func nonFPerm(t *testing.T, net *core.Network, rng *rand.Rand) perm.Perm {
+	t.Helper()
+	for tries := 0; tries < 100; tries++ {
+		d := perm.Random(net.N(), rng)
+		if !net.SelfRoute(d).OK() {
+			return d
+		}
+	}
+	t.Fatal("could not draw a non-F(n) permutation")
+	return nil
+}
+
+// TestEngineParallelSetupDifferential: an engine with the parallel
+// cold-setup path on must serve exactly the payloads and cache
+// behavior of a serial engine, with the plan kind recording the
+// multicore path.
+func TestEngineParallelSetupDifferential(t *testing.T) {
+	const logN = 6
+	serial, err := New[int](Config{LogN: logN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serial.Close()
+	par, err := New[int](Config{LogN: logN, ParallelSetup: true, SetupWorkers: 2, SetupCutoff: 8, SetupMemo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+
+	rng := rand.New(rand.NewSource(77))
+	data := make([]int, 1<<logN)
+	for i := range data {
+		data[i] = i * 11
+	}
+	for trial := 0; trial < 25; trial++ {
+		d := nonFPerm(t, par.Network(), rng)
+		want := serial.Route(d, data)
+		got := par.Route(d, data)
+		if want.Err != nil || got.Err != nil {
+			t.Fatalf("route errors: serial %v, parallel %v", want.Err, got.Err)
+		}
+		if got.Kind != PlanParallel {
+			t.Fatalf("parallel engine served a non-F(n) miss with kind %v", got.Kind)
+		}
+		if want.Kind != PlanLooped {
+			t.Fatalf("serial engine served a non-F(n) miss with kind %v", want.Kind)
+		}
+		for i := range want.Data {
+			if want.Data[i] != got.Data[i] {
+				t.Fatalf("trial %d: payload diverges at output %d", trial, i)
+			}
+		}
+		// Warm repeat: the cached parallel plan serves hits like any other.
+		if again := par.Route(d, data); !again.CacheHit || again.Kind != PlanParallel {
+			t.Fatalf("warm repeat: hit=%v kind=%v", again.CacheHit, again.Kind)
+		}
+	}
+	snap := par.Stats()
+	if snap.ParSetups == 0 || snap.Fallbacks != snap.ParSetups {
+		t.Errorf("parallel setups %d should equal non-F(n) fallbacks %d", snap.ParSetups, snap.Fallbacks)
+	}
+	if snap.ParFallbacks != 0 {
+		t.Errorf("parallel path fell back serially %d times on valid input", snap.ParFallbacks)
+	}
+	if snap.SetupPar.Count != snap.ParSetups {
+		t.Errorf("setup_parallel histogram count %d != parallel setups %d", snap.SetupPar.Count, snap.ParSetups)
+	}
+	if snap.SubplanHits+snap.SubplanMisses != 2*snap.ParSetups {
+		t.Errorf("sub-plan books unbalanced: %d hits + %d misses != 2 x %d setups",
+			snap.SubplanHits, snap.SubplanMisses, snap.ParSetups)
+	}
+}
+
+// TestEngineColdMissRaceStress is the adversarial cold path under the
+// race detector: concurrent cold misses on distinct non-F(n)
+// permutations with sub-plan memoization on. Every response must carry
+// the exact permuted payload, and afterwards the cache books must
+// balance: every request resolved as exactly one hit or miss, every
+// parallel setup charged exactly two sub-plan lookups, and no
+// cross-kind hash pollution (collisions).
+func TestEngineColdMissRaceStress(t *testing.T) {
+	const (
+		logN       = 8
+		goroutines = 8
+		perGor     = 24
+	)
+	eng, err := New[int](Config{
+		LogN:          logN,
+		Workers:       runtime.GOMAXPROCS(0),
+		CacheCapacity: 4096,
+		ParallelSetup: true,
+		SetupWorkers:  runtime.GOMAXPROCS(0),
+		SetupCutoff:   16,
+		SetupMemo:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	// Distinct non-F(n) permutations, drawn up front so every miss is
+	// genuinely cold (no accidental repeats warming the cache).
+	rng := rand.New(rand.NewSource(88))
+	seen := map[string]bool{}
+	perms := make([]perm.Perm, 0, goroutines*perGor)
+	for len(perms) < goroutines*perGor {
+		d := nonFPerm(t, eng.Network(), rng)
+		if k := d.String(); !seen[k] {
+			seen[k] = true
+			perms = append(perms, d)
+		}
+	}
+	data := make([]int, 1<<logN)
+	for i := range data {
+		data[i] = i ^ 0x55
+	}
+
+	var wg sync.WaitGroup
+	failures := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(mine []perm.Perm) {
+			defer wg.Done()
+			for _, d := range mine {
+				resp := eng.Route(d, data)
+				if resp.Err != nil {
+					failures <- "route error: " + resp.Err.Error()
+					return
+				}
+				want := perm.Apply(d, data)
+				for i := range want {
+					if resp.Data[i] != want[i] {
+						failures <- "misdelivered payload at output " + d.String()
+						return
+					}
+				}
+			}
+		}(perms[g*perGor : (g+1)*perGor])
+	}
+	wg.Wait()
+	close(failures)
+	for f := range failures {
+		t.Fatal(f)
+	}
+
+	snap := eng.Stats()
+	total := int64(goroutines * perGor)
+	if snap.Requests != total {
+		t.Fatalf("requests = %d, want %d", snap.Requests, total)
+	}
+	if snap.Hits+snap.Misses != total {
+		t.Errorf("cache books unbalanced: %d hits + %d misses != %d requests", snap.Hits, snap.Misses, total)
+	}
+	if snap.Errors != 0 {
+		t.Errorf("errors = %d on all-valid traffic", snap.Errors)
+	}
+	if snap.ParSetups != snap.Fallbacks {
+		t.Errorf("parallel setups %d != non-F(n) fallbacks %d", snap.ParSetups, snap.Fallbacks)
+	}
+	if snap.ParFallbacks != 0 {
+		t.Errorf("serial retries = %d on valid input", snap.ParFallbacks)
+	}
+	if snap.SubplanHits+snap.SubplanMisses != 2*snap.ParSetups {
+		t.Errorf("sub-plan books unbalanced: %d hits + %d misses != 2 x %d parallel setups",
+			snap.SubplanHits, snap.SubplanMisses, snap.ParSetups)
+	}
+	if snap.Collisions != 0 {
+		t.Errorf("hash collisions = %d across %d distinct keys", snap.Collisions, total)
+	}
+	if snap.PlansCached > 4096 {
+		t.Errorf("plans cached %d exceeds capacity", snap.PlansCached)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/mcast"
 	"repro/internal/netsim"
 	"repro/internal/perm"
+	"repro/internal/psetup"
 )
 
 // ErrClosed is returned for requests submitted after Close.
@@ -65,6 +66,27 @@ type Config struct {
 	// MaxBatch caps how many queued requests one worker drains and
 	// serves as a single batch. Defaults to DefaultMaxBatch.
 	MaxBatch int
+	// ParallelSetup routes cache misses outside F(n) — the serving
+	// path's worst-case latency, since nothing but the plan cache hides
+	// the looping algorithm's O(N log N) serial cost — through the
+	// multicore worker-pool setup of internal/psetup. The computed
+	// states are bit-identical to core.Network.Setup; if the parallel
+	// path ever reports an error the engine falls back to the serial
+	// looping algorithm and counts the fallback.
+	ParallelSetup bool
+	// SetupWorkers bounds one parallel setup's goroutine pool.
+	// Defaults to runtime.GOMAXPROCS(0). Ignored unless ParallelSetup.
+	SetupWorkers int
+	// SetupCutoff is the block size (lines) at or below which the
+	// parallel setup recursion goes serial. Defaults to
+	// psetup.DefaultSerialCutoff. Ignored unless ParallelSetup.
+	SetupCutoff int
+	// SetupMemo memoizes each parallel setup's two half-network
+	// sub-plans in the engine's sharded LRU (as PlanSubBlock entries
+	// sharing its capacity), so permutations that agree on a
+	// half-network share recursion subtrees across requests. Ignored
+	// unless ParallelSetup.
+	SetupMemo bool
 	// ReplayStates makes cache hits replay the cached switch states
 	// through core.ExternalRoute (full gate-level fidelity) instead of
 	// applying the plan's end-to-end mapping directly.
@@ -143,6 +165,9 @@ type Engine[T any] struct {
 	cache *planCache
 	met   *Metrics
 	rec   *netsim.Recorder
+	// psr is the multicore cold-setup router for non-F(n) misses, nil
+	// when Config.ParallelSetup is off (serial looping path retained).
+	psr *psetup.Router
 	// ladRec records the multicast copy ladder: log N stages of N/2
 	// four-state switches, a geometry separate from B(n)'s. Nil when
 	// accounting is off.
@@ -173,6 +198,17 @@ func New[T any](cfg Config) (*Engine[T], error) {
 	}
 	if e.rec != nil {
 		e.ladRec = netsim.NewRecorderGeom(cfg.LogN, e.net.SwitchesPerStage(), cfg.Workers+2)
+	}
+	if cfg.ParallelSetup {
+		var memo psetup.SubPlanCache
+		if cfg.SetupMemo {
+			memo = &subPlanCache{c: e.cache, hits: &met.subHits, misses: &met.subMisses}
+		}
+		e.psr = psetup.New(e.net, psetup.Config{
+			Workers:      cfg.SetupWorkers,
+			SerialCutoff: cfg.SetupCutoff,
+			Memo:         memo,
+		})
 	}
 	e.mpool.New = func() any { return mcast.NewCompiler(e.net) }
 	e.wg.Add(cfg.Workers)
@@ -458,13 +494,37 @@ func (e *Engine[T]) acquire(key uint64, d perm.Perm) (*Plan, bool, error) {
 		pl = &Plan{Kind: PlanSelfRouted, States: res.States, Dest: d.Clone(), key: key}
 	} else {
 		e.met.fallbacks.Add(1)
-		pl = &Plan{Kind: PlanLooped, States: e.net.Setup(d), Dest: d.Clone(), key: key}
+		st, kind := e.coldSetup(d)
+		pl = &Plan{Kind: kind, States: st, Dest: d.Clone(), key: key}
 	}
 	// Pack the setting once at plan-build time so recording a cached
 	// pass is a word sweep, not a boolean matrix walk.
 	pl.mask = e.rec.PackStates(pl.States)
 	e.cache.put(pl)
 	return pl, false, nil
+}
+
+// coldSetup computes states for a validated non-F(n) permutation — the
+// external-setup cliff the plan cache cannot hide on first sight of d.
+// With ParallelSetup on it runs the worker-pool looping recursion
+// (states bit-identical to the serial algorithm, enforced by the
+// psetup differential battery); the serial path remains both the
+// default and the fallback should the parallel router report an error.
+func (e *Engine[T]) coldSetup(d perm.Perm) (core.States, PlanKind) {
+	if e.psr == nil {
+		return e.net.Setup(d), PlanLooped
+	}
+	t0 := time.Now()
+	defer func() { e.met.SetupPar.Observe(time.Since(t0)) }()
+	st, err := e.psr.Setup(d)
+	if err != nil {
+		// d was validated by acquire, so this is unreachable in
+		// practice; keep the serial algorithm as the safety net anyway.
+		e.met.parFallbacks.Add(1)
+		return e.net.Setup(d), PlanLooped
+	}
+	e.met.parSetups.Add(1)
+	return st, PlanParallel
 }
 
 // applyPlan routes data through the configured network. The default

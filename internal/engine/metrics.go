@@ -23,26 +23,34 @@ type BucketCount = obs.BucketCount
 // All fields are updated atomically; a Metrics value must not be
 // copied.
 type Metrics struct {
-	requests   obs.Counter // vectors accepted by Submit
-	batches    obs.Counter // worker batches served
-	hits       obs.Counter // plan served from cache (or reused within a batch)
-	misses     obs.Counter // plan had to be computed
-	fallbacks  obs.Counter // misses outside F(n) that ran the looping algorithm
-	errors     obs.Counter // requests rejected (bad length, invalid permutation, closed)
-	evictions  obs.Counter // plans displaced from the LRU cache
-	collisions obs.Counter // lookups whose hash matched a plan for a different permutation
-	prewarms    obs.Counter // plans resolved ahead of traffic via Prewarm
-	frames      obs.Counter // frames served synchronously via FrameServer.Serve
-	mcasts      obs.Counter // multicast mappings served via RouteMulticast
-	mcastFrames obs.Counter // mapping frames served via McastFrameServer.Serve
-	mcastCopies obs.Counter // output copies delivered by multicast plans
-	probes      obs.Counter // diagnostic passes served via ProbeRoute
-	queueDepth  obs.Gauge   // requests submitted but not yet picked up by a worker
+	requests     obs.Counter // vectors accepted by Submit
+	batches      obs.Counter // worker batches served
+	hits         obs.Counter // plan served from cache (or reused within a batch)
+	misses       obs.Counter // plan had to be computed
+	fallbacks    obs.Counter // misses outside F(n) that ran the looping algorithm
+	parSetups    obs.Counter // non-F(n) misses served by the parallel worker-pool setup
+	parFallbacks obs.Counter // parallel setups that errored and fell back to the serial path
+	subHits      obs.Counter // half-network sub-plans served from the memo cache
+	subMisses    obs.Counter // half-network sub-plan lookups that had to solve the subtree
+	errors       obs.Counter // requests rejected (bad length, invalid permutation, closed)
+	evictions    obs.Counter // plans displaced from the LRU cache
+	collisions   obs.Counter // lookups whose hash matched a plan for a different permutation
+	prewarms     obs.Counter // plans resolved ahead of traffic via Prewarm
+	frames       obs.Counter // frames served synchronously via FrameServer.Serve
+	mcasts       obs.Counter // multicast mappings served via RouteMulticast
+	mcastFrames  obs.Counter // mapping frames served via McastFrameServer.Serve
+	mcastCopies  obs.Counter // output copies delivered by multicast plans
+	probes       obs.Counter // diagnostic passes served via ProbeRoute
+	queueDepth   obs.Gauge   // requests submitted but not yet picked up by a worker
 
 	// Per-stage latency histograms.
 	Wait  Histogram // submit -> worker pickup
 	Plan  Histogram // plan acquisition (cache lookup, plus setup on a miss)
 	Apply Histogram // payload application (or states replay)
+	// SetupPar is the setup_parallel stage: wall time of the multicore
+	// cold setup on non-F(n) misses (the tail the plan cache cannot
+	// hide), including any serial fallback retry.
+	SetupPar Histogram
 
 	// Multicast phase histograms: the copy-network compile split into
 	// its distribute/permute B(n) setups and its ladder programming.
@@ -59,6 +67,22 @@ func (m *Metrics) Misses() int64 { return m.misses.Value() }
 // Fallbacks returns the number of misses that needed the looping
 // algorithm because the permutation is outside F(n).
 func (m *Metrics) Fallbacks() int64 { return m.fallbacks.Value() }
+
+// ParallelSetups returns the number of non-F(n) misses whose plan was
+// computed by the multicore worker-pool setup.
+func (m *Metrics) ParallelSetups() int64 { return m.parSetups.Value() }
+
+// ParallelFallbacks returns the number of parallel setups that errored
+// and were retried on the serial looping path.
+func (m *Metrics) ParallelFallbacks() int64 { return m.parFallbacks.Value() }
+
+// SubplanHits returns the number of half-network sub-plans served from
+// the memo cache instead of solving the recursion subtree.
+func (m *Metrics) SubplanHits() int64 { return m.subHits.Value() }
+
+// SubplanMisses returns the number of half-network sub-plan lookups
+// that missed and solved (then memoized) the subtree.
+func (m *Metrics) SubplanMisses() int64 { return m.subMisses.Value() }
 
 // Evictions returns the number of plans displaced from the cache.
 func (m *Metrics) Evictions() int64 { return m.evictions.Value() }
@@ -100,27 +124,32 @@ func (m *Metrics) QueueDepth() int64 { return m.queueDepth.Load() }
 // Snapshot is the expvar-style export of Metrics: a plain value that
 // marshals to JSON, suitable for expvar.Func or an HTTP stats handler.
 type Snapshot struct {
-	Requests    int64   `json:"requests"`
-	Batches     int64   `json:"batches"`
-	Hits        int64   `json:"hits"`
-	Misses      int64   `json:"misses"`
-	Fallbacks   int64   `json:"fallbacks"`
-	Errors      int64   `json:"errors"`
-	Evictions   int64   `json:"evictions"`
-	Collisions  int64   `json:"collision_misses"`
-	Prewarms    int64   `json:"prewarms"`
-	Frames      int64   `json:"frames"`
-	Mcasts      int64   `json:"mcasts"`
-	McastFrames int64   `json:"mcast_frames"`
-	McastCopies int64   `json:"mcast_copies"`
-	Probes      int64   `json:"probes"`
-	HitRate     float64 `json:"hit_rate"`
-	QueueDepth  int64   `json:"queue_depth"`
-	PlansCached int     `json:"plans_cached"`
+	Requests      int64   `json:"requests"`
+	Batches       int64   `json:"batches"`
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	Fallbacks     int64   `json:"fallbacks"`
+	ParSetups     int64   `json:"parallel_setups"`
+	ParFallbacks  int64   `json:"parallel_fallbacks"`
+	SubplanHits   int64   `json:"subplan_hits"`
+	SubplanMisses int64   `json:"subplan_misses"`
+	Errors        int64   `json:"errors"`
+	Evictions     int64   `json:"evictions"`
+	Collisions    int64   `json:"collision_misses"`
+	Prewarms      int64   `json:"prewarms"`
+	Frames        int64   `json:"frames"`
+	Mcasts        int64   `json:"mcasts"`
+	McastFrames   int64   `json:"mcast_frames"`
+	McastCopies   int64   `json:"mcast_copies"`
+	Probes        int64   `json:"probes"`
+	HitRate       float64 `json:"hit_rate"`
+	QueueDepth    int64   `json:"queue_depth"`
+	PlansCached   int     `json:"plans_cached"`
 
 	Wait      HistogramSnapshot `json:"wait"`
 	Plan      HistogramSnapshot `json:"plan"`
 	Apply     HistogramSnapshot `json:"apply"`
+	SetupPar  HistogramSnapshot `json:"setup_parallel"`
 	McastDist HistogramSnapshot `json:"mcast_distribute"`
 	McastCopy HistogramSnapshot `json:"mcast_copy"`
 }
@@ -129,26 +158,31 @@ type Snapshot struct {
 // known to Metrics itself; Engine.Stats fills it in.
 func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
-		Requests:   m.requests.Value(),
-		Batches:    m.batches.Value(),
-		Hits:       m.hits.Value(),
-		Misses:     m.misses.Value(),
-		Fallbacks:  m.fallbacks.Value(),
-		Errors:     m.errors.Value(),
-		Evictions:  m.evictions.Value(),
-		Collisions: m.collisions.Value(),
-		Prewarms:    m.prewarms.Value(),
-		Frames:      m.frames.Value(),
-		Mcasts:      m.mcasts.Value(),
-		McastFrames: m.mcastFrames.Value(),
-		McastCopies: m.mcastCopies.Value(),
-		Probes:      m.probes.Value(),
-		QueueDepth:  m.queueDepth.Load(),
-		Wait:        m.Wait.Snapshot(),
-		Plan:        m.Plan.Snapshot(),
-		Apply:       m.Apply.Snapshot(),
-		McastDist:   m.McastDist.Snapshot(),
-		McastCopy:   m.McastCopy.Snapshot(),
+		Requests:      m.requests.Value(),
+		Batches:       m.batches.Value(),
+		Hits:          m.hits.Value(),
+		Misses:        m.misses.Value(),
+		Fallbacks:     m.fallbacks.Value(),
+		ParSetups:     m.parSetups.Value(),
+		ParFallbacks:  m.parFallbacks.Value(),
+		SubplanHits:   m.subHits.Value(),
+		SubplanMisses: m.subMisses.Value(),
+		Errors:        m.errors.Value(),
+		Evictions:     m.evictions.Value(),
+		Collisions:    m.collisions.Value(),
+		Prewarms:      m.prewarms.Value(),
+		Frames:        m.frames.Value(),
+		Mcasts:        m.mcasts.Value(),
+		McastFrames:   m.mcastFrames.Value(),
+		McastCopies:   m.mcastCopies.Value(),
+		Probes:        m.probes.Value(),
+		QueueDepth:    m.queueDepth.Load(),
+		Wait:          m.Wait.Snapshot(),
+		Plan:          m.Plan.Snapshot(),
+		Apply:         m.Apply.Snapshot(),
+		SetupPar:      m.SetupPar.Snapshot(),
+		McastDist:     m.McastDist.Snapshot(),
+		McastCopy:     m.McastCopy.Snapshot(),
 	}
 	if lookups := s.Hits + s.Misses; lookups > 0 {
 		s.HitRate = float64(s.Hits) / float64(lookups)
@@ -175,6 +209,10 @@ func (e *Engine[T]) Register(reg *obs.Registry, labels obs.Labels) {
 	reg.CounterFunc("benes_engine_plan_cache_hits_total", "Plans served from the cache or reused within a batch.", labels, m.hits.Value)
 	reg.CounterFunc("benes_engine_plan_cache_misses_total", "Plans computed fresh.", labels, m.misses.Value)
 	reg.CounterFunc("benes_engine_loop_fallbacks_total", "Misses outside F(n) that ran the looping algorithm.", labels, m.fallbacks.Value)
+	reg.CounterFunc("benes_engine_parallel_setups_total", "Non-F(n) misses served by the multicore worker-pool setup.", labels, m.parSetups.Value)
+	reg.CounterFunc("benes_engine_parallel_fallbacks_total", "Parallel setups that errored and retried serially.", labels, m.parFallbacks.Value)
+	reg.CounterFunc("benes_engine_subplan_hits_total", "Half-network sub-plans served from the memo cache.", labels, m.subHits.Value)
+	reg.CounterFunc("benes_engine_subplan_misses_total", "Half-network sub-plan lookups that solved the subtree.", labels, m.subMisses.Value)
 	reg.CounterFunc("benes_engine_errors_total", "Requests rejected (bad length, invalid permutation, closed).", labels, m.errors.Value)
 	reg.CounterFunc("benes_engine_plan_cache_evictions_total", "Plans displaced from the LRU cache.", labels, m.evictions.Value)
 	reg.CounterFunc("benes_engine_plan_cache_collisions_total", "Lookups that collided with a plan for a different permutation.", labels, m.collisions.Value)
@@ -189,6 +227,7 @@ func (e *Engine[T]) Register(reg *obs.Registry, labels obs.Labels) {
 	reg.RegisterHistogram("benes_engine_wait_seconds", "Queue wait: Submit to worker pickup.", labels, &m.Wait)
 	reg.RegisterHistogram("benes_engine_plan_seconds", "Plan acquisition: cache lookup plus setup on a miss.", labels, &m.Plan)
 	reg.RegisterHistogram("benes_engine_apply_seconds", "Payload application (or gate-level states replay).", labels, &m.Apply)
+	reg.RegisterHistogram("benes_engine_setup_parallel_seconds", "Multicore cold setup on non-F(n) misses, serial retry included.", labels, &m.SetupPar)
 	reg.RegisterHistogram("benes_engine_mcast_distribute_seconds", "Multicast compile: distribute/permute B(n) looping setups.", labels, &m.McastDist)
 	reg.RegisterHistogram("benes_engine_mcast_copy_seconds", "Multicast compile: interval-splitting copy-ladder programming.", labels, &m.McastCopy)
 

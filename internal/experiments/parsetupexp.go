@@ -37,7 +37,10 @@ func runE25(w io.Writer) {
 	for _, n := range []int{3, 5, 7, 9, 11} {
 		b := core.New(n)
 		p := perm.Random(1<<uint(n), rng)
-		st, stats := parsetup.Setup(b, p)
+		st, stats, err := parsetup.Setup(b, p)
+		if err != nil {
+			panic(err) // seeded in-range permutation; unreachable
+		}
 		seq := b.Setup(p)
 		same := true
 		for s := range seq {

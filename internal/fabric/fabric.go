@@ -161,6 +161,13 @@ type Config struct {
 	// PlaneCache is the plan-cache capacity per plane. Defaults to the
 	// engine's DefaultCacheCapacity.
 	PlaneCache int
+	// ParallelSetup routes each plane engine's non-F(n) cache misses
+	// (collective rounds and RouteRound permutations outside F(n))
+	// through the multicore cold setup of internal/psetup, with
+	// half-network sub-plans memoized in the plane's LRU. Frames are
+	// unaffected — the FrameServer path keeps its scratch-reusing
+	// serial setup, which per-frame beats any fan-out at frame sizes.
+	ParallelSetup bool
 	// Record attaches a gate-level flight recorder to every plane:
 	// per-switch traversal, flip, and fault-hit counters, served by
 	// PlaneRecorder and exported per stage by Register. Frames count
@@ -266,6 +273,8 @@ func newFabric[T any](cfg Config, deliver func(Packet[T]), deliverBatch func(int
 			LogN:          cfg.LogN,
 			Workers:       cfg.PlaneWorkers,
 			CacheCapacity: cfg.PlaneCache,
+			ParallelSetup: cfg.ParallelSetup,
+			SetupMemo:     cfg.ParallelSetup,
 			Recorder:      rec,
 		}, &f.met)
 		if err != nil {

@@ -42,13 +42,16 @@ type Stats struct {
 func (s Stats) TotalRounds() int { return s.JumpRounds + s.LocalRounds }
 
 // Setup computes switch states realizing d on b, in parallel-rounds
-// accounting. The states are identical to b.Setup(d).
-func Setup(b *core.Network, d perm.Perm) (core.States, Stats) {
-	if err := d.Validate(); err != nil {
-		panic("parsetup: " + err.Error())
-	}
+// accounting. The states are identical to b.Setup(d). Invalid input —
+// a vector that is not a permutation, or one whose length does not
+// match the network — is reported as an error, never a panic: round
+// modeling runs against arbitrary externally supplied permutations.
+func Setup(b *core.Network, d perm.Perm) (core.States, Stats, error) {
 	if len(d) != b.N() {
-		panic(fmt.Sprintf("parsetup: permutation length %d != N %d", len(d), b.N()))
+		return nil, Stats{}, fmt.Errorf("parsetup: permutation length %d != N %d", len(d), b.N())
+	}
+	if err := d.Validate(); err != nil {
+		return nil, Stats{}, fmt.Errorf("parsetup: %w", err)
 	}
 	n := b.LogN()
 	st := b.NewStates()
@@ -159,5 +162,5 @@ func Setup(b *core.Network, d perm.Perm) (core.States, Stats) {
 		st[mid][k/2] = dests[k] == 1
 	}
 	stats.LocalRounds++
-	return st, stats
+	return st, stats, nil
 }

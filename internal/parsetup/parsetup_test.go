@@ -16,7 +16,10 @@ func TestMatchesSequentialSetup(t *testing.T) {
 		b := core.New(n)
 		perm.ForEach(1<<uint(n), func(p perm.Perm) bool {
 			seq := b.Setup(p)
-			par, _ := Setup(b, p)
+			par, _, err := Setup(b, p)
+			if err != nil {
+				t.Fatal(err)
+			}
 			for s := range seq {
 				for i := range seq[s] {
 					if seq[s][i] != par[s][i] {
@@ -33,7 +36,10 @@ func TestMatchesSequentialSetup(t *testing.T) {
 		b := core.New(n)
 		p := perm.Random(1<<uint(n), rng)
 		seq := b.Setup(p)
-		par, _ := Setup(b, p)
+		par, _, err := Setup(b, p)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for s := range seq {
 			for i := range seq[s] {
 				if seq[s][i] != par[s][i] {
@@ -52,7 +58,10 @@ func TestRealizesEverything(t *testing.T) {
 		n := 1 + rng.Intn(10)
 		b := core.New(n)
 		p := perm.Random(1<<uint(n), rng)
-		st, _ := Setup(b, p)
+		st, _, err := Setup(b, p)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !b.ExternalRoute(p, st).OK() {
 			t.Fatalf("n=%d: parallel setup failed to realize %v", n, p)
 		}
@@ -68,7 +77,10 @@ func TestRoundsGrowth(t *testing.T) {
 		b := core.New(n)
 		worst := 0
 		for trial := 0; trial < 10; trial++ {
-			_, stats := Setup(b, perm.Random(1<<uint(n), rng))
+			_, stats, err := Setup(b, perm.Random(1<<uint(n), rng))
+			if err != nil {
+				t.Fatal(err)
+			}
 			if r := stats.TotalRounds(); r > worst {
 				worst = r
 			}
@@ -90,7 +102,10 @@ func TestRoundsGrowth(t *testing.T) {
 func TestStatsShape(t *testing.T) {
 	b := core.New(6)
 	rng := rand.New(rand.NewSource(194))
-	_, stats := Setup(b, perm.Random(64, rng))
+	_, stats, err := Setup(b, perm.Random(64, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if stats.Levels != 5 {
 		t.Errorf("levels = %d, want 5", stats.Levels)
 	}
@@ -116,7 +131,10 @@ func TestStatsShape(t *testing.T) {
 // election converges in a couple of rounds per level.
 func TestIdentityIsFast(t *testing.T) {
 	b := core.New(10)
-	_, stats := Setup(b, perm.Identity(1024))
+	_, stats, err := Setup(b, perm.Identity(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
 	for lvl, r := range stats.RoundsByLevel {
 		if r > 3 {
 			t.Errorf("identity level %d used %d jump rounds", lvl, r)
@@ -129,7 +147,10 @@ func TestIdentityIsFast(t *testing.T) {
 func TestWorstCaseSingleLoop(t *testing.T) {
 	n := 10
 	b := core.New(n)
-	_, stats := Setup(b, perm.CyclicShift(n, 1))
+	_, stats, err := Setup(b, perm.CyclicShift(n, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	for lvl, r := range stats.RoundsByLevel {
 		m := n - lvl
 		if r > m+2 {
@@ -140,17 +161,17 @@ func TestWorstCaseSingleLoop(t *testing.T) {
 
 func TestValidation(t *testing.T) {
 	b := core.New(3)
-	for _, bad := range []func(){
-		func() { Setup(b, perm.Perm{0, 0, 1, 1, 2, 2, 3, 3}) },
-		func() { Setup(b, perm.Identity(4)) },
+	for _, bad := range []perm.Perm{
+		{0, 0, 1, 1, 2, 2, 3, 3}, // not a permutation
+		perm.Identity(4),         // wrong length
+		{-1, 1, 2, 3, 4, 5, 6, 7},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			bad()
-		}()
+		st, _, err := Setup(b, bad)
+		if err == nil {
+			t.Errorf("Setup(%v) accepted invalid input", bad)
+		}
+		if st != nil {
+			t.Errorf("Setup(%v) returned states alongside an error", bad)
+		}
 	}
 }

@@ -1,0 +1,74 @@
+package psetup
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+)
+
+// TestBenchSetupArtifact is the CI bench-snapshot hook for the cold
+// external-setup path: when BENCH_SETUP_JSON names a file, it times
+// serial core.Network.Setup against the worker-pool Router at
+// N=1024/4096/8192 over a rotating set of seeded random permutations
+// (cold every call — no memo, so nothing amortizes) and writes the
+// trajectory artifact there. parallel_setup_speedup is the
+// machine-portable key ci/bench_diff.sh ratchets; raw ns/op shifts
+// with hardware and is only ceiling-guarded. Without the env var the
+// test skips, so normal runs stay fast.
+func TestBenchSetupArtifact(t *testing.T) {
+	path := os.Getenv("BENCH_SETUP_JSON")
+	if path == "" {
+		t.Skip("BENCH_SETUP_JSON not set")
+	}
+	artifact := map[string]any{
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+	}
+	for _, logN := range []int{10, 12, 13} {
+		net := core.New(logN)
+		N := 1 << uint(logN)
+		rng := rand.New(rand.NewSource(int64(1000 + logN)))
+		perms := make([]perm.Perm, 8)
+		for i := range perms {
+			perms[i] = perm.Random(N, rng)
+		}
+
+		serial := testing.Benchmark(func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if st := net.Setup(perms[i%len(perms)]); st == nil {
+					b.Fatal("nil states")
+				}
+			}
+		})
+		par := testing.Benchmark(func(b *testing.B) {
+			r := New(net, Config{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Setup(perms[i%len(perms)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		artifact[fmt.Sprintf("serial_setup_ns_op_n%d", N)] = serial.NsPerOp()
+		artifact[fmt.Sprintf("parallel_setup_ns_op_n%d", N)] = par.NsPerOp()
+		if N == 4096 {
+			artifact["cold_setup_ns_op_n4096"] = par.NsPerOp()
+			artifact["parallel_setup_speedup"] = float64(serial.NsPerOp()) / float64(par.NsPerOp())
+		}
+	}
+	out, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %s", path, out)
+}

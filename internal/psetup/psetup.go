@@ -1,0 +1,266 @@
+// Package psetup is the multicore external-setup path for arbitrary
+// permutations: the classic looping algorithm of core.Network.Setup run
+// across real cores instead of one.
+//
+// The paper's Section I observation — external setup costs O(N log N)
+// serial work while F(n) members self-route in O(log N) gate delays —
+// is the latency cliff every non-F(n) cache miss pays at serving time.
+// Nassimi & Sahni's parallel-setup work (the paper's citation [7],
+// modeled in rounds by internal/parsetup) shows the cure: after the
+// outer level's 2-coloring, the two half-size subnetworks of B(n) are
+// completely independent, and so are their halves, recursively. The
+// recursion tree therefore fans out into 2^l independent blocks at
+// level l, and a bounded worker pool can chew the tree concurrently.
+//
+// A Router drives exactly the recursion of core.Network.Setup, with
+// two scheduling changes and one caching change:
+//
+//   - fork: when solving a block splits it in two, the upper half is
+//     handed to a fresh goroutine if a worker slot is free (a
+//     semaphore bounds the pool); otherwise the caller solves both
+//     halves itself. Parents join their forked children before
+//     returning, so a finished Setup call has no stragglers.
+//   - serial cutoff: blocks at or below Config.SerialCutoff lines are
+//     solved by the serial recursion (core.Network.SetupBlock) in the
+//     worker's own goroutine — small blocks cost less than a goroutine
+//     handoff, so the fan-out stops where parallelism stops paying.
+//   - sub-plan memoization: with Config.Memo set, the two half-size
+//     sub-permutations produced by the outer 2-coloring are hashed and
+//     their solved blocks cached in canonical form, so permutations
+//     that agree on a half-network (common under shifted or locally
+//     perturbed workloads) share recursion subtrees across requests.
+//
+// Every block's emitted switch states depend only on the block-local
+// sub-permutation, and the loop resolution itself is deterministic
+// (each loop's smallest input goes through the upper subnetwork), so
+// the parallel schedule — any worker count, any cutoff, memoized or
+// not — produces states bit-identical to core.Network.Setup. The
+// differential battery in this package's tests and the
+// FuzzParallelSetup target in CI hold that equivalence exhaustively at
+// N=8 and statistically beyond.
+package psetup
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+)
+
+// DefaultSerialCutoff is the block size (in lines, 2^m) at or below
+// which the recursion stops forking and solves the subtree serially.
+// A B(256) subtree costs a few microseconds — about the price of a
+// goroutine spawn plus scheduling — so splitting smaller blocks loses
+// more to overhead than it gains in concurrency.
+const DefaultSerialCutoff = 256
+
+// SubPlanCache memoizes solved half-network blocks across Setup calls.
+// Get returns the canonical setting of a B(m) block realizing dests —
+// 2m-1 stages of 2^(m-1) switches — or nil on a miss; the returned
+// states are shared and must not be mutated. Put hands st (freshly
+// allocated, never touched again by the Router) to the cache; an
+// implementation that retains dests must copy it, because the Router
+// reuses the underlying buffer on the next call. Implementations must
+// be safe for concurrent use.
+type SubPlanCache interface {
+	Get(m int, dests []int) core.States
+	Put(m int, dests []int, st core.States)
+}
+
+// Config parameterizes New. The zero value selects a serial-equivalent
+// single-worker pool with the default cutoff and no memoization.
+type Config struct {
+	// Workers bounds the number of goroutines one Setup call may have
+	// solving blocks concurrently, the caller's own goroutine included.
+	// Defaults to runtime.GOMAXPROCS(0). Workers=1 never forks — the
+	// parallel code path with a serial schedule.
+	Workers int
+	// SerialCutoff is the block size (lines) at or below which a
+	// subtree is solved serially in one goroutine. Defaults to
+	// DefaultSerialCutoff; values below 2 are raised to 2.
+	SerialCutoff int
+	// Memo, when non-nil, caches the two half-network sub-plans of
+	// every setup so later permutations sharing a half can skip that
+	// subtree entirely.
+	Memo SubPlanCache
+}
+
+// Router runs parallel cold setups over one network. It is safe for
+// concurrent use: every Setup call draws its working memory from
+// internal pools and shares only the immutable wiring.
+type Router struct {
+	net     *core.Network
+	n       int
+	workers int
+	cutoff  int
+	memo    SubPlanCache
+	scpool  sync.Pool // *core.SetupScratch, one per active goroutine
+	runpool sync.Pool // *runScratch, one per active Setup call
+}
+
+// runScratch is the per-call shared memory: the destination buffers of
+// every recursion level (sibling blocks write disjoint segments, so
+// one array serves all concurrent workers) and the fork semaphore.
+type runScratch struct {
+	levels [][]int
+	sem    chan struct{} // nil when workers == 1: sends never proceed
+}
+
+// New builds a Router for net.
+func New(net *core.Network, cfg Config) *Router {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.SerialCutoff <= 0 {
+		cfg.SerialCutoff = DefaultSerialCutoff
+	}
+	if cfg.SerialCutoff < 2 {
+		cfg.SerialCutoff = 2
+	}
+	r := &Router{
+		net:     net,
+		n:       net.LogN(),
+		workers: cfg.Workers,
+		cutoff:  cfg.SerialCutoff,
+		memo:    cfg.Memo,
+	}
+	r.scpool.New = func() any { return core.NewSetupScratch(net) }
+	r.runpool.New = func() any {
+		rs := &runScratch{levels: make([][]int, r.n)}
+		for i := range rs.levels {
+			rs.levels[i] = make([]int, net.N())
+		}
+		if r.workers > 1 {
+			rs.sem = make(chan struct{}, r.workers-1)
+		}
+		return rs
+	}
+	return r
+}
+
+// Network returns the wired network this Router sets up.
+func (r *Router) Network() *core.Network { return r.net }
+
+// Setup computes the switch setting realizing d, bit-identical to
+// r.Network().Setup(d), using up to Config.Workers goroutines. Unlike
+// core.Setup it reports invalid input as an error instead of
+// panicking — cold-path callers see adversarial permutations.
+func (r *Router) Setup(d perm.Perm) (core.States, error) {
+	st := r.net.NewStates()
+	if err := r.SetupInto(d, st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// SetupInto is Setup writing into caller-owned states (every switch of
+// st is overwritten, so a dirty st is fine).
+func (r *Router) SetupInto(d perm.Perm, st core.States) error {
+	if len(d) != r.net.N() {
+		return fmt.Errorf("psetup: permutation length %d != N %d", len(d), r.net.N())
+	}
+	if err := d.Validate(); err != nil {
+		return fmt.Errorf("psetup: %w", err)
+	}
+	if len(st) != r.net.Stages() {
+		return fmt.Errorf("psetup: states have %d stages, network has %d", len(st), r.net.Stages())
+	}
+	for s := range st {
+		if len(st[s]) != r.net.SwitchesPerStage() {
+			return fmt.Errorf("psetup: stage %d has %d switches, network has %d", s, len(st[s]), r.net.SwitchesPerStage())
+		}
+	}
+	run := r.runpool.Get().(*runScratch)
+	sc := r.scpool.Get().(*core.SetupScratch)
+	// d is only ever read; recursion levels below it live in run.levels.
+	r.solve(run, d, 0, 0, r.n, st, sc)
+	r.scpool.Put(sc)
+	r.runpool.Put(run)
+	return nil
+}
+
+// solve routes the B(m) block at lines [lo, lo+2^m), stages
+// [s0, s0+2m-2], forking the upper half onto the pool when a slot is
+// free. It returns only after the block's whole subtree is solved.
+func (r *Router) solve(run *runScratch, dests []int, lo, s0, m int, st core.States, sc *core.SetupScratch) {
+	if m == 1 {
+		st[s0][lo/2] = dests[0] == 1
+		return
+	}
+	size := 1 << uint(m)
+	if size <= r.cutoff {
+		r.net.SetupBlock(dests, lo, s0, m, st, sc)
+		return
+	}
+	half := size / 2
+	next := run.levels[r.n-m+1]
+	upDests := next[lo : lo+half]
+	downDests := next[lo+half : lo+size]
+	r.net.ColorBlock(dests, lo, s0, m, st, sc, upDests, downDests)
+
+	// Fork the upper half if a pool slot is free; otherwise this
+	// goroutine solves both halves. A send on a nil sem never proceeds,
+	// so Workers=1 always takes the serial branch.
+	var wg sync.WaitGroup
+	forked := false
+	select {
+	case run.sem <- struct{}{}:
+		forked = true
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			csc := r.scpool.Get().(*core.SetupScratch)
+			r.child(run, upDests, lo, s0+1, m-1, st, csc)
+			r.scpool.Put(csc)
+			<-run.sem
+		}()
+	default:
+	}
+	if !forked {
+		r.child(run, upDests, lo, s0+1, m-1, st, sc)
+	}
+	r.child(run, downDests, lo+half, s0+1, m-1, st, sc)
+	wg.Wait()
+}
+
+// child solves one half-size block, consulting the sub-plan cache at
+// the two outermost half-networks (m == LogN-1) — the only level where
+// block cardinality is low enough for reuse to be likely and block
+// cost high enough for reuse to matter.
+func (r *Router) child(run *runScratch, dests []int, lo, s0, m int, st core.States, sc *core.SetupScratch) {
+	if r.memo != nil && m == r.n-1 {
+		if cached := r.memo.Get(m, dests); cached != nil {
+			blit(cached, st, lo, s0, m)
+			return
+		}
+		r.solve(run, dests, lo, s0, m, st, sc)
+		r.memo.Put(m, dests, extract(st, lo, s0, m))
+		return
+	}
+	r.solve(run, dests, lo, s0, m, st, sc)
+}
+
+// blit copies a canonical B(m) setting into the block at (lo, s0).
+// The canonical form depends only on the block-local sub-permutation,
+// so the copy reproduces exactly what the recursion would have emitted.
+func blit(src, st core.States, lo, s0, m int) {
+	half := 1 << uint(m-1)
+	lo2 := lo / 2
+	for t, row := range src {
+		copy(st[s0+t][lo2:lo2+half], row)
+	}
+}
+
+// extract clones the solved block at (lo, s0) into a freshly allocated
+// canonical B(m) setting suitable for SubPlanCache.Put.
+func extract(st core.States, lo, s0, m int) core.States {
+	half := 1 << uint(m-1)
+	lo2 := lo / 2
+	out := make(core.States, 2*m-1)
+	for t := range out {
+		out[t] = append([]bool(nil), st[s0+t][lo2:lo2+half]...)
+	}
+	return out
+}
