@@ -50,6 +50,8 @@ BENCH_DIAGNOSE_JSON="$tmp/BENCH_diagnose.json" \
 	go test -count=1 -run '^TestBenchDiagnoseArtifact$' ./internal/diagnose
 BENCH_SETUP_JSON="$tmp/BENCH_setup.json" \
 	go test -count=1 -run '^TestBenchSetupArtifact$' ./internal/psetup
+BENCH_JOURNAL_JSON="$tmp/BENCH_journal.json" \
+	go test -count=1 -run '^TestBenchJournalArtifact$' ./internal/journal
 
 # key FILE NAME -> the value of "NAME" in a flat indented-JSON artifact.
 key() {
@@ -130,5 +132,8 @@ floor BENCH_diagnose.json diagnoses_per_sec_n64
 floor BENCH_diagnose.json diagnoses_per_sec_n256
 ratchet BENCH_setup.json parallel_setup_speedup
 ceiling BENCH_setup.json cold_setup_ns_op_n4096
+exact BENCH_journal.json append_allocs_op
+ceiling BENCH_journal.json append_ns_op
+ceiling BENCH_journal.json route_overhead_ratio
 
 exit $fail

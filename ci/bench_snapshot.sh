@@ -7,8 +7,10 @@
 # amplification through the packet path), and BENCH_collective.json
 # (compiled vs naive all-to-all), BENCH_diagnose.json (worst-case
 # probes-to-localize and whole-session diagnosis throughput at N=64
-# and N=256), and BENCH_setup.json (cold external setup: serial looping
-# vs the worker-pool router at N=1024/4096/8192). Each is written by
+# and N=256), BENCH_setup.json (cold external setup: serial looping
+# vs the worker-pool router at N=1024/4096/8192), and
+# BENCH_journal.json (hash-chained journal append cost and the
+# enabled-vs-disabled warm-route overhead ratio). Each is written by
 # the corresponding env-gated TestBench*Artifact test, so the numbers
 # come from exactly the code paths CI exercises.
 #
@@ -44,5 +46,7 @@ BENCH_DIAGNOSE_JSON="$PWD/BENCH_diagnose.json" \
 	go test -count=1 -run '^TestBenchDiagnoseArtifact$' -v ./internal/diagnose
 BENCH_SETUP_JSON="$PWD/BENCH_setup.json" \
 	go test -count=1 -run '^TestBenchSetupArtifact$' -v ./internal/psetup
+BENCH_JOURNAL_JSON="$PWD/BENCH_journal.json" \
+	go test -count=1 -run '^TestBenchJournalArtifact$' -v ./internal/journal
 
-echo "wrote BENCH_engine.json BENCH_fabric.json BENCH_mcast.json BENCH_collective.json BENCH_diagnose.json BENCH_setup.json"
+echo "wrote BENCH_engine.json BENCH_fabric.json BENCH_mcast.json BENCH_collective.json BENCH_diagnose.json BENCH_setup.json BENCH_journal.json"

@@ -63,6 +63,16 @@
 //	               the plane: crafted probe permutations, contradiction-
 //	               based elimination, ranked posterior over stuck-switch
 //	               hypotheses, JSON report
+//	GET  /debug/journal?from=&to=  the hash-chained traffic journal's
+//	               retained record window as NDJSON, one record per
+//	               line (requires -journal)
+//	GET  /debug/journal/verify?from=&to=  walk the chain over the
+//	               window and report the verdict: records verified,
+//	               first broken sequence number, head digest
+//	POST /debug/replay  {"from":1,"to":0} deterministically re-executes
+//	               the journal window (0 = retained bound) against a
+//	               fresh network and reports every divergence between
+//	               the recorded deliveries and the re-execution
 //	GET  /debug/pprof/  standard net/http/pprof profiles
 //	GET  /debug/vars  standard expvar, with the engine and fabric
 //	               published under "engine" and "fabric"
@@ -103,6 +113,7 @@ import (
 	"repro/internal/diagnose"
 	"repro/internal/engine"
 	"repro/internal/fabric"
+	"repro/internal/journal"
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/perm"
@@ -117,6 +128,9 @@ type server struct {
 	// dnet is the fabric planes' network geometry, shared by every
 	// /debug/diagnose prover.
 	dnet *core.Network
+	// jrn is the hash-chained traffic journal behind /debug/journal and
+	// /debug/replay; nil when benesd runs without -journal.
+	jrn *journal.Journal
 }
 
 // obsState bundles the process-wide observability surface: the metric
@@ -136,13 +150,17 @@ type obsState struct {
 // histInterval; Start it to begin sampling). The fabric's deliver
 // callback must release packet traces into the same ring (see
 // newTracedDeliver) so /send traces surface once their last packet is
-// verified at its output port. A nil logger logs to stderr.
-func newObsState(eng *engine.Engine[int], fab *fabric.Fabric[int], col *collective.Service[int], ring *obs.TraceRing,
+// verified at its output port. A nil journal skips the benes_journal_*
+// series; a nil logger logs to stderr.
+func newObsState(eng *engine.Engine[int], fab *fabric.Fabric[int], col *collective.Service[int], jr *journal.Journal, ring *obs.TraceRing,
 	histCap int, histInterval time.Duration, logger *slog.Logger) *obsState {
 	reg := obs.NewRegistry()
 	eng.Register(reg, nil)
 	fab.Register(reg)
 	col.Register(reg)
+	if jr != nil {
+		jr.Metrics().Register(reg)
+	}
 	diag := &diagnose.Metrics{}
 	diag.Register(reg)
 	if logger == nil {
@@ -597,6 +615,11 @@ func computeReadiness(h fabric.Health, queueDepth int64, queueCap int) readiness
 // /healthz failures but only sheds traffic on /readyz ones.
 func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	r := computeReadiness(s.fab.Health(), s.eng.Metrics().QueueDepth(), s.eng.QueueCapacity())
+	if s.jrn != nil {
+		// Journal trouble degrades but never sheds traffic: the data path
+		// is fine, only the audit trail has holes.
+		r.Degraded = append(r.Degraded, journalDegradations(s.jrn.Dropped(), s.jrn.SpillBacklog())...)
+	}
 	code := http.StatusOK
 	if !r.Ready {
 		code = http.StatusServiceUnavailable
@@ -826,10 +849,11 @@ func (s *server) writeJSON(w http.ResponseWriter, code int, v any) {
 // newMux wires the handlers; split from main so tests can mount the
 // mux on an httptest server. o supplies the /metrics registry and the
 // /debug/traces ring; /send and /collective run under the tracing
-// middleware.
-func newMux(eng *engine.Engine[int], fab *fabric.Fabric[int], col *collective.Service[int], o *obsState) *http.ServeMux {
+// middleware; jr (nil when journaling is off) backs /debug/journal and
+// /debug/replay.
+func newMux(eng *engine.Engine[int], fab *fabric.Fabric[int], col *collective.Service[int], o *obsState, jr *journal.Journal) *http.ServeMux {
 	s := &server{eng: eng, fab: fab, col: col, obs: o, log: o.log,
-		dnet: core.New(bits.Len(uint(fab.N())) - 1)}
+		dnet: core.New(bits.Len(uint(fab.N())) - 1), jrn: jr}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /route", s.handleRoute)
 	mux.HandleFunc("POST /send", s.traced("/send", s.handleSend))
@@ -847,6 +871,9 @@ func newMux(eng *engine.Engine[int], fab *fabric.Fabric[int], col *collective.Se
 	mux.HandleFunc("GET /debug/heatmap", s.handleHeatmap)
 	mux.HandleFunc("POST /debug/faults", s.traced("/debug/faults", s.handleDebugFaults))
 	mux.HandleFunc("POST /debug/diagnose", s.traced("/debug/diagnose", s.handleDebugDiagnose))
+	mux.HandleFunc("GET /debug/journal", s.handleDebugJournal)
+	mux.HandleFunc("GET /debug/journal/verify", s.handleDebugJournalVerify)
+	mux.HandleFunc("POST /debug/replay", s.traced("/debug/replay", s.handleDebugReplay))
 	mux.Handle("GET /debug/history", o.hist.Handler())
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -860,10 +887,11 @@ func newMux(eng *engine.Engine[int], fab *fabric.Fabric[int], col *collective.Se
 // serve runs the HTTP server on ln until ctx is cancelled, then shuts
 // down gracefully: stop accepting, drain in-flight requests within
 // shutdownTimeout, close the fabric (which delivers everything already
-// accepted) and finally the engine. Split from main so tests can drive
-// the full lifecycle without signals.
-func serve(ctx context.Context, ln net.Listener, eng *engine.Engine[int], fab *fabric.Fabric[int], col *collective.Service[int], o *obsState, shutdownTimeout time.Duration) error {
-	srv := &http.Server{Handler: newMux(eng, fab, col, o)}
+// accepted), the engine, and last the journal (nil OK) so the final
+// deliveries are recorded and the spill queue drains. Split from main
+// so tests can drive the full lifecycle without signals.
+func serve(ctx context.Context, ln net.Listener, eng *engine.Engine[int], fab *fabric.Fabric[int], col *collective.Service[int], o *obsState, jr *journal.Journal, shutdownTimeout time.Duration) error {
+	srv := &http.Server{Handler: newMux(eng, fab, col, o, jr)}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -877,6 +905,9 @@ func serve(ctx context.Context, ln net.Listener, eng *engine.Engine[int], fab *f
 	o.hist.Stop()
 	fab.Close()
 	eng.Close()
+	if jr != nil {
+		jr.Close()
+	}
 	if err != nil {
 		return fmt.Errorf("benesd: shutdown: %w", err)
 	}
@@ -903,6 +934,9 @@ func main() {
 		record  = flag.Bool("record", true, "gate-level flight recorder (per-switch counters behind /debug/heatmap)")
 		hcap    = flag.Int("history", 120, "snapshot samples kept for /debug/history")
 		hival   = flag.Duration("history-interval", time.Second, "interval between /debug/history snapshot samples")
+		jflag   = flag.Bool("journal", false, "hash-chained traffic journal (/debug/journal, /debug/replay)")
+		jcap    = flag.Int("journal-cap", journal.DefaultCap, "journal memory ring capacity (records)")
+		jspill  = flag.String("journal-spill", "", "directory receiving evicted journal segments (empty = age out in memory)")
 	)
 	flag.Parse()
 
@@ -920,6 +954,15 @@ func main() {
 		}
 		rec = netsim.NewRecorder(core.New(*n), w+1)
 	}
+	var jr *journal.Journal
+	var jw *journal.Writer
+	if *jflag {
+		j, err := journal.New(journal.Config{Cap: *jcap, SpillDir: *jspill})
+		if err != nil {
+			fatal(err)
+		}
+		jr, jw = j, j.Writer()
+	}
 	eng, err := engine.New[int](engine.Config{
 		LogN:          *n,
 		Workers:       *workers,
@@ -929,6 +972,7 @@ func main() {
 		SetupMemo:     *psetup && *psmemo,
 		ReplayStates:  *replay,
 		Recorder:      rec,
+		Journal:       jw,
 	})
 	if err != nil {
 		fatal(err)
@@ -955,12 +999,25 @@ func main() {
 		Affinity:      affinity,
 		ParallelSetup: *psetup,
 		Record:        *record,
+		Journal:       jw,
 	}, newTracedDeliver(ring))
 	if err != nil {
 		fatal(err)
 	}
+	if jr != nil {
+		// Checkpoints snapshot both layers: the fabric's packet books and
+		// per-plane recorder digests, plus the engine's /route counters.
+		jr.SetCheckpointSource(func() journal.Checkpoint {
+			cp := fab.JournalCheckpoint()
+			st := eng.Stats()
+			cp.EngineRequests = uint64(st.Requests)
+			cp.EngineHits = uint64(st.Hits)
+			cp.EngineMisses = uint64(st.Misses)
+			return cp
+		})
+	}
 	col := collective.New[int](fab, collective.Options{})
-	o := newObsState(eng, fab, col, ring, *hcap, *hival, logger)
+	o := newObsState(eng, fab, col, jr, ring, *hcap, *hival, logger)
 	o.hist.Start()
 	expvar.Publish("engine", expvar.Func(func() any { return eng.Stats() }))
 	expvar.Publish("fabric", fab.Var())
@@ -975,8 +1032,8 @@ func main() {
 	}
 	logger.Info("benesd: serving", "log_n", *n, "terminals", eng.Network().N(), "planes", fab.Planes(),
 		"affinity", affinity.String(), "addr", *addr, "record", *record,
-		"parallel_setup", *psetup, "setup_memo", *psetup && *psmemo)
-	if err := serve(ctx, ln, eng, fab, col, o, *drain); err != nil {
+		"parallel_setup", *psetup, "setup_memo", *psetup && *psmemo, "journal", *jflag)
+	if err := serve(ctx, ln, eng, fab, col, o, jr, *drain); err != nil {
 		fatal(err)
 	}
 	logger.Info("benesd: drained and stopped")

@@ -59,8 +59,8 @@ func newTestServerFull(t *testing.T, colOpts collective.Options) (*httptest.Serv
 		t.Fatal(err)
 	}
 	col := collective.New[int](fab, colOpts)
-	o := newObsState(eng, fab, col, ring, 8, time.Millisecond, testLogger())
-	srv := httptest.NewServer(newMux(eng, fab, col, o))
+	o := newObsState(eng, fab, col, nil, ring, 8, time.Millisecond, testLogger())
+	srv := httptest.NewServer(newMux(eng, fab, col, o, nil))
 	t.Cleanup(func() {
 		srv.Close()
 		o.hist.Stop()
@@ -732,11 +732,11 @@ func TestGracefulShutdown(t *testing.T) {
 		t.Fatal(err)
 	}
 	col := collective.New[int](fab, collective.Options{})
-	o := newObsState(eng, fab, col, obs.NewTraceRing(4, 0), 4, time.Second, testLogger())
+	o := newObsState(eng, fab, col, nil, obs.NewTraceRing(4, 0), 4, time.Second, testLogger())
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		done <- serve(ctx, ln, eng, fab, col, o, 5*time.Second)
+		done <- serve(ctx, ln, eng, fab, col, o, nil, 5*time.Second)
 	}()
 
 	url := "http://" + ln.Addr().String()
@@ -1079,8 +1079,8 @@ func TestHeatmapEndpointExact(t *testing.T) {
 		t.Fatal(err)
 	}
 	col := collective.New[int](fab, collective.Options{})
-	o := newObsState(eng, fab, col, ring, 4, time.Hour, testLogger())
-	srv := httptest.NewServer(newMux(eng, fab, col, o))
+	o := newObsState(eng, fab, col, nil, ring, 4, time.Hour, testLogger())
+	srv := httptest.NewServer(newMux(eng, fab, col, o, nil))
 	t.Cleanup(func() {
 		srv.Close()
 		fab.Close()

@@ -28,6 +28,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/diagnose"
 	"repro/internal/fabric"
+	"repro/internal/journal"
+	"repro/internal/journal/replay"
 	"repro/internal/perm"
 )
 
@@ -110,6 +112,13 @@ type Scenario struct {
 	// must be rejected by backpressure (and rejects must only happen
 	// when it is set).
 	ExpectDrops bool `json:"expect_drops,omitempty"`
+	// Journal attaches a hash-chained admission journal to the fabric
+	// and embeds its chain head and window bounds in the report, so a
+	// failed scenario is replayable by sequence range.
+	Journal bool `json:"journal,omitempty"`
+	// AssertReplay (implies Journal) replays the full journaled window
+	// after the run and asserts zero divergences.
+	AssertReplay bool `json:"assert_replay,omitempty"`
 }
 
 // Invariant is one checked contract in a report.
@@ -140,22 +149,40 @@ type PlaneEnd struct {
 	Frames  int64 `json:"frames"`
 }
 
+// JournalInfo is the journal slice of a report: the chain head and
+// window bounds that make the scenario's traffic replayable by
+// sequence range, plus the replay audit's outcome when one ran.
+type JournalInfo struct {
+	From    uint64 `json:"from"`
+	To      uint64 `json:"to"`
+	Records int64  `json:"records"`
+	// Head is the chain-head digest (hex) after the run.
+	Head    string `json:"head"`
+	ChainOK bool   `json:"chain_ok"`
+	// ReplayRan is true when the scenario asserted replay; the two
+	// fields below are then meaningful.
+	ReplayRan         bool   `json:"replay_ran"`
+	ReplayDivergences int    `json:"replay_divergences"`
+	FirstDivergentSeq uint64 `json:"first_divergent_seq,omitempty"`
+}
+
 // Report is the machine-readable outcome of one scenario run. It
 // echoes the scenario (seed included) so a failure reproduces from the
 // report alone.
 type Report struct {
-	Scenario   Scenario    `json:"scenario"`
-	Offered    int         `json:"offered"`
-	Accepted   int64       `json:"accepted"`
-	Rejected   int64       `json:"rejected"`
-	Delivered  int64       `json:"delivered"`
-	Lost       int64       `json:"lost"`
-	Failovers  int64       `json:"failovers"`
-	Planes     []PlaneEnd  `json:"planes"`
-	Diagnoses  []Diagnosis `json:"diagnoses,omitempty"`
-	Invariants []Invariant `json:"invariants"`
-	Passed     bool        `json:"passed"`
-	ElapsedNs  int64       `json:"elapsed_ns"`
+	Scenario   Scenario     `json:"scenario"`
+	Offered    int          `json:"offered"`
+	Accepted   int64        `json:"accepted"`
+	Rejected   int64        `json:"rejected"`
+	Delivered  int64        `json:"delivered"`
+	Lost       int64        `json:"lost"`
+	Failovers  int64        `json:"failovers"`
+	Planes     []PlaneEnd   `json:"planes"`
+	Diagnoses  []Diagnosis  `json:"diagnoses,omitempty"`
+	Journal    *JournalInfo `json:"journal,omitempty"`
+	Invariants []Invariant  `json:"invariants"`
+	Passed     bool         `json:"passed"`
+	ElapsedNs  int64        `json:"elapsed_ns"`
 }
 
 // Failures returns the invariants that did not hold.
@@ -224,16 +251,29 @@ func Run(sc Scenario) (*Report, error) {
 	if sc.Drop {
 		policy = fabric.DropNew
 	}
+	var jr *journal.Journal
+	var jw *journal.Writer
+	if sc.Journal || sc.AssertReplay {
+		j, err := journal.New(journal.Config{})
+		if err != nil {
+			return nil, err
+		}
+		jr, jw = j, j.Writer()
+	}
 	fab, err := fabric.New[int](fabric.Config{
 		LogN:     sc.LogN,
 		Planes:   sc.Planes,
 		VOQDepth: sc.VOQDepth,
 		Policy:   policy,
+		Journal:  jw,
 	}, func(p fabric.Packet[int]) {
 		counts[p.Payload].Add(1)
 	})
 	if err != nil {
 		return nil, err
+	}
+	if jr != nil {
+		jr.SetCheckpointSource(fab.JournalCheckpoint)
 	}
 
 	// Shadow state: what health each plane should report, and which
@@ -322,7 +362,56 @@ func Run(sc Scenario) (*Report, error) {
 		rep.Planes = append(rep.Planes, PlaneEnd{ID: ps.ID, Healthy: ps.Healthy, Faults: ps.Faults, Frames: ps.Frames})
 	}
 	rep.check(sc, counts, accepted, expectHealthy, stats)
+	if jr != nil {
+		rep.auditJournal(sc, jr)
+		jr.Close()
+	}
 	return rep, nil
+}
+
+// auditJournal verifies the run's hash chain, embeds the chain head and
+// window bounds in the report, and — when the scenario asserts replay —
+// re-executes the full window and checks for divergences. Appended
+// invariants fold into Passed like any other.
+func (rep *Report) auditJournal(sc Scenario, jr *journal.Journal) {
+	from, to, ok := jr.Bounds()
+	info := &JournalInfo{From: from, To: to}
+	rep.Journal = info
+	add := func(name string, ok bool, detail string) {
+		if ok {
+			detail = ""
+		}
+		rep.Invariants = append(rep.Invariants, Invariant{Name: name, OK: ok, Detail: detail})
+		rep.Passed = rep.Passed && ok
+	}
+	if !ok {
+		// An empty journal on a scenario that offered traffic means the
+		// admission hooks never fired.
+		add("journal_chain_intact", sc.Packets == 0, "journal is empty after a traffic-bearing run")
+		return
+	}
+	vr := jr.Verify(from, to)
+	info.Records = int64(vr.Records)
+	info.Head = vr.Head
+	info.ChainOK = vr.OK
+	add("journal_chain_intact", vr.OK, vr.Detail)
+	if !sc.AssertReplay {
+		return
+	}
+	info.ReplayRan = true
+	audit, err := replay.Window(replay.Config{LogN: sc.LogN, Planes: sc.Planes}, jr, from, to)
+	if err != nil {
+		add("replay_no_divergence", false, err.Error())
+		return
+	}
+	info.ReplayDivergences = len(audit.Divergences)
+	info.FirstDivergentSeq = audit.FirstDivergentSeq
+	detail := ""
+	if len(audit.Divergences) > 0 {
+		detail = fmt.Sprintf("first divergence at seq %d: %s",
+			audit.FirstDivergentSeq, audit.Divergences[0].Detail)
+	}
+	add("replay_no_divergence", audit.Clean(), detail)
 }
 
 // runDiagnosis runs one session against plane's probe oracle. target

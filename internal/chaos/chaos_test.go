@@ -169,3 +169,61 @@ func TestEventsAfterLastOffer(t *testing.T) {
 		t.Fatalf("invariants failed: %v", rep.Failures())
 	}
 }
+
+// TestJournaledScenarioReport: a scenario with the journal on embeds
+// the chain head and window bounds in its JSON report, and asserting
+// replay adds the divergence audit as a pass/fail invariant.
+func TestJournaledScenarioReport(t *testing.T) {
+	rep, err := Run(Scenario{
+		Name:         "journal-report",
+		LogN:         3,
+		Planes:       2,
+		Seed:         31,
+		Packets:      200,
+		Mix:          MixUniform,
+		Journal:      true,
+		AssertReplay: true,
+		Events: []Event{
+			{AtPacket: 50, Kind: EventFail, Plane: 1},
+			{AtPacket: 120, Kind: EventRestore, Plane: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatalf("invariants failed: %v", rep.Failures())
+	}
+	ji := rep.Journal
+	if ji == nil {
+		t.Fatal("journaled scenario carries no journal info")
+	}
+	if ji.From != 1 || ji.To < ji.From || ji.Records == 0 {
+		t.Fatalf("bad journal window: %+v", ji)
+	}
+	if !ji.ChainOK || ji.Head == "" {
+		t.Fatalf("chain not verified: %+v", ji)
+	}
+	if !ji.ReplayRan || ji.ReplayDivergences != 0 || ji.FirstDivergentSeq != 0 {
+		t.Fatalf("replay audit: %+v", ji)
+	}
+	names := make(map[string]bool)
+	for _, inv := range rep.Invariants {
+		names[inv.Name] = true
+	}
+	if !names["journal_chain_intact"] || !names["replay_no_divergence"] {
+		t.Fatalf("journal invariants missing: %+v", rep.Invariants)
+	}
+	// The report round-trips through JSON with the journal block intact.
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Journal == nil || back.Journal.Head != ji.Head {
+		t.Fatalf("journal info lost in JSON round trip: %+v", back.Journal)
+	}
+}

@@ -96,5 +96,26 @@ func Suite() []Scenario {
 			Mix:         MixSaturate,
 			ExpectDrops: true,
 		},
+		{
+			// Journaled replay: mixed traffic with a fault flap, recorded in
+			// the hash-chained journal, then deterministically re-executed
+			// against a fresh network. The chain must verify and the replay
+			// must report zero divergences.
+			Name:         "journaled-replay",
+			LogN:         3,
+			Planes:       2,
+			Seed:         23,
+			Packets:      600,
+			Mix:          MixUniform,
+			Journal:      true,
+			AssertReplay: true,
+			Events: []Event{
+				{AtPacket: 150, Kind: EventInject, Plane: 0,
+					Faults: []core.Fault{{Stage: 2, Switch: 1, StuckCrossed: true}}},
+				{AtPacket: 250, Kind: EventRestore, Plane: 0},
+				{AtPacket: 300, Kind: EventFail, Plane: 1},
+				{AtPacket: 450, Kind: EventRestore, Plane: 1},
+			},
+		},
 	}
 }

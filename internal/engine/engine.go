@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/journal"
 	"repro/internal/mcast"
 	"repro/internal/netsim"
 	"repro/internal/perm"
@@ -97,6 +98,12 @@ type Config struct {
 	// partially filled frames (Request.Real set) walk only the real
 	// packets' paths. Nil disables accounting entirely.
 	Recorder *netsim.Recorder
+	// Journal, when enabled, receives one hash-chained admission record
+	// per served request (the permutation plus its delivery digest),
+	// making the engine's traffic window replayable by internal/journal.
+	// Nil disables journaling: the hot path pays one pointer test and
+	// computes nothing.
+	Journal *journal.Writer
 }
 
 // Defaults for Config fields left zero.
@@ -165,6 +172,7 @@ type Engine[T any] struct {
 	cache *planCache
 	met   *Metrics
 	rec   *netsim.Recorder
+	jrn   *journal.Writer
 	// psr is the multicore cold-setup router for non-F(n) misses, nil
 	// when Config.ParallelSetup is off (serial looping path retained).
 	psr *psetup.Router
@@ -194,6 +202,7 @@ func New[T any](cfg Config) (*Engine[T], error) {
 		cache: newPlanCache(cfg.CacheCapacity, cfg.CacheShards, &met.evictions, &met.collisions),
 		met:   met,
 		rec:   cfg.Recorder,
+		jrn:   cfg.Journal,
 		reqs:  make(chan *pending[T], cfg.QueueDepth),
 	}
 	if e.rec != nil {
@@ -440,6 +449,12 @@ func (e *Engine[T]) serve(batch []*pending[T], sh *netsim.RecorderShard) {
 		e.met.Apply.Observe(time.Since(t0))
 		if sh != nil {
 			e.record(sh, ent.plan, p.req.Real)
+		}
+		if e.jrn.Enabled() {
+			// The plan realizes exactly its permutation (applyPlan either
+			// maps by Dest or replays states verified to realize it), so
+			// the delivery digest is DigestPerm of the destination vector.
+			e.jrn.Route(ent.plan.Dest, journal.DigestPerm(ent.plan.Dest))
 		}
 		p.done <- Response[T]{Data: out, Kind: ent.plan.Kind, CacheHit: ent.cached || reused}
 	}

@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/journal"
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/perm"
@@ -176,6 +177,12 @@ type Config struct {
 	// fault-check simulation contributes fault hits without double
 	// counting traversals.
 	Record bool
+	// Journal, when enabled, receives one hash-chained record per
+	// verified frame (unicast and multicast), collective round, fault
+	// injection, and plane fail/restore, making the fabric's traffic
+	// window replayable by internal/journal. Nil disables journaling at
+	// the cost of one pointer test per event.
+	Journal *journal.Writer
 }
 
 // DefaultVOQDepth bounds each virtual output queue unless Config says
@@ -210,6 +217,7 @@ type Fabric[T any] struct {
 	frames    []chan *frame[T] // per-plane scheduler → router handoff
 	freelist  []chan *frame[T] // per-plane frame recycling
 	met       metrics
+	jrn       *journal.Writer
 
 	deliver      func(Packet[T])
 	deliverBatch func(plane int, pkts []Packet[T])
@@ -255,6 +263,7 @@ func newFabric[T any](cfg Config, deliver func(Packet[T]), deliverBatch func(int
 		freelist:     make([]chan *frame[T], cfg.Planes),
 		deliver:      deliver,
 		deliverBatch: deliverBatch,
+		jrn:          cfg.Journal,
 		closing:      make(chan struct{}),
 	}
 	// One geometry network shared by every plane's recorder; the planes'
@@ -454,6 +463,7 @@ func (f *Fabric[T]) InjectFaults(id int, faults []core.Fault) error {
 		}
 	}
 	f.planes[id].inject(faults)
+	f.jrn.Inject(id, faults)
 	return nil
 }
 
@@ -482,6 +492,7 @@ func (f *Fabric[T]) FailPlane(id int) error {
 		return fmt.Errorf("fabric: no plane %d", id)
 	}
 	f.planes[id].healthy.Store(false)
+	f.jrn.Fail(id)
 	return nil
 }
 
@@ -491,6 +502,7 @@ func (f *Fabric[T]) RestorePlane(id int) error {
 		return fmt.Errorf("fabric: no plane %d", id)
 	}
 	f.planes[id].inject(nil)
+	f.jrn.Restore(id)
 	return nil
 }
 
@@ -625,6 +637,9 @@ func (f *Fabric[T]) dispatch(home int, servers []*engine.FrameServer[int], fr *f
 			f.met.failovers.Add(1)
 		}
 		f.met.delivered.Add(int64(len(fr.pkts)))
+		if f.jrn.Enabled() {
+			f.jrn.Frame(p.id, fr.dest, fr.srcs, journal.DigestPairs(fr.srcs, fr.dsts))
+		}
 		transit := time.Since(start)
 		note := "plane " + strconv.Itoa(p.id)
 		for _, pkt := range fr.pkts {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/journal"
 	"repro/internal/mcast"
 	"repro/internal/obs"
 )
@@ -257,6 +258,9 @@ func (f *Fabric[T]) dispatchMcast(home int, servers []*engine.McastFrameServer[i
 		f.met.delivered.Add(int64(len(fr.pkts)))
 		f.met.mcastDelivered.Add(int64(fr.mpkts))
 		f.met.mcastCopies.Add(int64(fr.mcopies))
+		if f.jrn.Enabled() {
+			f.jrn.McastFrame(p.id, fr.outSrc, fr.dsts, journal.DigestPairs(fr.srcs, fr.dsts))
+		}
 		transit := time.Since(start)
 		note := "plane " + fmt.Sprint(p.id)
 		for _, pkt := range fr.pkts {
@@ -357,6 +361,9 @@ func (f *Fabric[T]) RouteMulticastRound(m []int, prefer int) (RoundResult, error
 		}
 		f.met.rounds.Add(1)
 		f.met.mcastRounds.Add(1)
+		if f.jrn.Enabled() {
+			f.jrn.McastRound(p.id, mm, journal.DigestMapping(mm))
+		}
 		return RoundResult{Plane: p.id, Kind: engine.PlanMulticast, CacheHit: hit}, nil
 	}
 	return RoundResult{}, fmt.Errorf("fabric: no healthy plane for multicast round: %w", errPlaneDown)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/engine"
+	"repro/internal/journal"
 	"repro/internal/perm"
 )
 
@@ -54,6 +55,9 @@ func (f *Fabric[T]) RouteRound(dest perm.Perm, prefer int) (RoundResult, error) 
 			f.met.roundFailovers.Add(1)
 		}
 		f.met.rounds.Add(1)
+		if f.jrn.Enabled() {
+			f.jrn.Round(p.id, dest, journal.DigestPerm(dest))
+		}
 		return RoundResult{Plane: p.id, Kind: kind, CacheHit: hit}, nil
 	}
 	return RoundResult{}, fmt.Errorf("fabric: no healthy plane for round: %w", errPlaneDown)
@@ -84,6 +88,11 @@ func (f *Fabric[T]) RouteRounds(dests []perm.Perm, prefer int) ([]RoundResult, e
 	for attempt := 0; attempt < k && start < len(dests); attempt++ {
 		p := f.planes[(prefer+attempt)%k]
 		n, err := p.routeRoundBatch(dests[start:], out[start:])
+		if f.jrn.Enabled() {
+			for i := start; i < start+n; i++ {
+				f.jrn.Round(out[i].Plane, dests[i], journal.DigestPerm(dests[i]))
+			}
+		}
 		start += n
 		if err != nil {
 			failed = true

@@ -1,0 +1,89 @@
+package journal_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/journal"
+	"repro/internal/perm"
+)
+
+// TestBenchJournalArtifact is the CI bench-snapshot hook: when
+// BENCH_JOURNAL_JSON names a file, it times the raw append path (encode
+// + SHA-256 chain extension) and the warm engine route with journaling
+// enabled against the identical route with it disabled, and writes the
+// overhead ratio there. ci/bench_diff.sh holds the ratio under a
+// ceiling so the hot-path tax of journaling stays visible. Without the
+// env var the test is skipped, so normal runs stay fast.
+func TestBenchJournalArtifact(t *testing.T) {
+	path := os.Getenv("BENCH_JOURNAL_JSON")
+	if path == "" {
+		t.Skip("BENCH_JOURNAL_JSON not set")
+	}
+	const logN = 6
+	d := perm.BitReversal(logN)
+	data := make([]int, 1<<logN)
+	for i := range data {
+		data[i] = i
+	}
+
+	appendBench := testing.Benchmark(func(b *testing.B) {
+		j, err := journal.New(journal.Config{CheckpointEvery: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer j.Close()
+		w := j.Writer()
+		dig := journal.DigestPerm(d)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Route(d, dig)
+		}
+	})
+
+	route := func(jw *journal.Writer) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			eng, err := engine.New[int](engine.Config{LogN: logN, Journal: jw})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			eng.Route(d, data) // prime the cache
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if resp := eng.Route(d, data); resp.Err != nil {
+					b.Fatal(resp.Err)
+				}
+			}
+		})
+	}
+	disabled := route(nil)
+	j, err := journal.New(journal.Config{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	enabled := route(j.Writer())
+
+	ratio := float64(enabled.NsPerOp()) / float64(disabled.NsPerOp())
+	artifact := map[string]any{
+		"log_n":                  logN,
+		"append_ns_op":           appendBench.NsPerOp(),
+		"append_allocs_op":       appendBench.AllocsPerOp(),
+		"route_disabled_ns_op":   disabled.NsPerOp(),
+		"route_enabled_ns_op":    enabled.NsPerOp(),
+		"route_overhead_ratio":   ratio,
+		"appended_while_enabled": j.Metrics().Appended(),
+	}
+	out, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %s", path, out)
+}

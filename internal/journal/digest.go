@@ -1,0 +1,74 @@
+package journal
+
+// Delivery digests are FNV-1a 64 over the verified outcomes of one
+// served event. The live side computes them from the outputs the plane
+// actually verified; replay recomputes them from a fresh network and
+// any mismatch is a divergence. FNV is not tamper protection — the
+// SHA-256 chain is — it only needs to separate honest outcomes.
+
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+// Hash64 is an incremental FNV-1a 64 accumulator.
+type Hash64 uint64
+
+// NewHash64 returns the FNV-1a offset basis.
+func NewHash64() Hash64 { return fnvOffset }
+
+// Int folds one integer, byte by byte, little-endian.
+func (h *Hash64) Int(v int64) {
+	x := uint64(*h)
+	u := uint64(v)
+	for i := 0; i < 8; i++ {
+		x ^= u & 0xff
+		x *= fnvPrime
+		u >>= 8
+	}
+	*h = Hash64(x)
+}
+
+// Sum returns the accumulated digest.
+func (h Hash64) Sum() uint64 { return uint64(h) }
+
+// DigestPerm digests a realized permutation: position and value pairs
+// in order.
+func DigestPerm(d []int) uint64 {
+	h := NewHash64()
+	for i, v := range d {
+		h.Int(int64(i))
+		h.Int(int64(v))
+	}
+	return h.Sum()
+}
+
+// DigestPairs digests verified (src, dst) delivery pairs in order. The
+// slices must be the same length; extra entries in the longer one are
+// ignored.
+func DigestPairs(srcs, dsts []int) uint64 {
+	n := len(srcs)
+	if len(dsts) < n {
+		n = len(dsts)
+	}
+	h := NewHash64()
+	for i := 0; i < n; i++ {
+		h.Int(int64(srcs[i]))
+		h.Int(int64(dsts[i]))
+	}
+	return h.Sum()
+}
+
+// DigestMapping digests a verified multicast round: (source, output)
+// pairs over the assigned outputs in ascending output order — the order
+// the round's output verification walks.
+func DigestMapping(m []int) uint64 {
+	h := NewHash64()
+	for out, src := range m {
+		if src >= 0 {
+			h.Int(int64(src))
+			h.Int(int64(out))
+		}
+	}
+	return h.Sum()
+}

@@ -1,0 +1,173 @@
+package journal
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// sampleRecords returns one well-formed record of every kind, with the
+// optional fields exercised (negative plane, -1 mapping entries, empty
+// and non-empty fault sets, a populated checkpoint).
+func sampleRecords() []*Record {
+	return []*Record{
+		{Seq: 1, Kind: KindRoute, Plane: -1, TimeNs: 100, Dest: []int{3, 2, 1, 0}, Delivered: 0xdead},
+		{Seq: 2, Kind: KindFrame, Plane: 0, TimeNs: 200, Dest: []int{1, 0, 3, 2}, Srcs: []int{2, 0}, Delivered: 7},
+		{Seq: 3, Kind: KindMcastFrame, Plane: 1, TimeNs: 300, Dest: []int{0, 0, -1, 1}, Srcs: []int{0, 1, 3}, Delivered: 9},
+		{Seq: 4, Kind: KindRound, Plane: 1, TimeNs: 400, Dest: []int{0, 1, 2, 3}, Delivered: 11},
+		{Seq: 5, Kind: KindMcastRound, Plane: 0, TimeNs: 500, Dest: []int{-1, -1, 2, 2}, Delivered: 13},
+		{Seq: 6, Kind: KindInject, Plane: 1, TimeNs: 600,
+			Faults: []core.Fault{{Stage: 2, Switch: 1, StuckCrossed: true}, {Stage: 0, Switch: 0}}},
+		{Seq: 7, Kind: KindInject, Plane: 0, TimeNs: 700}, // empty set: heal
+		{Seq: 8, Kind: KindFail, Plane: 1, TimeNs: 800},
+		{Seq: 9, Kind: KindRestore, Plane: 1, TimeNs: 900},
+		{Seq: 10, Kind: KindCheckpoint, Plane: -1, TimeNs: 1000, Checkpoint: &Checkpoint{
+			KindCounts:     []uint64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+			EngineRequests: 17, EngineHits: 11, EngineMisses: 6,
+			Accepted: 40, Delivered: 39, Lost: 1, Frames: 12,
+			Planes: []PlaneCheckpoint{
+				{Frames: 6, Packets: 20, Rounds: 2, Failovers: 1, RecorderDigest: 0xabc},
+				{Frames: 6, Packets: 19, Rounds: 0, Failovers: 0, RecorderDigest: 0xdef},
+			},
+		}},
+	}
+}
+
+func recordsEqual(a, b *Record) bool {
+	if a.Seq != b.Seq || a.Kind != b.Kind || a.Plane != b.Plane || a.TimeNs != b.TimeNs ||
+		a.Delivered != b.Delivered || a.Digest != b.Digest {
+		return false
+	}
+	intsEq := func(x, y []int) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !intsEq(a.Dest, b.Dest) || !intsEq(a.Srcs, b.Srcs) || len(a.Faults) != len(b.Faults) {
+		return false
+	}
+	for i := range a.Faults {
+		if a.Faults[i] != b.Faults[i] {
+			return false
+		}
+	}
+	if (a.Checkpoint == nil) != (b.Checkpoint == nil) {
+		return false
+	}
+	if a.Checkpoint != nil {
+		x, y := a.Checkpoint, b.Checkpoint
+		if len(x.KindCounts) != len(y.KindCounts) || len(x.Planes) != len(y.Planes) {
+			return false
+		}
+		for i := range x.KindCounts {
+			if x.KindCounts[i] != y.KindCounts[i] {
+				return false
+			}
+		}
+		for i := range x.Planes {
+			if x.Planes[i] != y.Planes[i] {
+				return false
+			}
+		}
+		if x.EngineRequests != y.EngineRequests || x.EngineHits != y.EngineHits ||
+			x.EngineMisses != y.EngineMisses || x.Accepted != y.Accepted ||
+			x.Delivered != y.Delivered || x.Lost != y.Lost || x.Frames != y.Frames {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRecordRoundTrip pins the canonical layout: every kind encodes,
+// decodes back field for field, and re-encodes to the identical bytes —
+// the property Verify's re-encode-and-hash walk depends on.
+func TestRecordRoundTrip(t *testing.T) {
+	for _, r := range sampleRecords() {
+		b := Encode(r)
+		got, n, err := Decode(b)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", r.Kind, err)
+		}
+		if n != len(b) {
+			t.Fatalf("%v: decode consumed %d of %d bytes", r.Kind, n, len(b))
+		}
+		if !recordsEqual(r, got) {
+			t.Fatalf("%v: round trip mismatch:\n in: %+v\nout: %+v", r.Kind, r, got)
+		}
+		if again := Encode(got); !bytes.Equal(b, again) {
+			t.Fatalf("%v: re-encode is not canonical", r.Kind)
+		}
+	}
+}
+
+// TestDecodeConcatenated decodes a stream of back-to-back records the
+// way segment readers do.
+func TestDecodeConcatenated(t *testing.T) {
+	recs := sampleRecords()
+	var buf []byte
+	for _, r := range recs {
+		buf = append(buf, Encode(r)...)
+	}
+	off := 0
+	for i, want := range recs {
+		got, n, err := Decode(buf[off:])
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !recordsEqual(want, got) {
+			t.Fatalf("record %d mismatch", i)
+		}
+		off += n
+	}
+	if off != len(buf) {
+		t.Fatalf("stream decode consumed %d of %d bytes", off, len(buf))
+	}
+}
+
+// TestDecodeErrors pins the decoder's rejection of malformed input: it
+// must error, never panic or over-read.
+func TestDecodeErrors(t *testing.T) {
+	valid := Encode(sampleRecords()[0])
+	cases := []struct {
+		name string
+		buf  []byte
+	}{
+		{"empty", nil},
+		{"short header", valid[:headerSize-1]},
+		{"bad magic", append([]byte{0xff, 0xff}, valid[2:]...)},
+		{"bad version", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[2] = 99
+			return b
+		}()},
+		{"bad kind", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[3] = byte(KindMax)
+			return b
+		}()},
+		{"zero kind", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[3] = 0
+			return b
+		}()},
+		{"truncated payload", valid[:len(valid)-DigestSize-1]},
+		{"missing digest", valid[:len(valid)-1]},
+		{"oversized payload length", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[24], b[25], b[26], b[27] = 0xff, 0xff, 0xff, 0x7f
+			return b
+		}()},
+	}
+	for _, tc := range cases {
+		if _, _, err := Decode(tc.buf); err == nil {
+			t.Errorf("%s: Decode accepted malformed input", tc.name)
+		}
+	}
+}
